@@ -1,0 +1,260 @@
+//! Random graph generators for the QAOA MAXCUT benchmarks.
+//!
+//! The paper benchmarks two families of random graphs on 6 and 8 nodes: 3-regular
+//! graphs (every node has exactly three neighbours) and Erdős–Rényi graphs (every edge
+//! present independently with probability 1/2). Figure 2 additionally uses the 4-node
+//! clique.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a random graph with the requested structure cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError {
+    /// Explanation of what went wrong.
+    message: String,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for GraphError {}
+
+/// An undirected simple graph on `num_nodes` nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph from an explicit edge list (duplicates and orientation ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= num_nodes` or is a self-loop.
+    pub fn new(num_nodes: usize, edges: &[(usize, usize)]) -> Self {
+        let mut set = BTreeSet::new();
+        for &(a, b) in edges {
+            assert!(a < num_nodes && b < num_nodes, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loops are not allowed");
+            set.insert((a.min(b), a.max(b)));
+        }
+        Graph {
+            num_nodes,
+            edges: set,
+        }
+    }
+
+    /// The complete graph on `n` nodes (the 4-node clique is Figure 2's workload).
+    pub fn clique(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        Graph::new(n, &edges)
+    }
+
+    /// A simple cycle on `n` nodes.
+    pub fn cycle(n: usize) -> Self {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::new(n, &edges)
+    }
+
+    /// A random 3-regular graph via the configuration model with rejection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `3·num_nodes` is odd, `num_nodes < 4`, or no simple 3-regular
+    /// graph was found within the retry budget (practically impossible for the sizes
+    /// used here).
+    pub fn three_regular(num_nodes: usize, seed: u64) -> Result<Self, GraphError> {
+        Graph::random_regular(num_nodes, 3, seed)
+    }
+
+    /// A random `degree`-regular graph via the configuration model with rejection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `degree·num_nodes` is odd, `degree >= num_nodes`, or the
+    /// retry budget is exhausted.
+    pub fn random_regular(num_nodes: usize, degree: usize, seed: u64) -> Result<Self, GraphError> {
+        if degree >= num_nodes {
+            return Err(GraphError {
+                message: format!("cannot build a {degree}-regular graph on {num_nodes} nodes"),
+            });
+        }
+        if (degree * num_nodes) % 2 != 0 {
+            return Err(GraphError {
+                message: format!(
+                    "a {degree}-regular graph on {num_nodes} nodes would need an odd number of edge endpoints"
+                ),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        'attempt: for _ in 0..10_000 {
+            let mut stubs: Vec<usize> = (0..num_nodes).flat_map(|v| vec![v; degree]).collect();
+            stubs.shuffle(&mut rng);
+            let mut edges = BTreeSet::new();
+            for pair in stubs.chunks(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if a == b {
+                    continue 'attempt;
+                }
+                if !edges.insert((a.min(b), a.max(b))) {
+                    continue 'attempt;
+                }
+            }
+            return Ok(Graph {
+                num_nodes,
+                edges,
+            });
+        }
+        Err(GraphError {
+            message: format!("failed to sample a {degree}-regular graph on {num_nodes} nodes"),
+        })
+    }
+
+    /// An Erdős–Rényi graph where every edge is present independently with probability
+    /// `edge_probability` (the paper uses 1/2).
+    pub fn erdos_renyi(num_nodes: usize, edge_probability: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = BTreeSet::new();
+        for a in 0..num_nodes {
+            for b in a + 1..num_nodes {
+                if rng.gen_bool(edge_probability.clamp(0.0, 1.0)) {
+                    edges.insert((a, b));
+                }
+            }
+        }
+        Graph {
+            num_nodes,
+            edges,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over edges as `(low, high)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, node: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == node || b == node)
+            .count()
+    }
+
+    /// Size of the cut induced by an assignment of nodes to two sides, given as a
+    /// bitmask (bit `i` = side of node `i`, with node 0 the most-significant bit to
+    /// match the simulator's basis-state indexing).
+    pub fn cut_size(&self, assignment: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| {
+                let side_a = (assignment >> (self.num_nodes - 1 - a)) & 1;
+                let side_b = (assignment >> (self.num_nodes - 1 - b)) & 1;
+                side_a != side_b
+            })
+            .count()
+    }
+
+    /// The maximum cut size, by brute force (fine for ≤ 20 nodes).
+    pub fn max_cut(&self) -> usize {
+        (0..(1usize << self.num_nodes))
+            .map(|assignment| self.cut_size(assignment))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_edge_count() {
+        let g = Graph::clique(4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.max_cut(), 4);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = Graph::cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in 0..6 {
+            assert_eq!(g.degree(v), 2);
+        }
+        // Even cycles are bipartite: max cut equals the edge count.
+        assert_eq!(g.max_cut(), 6);
+    }
+
+    #[test]
+    fn three_regular_graphs_are_regular() {
+        for seed in 0..5 {
+            for n in [4usize, 6, 8] {
+                let g = Graph::three_regular(n, seed).unwrap();
+                assert_eq!(g.num_edges(), 3 * n / 2);
+                for v in 0..n {
+                    assert_eq!(g.degree(v), 3, "node {v} of n={n}, seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_regular_rejects_odd_totals() {
+        assert!(Graph::three_regular(5, 0).is_err());
+        assert!(Graph::three_regular(3, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_is_reproducible() {
+        let a = Graph::erdos_renyi(8, 0.5, 42);
+        let b = Graph::erdos_renyi(8, 0.5, 42);
+        let c = Graph::erdos_renyi(8, 0.5, 43);
+        assert_eq!(a, b);
+        assert!(a != c || a.num_edges() == c.num_edges());
+        // Probability 1 gives the clique, probability 0 the empty graph.
+        assert_eq!(Graph::erdos_renyi(5, 1.0, 0).num_edges(), 10);
+        assert_eq!(Graph::erdos_renyi(5, 0.0, 0).num_edges(), 0);
+    }
+
+    #[test]
+    fn cut_size_counts_crossing_edges() {
+        // Path 0-1-2 (edges (0,1),(1,2)); put node 1 alone on one side -> cut 2.
+        let g = Graph::new(3, &[(0, 1), (1, 2)]);
+        // Assignment bits: node0=0, node1=1, node2=0 -> 0b010.
+        assert_eq!(g.cut_size(0b010), 2);
+        assert_eq!(g.cut_size(0b000), 0);
+        assert_eq!(g.max_cut(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_are_rejected() {
+        Graph::new(3, &[(1, 1)]);
+    }
+}

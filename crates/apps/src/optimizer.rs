@@ -1,0 +1,216 @@
+//! A derivative-free Nelder–Mead optimizer.
+//!
+//! Variational algorithms pair the quantum circuit with a classical optimizer that is
+//! robust to small amounts of noise; the paper (like most of the VQE literature) names
+//! Nelder–Mead as the typical choice. This implementation is used by the end-to-end
+//! examples and the [`crate::variational`] drivers.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Nelder–Mead simplex optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NelderMead {
+    /// Maximum number of objective evaluations.
+    pub max_evaluations: usize,
+    /// Convergence tolerance on the spread of simplex function values.
+    pub tolerance: f64,
+    /// Initial simplex step added to each coordinate of the starting point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            max_evaluations: 2000,
+            tolerance: 1e-7,
+            initial_step: 0.25,
+        }
+    }
+}
+
+/// The outcome of a Nelder–Mead minimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResult {
+    /// The best parameter vector found.
+    pub parameters: Vec<f64>,
+    /// Objective value at [`OptimizationResult::parameters`].
+    pub value: f64,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+    /// Whether the simplex spread fell below the tolerance before the budget ran out.
+    pub converged: bool,
+    /// Best objective value after each accepted simplex update (for plotting progress).
+    pub history: Vec<f64>,
+}
+
+impl NelderMead {
+    /// Minimizes `objective` starting from `initial`, using the standard
+    /// reflection/expansion/contraction/shrink simplex moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(
+        &self,
+        mut objective: F,
+        initial: &[f64],
+    ) -> OptimizationResult {
+        assert!(!initial.is_empty(), "cannot optimize over zero parameters");
+        let n = initial.len();
+        let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+        let mut evaluations = 0usize;
+        let mut history = Vec::new();
+        let mut eval = |point: &[f64], evaluations: &mut usize| -> f64 {
+            *evaluations += 1;
+            objective(point)
+        };
+
+        // Initial simplex: the starting point plus one perturbed vertex per dimension.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let value = eval(initial, &mut evaluations);
+        simplex.push((initial.to_vec(), value));
+        for i in 0..n {
+            let mut vertex = initial.to_vec();
+            vertex[i] += self.initial_step;
+            let value = eval(&vertex, &mut evaluations);
+            simplex.push((vertex, value));
+        }
+
+        while evaluations < self.max_evaluations {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective values are finite"));
+            history.push(simplex[0].1);
+
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < self.tolerance {
+                return OptimizationResult {
+                    parameters: simplex[0].0.clone(),
+                    value: simplex[0].1,
+                    evaluations,
+                    converged: true,
+                    history,
+                };
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for (vertex, _) in simplex.iter().take(n) {
+                for (c, v) in centroid.iter_mut().zip(vertex.iter()) {
+                    *c += v / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(worst.0.iter())
+                .map(|(c, w)| c + alpha * (c - w))
+                .collect();
+            let reflect_value = eval(&reflect, &mut evaluations);
+
+            if reflect_value < simplex[0].1 {
+                // Try expanding further in the same direction.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(worst.0.iter())
+                    .map(|(c, w)| c + gamma * (c - w))
+                    .collect();
+                let expand_value = eval(&expand, &mut evaluations);
+                simplex[n] = if expand_value < reflect_value {
+                    (expand, expand_value)
+                } else {
+                    (reflect, reflect_value)
+                };
+            } else if reflect_value < simplex[n - 1].1 {
+                simplex[n] = (reflect, reflect_value);
+            } else {
+                // Contract toward the centroid.
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(worst.0.iter())
+                    .map(|(c, w)| c + rho * (w - c))
+                    .collect();
+                let contract_value = eval(&contract, &mut evaluations);
+                if contract_value < worst.1 {
+                    simplex[n] = (contract, contract_value);
+                } else {
+                    // Shrink every vertex toward the best one.
+                    let best = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let shrunk: Vec<f64> = best
+                            .iter()
+                            .zip(entry.0.iter())
+                            .map(|(b, v)| b + sigma * (v - b))
+                            .collect();
+                        let value = eval(&shrunk, &mut evaluations);
+                        *entry = (shrunk, value);
+                    }
+                }
+            }
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective values are finite"));
+        history.push(simplex[0].1);
+        OptimizationResult {
+            parameters: simplex[0].0.clone(),
+            value: simplex[0].1,
+            evaluations,
+            converged: false,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic_bowl() {
+        let result = NelderMead::default().minimize(
+            |x| x.iter().map(|v| (v - 1.5) * (v - 1.5)).sum(),
+            &[0.0, 0.0, 0.0],
+        );
+        assert!(result.value < 1e-6, "value {}", result.value);
+        for p in &result.parameters {
+            assert!((p - 1.5).abs() < 1e-3);
+        }
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn minimizes_a_shifted_cosine_landscape() {
+        // A 1-D periodic landscape similar to a variational energy surface.
+        let result = NelderMead::default().minimize(|x| -(x[0].cos()) + 0.1 * x[0] * x[0], &[1.0]);
+        assert!(result.value < -0.9);
+        assert!(result.parameters[0].abs() < 0.5);
+    }
+
+    #[test]
+    fn respects_the_evaluation_budget() {
+        let optimizer = NelderMead {
+            max_evaluations: 25,
+            ..NelderMead::default()
+        };
+        let result = optimizer.minimize(|x| x.iter().map(|v| v * v).sum(), &[5.0, -3.0]);
+        assert!(result.evaluations <= 25 + 2);
+        assert!(!result.history.is_empty());
+    }
+
+    #[test]
+    fn history_is_monotonically_non_increasing() {
+        let result = NelderMead::default().minimize(
+            |x| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+        );
+        for window in result.history.windows(2) {
+            assert!(window[1] <= window[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parameters")]
+    fn empty_parameter_vector_is_rejected() {
+        NelderMead::default().minimize(|_| 0.0, &[]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Benchmarks of the GRAPE engine: one exact gradient evaluation and one full
+//! fixed-duration optimization on one- and two-qubit targets.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+use vqc_pulse::grape::{GrapeOptions, fidelity_gradient, optimize_pulse};
+use vqc_pulse::{DeviceModel, PulseSequence};
+use vqc_sim::gates;
+
+fn bench_grape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grape");
+    group.sample_size(10);
+
+    for qubits in [1usize, 2] {
+        let device = DeviceModel::qubits_line(qubits);
+        let target = if qubits == 1 { gates::h() } else { gates::cx() };
+        let pulse = PulseSequence::seeded_guess(&device, 10, 0.5, 1);
+        group.bench_function(format!("gradient_{qubits}q_10slices"), |b| {
+            b.iter(|| fidelity_gradient(black_box(&target), black_box(&device), black_box(&pulse)))
+        });
+    }
+
+    let device = DeviceModel::qubits_line(1);
+    let mut options = GrapeOptions::fast();
+    options.max_iterations = 50;
+    options.target_infidelity = 1e-3;
+    group.bench_function("optimize_rz_1q_50iters", |b| {
+        b.iter(|| optimize_pulse(black_box(&gates::rz(1.0)), black_box(&device), 1.0, black_box(&options)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_grape);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks of the compilation strategies themselves: the per-iteration cost of
+//! gate-based and (cache-warm) strict partial compilation, which is the latency a
+//! variational algorithm actually pays at runtime.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+use vqc_apps::graphs::Graph;
+use vqc_apps::qaoa::qaoa_circuit;
+use vqc_bench::reference_parameters;
+use vqc_core::{CompilerOptions, PartialCompiler, Strategy};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies");
+    group.sample_size(10);
+
+    let graph = Graph::cycle(4);
+    let circuit = qaoa_circuit(&graph, 1);
+    let params = reference_parameters(2);
+
+    let compiler = PartialCompiler::new(CompilerOptions::fast());
+    group.bench_function("gate_based_qaoa_c4_p1", |b| {
+        b.iter(|| {
+            compiler
+                .compile(black_box(&circuit), black_box(&params), Strategy::GateBased)
+                .unwrap()
+        })
+    });
+
+    // Warm the pulse library once, then measure the lookup-dominated recompile cost —
+    // the paper's "essentially instant" runtime path for strict partial compilation.
+    compiler
+        .compile(&circuit, &params, Strategy::StrictPartial)
+        .unwrap();
+    group.bench_function("strict_partial_qaoa_c4_p1_cached", |b| {
+        b.iter(|| {
+            compiler
+                .compile(black_box(&circuit), black_box(&params), Strategy::StrictPartial)
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the numerical substrate: matrix exponentials, Hermitian
+//! eigendecomposition, state-vector simulation, and circuit-unitary construction.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+use vqc_apps::graphs::Graph;
+use vqc_apps::qaoa::qaoa_circuit;
+use vqc_bench::reference_parameters;
+use vqc_linalg::expm::expm;
+use vqc_linalg::{C64, Matrix, c64, eigh};
+use vqc_sim::{StateVector, circuit_unitary};
+
+fn random_hermitian(n: usize) -> Matrix {
+    let raw = Matrix::from_fn(n, n, |r, c| {
+        c64(((r * 7 + c * 13) as f64 * 0.37).sin(), ((r * 3 + c * 11) as f64 * 0.53).cos())
+    });
+    (&raw + &raw.dagger()).scale_real(0.5)
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+
+    for &n in &[4usize, 16] {
+        let h = random_hermitian(n);
+        group.bench_function(format!("expm_{n}x{n}"), |b| {
+            b.iter(|| expm(black_box(&h.scale(C64::new(0.0, -0.5)))))
+        });
+        group.bench_function(format!("eigh_{n}x{n}"), |b| b.iter(|| eigh(black_box(&h))));
+    }
+
+    let graph = Graph::three_regular(8, 3).unwrap();
+    let circuit = qaoa_circuit(&graph, 2).bind(&reference_parameters(4));
+    group.bench_function("statevector_qaoa_n8_p2", |b| {
+        b.iter(|| StateVector::from_circuit(black_box(&circuit)))
+    });
+
+    let small_graph = Graph::clique(4);
+    let small = qaoa_circuit(&small_graph, 1).bind(&reference_parameters(2));
+    group.bench_function("circuit_unitary_4q", |b| b.iter(|| circuit_unitary(black_box(&small))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmarks of the circuit-level transpiler: optimization passes, routing, and ASAP
+//! scheduling on the paper's benchmark circuits.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+use vqc_apps::molecules::Molecule;
+use vqc_apps::qaoa::table3_benchmarks;
+use vqc_apps::uccsd::uccsd_circuit;
+use vqc_circuit::mapping::map_to_topology;
+use vqc_circuit::timing::{GateTimes, critical_path_ns};
+use vqc_circuit::{Topology, passes};
+
+fn bench_transpiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpiler");
+    group.sample_size(10);
+
+    let lih = uccsd_circuit(Molecule::LiH);
+    group.bench_function("optimize_uccsd_lih", |b| b.iter(|| passes::optimize(black_box(&lih))));
+
+    let qaoa = table3_benchmarks()[7].circuit(); // 3-Regular N=6 p=8
+    group.bench_function("optimize_qaoa_n6_p8", |b| b.iter(|| passes::optimize(black_box(&qaoa))));
+
+    let optimized = passes::optimize(&qaoa);
+    let topology = Topology::grid(2, 3);
+    group.bench_function("route_qaoa_n6_p8_to_grid", |b| {
+        b.iter(|| map_to_topology(black_box(&optimized), black_box(&topology)).unwrap())
+    });
+
+    let times = GateTimes::default();
+    group.bench_function("critical_path_qaoa_n6_p8", |b| {
+        b.iter(|| critical_path_ns(black_box(&optimized), black_box(&times)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpiler);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 1: the compiler's gate set and per-gate pulse durations.
+//!
+//! The lookup-table durations are constants of `vqc_circuit::timing::GateTimes`; this
+//! binary additionally re-derives each duration with GRAPE's minimum-time search
+//! against the Appendix-A device model, which is how the paper obtained them.
+
+use vqc_bench::{Effort, print_header};
+use vqc_circuit::timing::GateTimes;
+use vqc_pulse::DeviceModel;
+use vqc_pulse::minimum_time::{MinimumTimeOptions, minimum_pulse_time};
+use vqc_sim::gates;
+use vqc_linalg::Matrix;
+
+fn grape_duration(target: &Matrix, qubits: usize, upper: f64, effort: Effort) -> (f64, bool) {
+    let device = DeviceModel::qubits_line(qubits);
+    let options = effort.compiler_options();
+    let search = MinimumTimeOptions::new(0.0, upper).with_precision(options.search_precision_ns);
+    match minimum_pulse_time(target, &device, &search, &options.grape) {
+        Ok(result) => (result.duration_ns, result.converged),
+        Err(_) => (upper, false),
+    }
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    print_header("Table 1: gate set and pulse durations", effort);
+    let times = GateTimes::default();
+    println!("{:<8} {:>14} {:>22}", "Gate", "Table 1 (ns)", "GRAPE-derived (ns)");
+
+    let rows: Vec<(&str, f64, Matrix, usize)> = vec![
+        ("Rz(pi)", times.rz_ns, gates::rz(std::f64::consts::PI), 1),
+        ("Rx(pi)", times.rx_ns, gates::rx(std::f64::consts::PI), 1),
+        ("H", times.h_ns, gates::h(), 1),
+        ("CX", times.cx_ns, gates::cx(), 2),
+        ("SWAP", times.swap_ns, gates::swap(), 2),
+    ];
+    for (name, table_ns, target, qubits) in rows {
+        let upper = (table_ns * 2.0).max(2.0);
+        let (grape_ns, converged) = grape_duration(&target, qubits, upper, effort);
+        println!(
+            "{:<8} {:>14.1} {:>20.1}{}",
+            name,
+            table_ns,
+            grape_ns,
+            if converged { "" } else { "  (did not converge; upper bound shown)" }
+        );
+    }
+    println!("\nPaper reference (Table 1): Rz 0.4, Rx 2.5, H 1.4, CX 3.8, SWAP 7.4 ns");
+}

@@ -1,0 +1,39 @@
+//! Table 2: the VQE-UCCSD benchmark circuits (width, parameter count, gate-based
+//! runtime), after optimization, parallel scheduling, and nearest-neighbour mapping.
+
+use vqc_apps::molecules::Molecule;
+use vqc_apps::uccsd::uccsd_circuit;
+use vqc_bench::{Effort, print_header};
+use vqc_circuit::mapping::map_to_topology;
+use vqc_circuit::timing::{GateTimes, critical_path_ns};
+use vqc_circuit::{Topology, passes};
+
+fn main() {
+    let effort = Effort::from_env();
+    print_header("Table 2: VQE-UCCSD benchmark circuits", effort);
+    println!(
+        "{:<10} {:>7} {:>9} {:>12} {:>22} {:>20}",
+        "Molecule", "Qubits", "# Params", "Gates", "Gate-based runtime (ns)", "Paper runtime (ns)"
+    );
+    let times = GateTimes::default();
+    for molecule in Molecule::all() {
+        let circuit = uccsd_circuit(molecule);
+        let optimized = passes::optimize(&circuit);
+        // Map to a nearest-neighbour grid, as the paper does with Qiskit's mapper.
+        let cols = molecule.num_qubits().div_ceil(2);
+        let mapped = map_to_topology(&optimized, &Topology::grid(2, cols))
+            .expect("benchmark circuits route onto the grid");
+        let runtime = critical_path_ns(&mapped.circuit, &times);
+        println!(
+            "{:<10} {:>7} {:>9} {:>12} {:>22.1} {:>20.1}",
+            molecule.to_string(),
+            molecule.num_qubits(),
+            molecule.num_parameters(),
+            mapped.circuit.len(),
+            runtime,
+            molecule.paper_gate_runtime_ns()
+        );
+    }
+    println!("\nRuntimes are indexed to the Table-1 pulse durations; absolute values differ from the");
+    println!("paper because the ansatz generator is a structural substitute for Qiskit+PySCF (see DESIGN.md).");
+}

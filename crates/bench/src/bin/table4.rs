@@ -1,0 +1,46 @@
+//! Table 4: pulse durations for every benchmark under the four compilation strategies.
+//!
+//! This is the paper's headline table. At the default `fast` effort level only the
+//! smaller benchmarks are compiled (larger ones cost hours of GRAPE time); raise
+//! `VQC_EFFORT` to widen coverage.
+
+use vqc_apps::uccsd::uccsd_circuit;
+use vqc_bench::{Effort, compile_all_strategies, print_header, qaoa_instance, reference_parameters};
+use vqc_core::PartialCompiler;
+
+fn main() {
+    let effort = Effort::from_env();
+    print_header("Table 4: pulse durations by compilation strategy", effort);
+    let compiler = PartialCompiler::new(effort.compiler_options());
+
+    println!("VQE-UCCSD benchmarks:");
+    for molecule in effort.vqe_molecules() {
+        let circuit = uccsd_circuit(molecule);
+        let params = reference_parameters(molecule.num_parameters());
+        let reports = compile_all_strategies(&compiler, &molecule.to_string(), &circuit, &params);
+        let row: Vec<String> = reports.iter().map(|r| format!("{:.1}", r.pulse_duration_ns)).collect();
+        println!(
+            "  -> {:<10} gate {} | strict {} | flexible {} | GRAPE {}\n",
+            molecule.to_string(), row[0], row[1], row[2], row[3]
+        );
+    }
+
+    println!("QAOA MAXCUT benchmarks:");
+    for &three_regular in &[true, false] {
+        for &n in &[6usize, 8] {
+            if matches!(effort, Effort::Fast) && n == 8 {
+                println!("  (N=8 skipped at fast effort; set VQC_EFFORT=standard or full)");
+                continue;
+            }
+            for &p in &effort.qaoa_rounds() {
+                let instance = qaoa_instance(n, three_regular, p);
+                let circuit = instance.circuit();
+                let params = reference_parameters(2 * p);
+                compile_all_strategies(&compiler, &instance.name(), &circuit, &params);
+            }
+        }
+    }
+
+    println!("\nPaper reference (Table 4, ns): e.g. H2 35.3 / 15.0 / 5.0 / 3.1; LiH 871 / 307 / 84 / 19;");
+    println!("3-Regular N=6 p=1: 113 / 91 / 72 / 72. Compare orderings and speedup factors, not absolutes.");
+}

@@ -1,0 +1,154 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper. They all
+//! read the `VQC_EFFORT` environment variable (`fast` — the default, `standard`, or
+//! `full`) to decide how much GRAPE work to spend; `fast` regenerates the qualitative
+//! shape of every result in minutes, while `full` approaches the paper's settings (and
+//! its enormous compute bill). The raw measurements behind EXPERIMENTS.md were produced
+//! with these binaries.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::Instant;
+use vqc_apps::molecules::Molecule;
+use vqc_apps::qaoa::QaoaBenchmark;
+use vqc_core::{CompilationReport, CompilerOptions, PartialCompiler, Strategy};
+
+/// How much compute a harness run is allowed to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Coarse GRAPE settings and reduced benchmark subsets; minutes of compute.
+    Fast,
+    /// Intermediate settings.
+    Standard,
+    /// Paper-scale settings; expect very long runtimes.
+    Full,
+}
+
+impl Effort {
+    /// Reads the effort level from the `VQC_EFFORT` environment variable.
+    pub fn from_env() -> Effort {
+        match std::env::var("VQC_EFFORT").unwrap_or_default().to_lowercase().as_str() {
+            "full" | "paper" => Effort::Full,
+            "standard" | "std" => Effort::Standard,
+            _ => Effort::Fast,
+        }
+    }
+
+    /// The compiler options associated with this effort level.
+    pub fn compiler_options(&self) -> CompilerOptions {
+        match self {
+            Effort::Fast => CompilerOptions::fast(),
+            Effort::Standard => CompilerOptions::standard(),
+            Effort::Full => CompilerOptions::paper(),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Effort::Fast => "fast",
+            Effort::Standard => "standard",
+            Effort::Full => "full",
+        }
+    }
+
+    /// The VQE molecules exercised at this effort level (larger molecules cost hours of
+    /// GRAPE time and are only attempted at higher effort).
+    pub fn vqe_molecules(&self) -> Vec<Molecule> {
+        match self {
+            Effort::Fast => vec![Molecule::H2, Molecule::LiH],
+            Effort::Standard => vec![Molecule::H2, Molecule::LiH, Molecule::BeH2],
+            Effort::Full => Molecule::all().to_vec(),
+        }
+    }
+
+    /// The QAOA `p` values exercised for pulse-level (GRAPE) studies at this effort
+    /// level. Table 3 (gate-based only) always covers `p = 1..=8`.
+    pub fn qaoa_rounds(&self) -> Vec<usize> {
+        match self {
+            Effort::Fast => vec![1, 2],
+            Effort::Standard => vec![1, 3, 5],
+            Effort::Full => vec![1, 2, 3, 4, 5, 6, 7, 8],
+        }
+    }
+}
+
+/// Prints the standard harness header: which experiment, which effort level.
+pub fn print_header(experiment: &str, effort: Effort) {
+    println!("=== {experiment} (effort: {}) ===", effort.label());
+    println!(
+        "    set VQC_EFFORT=fast|standard|full to trade fidelity of the reproduction against compute\n"
+    );
+}
+
+/// Compiles one circuit under every strategy and returns the reports in
+/// [gate-based, strict, flexible, full-GRAPE] order, printing a one-line summary per
+/// strategy as it goes.
+pub fn compile_all_strategies(
+    compiler: &PartialCompiler,
+    name: &str,
+    circuit: &vqc_circuit::Circuit,
+    params: &[f64],
+) -> Vec<CompilationReport> {
+    let mut reports = Vec::new();
+    for strategy in Strategy::all() {
+        let started = Instant::now();
+        let report = compiler
+            .compile(circuit, params, strategy)
+            .expect("benchmark circuits compile");
+        println!(
+            "  {name:<28} {strategy:<17} pulse {:>9.1} ns  speedup {:>5.2}x  (compile wall {:>6.1} s)",
+            report.pulse_duration_ns,
+            report.pulse_speedup(),
+            started.elapsed().as_secs_f64()
+        );
+        reports.push(report);
+    }
+    reports
+}
+
+/// A deterministic parameter binding of the requested length, used whenever the paper
+/// says "a random parametrization was set".
+pub fn reference_parameters(count: usize) -> Vec<f64> {
+    (0..count).map(|i| 0.37 + 0.61 * (i as f64 * 1.7).sin()).collect()
+}
+
+/// The QAOA benchmark instance (graph family, size, rounds) used by the pulse-level
+/// tables at a given effort level.
+pub fn qaoa_instance(num_nodes: usize, three_regular: bool, p: usize) -> QaoaBenchmark {
+    QaoaBenchmark {
+        num_nodes,
+        p,
+        three_regular,
+        seed: 17 + num_nodes as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_parsing_defaults_to_fast() {
+        // Environment-independent checks of the mapping.
+        assert_eq!(Effort::Fast.label(), "fast");
+        assert_eq!(Effort::Full.vqe_molecules().len(), 5);
+        assert!(Effort::Fast.vqe_molecules().len() < Effort::Full.vqe_molecules().len());
+        assert!(Effort::Fast.qaoa_rounds().len() < Effort::Full.qaoa_rounds().len());
+    }
+
+    #[test]
+    fn reference_parameters_are_deterministic() {
+        assert_eq!(reference_parameters(5), reference_parameters(5));
+        assert_eq!(reference_parameters(3).len(), 3);
+    }
+
+    #[test]
+    fn qaoa_instance_matches_table3_seeding() {
+        let instance = qaoa_instance(6, true, 4);
+        assert_eq!(instance.seed, 23);
+        assert_eq!(instance.name(), "3-Regular N=6 p=4");
+    }
+}

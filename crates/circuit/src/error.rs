@@ -1,0 +1,61 @@
+//! Error type for circuit construction and transformation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by circuit-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A circuit of unexpected width was supplied.
+    WidthMismatch {
+        /// Width the operation expected (receiving circuit).
+        expected: usize,
+        /// Width that was actually supplied.
+        actual: usize,
+    },
+    /// A two-qubit gate acts on qubits that are not connected in the device topology.
+    UnroutableGate {
+        /// First operand.
+        a: usize,
+        /// Second operand.
+        b: usize,
+    },
+    /// A gate outside the compilation basis was encountered where only basis gates are
+    /// allowed (e.g. when computing a gate-based runtime).
+    NonBasisGate {
+        /// Name of the offending gate.
+        gate: &'static str,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::WidthMismatch { expected, actual } => {
+                write!(f, "circuit width mismatch: expected at most {expected} qubits, got {actual}")
+            }
+            CircuitError::UnroutableGate { a, b } => {
+                write!(f, "no path between qubits {a} and {b} in the device topology")
+            }
+            CircuitError::NonBasisGate { gate } => {
+                write!(f, "gate '{gate}' is not in the compilation basis; run decompose_to_basis first")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_problem() {
+        assert!(CircuitError::WidthMismatch { expected: 2, actual: 4 }
+            .to_string()
+            .contains("width"));
+        assert!(CircuitError::UnroutableGate { a: 0, b: 5 }.to_string().contains("path"));
+        assert!(CircuitError::NonBasisGate { gate: "cz" }.to_string().contains("cz"));
+    }
+}

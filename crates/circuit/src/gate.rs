@@ -1,0 +1,227 @@
+//! Gate set and gate operations.
+
+use crate::ParamExpr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quantum gate from the compiler's gate set.
+///
+/// The *compilation basis* matching Table 1 of the paper is
+/// `{Rz(φ), Rx(θ), H, CX, SWAP}`; the remaining variants (`X`, `Z`, `Ry`, `CZ`, `Rzz`)
+/// are construction conveniences used by the benchmark generators and are lowered to the
+/// basis by [`crate::passes::decompose_to_basis`] before any runtime is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Rotation about the Z axis by the given angle (fast flux drive on gmon hardware).
+    Rz(ParamExpr),
+    /// Rotation about the X axis by the given angle (charge drive).
+    Rx(ParamExpr),
+    /// Rotation about the Y axis (convenience; lowered to Rz·Rx·Rz).
+    Ry(ParamExpr),
+    /// Hadamard gate.
+    H,
+    /// Pauli-X (NOT) gate; lowered to `Rx(π)`.
+    X,
+    /// Pauli-Z gate; lowered to `Rz(π)`.
+    Z,
+    /// Controlled-NOT gate.
+    Cx,
+    /// Controlled-Z gate (convenience; lowered to H·CX·H on the target).
+    Cz,
+    /// SWAP gate.
+    Swap,
+    /// Two-qubit ZZ rotation `exp(-i θ/2 Z⊗Z)` (convenience; lowered to CX·Rz·CX).
+    Rzz(ParamExpr),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::Rz(_) | Gate::Rx(_) | Gate::Ry(_) | Gate::H | Gate::X | Gate::Z => 1,
+            Gate::Cx | Gate::Cz | Gate::Swap | Gate::Rzz(_) => 2,
+        }
+    }
+
+    /// Short mnemonic name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::Rz(_) => "rz",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Z => "z",
+            Gate::Cx => "cx",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+            Gate::Rzz(_) => "rzz",
+        }
+    }
+
+    /// The angle expression carried by a rotation gate, if any.
+    pub fn angle(&self) -> Option<&ParamExpr> {
+        match self {
+            Gate::Rz(e) | Gate::Rx(e) | Gate::Ry(e) | Gate::Rzz(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the gate's angle depends on a variational parameter.
+    pub fn is_parameterized(&self) -> bool {
+        self.angle().map(ParamExpr::is_parameterized).unwrap_or(false)
+    }
+
+    /// Index of the variational parameter the gate depends on, if any.
+    pub fn parameter(&self) -> Option<usize> {
+        self.angle().and_then(ParamExpr::parameter)
+    }
+
+    /// Returns `true` if the gate belongs to the Table-1 compilation basis
+    /// `{Rz, Rx, H, CX, SWAP}`.
+    pub fn is_basis_gate(&self) -> bool {
+        matches!(self, Gate::Rz(_) | Gate::Rx(_) | Gate::H | Gate::Cx | Gate::Swap)
+    }
+
+    /// Returns the same gate with its angle expression replaced, for rotation gates.
+    pub(crate) fn with_angle(&self, e: ParamExpr) -> Gate {
+        match self {
+            Gate::Rz(_) => Gate::Rz(e),
+            Gate::Rx(_) => Gate::Rx(e),
+            Gate::Ry(_) => Gate::Ry(e),
+            Gate::Rzz(_) => Gate::Rzz(e),
+            other => *other,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.angle() {
+            Some(e) => write!(f, "{}({})", self.name(), e),
+            None => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+/// A gate applied to specific qubits: one instruction of a [`crate::Circuit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateOp {
+    /// The gate being applied.
+    pub gate: Gate,
+    /// Operand qubits, in gate order (control first for `Cx`/`Cz`).
+    pub qubits: Vec<usize>,
+}
+
+impl GateOp {
+    /// Creates a gate operation, validating the operand count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of qubits does not match the gate arity or the operands of a
+    /// two-qubit gate coincide.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.num_qubits(),
+            "gate {} expects {} operand(s), got {}",
+            gate.name(),
+            gate.num_qubits(),
+            qubits.len()
+        );
+        if qubits.len() == 2 {
+            assert_ne!(qubits[0], qubits[1], "two-qubit gate operands must be distinct");
+        }
+        GateOp { gate, qubits }
+    }
+
+    /// Returns `true` if this operation touches the given qubit.
+    pub fn acts_on(&self, qubit: usize) -> bool {
+        self.qubits.contains(&qubit)
+    }
+
+    /// Returns `true` if this operation shares any qubit with `other`.
+    pub fn overlaps(&self, other: &GateOp) -> bool {
+        self.qubits.iter().any(|q| other.qubits.contains(q))
+    }
+
+    /// Index of the variational parameter the operation depends on, if any.
+    pub fn parameter(&self) -> Option<usize> {
+        self.gate.parameter()
+    }
+
+    /// Returns `true` if the operation depends on a variational parameter.
+    pub fn is_parameterized(&self) -> bool {
+        self.gate.is_parameterized()
+    }
+}
+
+impl fmt::Display for GateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qubits: Vec<String> = self.qubits.iter().map(|q| format!("q{q}")).collect();
+        write!(f, "{} {}", self.gate, qubits.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_names() {
+        assert_eq!(Gate::H.num_qubits(), 1);
+        assert_eq!(Gate::Cx.num_qubits(), 2);
+        assert_eq!(Gate::Swap.name(), "swap");
+        assert_eq!(Gate::Rzz(ParamExpr::theta(0)).num_qubits(), 2);
+    }
+
+    #[test]
+    fn parameterization_is_visible() {
+        let g = Gate::Rz(ParamExpr::theta(4).scaled(-0.5));
+        assert!(g.is_parameterized());
+        assert_eq!(g.parameter(), Some(4));
+        assert!(!Gate::Rz(ParamExpr::constant(1.0)).is_parameterized());
+        assert!(!Gate::H.is_parameterized());
+    }
+
+    #[test]
+    fn basis_membership_matches_table1() {
+        assert!(Gate::Rz(ParamExpr::constant(0.1)).is_basis_gate());
+        assert!(Gate::Rx(ParamExpr::constant(0.1)).is_basis_gate());
+        assert!(Gate::H.is_basis_gate());
+        assert!(Gate::Cx.is_basis_gate());
+        assert!(Gate::Swap.is_basis_gate());
+        assert!(!Gate::Cz.is_basis_gate());
+        assert!(!Gate::Ry(ParamExpr::constant(0.1)).is_basis_gate());
+        assert!(!Gate::Rzz(ParamExpr::constant(0.1)).is_basis_gate());
+    }
+
+    #[test]
+    fn gate_op_overlap() {
+        let a = GateOp::new(Gate::Cx, vec![0, 1]);
+        let b = GateOp::new(Gate::H, vec![1]);
+        let c = GateOp::new(Gate::H, vec![2]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.acts_on(0));
+        assert!(!a.acts_on(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 operand(s)")]
+    fn wrong_arity_panics() {
+        GateOp::new(Gate::Cx, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn repeated_operands_panic() {
+        GateOp::new(Gate::Cx, vec![1, 1]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let op = GateOp::new(Gate::Rz(ParamExpr::theta(0)), vec![3]);
+        assert_eq!(op.to_string(), "rz(θ0) q3");
+    }
+}

@@ -1,0 +1,57 @@
+//! Quantum circuit intermediate representation and transpiler.
+//!
+//! This crate provides everything the compilation strategies in `vqc-core` need to
+//! reason about *variational* circuits:
+//!
+//! * [`Gate`] / [`GateOp`] — the compiler's gate set from Table 1 of the paper
+//!   (`Rz`, `Rx`, `H`, `CX`, `SWAP`, plus `CZ`/`Rzz`/`Ry` helpers used when building
+//!   benchmark circuits), each carrying its operand qubits.
+//! * [`ParamExpr`] — symbolic parameter expressions. Variational circuits are
+//!   parameterized by a vector `θ`; a rotation angle is either a constant or a linear
+//!   function `a·θᵢ + b` of exactly one parameter. This explicit tagging is what lets
+//!   the partial compiler discover *parameter monotonicity* (Section 7.1) even after
+//!   circuit optimizations rewrite angles into `−θᵢ` or `θᵢ/2`.
+//! * [`Circuit`] — an ordered list of gate operations with builder methods.
+//! * [`timing`] — ASAP (as-soon-as-possible) parallel scheduling and critical-path
+//!   runtime, indexed to the Table-1 pulse durations.
+//! * [`passes`] — the circuit optimizations the paper applies before measuring its
+//!   gate-based baseline: rotation merging, CX/CZ/H/SWAP cancellation, and removal of
+//!   zero rotations.
+//! * [`topology`] / [`mapping`] — device connectivity graphs and SWAP-insertion
+//!   routing to nearest-neighbour topologies.
+//!
+//! # Example
+//!
+//! ```
+//! use vqc_circuit::{Circuit, ParamExpr, timing::GateTimes};
+//!
+//! // A two-qubit variational circuit with one parameter θ₀.
+//! let mut c = Circuit::new(2);
+//! c.h(0);
+//! c.cx(0, 1);
+//! c.rz_expr(1, ParamExpr::theta(0));
+//! c.cx(0, 1);
+//!
+//! assert_eq!(c.num_parameters(), 1);
+//! let runtime = timing::critical_path_ns(&c, &GateTimes::default());
+//! assert!(runtime > 0.0);
+//! # use vqc_circuit::timing;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod circuit;
+mod error;
+mod gate;
+pub mod mapping;
+mod param;
+pub mod passes;
+pub mod timing;
+pub mod topology;
+
+pub use circuit::Circuit;
+pub use error::CircuitError;
+pub use gate::{Gate, GateOp};
+pub use param::ParamExpr;
+pub use topology::Topology;

@@ -1,0 +1,169 @@
+//! SWAP-insertion routing to a device topology.
+//!
+//! The benchmark circuits assume all-to-all logical connectivity; before a gate-based
+//! runtime is meaningful, two-qubit gates between non-adjacent physical qubits must be
+//! routed with SWAP chains. This module implements the greedy nearest-neighbour router
+//! used to prepare the paper's baseline circuits: for every non-local two-qubit gate,
+//! SWAP the control along the shortest path until it neighbours the target, then apply
+//! the gate. The logical→physical assignment is updated as SWAPs are inserted, so later
+//! gates benefit from earlier movement.
+
+use crate::{Circuit, CircuitError, GateOp, Topology};
+
+/// Result of routing a circuit onto a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedCircuit {
+    /// The routed circuit, expressed over *physical* qubit indices.
+    pub circuit: Circuit,
+    /// Number of SWAP gates inserted by the router.
+    pub swaps_inserted: usize,
+    /// Final logical→physical qubit assignment.
+    pub final_layout: Vec<usize>,
+}
+
+/// Routes `circuit` onto `topology` with a trivial initial layout (logical qubit `i`
+/// starts on physical qubit `i`).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::WidthMismatch`] if the topology has fewer qubits than the
+/// circuit, or [`CircuitError::UnroutableGate`] if two operands of a gate lie in
+/// disconnected components of the topology.
+pub fn map_to_topology(circuit: &Circuit, topology: &Topology) -> Result<MappedCircuit, CircuitError> {
+    if topology.num_qubits() < circuit.num_qubits() {
+        return Err(CircuitError::WidthMismatch {
+            expected: circuit.num_qubits(),
+            actual: topology.num_qubits(),
+        });
+    }
+
+    // layout[logical] = physical
+    let mut layout: Vec<usize> = (0..circuit.num_qubits()).collect();
+    let mut out = Circuit::new(topology.num_qubits());
+    let mut swaps = 0usize;
+
+    for op in circuit.iter() {
+        match op.qubits.len() {
+            1 => {
+                out.push(GateOp::new(op.gate, vec![layout[op.qubits[0]]]));
+            }
+            2 => {
+                let (la, lb) = (op.qubits[0], op.qubits[1]);
+                let (mut pa, pb) = (layout[la], layout[lb]);
+                if !topology.are_connected(pa, pb) {
+                    let path = topology
+                        .shortest_path(pa, pb)
+                        .ok_or(CircuitError::UnroutableGate { a: pa, b: pb })?;
+                    // Move the first operand along the path until adjacent to pb.
+                    for window in path.windows(2).take(path.len().saturating_sub(2)) {
+                        let (from, to) = (window[0], window[1]);
+                        out.swap(from, to);
+                        swaps += 1;
+                        // Update the layout: whichever logical qubits live on `from` and
+                        // `to` exchange places.
+                        for slot in layout.iter_mut() {
+                            if *slot == from {
+                                *slot = to;
+                            } else if *slot == to {
+                                *slot = from;
+                            }
+                        }
+                        pa = to;
+                    }
+                }
+                debug_assert!(topology.are_connected(pa, layout[lb]));
+                out.push(GateOp::new(op.gate, vec![layout[la], layout[lb]]));
+            }
+            _ => unreachable!("gates act on at most two qubits"),
+        }
+    }
+
+    Ok(MappedCircuit {
+        circuit: out,
+        swaps_inserted: swaps,
+        final_layout: layout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    #[test]
+    fn local_gates_need_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        let mapped = map_to_topology(&c, &Topology::line(3)).unwrap();
+        assert_eq!(mapped.swaps_inserted, 0);
+        assert_eq!(mapped.circuit.len(), 3);
+        assert_eq!(mapped.final_layout, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let topo = Topology::line(4);
+        let mapped = map_to_topology(&c, &topo).unwrap();
+        // Distance 3 -> 2 swaps to become adjacent.
+        assert_eq!(mapped.swaps_inserted, 2);
+        // The CX in the routed circuit must act on adjacent physical qubits.
+        let cx = mapped
+            .circuit
+            .iter()
+            .find(|op| matches!(op.gate, Gate::Cx))
+            .unwrap();
+        assert!(topo.are_connected(cx.qubits[0], cx.qubits[1]));
+    }
+
+    #[test]
+    fn layout_updates_benefit_later_gates() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        c.cx(0, 3);
+        let mapped = map_to_topology(&c, &Topology::line(4)).unwrap();
+        // After routing the first CX the operands are adjacent, so the second needs no
+        // further swaps.
+        assert_eq!(mapped.swaps_inserted, 2);
+    }
+
+    #[test]
+    fn fully_connected_topology_is_identity_routing() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 4);
+        c.cx(2, 3);
+        let mapped = map_to_topology(&c, &Topology::fully_connected(5)).unwrap();
+        assert_eq!(mapped.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn too_small_topology_is_rejected() {
+        let c = Circuit::new(4);
+        assert!(matches!(
+            map_to_topology(&c, &Topology::line(2)),
+            Err(CircuitError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_topology_is_unroutable() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let topo = Topology::new(4, &[(0, 1), (2, 3)]);
+        assert!(matches!(
+            map_to_topology(&c, &topo),
+            Err(CircuitError::UnroutableGate { .. })
+        ));
+    }
+
+    #[test]
+    fn mapped_circuit_lives_on_physical_register() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let mapped = map_to_topology(&c, &Topology::grid(2, 2)).unwrap();
+        assert_eq!(mapped.circuit.num_qubits(), 4);
+    }
+}

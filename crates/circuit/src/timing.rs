@@ -1,0 +1,239 @@
+//! Gate pulse durations (Table 1) and ASAP parallel scheduling.
+//!
+//! The paper's gate-based baseline is "the critical path through the parallelized
+//! circuit", indexed to the pulse durations of Table 1. This module implements exactly
+//! that: a greedy as-soon-as-possible (ASAP) schedule where each gate starts as soon as
+//! all of its operand qubits are free, and the runtime is the maximum completion time.
+
+use crate::{Circuit, CircuitError, Gate, GateOp};
+use serde::{Deserialize, Serialize};
+
+/// Pulse durations (in nanoseconds) for the compilation basis gate set, Table 1 of the
+/// paper. These were originally produced by running GRAPE on each basis gate against the
+/// gmon Hamiltonian of Appendix A.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateTimes {
+    /// Duration of `Rz(φ)` (fast flux drive): 0.4 ns.
+    pub rz_ns: f64,
+    /// Duration of `Rx(θ)` (charge drive): 2.5 ns.
+    pub rx_ns: f64,
+    /// Duration of the Hadamard gate: 1.4 ns.
+    pub h_ns: f64,
+    /// Duration of the CNOT gate: 3.8 ns.
+    pub cx_ns: f64,
+    /// Duration of the SWAP gate: 7.4 ns.
+    pub swap_ns: f64,
+}
+
+impl Default for GateTimes {
+    /// The Table-1 durations.
+    fn default() -> Self {
+        GateTimes {
+            rz_ns: 0.4,
+            rx_ns: 2.5,
+            h_ns: 1.4,
+            cx_ns: 3.8,
+            swap_ns: 7.4,
+        }
+    }
+}
+
+impl GateTimes {
+    /// Duration in nanoseconds of a single basis gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NonBasisGate`] for gates outside the Table-1 basis; run
+    /// [`crate::passes::decompose_to_basis`] first.
+    pub fn duration_ns(&self, gate: &Gate) -> Result<f64, CircuitError> {
+        match gate {
+            Gate::Rz(_) => Ok(self.rz_ns),
+            Gate::Rx(_) => Ok(self.rx_ns),
+            Gate::H => Ok(self.h_ns),
+            Gate::Cx => Ok(self.cx_ns),
+            Gate::Swap => Ok(self.swap_ns),
+            other => Err(CircuitError::NonBasisGate { gate: other.name() }),
+        }
+    }
+}
+
+/// One scheduled operation: the index of the gate in the circuit, its start time, and
+/// its duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// Index of the operation in the source circuit's program order.
+    pub op_index: usize,
+    /// Start time in nanoseconds.
+    pub start_ns: f64,
+    /// Duration in nanoseconds.
+    pub duration_ns: f64,
+}
+
+impl ScheduledOp {
+    /// Completion time in nanoseconds.
+    pub fn end_ns(&self) -> f64 {
+        self.start_ns + self.duration_ns
+    }
+}
+
+/// An ASAP schedule of a circuit: every gate starts as soon as its operands are free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    ops: Vec<ScheduledOp>,
+    total_ns: f64,
+}
+
+impl Schedule {
+    /// The scheduled operations in program order.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// Critical-path duration of the schedule in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.total_ns
+    }
+}
+
+/// Computes the ASAP schedule of a basis-gate circuit under the given gate durations.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NonBasisGate`] if the circuit contains gates outside the
+/// Table-1 compilation basis.
+pub fn schedule_asap(circuit: &Circuit, times: &GateTimes) -> Result<Schedule, CircuitError> {
+    let mut qubit_free_at = vec![0.0_f64; circuit.num_qubits()];
+    let mut ops = Vec::with_capacity(circuit.len());
+    let mut total = 0.0_f64;
+    for (i, op) in circuit.iter().enumerate() {
+        let duration = times.duration_ns(&op.gate)?;
+        let start = op
+            .qubits
+            .iter()
+            .map(|&q| qubit_free_at[q])
+            .fold(0.0_f64, f64::max);
+        let end = start + duration;
+        for &q in &op.qubits {
+            qubit_free_at[q] = end;
+        }
+        total = total.max(end);
+        ops.push(ScheduledOp {
+            op_index: i,
+            start_ns: start,
+            duration_ns: duration,
+        });
+    }
+    Ok(Schedule { ops, total_ns: total })
+}
+
+/// Critical-path runtime (ns) of a basis-gate circuit: the paper's "gate-based runtime".
+///
+/// # Panics
+///
+/// Panics if the circuit contains non-basis gates; use [`schedule_asap`] for a fallible
+/// variant.
+pub fn critical_path_ns(circuit: &Circuit, times: &GateTimes) -> f64 {
+    schedule_asap(circuit, times)
+        .expect("circuit must be decomposed to the compilation basis before timing")
+        .total_ns()
+}
+
+/// Sum of all gate durations, ignoring parallelism (the serial runtime).
+///
+/// Useful as an upper bound and in tests: the critical path can never exceed it.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NonBasisGate`] if the circuit contains non-basis gates.
+pub fn serial_duration_ns(circuit: &Circuit, times: &GateTimes) -> Result<f64, CircuitError> {
+    circuit
+        .iter()
+        .map(|op: &GateOp| times.duration_ns(&op.gate))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamExpr;
+
+    #[test]
+    fn default_times_match_table1() {
+        let t = GateTimes::default();
+        assert_eq!(t.rz_ns, 0.4);
+        assert_eq!(t.rx_ns, 2.5);
+        assert_eq!(t.h_ns, 1.4);
+        assert_eq!(t.cx_ns, 3.8);
+        assert_eq!(t.swap_ns, 7.4);
+    }
+
+    #[test]
+    fn serial_chain_adds_durations() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.rx(0, 1.0);
+        c.rz(0, 0.5);
+        let t = GateTimes::default();
+        let runtime = critical_path_ns(&c, &t);
+        assert!((runtime - (1.4 + 2.5 + 0.4)).abs() < 1e-12);
+        assert!((serial_duration_ns(&c, &t).unwrap() - runtime).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_gates_overlap() {
+        let mut c = Circuit::new(2);
+        c.rx(0, 1.0);
+        c.rx(1, 1.0);
+        let runtime = critical_path_ns(&c, &GateTimes::default());
+        // Both Rx gates run in parallel.
+        assert!((runtime - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_gate_waits_for_both_operands() {
+        let mut c = Circuit::new(2);
+        c.rx(0, 1.0); // qubit 0 busy until 2.5
+        c.rz(1, 1.0); // qubit 1 busy until 0.4
+        c.cx(0, 1); // must start at 2.5
+        let schedule = schedule_asap(&c, &GateTimes::default()).unwrap();
+        let cx = schedule.ops()[2];
+        assert!((cx.start_ns - 2.5).abs() < 1e-12);
+        assert!((schedule.total_ns() - (2.5 + 3.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_never_exceeds_serial_time() {
+        let mut c = Circuit::new(3);
+        for i in 0..3 {
+            c.h(i);
+        }
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.swap(0, 2);
+        let t = GateTimes::default();
+        assert!(critical_path_ns(&c, &t) <= serial_duration_ns(&c, &t).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn non_basis_gate_is_rejected() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1);
+        assert!(matches!(
+            schedule_asap(&c, &GateTimes::default()),
+            Err(CircuitError::NonBasisGate { gate: "cz" })
+        ));
+    }
+
+    #[test]
+    fn parameterized_basis_gates_are_timed() {
+        let mut c = Circuit::new(1);
+        c.rz_expr(0, ParamExpr::theta(0));
+        assert!((critical_path_ns(&c, &GateTimes::default()) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_runtime() {
+        let c = Circuit::new(4);
+        assert_eq!(critical_path_ns(&c, &GateTimes::default()), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Device connectivity graphs.
+//!
+//! The paper's Appendix A models a gmon device with a rectangular-grid topology and
+//! nearest-neighbour connectivity; circuits are mapped to such a topology before the
+//! gate-based runtime is measured.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+
+/// An undirected device connectivity graph over `num_qubits` physical qubits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    num_qubits: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl Topology {
+    /// Creates a topology from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a qubit `>= num_qubits` or is a self-loop.
+    pub fn new(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut set = BTreeSet::new();
+        for &(a, b) in edges {
+            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop edges are not allowed");
+            set.insert((a.min(b), a.max(b)));
+        }
+        Topology {
+            num_qubits,
+            edges: set,
+        }
+    }
+
+    /// A 1-D chain `0 — 1 — 2 — … — n-1`.
+    pub fn line(num_qubits: usize) -> Self {
+        let edges: Vec<_> = (1..num_qubits).map(|i| (i - 1, i)).collect();
+        Topology::new(num_qubits, &edges)
+    }
+
+    /// A rectangular grid with `rows x cols` qubits and nearest-neighbour connectivity,
+    /// the layout assumed in Appendix A. Qubits are numbered row-major.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((q, q + cols));
+                }
+            }
+        }
+        Topology::new(rows * cols, &edges)
+    }
+
+    /// All-to-all connectivity (no routing needed).
+    pub fn fully_connected(num_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..num_qubits {
+            for b in a + 1..num_qubits {
+                edges.push((a, b));
+            }
+        }
+        Topology::new(num_qubits, &edges)
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over the edges as `(low, high)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Returns `true` if qubits `a` and `b` are directly connected.
+    pub fn are_connected(&self, a: usize, b: usize) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Neighbours of a qubit.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == q {
+                    Some(b)
+                } else if b == q {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Shortest path between two qubits (inclusive of both endpoints), by BFS.
+    ///
+    /// Returns `None` if the qubits are disconnected.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev = vec![usize::MAX; self.num_qubits];
+        let mut visited = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        visited[from] = true;
+        queue.push_back(from);
+        while let Some(q) = queue.pop_front() {
+            for n in self.neighbors(q) {
+                if !visited[n] {
+                    visited[n] = true;
+                    prev[n] = q;
+                    if n == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while prev[cur] != usize::MAX {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// Graph distance (number of edges on the shortest path), or `None` if disconnected.
+    pub fn distance(&self, from: usize, to: usize) -> Option<usize> {
+        self.shortest_path(from, to).map(|p| p.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_topology_connectivity() {
+        let t = Topology::line(4);
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.are_connected(0, 1));
+        assert!(!t.are_connected(0, 2));
+        assert_eq!(t.distance(0, 3), Some(3));
+        assert_eq!(t.shortest_path(0, 3).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn grid_topology_shape() {
+        let t = Topology::grid(2, 3);
+        assert_eq!(t.num_qubits(), 6);
+        // 2 rows x 2 horizontal edges + 3 vertical edges = 4 + 3
+        assert_eq!(t.num_edges(), 7);
+        assert!(t.are_connected(0, 3));
+        assert!(t.are_connected(1, 2));
+        assert!(!t.are_connected(0, 4));
+        assert_eq!(t.distance(0, 5), Some(3));
+    }
+
+    #[test]
+    fn fully_connected_needs_no_routing() {
+        let t = Topology::fully_connected(5);
+        assert_eq!(t.num_edges(), 10);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    assert_eq!(t.distance(a, b), Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let t = Topology::grid(2, 2);
+        for (a, b) in t.edges() {
+            assert!(t.neighbors(a).contains(&b));
+            assert!(t.neighbors(b).contains(&a));
+        }
+    }
+
+    #[test]
+    fn disconnected_qubits_have_no_path() {
+        let t = Topology::new(4, &[(0, 1), (2, 3)]);
+        assert_eq!(t.shortest_path(0, 3), None);
+        assert_eq!(t.distance(1, 2), None);
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let t = Topology::line(3);
+        assert_eq!(t.shortest_path(1, 1).unwrap(), vec![1]);
+        assert_eq!(t.distance(2, 2), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Topology::new(2, &[(0, 5)]);
+    }
+}

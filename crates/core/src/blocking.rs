@@ -1,0 +1,380 @@
+//! Circuit blocking / aggregation (Section 5.2, 6 and 7.1 of the paper).
+//!
+//! GRAPE only converges reliably for circuits of up to four qubits, so larger circuits
+//! are partitioned into blocks of bounded width before pulse optimization. The three
+//! compilation strategies differ only in the *parameter policy* applied during
+//! blocking:
+//!
+//! * **Full GRAPE** — blocks are bounded in width only ([`ParameterPolicy::Unlimited`]).
+//! * **Strict partial compilation** — blocks must be parameterization-independent
+//!   ("Fixed" blocks); every parameterized gate becomes its own single-gate block
+//!   ([`ParameterPolicy::Forbid`]).
+//! * **Flexible partial compilation** — blocks may depend on at most one θᵢ
+//!   ([`ParameterPolicy::AtMostOne`]); parameter monotonicity makes these blocks much
+//!   deeper than strict Fixed blocks.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use vqc_circuit::Circuit;
+
+/// How many distinct variational parameters a block may depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParameterPolicy {
+    /// Blocks must be parameterization-independent; parameterized gates are isolated
+    /// into their own blocks (strict partial compilation).
+    Forbid,
+    /// Blocks may depend on at most one variational parameter (flexible partial
+    /// compilation).
+    AtMostOne,
+    /// No restriction (full GRAPE blocking).
+    Unlimited,
+}
+
+/// One aggregated block: a contiguous-per-qubit group of operations on at most
+/// `max_width` qubits.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Indices (into the source circuit's op list) of the operations in this block, in
+    /// program order.
+    pub op_indices: Vec<usize>,
+    /// The qubits the block touches, ascending.
+    pub qubits: Vec<usize>,
+    /// The distinct variational parameters the block depends on.
+    pub parameters: BTreeSet<usize>,
+}
+
+impl Block {
+    /// Number of operations in the block.
+    pub fn len(&self) -> usize {
+        self.op_indices.len()
+    }
+
+    /// Returns `true` if the block contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.op_indices.is_empty()
+    }
+
+    /// Returns `true` if the block does not depend on any variational parameter
+    /// (a "Fixed" block in the paper's terminology).
+    pub fn is_fixed(&self) -> bool {
+        self.parameters.is_empty()
+    }
+
+    /// Extracts the block as a standalone circuit on `self.qubits.len()` qubits.
+    pub fn to_circuit(&self, source: &Circuit) -> Circuit {
+        source.extract_on_qubits(&self.op_indices, &self.qubits)
+    }
+}
+
+/// Greedy aggregation of a circuit into blocks of at most `max_width` qubits under a
+/// parameter policy.
+///
+/// The scan maintains, per qubit, the block that most recently touched it. A gate joins
+/// that block when (a) all of its operand qubits agree on the block (or are untouched),
+/// (b) the union of qubits stays within `max_width`, and (c) the parameter policy is
+/// satisfied; otherwise a fresh block is opened. This preserves per-qubit program order,
+/// which is all the downstream ASAP block schedule needs.
+///
+/// # Panics
+///
+/// Panics if `max_width == 0`.
+pub fn aggregate_blocks(circuit: &Circuit, max_width: usize, policy: ParameterPolicy) -> Vec<Block> {
+    aggregate_blocks_with_cap(circuit, max_width, policy, usize::MAX)
+}
+
+/// [`aggregate_blocks`] with an additional cap on the number of operations per block.
+///
+/// The paper runs GRAPE on blocks of unbounded depth (at enormous compute cost); the
+/// cap lets the benchmark harness trade pulse speedup for compilation effort at reduced
+/// effort levels. `usize::MAX` disables the cap.
+pub fn aggregate_blocks_with_cap(
+    circuit: &Circuit,
+    max_width: usize,
+    policy: ParameterPolicy,
+    max_ops_per_block: usize,
+) -> Vec<Block> {
+    assert!(max_width > 0, "blocks must be allowed at least one qubit");
+    assert!(max_ops_per_block > 0, "blocks must be allowed at least one operation");
+    let mut blocks: Vec<Block> = Vec::new();
+    // current_block[q] = index into `blocks` of the block that most recently touched q.
+    let mut current_block: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+
+    for (op_index, op) in circuit.iter().enumerate() {
+        let op_param = op.parameter();
+        let force_isolated = matches!(policy, ParameterPolicy::Forbid) && op_param.is_some();
+
+        // Blocks that currently own the op's already-touched operands.
+        let owners: BTreeSet<usize> = op
+            .qubits
+            .iter()
+            .filter_map(|&q| current_block[q])
+            .collect();
+
+        let mut target: Option<usize> = None;
+        if !force_isolated && !owners.is_empty() {
+            if owners.len() == 1 {
+                let block_index = *owners.iter().next().expect("one owner");
+                let block = &blocks[block_index];
+                let mut union: BTreeSet<usize> = block.qubits.iter().copied().collect();
+                union.extend(op.qubits.iter().copied());
+                let width_ok = union.len() <= max_width && block.len() < max_ops_per_block;
+                let param_ok = match policy {
+                    ParameterPolicy::Unlimited => true,
+                    ParameterPolicy::Forbid => op_param.is_none() && block.is_fixed(),
+                    ParameterPolicy::AtMostOne => {
+                        let mut params = block.parameters.clone();
+                        if let Some(p) = op_param {
+                            params.insert(p);
+                        }
+                        params.len() <= 1
+                    }
+                };
+                if width_ok && param_ok {
+                    target = Some(block_index);
+                }
+            } else {
+                // The op bridges two (or more) existing blocks — e.g. a CX joining two
+                // single-qubit blocks. They can be fused into one block, as the paper's
+                // aggregation does, provided no other block has since taken over any of
+                // their qubits (which would break per-qubit program order), and the
+                // fused block still satisfies the width, depth, and parameter limits.
+                let all_current = owners.iter().all(|&b| {
+                    blocks[b]
+                        .qubits
+                        .iter()
+                        .all(|&q| current_block[q] == Some(b))
+                });
+                if all_current {
+                    let mut union: BTreeSet<usize> = op.qubits.iter().copied().collect();
+                    let mut params: BTreeSet<usize> = op_param.into_iter().collect();
+                    let mut total_ops = 1usize;
+                    for &b in &owners {
+                        union.extend(blocks[b].qubits.iter().copied());
+                        params.extend(blocks[b].parameters.iter().copied());
+                        total_ops += blocks[b].len();
+                    }
+                    let width_ok = union.len() <= max_width && total_ops <= max_ops_per_block;
+                    let param_ok = match policy {
+                        ParameterPolicy::Unlimited => true,
+                        ParameterPolicy::Forbid => params.is_empty(),
+                        ParameterPolicy::AtMostOne => params.len() <= 1,
+                    };
+                    if width_ok && param_ok {
+                        let fused = *owners.iter().min().expect("non-empty owner set");
+                        let others: Vec<usize> =
+                            owners.iter().copied().filter(|&b| b != fused).collect();
+                        for other in others {
+                            let drained = std::mem::take(&mut blocks[other]);
+                            for &q in &drained.qubits {
+                                current_block[q] = Some(fused);
+                            }
+                            blocks[fused].op_indices.extend(drained.op_indices);
+                            blocks[fused].parameters.extend(drained.parameters);
+                            let mut qubits: BTreeSet<usize> =
+                                blocks[fused].qubits.iter().copied().collect();
+                            qubits.extend(drained.qubits);
+                            blocks[fused].qubits = qubits.into_iter().collect();
+                        }
+                        blocks[fused].op_indices.sort_unstable();
+                        target = Some(fused);
+                    }
+                }
+            }
+        }
+
+        let block_index = match target {
+            Some(index) => {
+                let block = &mut blocks[index];
+                block.op_indices.push(op_index);
+                let mut union: BTreeSet<usize> = block.qubits.iter().copied().collect();
+                union.extend(op.qubits.iter().copied());
+                block.qubits = union.into_iter().collect();
+                if let Some(p) = op_param {
+                    block.parameters.insert(p);
+                }
+                index
+            }
+            None => {
+                let mut parameters = BTreeSet::new();
+                if let Some(p) = op_param {
+                    parameters.insert(p);
+                }
+                blocks.push(Block {
+                    op_indices: vec![op_index],
+                    qubits: {
+                        let mut qs: Vec<usize> = op.qubits.clone();
+                        qs.sort_unstable();
+                        qs
+                    },
+                    parameters,
+                });
+                blocks.len() - 1
+            }
+        };
+        for &q in &op.qubits {
+            current_block[q] = Some(block_index);
+        }
+    }
+
+    // Blocks emptied by fusion are dropped; the survivors keep program order.
+    blocks.retain(|block| !block.is_empty());
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqc_circuit::ParamExpr;
+
+    fn strict_alternating_example() -> Circuit {
+        // The Figure-3 style circuit: fixed gates interleaved with Rz(θi) gates.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.rz_expr(1, ParamExpr::theta(0));
+        c.cx(0, 1);
+        c.rz_expr(1, ParamExpr::theta(0));
+        c.h(0);
+        c.rz_expr(0, ParamExpr::theta(1));
+        c.cx(0, 1);
+        c.rz_expr(1, ParamExpr::theta(2));
+        c
+    }
+
+    #[test]
+    fn every_op_lands_in_exactly_one_block() {
+        let c = strict_alternating_example();
+        for policy in [ParameterPolicy::Forbid, ParameterPolicy::AtMostOne, ParameterPolicy::Unlimited] {
+            let blocks = aggregate_blocks(&c, 4, policy);
+            let mut covered: Vec<usize> = blocks.iter().flat_map(|b| b.op_indices.clone()).collect();
+            covered.sort_unstable();
+            assert_eq!(covered, (0..c.len()).collect::<Vec<_>>(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn strict_policy_isolates_parameterized_gates() {
+        let c = strict_alternating_example();
+        let blocks = aggregate_blocks(&c, 4, ParameterPolicy::Forbid);
+        // Every block is either fixed or a single parameterized gate.
+        for block in &blocks {
+            if !block.is_fixed() {
+                assert_eq!(block.len(), 1);
+            }
+        }
+        // There are 4 parameterized gates, hence at least 4 single-gate blocks.
+        let parameterized_blocks = blocks.iter().filter(|b| !b.is_fixed()).count();
+        assert_eq!(parameterized_blocks, 4);
+    }
+
+    #[test]
+    fn flexible_policy_produces_fewer_deeper_blocks() {
+        let c = strict_alternating_example();
+        let strict = aggregate_blocks(&c, 4, ParameterPolicy::Forbid);
+        let flexible = aggregate_blocks(&c, 4, ParameterPolicy::AtMostOne);
+        assert!(flexible.len() < strict.len());
+        // Flexible blocks depend on at most one parameter each.
+        for block in &flexible {
+            assert!(block.parameters.len() <= 1);
+        }
+        // And the deepest flexible block is deeper than the deepest strict fixed block.
+        let deepest_flexible = flexible.iter().map(Block::len).max().unwrap();
+        let deepest_strict_fixed = strict
+            .iter()
+            .filter(|b| b.is_fixed())
+            .map(Block::len)
+            .max()
+            .unwrap();
+        assert!(deepest_flexible >= deepest_strict_fixed);
+    }
+
+    #[test]
+    fn unlimited_policy_merges_across_parameters() {
+        let c = strict_alternating_example();
+        let blocks = aggregate_blocks(&c, 4, ParameterPolicy::Unlimited);
+        // The whole 2-qubit circuit fits in a single block.
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].parameters.len(), 3);
+        assert_eq!(blocks[0].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    fn width_limit_is_respected() {
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        for q in 0..5 {
+            c.cx(q, q + 1);
+        }
+        for policy in [ParameterPolicy::Forbid, ParameterPolicy::AtMostOne, ParameterPolicy::Unlimited] {
+            for max_width in [2usize, 3, 4] {
+                let blocks = aggregate_blocks(&c, max_width, policy);
+                for block in &blocks {
+                    assert!(block.qubits.len() <= max_width, "{policy:?} width {max_width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_qubit_program_order_is_preserved() {
+        let c = strict_alternating_example();
+        let blocks = aggregate_blocks(&c, 2, ParameterPolicy::AtMostOne);
+        // For every qubit, the sequence of blocks touching it must have strictly
+        // increasing op indices.
+        for q in 0..c.num_qubits() {
+            let mut last = None;
+            for block in &blocks {
+                if block.qubits.contains(&q) {
+                    let ops: Vec<usize> = block
+                        .op_indices
+                        .iter()
+                        .copied()
+                        .filter(|&i| c.ops()[i].acts_on(q))
+                        .collect();
+                    for i in ops {
+                        if let Some(prev) = last {
+                            assert!(i > prev);
+                        }
+                        last = Some(i);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_to_circuit_is_reindexed() {
+        let mut c = Circuit::new(4);
+        c.cx(2, 3);
+        c.rz(3, 0.5);
+        let blocks = aggregate_blocks(&c, 4, ParameterPolicy::Unlimited);
+        assert_eq!(blocks.len(), 1);
+        let sub = blocks[0].to_circuit(&c);
+        assert_eq!(sub.num_qubits(), 2);
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn op_cap_limits_block_depth() {
+        let mut c = Circuit::new(2);
+        for _ in 0..10 {
+            c.cx(0, 1);
+            c.h(0);
+        }
+        let capped = aggregate_blocks_with_cap(&c, 4, ParameterPolicy::Unlimited, 5);
+        assert!(capped.len() >= 4);
+        for block in &capped {
+            assert!(block.len() <= 5);
+        }
+        let uncapped = aggregate_blocks(&c, 4, ParameterPolicy::Unlimited);
+        assert_eq!(uncapped.len(), 1);
+    }
+
+    #[test]
+    fn empty_circuit_has_no_blocks() {
+        let c = Circuit::new(3);
+        assert!(aggregate_blocks(&c, 4, ParameterPolicy::Unlimited).is_empty());
+    }
+}

@@ -1,0 +1,676 @@
+//! The [`PartialCompiler`]: one API over the four compilation strategies.
+
+use crate::blocking::{Block, ParameterPolicy, aggregate_blocks_with_cap};
+use crate::hyperparam::{HyperparameterGrid, tune_hyperparameters};
+use crate::latency::{LatencyEstimate, LatencyModel};
+use crate::library::{BlockKey, CachedBlock, CachedTuning, PulseLibrary};
+use crate::schedule::schedule_blocks;
+use crate::CompileError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+use vqc_circuit::timing::{GateTimes, critical_path_ns};
+use vqc_circuit::{Circuit, passes};
+use vqc_pulse::DeviceModel;
+use vqc_pulse::grape::GrapeOptions;
+use vqc_pulse::minimum_time::{MinimumTimeOptions, minimum_pulse_time};
+use vqc_sim::circuit_unitary;
+
+/// The compilation strategy to apply (Sections 2.3, 5, 6 and 7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Lookup-table concatenation of per-gate pulses (the baseline).
+    GateBased,
+    /// Pre-compiled GRAPE pulses for parameterization-independent Fixed blocks,
+    /// lookup-table pulses for the parameterized gates.
+    StrictPartial,
+    /// Single-θ blocks compiled at runtime by GRAPE with pre-tuned hyperparameters.
+    FlexiblePartial,
+    /// Full GRAPE over ≤4-qubit blocks at every variational iteration.
+    FullGrape,
+}
+
+impl Strategy {
+    /// All four strategies, in the order the paper's tables report them.
+    pub fn all() -> [Strategy; 4] {
+        [
+            Strategy::GateBased,
+            Strategy::StrictPartial,
+            Strategy::FlexiblePartial,
+            Strategy::FullGrape,
+        ]
+    }
+
+    /// Short human-readable name matching the paper's table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::GateBased => "Gate-based",
+            Strategy::StrictPartial => "Strict Partial",
+            Strategy::FlexiblePartial => "Flexible Partial",
+            Strategy::FullGrape => "Full GRAPE",
+        }
+    }
+
+    fn parameter_policy(&self) -> Option<ParameterPolicy> {
+        match self {
+            Strategy::GateBased => None,
+            Strategy::StrictPartial => Some(ParameterPolicy::Forbid),
+            Strategy::FlexiblePartial => Some(ParameterPolicy::AtMostOne),
+            Strategy::FullGrape => Some(ParameterPolicy::Unlimited),
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Configuration of a [`PartialCompiler`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompilerOptions {
+    /// Maximum block width handed to GRAPE (the paper uses 4).
+    pub max_block_width: usize,
+    /// Maximum number of operations aggregated into one GRAPE block. The paper places
+    /// no such limit (at enormous compute cost); reduced effort levels cap it so block
+    /// pulse optimizations stay tractable.
+    pub max_block_ops: usize,
+    /// GRAPE effort settings used for every block compilation.
+    pub grape: GrapeOptions,
+    /// Precision of the minimum-pulse-time binary search, in nanoseconds.
+    pub search_precision_ns: f64,
+    /// Gate durations used for the gate-based baseline and as GRAPE upper bounds.
+    pub gate_times: GateTimes,
+    /// Latency model converting GRAPE work into estimated seconds.
+    pub latency_model: LatencyModel,
+    /// Hyperparameter grid used by flexible partial compilation's pre-compute phase.
+    pub hyperparameter_grid: HyperparameterGrid,
+}
+
+impl CompilerOptions {
+    /// Fast settings for tests and the `fast` benchmark effort level.
+    pub fn fast() -> Self {
+        let mut grape = GrapeOptions::fast();
+        grape.max_iterations = 150;
+        grape.target_infidelity = 2e-2;
+        CompilerOptions {
+            max_block_width: 4,
+            max_block_ops: 12,
+            grape,
+            search_precision_ns: 1.0,
+            gate_times: GateTimes::default(),
+            latency_model: LatencyModel::default(),
+            hyperparameter_grid: HyperparameterGrid::fast(),
+        }
+    }
+
+    /// Balanced settings (0.25 ns samples, 0.1 % infidelity target, 0.3 ns search
+    /// precision as in the paper's footnote).
+    pub fn standard() -> Self {
+        CompilerOptions {
+            max_block_width: 4,
+            max_block_ops: 60,
+            grape: GrapeOptions::standard(),
+            search_precision_ns: 0.3,
+            gate_times: GateTimes::default(),
+            latency_model: LatencyModel::default(),
+            hyperparameter_grid: HyperparameterGrid::standard(),
+        }
+    }
+
+    /// The paper's settings (20 GSa/s sampling, 99.9 % target fidelity).
+    pub fn paper() -> Self {
+        CompilerOptions {
+            max_block_width: 4,
+            max_block_ops: usize::MAX,
+            grape: GrapeOptions::paper(),
+            search_precision_ns: 0.3,
+            gate_times: GateTimes::default(),
+            latency_model: LatencyModel::default(),
+            hyperparameter_grid: HyperparameterGrid::standard(),
+        }
+    }
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions::standard()
+    }
+}
+
+/// Per-block compilation outcome included in a [`CompilationReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockCompilation {
+    /// Physical qubits of the block.
+    pub qubits: Vec<usize>,
+    /// Number of gate operations in the block.
+    pub num_ops: usize,
+    /// Pulse duration assigned to the block (ns).
+    pub duration_ns: f64,
+    /// Gate-based runtime of the block (ns), which is also GRAPE's search upper bound.
+    pub gate_based_ns: f64,
+    /// GRAPE iterations spent on this block during this compile call.
+    pub grape_iterations: usize,
+    /// Whether the block's pulse came from GRAPE (`true`) or the lookup table.
+    pub used_grape: bool,
+    /// Whether GRAPE reached the target fidelity (lookup blocks report `true`).
+    pub converged: bool,
+    /// Whether the result was served from the pulse library cache.
+    pub cached: bool,
+}
+
+/// The result of compiling one circuit with one strategy at one parameter binding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompilationReport {
+    /// Strategy that produced this report.
+    pub strategy: Strategy,
+    /// Total pulse duration of the compiled circuit (ns) — the paper's primary metric.
+    pub pulse_duration_ns: f64,
+    /// Gate-based baseline duration of the same circuit (ns).
+    pub gate_based_duration_ns: f64,
+    /// Number of blocks the circuit was aggregated into (0 for gate-based).
+    pub num_blocks: usize,
+    /// Per-block details.
+    pub blocks: Vec<BlockCompilation>,
+    /// Compilation latency attributed to the pre-compute phase (before the variational
+    /// loop starts).
+    pub precompute: LatencyEstimate,
+    /// Compilation latency attributed to runtime (paid at every variational iteration).
+    pub runtime: LatencyEstimate,
+}
+
+impl CompilationReport {
+    /// Pulse speedup factor relative to gate-based compilation (>1 means faster).
+    pub fn pulse_speedup(&self) -> f64 {
+        if self.pulse_duration_ns > 0.0 {
+            self.gate_based_duration_ns / self.pulse_duration_ns
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The partial compiler: owns the configuration and the pulse library cache.
+#[derive(Debug)]
+pub struct PartialCompiler {
+    options: CompilerOptions,
+    library: PulseLibrary,
+}
+
+impl PartialCompiler {
+    /// Creates a compiler with the given options and an empty pulse library.
+    pub fn new(options: CompilerOptions) -> Self {
+        PartialCompiler {
+            options,
+            library: PulseLibrary::new(),
+        }
+    }
+
+    /// The compiler's configuration.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// The shared pulse library (cache of block compilations and tunings).
+    pub fn library(&self) -> &PulseLibrary {
+        &self.library
+    }
+
+    /// Optimizes and lowers a circuit to the compilation basis — the preparation every
+    /// strategy shares.
+    pub fn prepare(&self, circuit: &Circuit) -> Circuit {
+        passes::optimize(circuit)
+    }
+
+    /// Gate-based runtime (ns) of a circuit after preparation.
+    pub fn gate_based_runtime_ns(&self, circuit: &Circuit) -> f64 {
+        critical_path_ns(&self.prepare(circuit), &self.options.gate_times)
+    }
+
+    /// Compiles a circuit under a strategy at a concrete parameter binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::MissingParameters`] if `params` is shorter than the
+    /// highest θ index the circuit references, or propagates circuit/pulse errors.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        strategy: Strategy,
+    ) -> Result<CompilationReport, CompileError> {
+        let required = circuit
+            .parameter_indices()
+            .into_iter()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        if params.len() < required {
+            return Err(CompileError::MissingParameters {
+                supplied: params.len(),
+                required,
+            });
+        }
+
+        let prepared = self.prepare(circuit);
+        let gate_based_duration_ns = critical_path_ns(&prepared, &self.options.gate_times);
+
+        let Some(policy) = strategy.parameter_policy() else {
+            return Ok(CompilationReport {
+                strategy,
+                pulse_duration_ns: gate_based_duration_ns,
+                gate_based_duration_ns,
+                num_blocks: prepared.len(),
+                blocks: Vec::new(),
+                precompute: LatencyEstimate::default(),
+                runtime: LatencyEstimate::default(),
+            });
+        };
+
+        let blocks = aggregate_blocks_with_cap(
+            &prepared,
+            self.options.max_block_width,
+            policy,
+            self.options.max_block_ops,
+        );
+        let mut block_reports = Vec::with_capacity(blocks.len());
+        let mut precompute = LatencyEstimate::default();
+        let mut runtime = LatencyEstimate::default();
+        let mut durations: Vec<(Vec<usize>, f64)> = Vec::with_capacity(blocks.len());
+
+        for block in &blocks {
+            let report = self.compile_block(&prepared, block, params, strategy, &mut precompute, &mut runtime)?;
+            durations.push((block.qubits.clone(), report.duration_ns));
+            block_reports.push(report);
+        }
+
+        let (_placement, blocked_duration_ns) = schedule_blocks(prepared.num_qubits(), &durations);
+        // Section 5.2: the paper's aggregation only accepts blockings that do not delay
+        // execution, so GRAPE-style strategies are strictly better than gate-based
+        // compilation. Our greedy aggregation can occasionally serialize gates that the
+        // gate-level ASAP schedule overlapped; when that happens the compiler falls back
+        // to emitting the gate-based pulse schedule, preserving the guarantee.
+        let pulse_duration_ns = blocked_duration_ns.min(gate_based_duration_ns);
+
+        Ok(CompilationReport {
+            strategy,
+            pulse_duration_ns,
+            gate_based_duration_ns,
+            num_blocks: blocks.len(),
+            blocks: block_reports,
+            precompute,
+            runtime,
+        })
+    }
+
+    /// Compiles a single block, updating the latency accumulators of the phase the work
+    /// belongs to under the given strategy.
+    fn compile_block(
+        &self,
+        prepared: &Circuit,
+        block: &Block,
+        params: &[f64],
+        strategy: Strategy,
+        precompute: &mut LatencyEstimate,
+        runtime: &mut LatencyEstimate,
+    ) -> Result<BlockCompilation, CompileError> {
+        let subcircuit = block.to_circuit(prepared);
+        let bound = subcircuit.bind(params);
+        let gate_based_ns = critical_path_ns(&bound, &self.options.gate_times);
+
+        // Single-gate blocks are exactly what the lookup table already stores (Table 1
+        // durations are themselves GRAPE-derived), so no pulse optimization is needed.
+        if block.len() <= 1 {
+            return Ok(BlockCompilation {
+                qubits: block.qubits.clone(),
+                num_ops: block.len(),
+                duration_ns: gate_based_ns,
+                gate_based_ns,
+                grape_iterations: 0,
+                used_grape: false,
+                converged: true,
+                cached: false,
+            });
+        }
+
+        let width = block.qubits.len();
+        let device = DeviceModel::qubits_line(width);
+        let slices = (gate_based_ns / self.options.grape.dt_ns).ceil().max(1.0) as usize;
+        let dim = device.dim();
+        let controls = device.num_controls();
+
+        match strategy {
+            Strategy::GateBased => unreachable!("gate-based compilation never reaches block compilation"),
+            Strategy::StrictPartial | Strategy::FullGrape => {
+                let started = Instant::now();
+                let (cached_entry, cached) = self.grape_block(&bound, &device, gate_based_ns)?;
+                let measured = started.elapsed().as_secs_f64();
+                // Latency is only paid when the pulse library misses; a cache hit is a
+                // (near-instant) lookup.
+                if !cached {
+                    let estimate = LatencyEstimate {
+                        grape_iterations: cached_entry.grape_iterations,
+                        estimated_seconds: self.options.latency_model.estimate_seconds(
+                            cached_entry.grape_iterations,
+                            slices,
+                            dim,
+                            controls,
+                        ),
+                        measured_seconds: measured,
+                    };
+                    // Strict partial compilation only ever GRAPE-compiles Fixed blocks,
+                    // and does so before the variational loop starts; full GRAPE pays
+                    // the same work at every iteration (with a fresh θ, so it rarely
+                    // hits the cache).
+                    match strategy {
+                        Strategy::StrictPartial => precompute.accumulate(&estimate),
+                        _ => runtime.accumulate(&estimate),
+                    }
+                }
+                Ok(BlockCompilation {
+                    qubits: block.qubits.clone(),
+                    num_ops: block.len(),
+                    duration_ns: cached_entry.duration_ns,
+                    gate_based_ns,
+                    grape_iterations: cached_entry.grape_iterations,
+                    used_grape: true,
+                    converged: cached_entry.converged,
+                    cached,
+                })
+            }
+            Strategy::FlexiblePartial => {
+                if block.is_fixed() {
+                    // Fixed blocks are pre-compiled exactly as in strict partial
+                    // compilation.
+                    let started = Instant::now();
+                    let (cached_entry, cached) = self.grape_block(&bound, &device, gate_based_ns)?;
+                    let measured = started.elapsed().as_secs_f64();
+                    if !cached {
+                        precompute.accumulate(&LatencyEstimate {
+                            grape_iterations: cached_entry.grape_iterations,
+                            estimated_seconds: self.options.latency_model.estimate_seconds(
+                                cached_entry.grape_iterations,
+                                slices,
+                                dim,
+                                controls,
+                            ),
+                            measured_seconds: measured,
+                        });
+                    }
+                    return Ok(BlockCompilation {
+                        qubits: block.qubits.clone(),
+                        num_ops: block.len(),
+                        duration_ns: cached_entry.duration_ns,
+                        gate_based_ns,
+                        grape_iterations: cached_entry.grape_iterations,
+                        used_grape: true,
+                        converged: cached_entry.converged,
+                        cached,
+                    })
+                }
+
+                let structural_key = BlockKey::structural(&subcircuit);
+                let (tuning, cached) = match self.library.tuning(&structural_key) {
+                    Some(entry) => (entry, true),
+                    None => {
+                        let started = Instant::now();
+                        let entry = self.tune_flexible_block(&subcircuit, &bound, &device, gate_based_ns)?;
+                        let measured = started.elapsed().as_secs_f64();
+                        precompute.accumulate(&LatencyEstimate {
+                            grape_iterations: entry.precompute_iterations,
+                            estimated_seconds: self.options.latency_model.estimate_seconds(
+                                entry.precompute_iterations,
+                                slices,
+                                dim,
+                                controls,
+                            ),
+                            measured_seconds: measured,
+                        });
+                        self.library.insert_tuning(structural_key, entry.clone());
+                        (entry, false)
+                    }
+                };
+
+                // At runtime every new θ needs one GRAPE run at the pre-computed
+                // duration with the tuned hyperparameters; its cost is the tuned
+                // convergence profile recorded during pre-compute.
+                runtime.accumulate(&LatencyEstimate {
+                    grape_iterations: tuning.runtime_iterations,
+                    estimated_seconds: self.options.latency_model.estimate_seconds(
+                        tuning.runtime_iterations,
+                        slices,
+                        dim,
+                        controls,
+                    ),
+                    measured_seconds: 0.0,
+                });
+
+                let duration_ns = if tuning.converged {
+                    tuning.duration_ns
+                } else {
+                    gate_based_ns
+                };
+                Ok(BlockCompilation {
+                    qubits: block.qubits.clone(),
+                    num_ops: block.len(),
+                    duration_ns,
+                    gate_based_ns,
+                    grape_iterations: tuning.runtime_iterations,
+                    used_grape: tuning.converged,
+                    converged: tuning.converged,
+                    cached,
+                })
+            }
+        }
+    }
+
+    /// Minimum-time GRAPE compilation of a bound block, with caching.
+    fn grape_block(
+        &self,
+        bound: &Circuit,
+        device: &DeviceModel,
+        upper_bound_ns: f64,
+    ) -> Result<(CachedBlock, bool), CompileError> {
+        let key = BlockKey::from_bound_circuit(bound);
+        if let Some(entry) = self.library.block(&key) {
+            return Ok((entry, true));
+        }
+        let target = circuit_unitary(bound);
+        let search = MinimumTimeOptions::new(0.0, upper_bound_ns)
+            .with_precision(self.options.search_precision_ns);
+        let result = minimum_pulse_time(&target, device, &search, &self.options.grape)?;
+        let entry = CachedBlock {
+            duration_ns: if result.converged {
+                result.duration_ns
+            } else {
+                upper_bound_ns
+            },
+            converged: result.converged,
+            grape_iterations: result.total_iterations(),
+        };
+        self.library.insert_block(key, entry.clone());
+        Ok((entry, false))
+    }
+
+    /// Flexible partial compilation pre-compute for a single-θ block: tune the
+    /// hyperparameters at the gate-based upper bound, then binary-search the minimum
+    /// duration with the tuned configuration.
+    fn tune_flexible_block(
+        &self,
+        subcircuit: &Circuit,
+        bound_reference: &Circuit,
+        device: &DeviceModel,
+        upper_bound_ns: f64,
+    ) -> Result<CachedTuning, CompileError> {
+        let _ = subcircuit; // structural identity is captured by the caller's cache key
+        let tuning = tune_hyperparameters(
+            bound_reference,
+            device,
+            upper_bound_ns,
+            &self.options.grape,
+            &self.options.hyperparameter_grid,
+        )?;
+        let tuned_options = self
+            .options
+            .grape
+            .with_hyperparameters(tuning.learning_rate, tuning.decay_rate);
+        let target = circuit_unitary(bound_reference);
+        let search = MinimumTimeOptions::new(0.0, upper_bound_ns)
+            .with_precision(self.options.search_precision_ns);
+        let mintime = minimum_pulse_time(&target, device, &search, &tuned_options)?;
+        let runtime_iterations = mintime
+            .best
+            .as_ref()
+            .map(|best| best.iterations)
+            .unwrap_or(tuning.runtime_iterations);
+        Ok(CachedTuning {
+            learning_rate: tuning.learning_rate,
+            decay_rate: tuning.decay_rate,
+            duration_ns: if mintime.converged {
+                mintime.duration_ns
+            } else {
+                upper_bound_ns
+            },
+            converged: mintime.converged,
+            precompute_iterations: tuning.total_probe_iterations() + mintime.total_iterations(),
+            runtime_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqc_circuit::ParamExpr;
+
+    /// A Figure-3-style two-qubit variational circuit: deep fixed sections interleaved
+    /// with parameterized Rz gates.
+    fn example_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(1);
+        c.cx(0, 1);
+        c.rz_expr(1, ParamExpr::theta(0));
+        c.cx(0, 1);
+        c.rx(0, 1.1);
+        c.cx(0, 1);
+        c.rz_expr(1, ParamExpr::theta(1));
+        c.cx(0, 1);
+        c.h(0);
+        c.h(1);
+        c
+    }
+
+    fn compiler() -> PartialCompiler {
+        PartialCompiler::new(CompilerOptions::fast())
+    }
+
+    #[test]
+    fn gate_based_report_matches_critical_path() {
+        let compiler = compiler();
+        let circuit = example_circuit();
+        let report = compiler.compile(&circuit, &[0.3, 0.9], Strategy::GateBased).unwrap();
+        assert_eq!(report.pulse_duration_ns, report.gate_based_duration_ns);
+        assert!((report.pulse_speedup() - 1.0).abs() < 1e-12);
+        assert_eq!(report.runtime.grape_iterations, 0);
+        assert_eq!(report.precompute.grape_iterations, 0);
+    }
+
+    #[test]
+    fn missing_parameters_are_rejected() {
+        let compiler = compiler();
+        let circuit = example_circuit();
+        assert!(matches!(
+            compiler.compile(&circuit, &[0.3], Strategy::GateBased),
+            Err(CompileError::MissingParameters { supplied: 1, required: 2 })
+        ));
+    }
+
+    #[test]
+    fn strict_partial_is_never_slower_than_gate_based() {
+        let compiler = compiler();
+        let circuit = example_circuit();
+        let params = [0.4, 1.2];
+        let gate = compiler.compile(&circuit, &params, Strategy::GateBased).unwrap();
+        let strict = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
+        assert!(strict.pulse_duration_ns <= gate.pulse_duration_ns + 1e-9);
+        // Strict pays no runtime GRAPE latency.
+        assert_eq!(strict.runtime.grape_iterations, 0);
+        assert!(strict.precompute.grape_iterations > 0);
+        assert!(strict.num_blocks > 0);
+    }
+
+    #[test]
+    fn full_grape_is_at_least_as_fast_as_strict_and_pays_runtime_latency() {
+        let compiler = compiler();
+        let circuit = example_circuit();
+        let params = [0.4, 1.2];
+        let strict = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
+        let full = compiler.compile(&circuit, &params, Strategy::FullGrape).unwrap();
+        assert!(full.pulse_duration_ns <= strict.pulse_duration_ns + 1e-9);
+        assert!(full.runtime.grape_iterations > 0);
+        assert_eq!(full.precompute.grape_iterations, 0);
+        assert!(full.pulse_speedup() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn flexible_matches_grape_durations_with_lower_runtime_latency() {
+        let compiler = compiler();
+        let circuit = example_circuit();
+        let params = [0.4, 1.2];
+        let full = compiler.compile(&circuit, &params, Strategy::FullGrape).unwrap();
+        let strict = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
+        let flexible = compiler.compile(&circuit, &params, Strategy::FlexiblePartial).unwrap();
+        // Flexible sits between strict partial compilation and full GRAPE in pulse
+        // duration (it only ties GRAPE exactly when every GRAPE block depends on at
+        // most one parameter, which this deliberately-small example violates).
+        assert!(flexible.pulse_duration_ns <= strict.pulse_duration_ns + 1e-9);
+        assert!(flexible.pulse_duration_ns + 1e-9 >= full.pulse_duration_ns);
+        assert!(flexible.pulse_duration_ns <= flexible.gate_based_duration_ns + 1e-9);
+        // ...while its runtime latency is below full GRAPE's (no binary search, tuned
+        // hyperparameters).
+        assert!(
+            flexible.runtime.grape_iterations < full.runtime.grape_iterations,
+            "flexible {} vs full {}",
+            flexible.runtime.grape_iterations,
+            full.runtime.grape_iterations
+        );
+        assert!(flexible.precompute.grape_iterations > 0);
+    }
+
+    #[test]
+    fn second_compile_hits_the_cache() {
+        let compiler = compiler();
+        let circuit = example_circuit();
+        let params = [0.4, 1.2];
+        let first = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
+        let second = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
+        assert_eq!(first.pulse_duration_ns, second.pulse_duration_ns);
+        assert!(second.blocks.iter().filter(|b| b.used_grape).all(|b| b.cached));
+        assert!(compiler.library().num_blocks() > 0);
+    }
+
+    #[test]
+    fn flexible_runtime_latency_is_stable_across_parameter_changes() {
+        // After pre-compute at one θ, compiling at a different θ must not pay the
+        // tuning cost again (that is the whole point of flexible partial compilation).
+        let compiler = compiler();
+        let circuit = example_circuit();
+        let first = compiler.compile(&circuit, &[0.4, 1.2], Strategy::FlexiblePartial).unwrap();
+        let second = compiler.compile(&circuit, &[2.0, -0.7], Strategy::FlexiblePartial).unwrap();
+        assert!(first.precompute.grape_iterations > 0);
+        assert_eq!(second.precompute.grape_iterations, 0);
+        assert!(second.runtime.grape_iterations > 0);
+    }
+
+    #[test]
+    fn strategy_names_cover_all_variants() {
+        let names: Vec<&str> = Strategy::all().iter().map(Strategy::name).collect();
+        assert_eq!(
+            names,
+            vec!["Gate-based", "Strict Partial", "Flexible Partial", "Full GRAPE"]
+        );
+        assert_eq!(Strategy::FullGrape.to_string(), "Full GRAPE");
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the partial compiler.
+
+use std::error::Error;
+use std::fmt;
+use vqc_circuit::CircuitError;
+use vqc_pulse::PulseError;
+
+/// Errors produced while compiling a variational circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The parameter vector is shorter than the circuit's highest parameter index.
+    MissingParameters {
+        /// Number of parameters supplied.
+        supplied: usize,
+        /// Number of parameters the circuit references.
+        required: usize,
+    },
+    /// The circuit-level transpiler reported an error.
+    Circuit(CircuitError),
+    /// The pulse-level optimizer reported an error.
+    Pulse(PulseError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::MissingParameters { supplied, required } => write!(
+                f,
+                "parameter binding has {supplied} entries but the circuit references {required} parameters"
+            ),
+            CompileError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CompileError::Pulse(e) => write!(f, "pulse error: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Circuit(e) => Some(e),
+            CompileError::Pulse(e) => Some(e),
+            CompileError::MissingParameters { .. } => None,
+        }
+    }
+}
+
+impl From<CircuitError> for CompileError {
+    fn from(e: CircuitError) -> Self {
+        CompileError::Circuit(e)
+    }
+}
+
+impl From<PulseError> for CompileError {
+    fn from(e: PulseError) -> Self {
+        CompileError::Pulse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_conversions() {
+        let e = CompileError::MissingParameters { supplied: 2, required: 5 };
+        assert!(e.to_string().contains("5"));
+
+        let from_circuit: CompileError = CircuitError::NonBasisGate { gate: "cz" }.into();
+        assert!(matches!(from_circuit, CompileError::Circuit(_)));
+        assert!(from_circuit.to_string().contains("cz"));
+
+        let from_pulse: CompileError = PulseError::DurationTooShort {
+            duration_ns: 0.1,
+            dt_ns: 1.0,
+        }
+        .into();
+        assert!(matches!(from_pulse, CompileError::Pulse(_)));
+    }
+}

@@ -1,0 +1,213 @@
+//! The pulse library: a cache of GRAPE results keyed by block content.
+//!
+//! Strict partial compilation's whole point is that Fixed blocks can be compiled once
+//! and looked up forever after; and even for full GRAPE, identical blocks recur both
+//! within a circuit (repeated QAOA rounds) and across variational iterations. The
+//! library is shared behind a mutex so the benchmark harness can compile blocks from
+//! multiple worker threads.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vqc_circuit::Circuit;
+
+/// A canonical fingerprint of a (bound or structural) block circuit.
+///
+/// Two blocks with the same key are guaranteed to have the same gates on the same
+/// local qubit indices with the same angles (rounded to 10⁻⁹), so a cached compilation
+/// result can be reused.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockKey(String);
+
+impl BlockKey {
+    /// Builds the key of a *bound* block circuit (angles included).
+    pub fn from_bound_circuit(circuit: &Circuit) -> Self {
+        let mut key = format!("q{}|", circuit.num_qubits());
+        for op in circuit.iter() {
+            key.push_str(op.gate.name());
+            for q in &op.qubits {
+                key.push_str(&format!(",{q}"));
+            }
+            if let Some(angle) = op.gate.angle() {
+                if angle.is_parameterized() {
+                    key.push_str(&format!("[θ{}]", angle.parameter().expect("parameterized")));
+                } else {
+                    key.push_str(&format!("[{:.9}]", angle.evaluate(&[])));
+                }
+            }
+            key.push(';');
+        }
+        BlockKey(key)
+    }
+
+    /// Builds a *structural* key that ignores the numeric values of parameterized
+    /// angles (but keeps constant angles). Used to cache per-subcircuit hyperparameters
+    /// and minimum durations, which the paper observes are robust to the θ argument.
+    pub fn structural(circuit: &Circuit) -> Self {
+        let mut key = format!("s|q{}|", circuit.num_qubits());
+        for op in circuit.iter() {
+            key.push_str(op.gate.name());
+            for q in &op.qubits {
+                key.push_str(&format!(",{q}"));
+            }
+            if let Some(angle) = op.gate.angle() {
+                if angle.is_parameterized() {
+                    key.push_str("[θ]");
+                } else {
+                    key.push_str(&format!("[{:.9}]", angle.evaluate(&[])));
+                }
+            }
+            key.push(';');
+        }
+        BlockKey(key)
+    }
+}
+
+/// A cached block compilation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedBlock {
+    /// Minimum pulse duration found for the block, in nanoseconds.
+    pub duration_ns: f64,
+    /// Whether GRAPE converged (if not, `duration_ns` is the gate-based fallback).
+    pub converged: bool,
+    /// Total GRAPE iterations that were spent producing this entry.
+    pub grape_iterations: usize,
+}
+
+/// A cached flexible-compilation precompute result: tuned hyperparameters plus the
+/// minimum block duration found with them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedTuning {
+    /// Tuned ADAM learning rate.
+    pub learning_rate: f64,
+    /// Tuned learning-rate decay.
+    pub decay_rate: f64,
+    /// Minimum pulse duration found for the subcircuit (ns).
+    pub duration_ns: f64,
+    /// Whether the tuned GRAPE converged at `duration_ns`.
+    pub converged: bool,
+    /// GRAPE iterations spent during tuning and duration search (pre-compute latency).
+    pub precompute_iterations: usize,
+    /// GRAPE iterations one runtime compilation needs with the tuned hyperparameters.
+    pub runtime_iterations: usize,
+}
+
+/// Thread-safe cache of block compilations and flexible-compilation tunings.
+#[derive(Debug, Default)]
+pub struct PulseLibrary {
+    blocks: Mutex<HashMap<BlockKey, CachedBlock>>,
+    tunings: Mutex<HashMap<BlockKey, CachedTuning>>,
+}
+
+impl PulseLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        PulseLibrary::default()
+    }
+
+    /// Looks up a cached block compilation.
+    pub fn block(&self, key: &BlockKey) -> Option<CachedBlock> {
+        self.blocks.lock().get(key).cloned()
+    }
+
+    /// Inserts a block compilation result.
+    pub fn insert_block(&self, key: BlockKey, value: CachedBlock) {
+        self.blocks.lock().insert(key, value);
+    }
+
+    /// Looks up a cached tuning.
+    pub fn tuning(&self, key: &BlockKey) -> Option<CachedTuning> {
+        self.tunings.lock().get(key).cloned()
+    }
+
+    /// Inserts a tuning result.
+    pub fn insert_tuning(&self, key: BlockKey, value: CachedTuning) {
+        self.tunings.lock().insert(key, value);
+    }
+
+    /// Number of cached block compilations.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.lock().len()
+    }
+
+    /// Number of cached tunings.
+    pub fn num_tunings(&self) -> usize {
+        self.tunings.lock().len()
+    }
+
+    /// Clears both caches.
+    pub fn clear(&self) {
+        self.blocks.lock().clear();
+        self.tunings.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqc_circuit::ParamExpr;
+
+    #[test]
+    fn bound_keys_distinguish_angles() {
+        let mut a = Circuit::new(1);
+        a.rz(0, 0.5);
+        let mut b = Circuit::new(1);
+        b.rz(0, 0.6);
+        assert_ne!(BlockKey::from_bound_circuit(&a), BlockKey::from_bound_circuit(&b));
+        assert_eq!(
+            BlockKey::from_bound_circuit(&a),
+            BlockKey::from_bound_circuit(&a.clone())
+        );
+    }
+
+    #[test]
+    fn structural_keys_ignore_parameter_values() {
+        let mut a = Circuit::new(1);
+        a.rz_expr(0, ParamExpr::theta(0));
+        a.h(0);
+        let bound_1 = a.bind(&[0.3]);
+        let bound_2 = a.bind(&[1.7]);
+        assert_ne!(
+            BlockKey::from_bound_circuit(&bound_1),
+            BlockKey::from_bound_circuit(&bound_2)
+        );
+        assert_eq!(BlockKey::structural(&a), BlockKey::structural(&a.clone()));
+    }
+
+    #[test]
+    fn library_round_trips_entries() {
+        let library = PulseLibrary::new();
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let key = BlockKey::from_bound_circuit(&c);
+        assert!(library.block(&key).is_none());
+        library.insert_block(
+            key.clone(),
+            CachedBlock {
+                duration_ns: 3.5,
+                converged: true,
+                grape_iterations: 120,
+            },
+        );
+        assert_eq!(library.num_blocks(), 1);
+        let cached = library.block(&key).unwrap();
+        assert_eq!(cached.duration_ns, 3.5);
+        assert!(cached.converged);
+
+        library.insert_tuning(
+            BlockKey::structural(&c),
+            CachedTuning {
+                learning_rate: 0.2,
+                decay_rate: 0.99,
+                duration_ns: 3.5,
+                converged: true,
+                precompute_iterations: 500,
+                runtime_iterations: 40,
+            },
+        );
+        assert_eq!(library.num_tunings(), 1);
+        library.clear();
+        assert_eq!(library.num_blocks(), 0);
+        assert_eq!(library.num_tunings(), 0);
+    }
+}

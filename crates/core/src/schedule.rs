@@ -1,0 +1,88 @@
+//! ASAP scheduling of compiled block pulses.
+//!
+//! Once every block has a pulse duration, the circuit's total pulse duration is the
+//! critical path of the blocks: each block starts as soon as all of its qubits are free
+//! (blocks on disjoint qubits overlap). This mirrors the gate-level ASAP schedule used
+//! for the gate-based baseline, so the comparison between strategies is apples-to-apples.
+
+use serde::{Deserialize, Serialize};
+
+/// A block's placement in the schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledBlock {
+    /// Index of the block in the input order.
+    pub block_index: usize,
+    /// Start time in nanoseconds.
+    pub start_ns: f64,
+    /// Duration in nanoseconds.
+    pub duration_ns: f64,
+}
+
+/// Schedules blocks (given as `(qubits, duration_ns)` in program order) as soon as
+/// possible and returns the placements plus the total duration.
+///
+/// # Panics
+///
+/// Panics if a block references a qubit `>= num_qubits`.
+pub fn schedule_blocks(num_qubits: usize, blocks: &[(Vec<usize>, f64)]) -> (Vec<ScheduledBlock>, f64) {
+    let mut qubit_free_at = vec![0.0_f64; num_qubits];
+    let mut placements = Vec::with_capacity(blocks.len());
+    let mut total = 0.0_f64;
+    for (index, (qubits, duration)) in blocks.iter().enumerate() {
+        let start = qubits
+            .iter()
+            .map(|&q| {
+                assert!(q < num_qubits, "block qubit {q} out of range");
+                qubit_free_at[q]
+            })
+            .fold(0.0_f64, f64::max);
+        let end = start + duration;
+        for &q in qubits {
+            qubit_free_at[q] = end;
+        }
+        total = total.max(end);
+        placements.push(ScheduledBlock {
+            block_index: index,
+            start_ns: start,
+            duration_ns: *duration,
+        });
+    }
+    (placements, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_blocks_overlap() {
+        let blocks = vec![(vec![0, 1], 10.0), (vec![2, 3], 7.0)];
+        let (placements, total) = schedule_blocks(4, &blocks);
+        assert_eq!(placements[0].start_ns, 0.0);
+        assert_eq!(placements[1].start_ns, 0.0);
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn overlapping_blocks_serialize() {
+        let blocks = vec![(vec![0, 1], 10.0), (vec![1, 2], 7.0), (vec![0], 2.0)];
+        let (placements, total) = schedule_blocks(3, &blocks);
+        assert_eq!(placements[1].start_ns, 10.0);
+        // The third block only needs qubit 0, free at t = 10.
+        assert_eq!(placements[2].start_ns, 10.0);
+        assert_eq!(total, 17.0);
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_duration() {
+        let (placements, total) = schedule_blocks(3, &[]);
+        assert!(placements.is_empty());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        schedule_blocks(2, &[(vec![5], 1.0)]);
+    }
+}

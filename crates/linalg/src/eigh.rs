@@ -1,0 +1,175 @@
+//! Hermitian eigendecomposition via the cyclic Jacobi method.
+//!
+//! The GRAPE gradient needs the exact derivative of `exp(-i Δt H)` with respect to a
+//! control amplitude; that derivative has a closed form in the eigenbasis of `H`
+//! (the Daleckii–Krein formula), so the pulse optimizer diagonalizes each slice
+//! Hamiltonian. The matrices involved are small (≤ 81x81), where Jacobi is simple,
+//! numerically robust, and plenty fast.
+
+use crate::{C64, Matrix};
+
+/// Result of a Hermitian eigendecomposition `A = V · diag(λ) · V†`.
+#[derive(Debug, Clone)]
+pub struct EighResult {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub eigenvectors: Matrix,
+}
+
+/// Diagonalizes a Hermitian matrix with the cyclic Jacobi method.
+///
+/// # Panics
+///
+/// Panics if `a` is not square. The matrix is *assumed* Hermitian; only its Hermitian
+/// part influences the result.
+pub fn eigh(a: &Matrix) -> EighResult {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let n = a.rows();
+    // Work on the Hermitian part to be robust against tiny asymmetries.
+    let mut work = (&a.dagger() + a).scale_real(0.5);
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 60;
+    let tol = 1e-14 * work.frobenius_norm().max(1.0);
+    for _ in 0..max_sweeps {
+        let mut off_norm = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off_norm += work[(p, q)].norm_sqr();
+            }
+        }
+        if off_norm.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = work[(p, q)];
+                let magnitude = apq.abs();
+                if magnitude <= tol / (n as f64) {
+                    continue;
+                }
+                let phi = apq.arg();
+                let app = work[(p, p)].re;
+                let aqq = work[(q, q)].re;
+                let theta = 0.5 * (2.0 * magnitude).atan2(app - aqq);
+                let c = theta.cos();
+                let s = theta.sin();
+                let e_pos = C64::cis(phi);
+                let e_neg = C64::cis(-phi);
+
+                // Right-multiply by J: columns p and q change.
+                for i in 0..n {
+                    let aip = work[(i, p)];
+                    let aiq = work[(i, q)];
+                    work[(i, p)] = aip * c + aiq * (e_neg * s);
+                    work[(i, q)] = aip * (e_pos * (-s)) + aiq * c;
+                }
+                // Left-multiply by J†: rows p and q change.
+                for j in 0..n {
+                    let apj = work[(p, j)];
+                    let aqj = work[(q, j)];
+                    work[(p, j)] = apj * c + aqj * (e_pos * s);
+                    work[(q, j)] = apj * (e_neg * (-s)) + aqj * c;
+                }
+                // Accumulate the eigenvector basis: V <- V · J.
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = vip * c + viq * (e_neg * s);
+                    v[(i, q)] = vip * (e_pos * (-s)) + viq * c;
+                }
+            }
+        }
+    }
+
+    // Extract eigenvalues and sort ascending, permuting the eigenvector columns along.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (work[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("eigenvalues are finite"));
+    let eigenvalues: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);
+
+    EighResult {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+
+    fn reconstruct(result: &EighResult) -> Matrix {
+        let lambda = Matrix::diag(
+            &result
+                .eigenvalues
+                .iter()
+                .map(|&l| c64(l, 0.0))
+                .collect::<Vec<_>>(),
+        );
+        result
+            .eigenvectors
+            .matmul(&lambda)
+            .matmul(&result.eigenvectors.dagger())
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::diag(&[c64(3.0, 0.0), c64(-1.0, 0.0), c64(0.5, 0.0)]);
+        let r = eigh(&a);
+        assert_eq!(r.eigenvalues.len(), 3);
+        assert!((r.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((r.eigenvalues[2] - 3.0).abs() < 1e-12);
+        assert!(reconstruct(&r).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn pauli_x_eigenvalues_are_plus_minus_one() {
+        let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let r = eigh(&x);
+        assert!((r.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((r.eigenvalues[1] - 1.0).abs() < 1e-12);
+        assert!(r.eigenvectors.is_unitary(1e-10));
+        assert!(reconstruct(&r).approx_eq(&x, 1e-10));
+    }
+
+    #[test]
+    fn pauli_y_with_complex_entries_decomposes() {
+        let y = Matrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]]);
+        let r = eigh(&y);
+        assert!((r.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((r.eigenvalues[1] - 1.0).abs() < 1e-12);
+        assert!(reconstruct(&r).approx_eq(&y, 1e-10));
+    }
+
+    #[test]
+    fn random_hermitian_reconstructs() {
+        // Deterministic pseudo-random Hermitian matrix.
+        let n = 6;
+        let raw = Matrix::from_fn(n, n, |r, c| {
+            let x = ((r * 7 + c * 13) as f64 * 0.37).sin();
+            let y = ((r * 3 + c * 11) as f64 * 0.53).cos();
+            c64(x, y)
+        });
+        let h = (&raw + &raw.dagger()).scale_real(0.5);
+        let r = eigh(&h);
+        assert!(r.eigenvectors.is_unitary(1e-9));
+        assert!(reconstruct(&r).approx_eq(&h, 1e-9));
+        // Eigenvalues ascend.
+        for w in r.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let h = Matrix::from_rows(&[
+            &[c64(1.0, 0.0), c64(0.5, 0.25)],
+            &[c64(0.5, -0.25), c64(-2.0, 0.0)],
+        ]);
+        let r = eigh(&h);
+        let sum: f64 = r.eigenvalues.iter().sum();
+        assert!((sum - h.trace().re).abs() < 1e-10);
+    }
+}

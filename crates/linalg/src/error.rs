@@ -1,0 +1,65 @@
+//! Error type shared by the linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dimension-checked linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes (e.g. matmul of 2x3 by 2x2).
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Shape of the offending matrix as `(rows, cols)`.
+        shape: (usize, usize),
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape, op } => {
+                write!(f, "{op} requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LinalgError::ShapeMismatch {
+            left: (2, 3),
+            right: (2, 2),
+            op: "matmul",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+
+        let err = LinalgError::NotSquare {
+            shape: (3, 4),
+            op: "trace",
+        };
+        assert!(err.to_string().contains("square"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The gmon system Hamiltonian of Appendix A.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+use vqc_circuit::Topology;
+use vqc_linalg::{C64, Matrix};
+
+/// Maximum charge-drive amplitude `|Ω_c| ≤ 2π · 0.1 GHz`, in rad/ns.
+pub const CHARGE_DRIVE_MAX: f64 = 2.0 * PI * 0.1;
+/// Maximum flux-drive amplitude `|Ω_f| ≤ 2π · 1.5 GHz`, in rad/ns.
+pub const FLUX_DRIVE_MAX: f64 = 2.0 * PI * 1.5;
+/// Maximum coupling strength `|g| ≤ 2π · 0.05 GHz`, in rad/ns.
+pub const COUPLING_MAX: f64 = 2.0 * PI * 0.05;
+
+/// One control knob of the device: a Hamiltonian term whose amplitude GRAPE shapes over
+/// time, together with the hardware limit on that amplitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlHamiltonian {
+    /// Human-readable label, e.g. `"charge[2]"` or `"coupling[0-1]"`.
+    pub label: String,
+    /// The Hamiltonian term in the full device Hilbert space, in units of rad/ns per
+    /// unit amplitude.
+    pub operator: Matrix,
+    /// Hardware bound on the control amplitude, in rad/ns.
+    pub max_amplitude: f64,
+}
+
+/// The number of levels simulated per transmon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransmonLevels {
+    /// Binary qubit approximation (the paper's standard setting).
+    Qubit,
+    /// Three-level transmon, exposing leakage into the `|2⟩` state (the "more
+    /// realistic" setting of Section 8.3).
+    Qutrit,
+}
+
+impl TransmonLevels {
+    /// Hilbert-space dimension per transmon.
+    pub fn dim(self) -> usize {
+        match self {
+            TransmonLevels::Qubit => 2,
+            TransmonLevels::Qutrit => 3,
+        }
+    }
+}
+
+/// A model of the gmon device GRAPE compiles against: a set of transmons on a
+/// connectivity graph, with charge/flux drives per transmon and a tunable coupler per
+/// edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    num_qubits: usize,
+    levels: TransmonLevels,
+    topology: Topology,
+}
+
+impl DeviceModel {
+    /// A device with the given connectivity, in the binary-qubit approximation.
+    pub fn new(topology: Topology) -> Self {
+        DeviceModel {
+            num_qubits: topology.num_qubits(),
+            levels: TransmonLevels::Qubit,
+            topology,
+        }
+    }
+
+    /// A line (chain) of `n` qubits — the connectivity every ≤4-qubit GRAPE block uses.
+    pub fn qubits_line(n: usize) -> Self {
+        DeviceModel::new(Topology::line(n))
+    }
+
+    /// A rectangular grid of qubits with nearest-neighbour connectivity (Appendix A).
+    pub fn qubits_grid(rows: usize, cols: usize) -> Self {
+        DeviceModel::new(Topology::grid(rows, cols))
+    }
+
+    /// Switches the model to three-level transmons, exposing leakage.
+    pub fn with_qutrit_levels(mut self) -> Self {
+        self.levels = TransmonLevels::Qutrit;
+        self
+    }
+
+    /// Number of transmons.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The per-transmon level structure.
+    pub fn levels(&self) -> TransmonLevels {
+        self.levels
+    }
+
+    /// The device connectivity.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Total Hilbert-space dimension `levels^n`.
+    pub fn dim(&self) -> usize {
+        self.levels.dim().pow(self.num_qubits as u32)
+    }
+
+    /// Dimension of the computational (qubit) subspace, `2^n`.
+    pub fn qubit_dim(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// The annihilation operator `a` for a single transmon.
+    fn annihilation(&self) -> Matrix {
+        let d = self.levels.dim();
+        let mut a = Matrix::zeros(d, d);
+        for k in 1..d {
+            a[(k - 1, k)] = C64::from_real((k as f64).sqrt());
+        }
+        a
+    }
+
+    /// `a† + a` for a single transmon (charge-drive quadrature).
+    fn x_like(&self) -> Matrix {
+        let a = self.annihilation();
+        &a + &a.dagger()
+    }
+
+    /// `a† a` for a single transmon (number operator, flux-drive quadrature).
+    fn n_like(&self) -> Matrix {
+        let a = self.annihilation();
+        a.dagger().matmul(&a)
+    }
+
+    /// Embeds a single-transmon operator on transmon `q` into the full Hilbert space.
+    fn embed_single(&self, op: &Matrix, q: usize) -> Matrix {
+        let d = self.levels.dim();
+        let mut full = Matrix::identity(1);
+        for i in 0..self.num_qubits {
+            let factor = if i == q { op.clone() } else { Matrix::identity(d) };
+            full = full.kron(&factor);
+        }
+        full
+    }
+
+    /// Embeds the product of two single-transmon operators on transmons `q1` and `q2`.
+    fn embed_pair(&self, op1: &Matrix, q1: usize, op2: &Matrix, q2: usize) -> Matrix {
+        let d = self.levels.dim();
+        let mut full = Matrix::identity(1);
+        for i in 0..self.num_qubits {
+            let factor = if i == q1 {
+                op1.clone()
+            } else if i == q2 {
+                op2.clone()
+            } else {
+                Matrix::identity(d)
+            };
+            full = full.kron(&factor);
+        }
+        full
+    }
+
+    /// The drift Hamiltonian. In the rotating frame of Appendix A the drift vanishes;
+    /// it is kept as an explicit (zero) term so alternative device models can override
+    /// it without changing the propagation code.
+    pub fn drift(&self) -> Matrix {
+        Matrix::zeros(self.dim(), self.dim())
+    }
+
+    /// All control Hamiltonians of the device, in a fixed order:
+    /// charge drives (one per transmon), then flux drives, then couplings (one per
+    /// topology edge).
+    pub fn control_hamiltonians(&self) -> Vec<ControlHamiltonian> {
+        let mut controls = Vec::new();
+        let x_like = self.x_like();
+        let n_like = self.n_like();
+        for q in 0..self.num_qubits {
+            controls.push(ControlHamiltonian {
+                label: format!("charge[{q}]"),
+                operator: self.embed_single(&x_like, q),
+                max_amplitude: CHARGE_DRIVE_MAX,
+            });
+        }
+        for q in 0..self.num_qubits {
+            controls.push(ControlHamiltonian {
+                label: format!("flux[{q}]"),
+                operator: self.embed_single(&n_like, q),
+                max_amplitude: FLUX_DRIVE_MAX,
+            });
+        }
+        for (a, b) in self.topology.edges() {
+            controls.push(ControlHamiltonian {
+                label: format!("coupling[{a}-{b}]"),
+                operator: self.embed_pair(&x_like, a, &x_like, b),
+                max_amplitude: COUPLING_MAX,
+            });
+        }
+        controls
+    }
+
+    /// Number of control knobs.
+    pub fn num_controls(&self) -> usize {
+        2 * self.num_qubits + self.topology.num_edges()
+    }
+
+    /// Indices (into the full Hilbert space) of the basis states that lie inside the
+    /// computational qubit subspace, in qubit-basis order.
+    ///
+    /// In the binary-qubit approximation this is simply `0..2^n`; for qutrits it selects
+    /// the states where every transmon is in `|0⟩` or `|1⟩`.
+    pub fn qubit_subspace_indices(&self) -> Vec<usize> {
+        let d = self.levels.dim();
+        let mut indices = Vec::with_capacity(self.qubit_dim());
+        for q_index in 0..self.qubit_dim() {
+            // Interpret q_index as bits (qubit 0 most significant) and map to the
+            // base-`d` index of the same occupation pattern.
+            let mut full_index = 0usize;
+            for bit in 0..self.num_qubits {
+                let occupation = (q_index >> (self.num_qubits - 1 - bit)) & 1;
+                full_index = full_index * d + occupation;
+            }
+            indices.push(full_index);
+        }
+        indices
+    }
+
+    /// Embeds a `2^n x 2^n` qubit-space unitary into the device Hilbert space, acting as
+    /// the identity on all leakage levels.
+    pub fn embed_qubit_unitary(&self, target: &Matrix) -> Matrix {
+        assert_eq!(
+            target.shape(),
+            (self.qubit_dim(), self.qubit_dim()),
+            "target must be a {0} x {0} qubit-space unitary",
+            self.qubit_dim()
+        );
+        if self.levels == TransmonLevels::Qubit {
+            return target.clone();
+        }
+        let indices = self.qubit_subspace_indices();
+        let mut full = Matrix::identity(self.dim());
+        for (r_sub, &r_full) in indices.iter().enumerate() {
+            for (c_sub, &c_full) in indices.iter().enumerate() {
+                full[(r_full, c_full)] = target[(r_sub, c_sub)];
+            }
+        }
+        full
+    }
+
+    /// Embeds a `2^n x 2^n` qubit-space unitary into the device Hilbert space with
+    /// *zeros* on all leakage levels.
+    ///
+    /// This is the form the GRAPE cost function wants: with a zero-padded target `Ṽ`,
+    /// `Tr(Ṽ† U)` only picks up the action of `U` inside the computational subspace, so
+    /// any population that leaks into higher levels shows up as lost fidelity.
+    pub fn pad_qubit_unitary(&self, target: &Matrix) -> Matrix {
+        assert_eq!(
+            target.shape(),
+            (self.qubit_dim(), self.qubit_dim()),
+            "target must be a {0} x {0} qubit-space unitary",
+            self.qubit_dim()
+        );
+        if self.levels == TransmonLevels::Qubit {
+            return target.clone();
+        }
+        let indices = self.qubit_subspace_indices();
+        let mut full = Matrix::zeros(self.dim(), self.dim());
+        for (r_sub, &r_full) in indices.iter().enumerate() {
+            for (c_sub, &c_full) in indices.iter().enumerate() {
+                full[(r_full, c_full)] = target[(r_sub, c_sub)];
+            }
+        }
+        full
+    }
+
+    /// Restricts a device-space operator to the computational qubit subspace.
+    pub fn project_to_qubit_subspace(&self, full: &Matrix) -> Matrix {
+        let indices = self.qubit_subspace_indices();
+        Matrix::from_fn(indices.len(), indices.len(), |r, c| full[(indices[r], indices[c])])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_limits_match_appendix_a() {
+        assert!((CHARGE_DRIVE_MAX - 0.628_318).abs() < 1e-3);
+        assert!((FLUX_DRIVE_MAX / CHARGE_DRIVE_MAX - 15.0).abs() < 1e-9);
+        assert!((COUPLING_MAX - 2.0 * PI * 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_count_matches_structure() {
+        let d = DeviceModel::qubits_line(3);
+        // 3 charge + 3 flux + 2 couplings.
+        assert_eq!(d.num_controls(), 8);
+        assert_eq!(d.control_hamiltonians().len(), 8);
+
+        let grid = DeviceModel::qubits_grid(2, 2);
+        // 4 charge + 4 flux + 4 couplings.
+        assert_eq!(grid.num_controls(), 12);
+    }
+
+    #[test]
+    fn qubit_controls_are_hermitian() {
+        let d = DeviceModel::qubits_line(2);
+        for c in d.control_hamiltonians() {
+            assert!(c.operator.is_hermitian(1e-12), "{} not hermitian", c.label);
+            assert_eq!(c.operator.shape(), (4, 4));
+            assert!(c.max_amplitude > 0.0);
+        }
+    }
+
+    #[test]
+    fn qubit_charge_drive_is_pauli_x() {
+        let d = DeviceModel::qubits_line(1);
+        let controls = d.control_hamiltonians();
+        let x = vqc_sim::gates::x();
+        assert!(controls[0].operator.approx_eq(&x, 1e-12));
+        // Flux drive is the |1><1| projector.
+        let n = Matrix::diag(&[C64::ZERO, C64::ONE]);
+        assert!(controls[1].operator.approx_eq(&n, 1e-12));
+    }
+
+    #[test]
+    fn qutrit_dimensions() {
+        let d = DeviceModel::qubits_line(2).with_qutrit_levels();
+        assert_eq!(d.dim(), 9);
+        assert_eq!(d.qubit_dim(), 4);
+        let indices = d.qubit_subspace_indices();
+        assert_eq!(indices, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn qutrit_embedding_round_trips() {
+        let d = DeviceModel::qubits_line(2).with_qutrit_levels();
+        let target = vqc_sim::gates::cx();
+        let embedded = d.embed_qubit_unitary(&target);
+        assert_eq!(embedded.shape(), (9, 9));
+        assert!(embedded.is_unitary(1e-12));
+        let projected = d.project_to_qubit_subspace(&embedded);
+        assert!(projected.approx_eq(&target, 1e-12));
+    }
+
+    #[test]
+    fn qubit_subspace_indices_are_identity_for_qubits() {
+        let d = DeviceModel::qubits_line(3);
+        assert_eq!(d.qubit_subspace_indices(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drift_is_zero_in_rotating_frame() {
+        let d = DeviceModel::qubits_line(2);
+        assert!(d.drift().max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn coupling_operator_couples_both_qubits() {
+        let d = DeviceModel::qubits_line(2);
+        let coupling = &d.control_hamiltonians()[4];
+        assert!(coupling.label.contains("coupling"));
+        // (a†+a)⊗(a†+a) = X ⊗ X in the qubit approximation.
+        let xx = vqc_sim::gates::x().kron(&vqc_sim::gates::x());
+        assert!(coupling.operator.approx_eq(&xx, 1e-12));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the pulse-optimization layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by pulse construction and optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PulseError {
+    /// The target unitary's dimension does not match the device's qubit subspace.
+    DimensionMismatch {
+        /// Dimension of the supplied target matrix.
+        target_dim: usize,
+        /// Dimension of the device's computational subspace.
+        device_dim: usize,
+    },
+    /// The requested pulse duration does not contain a single full sample period.
+    DurationTooShort {
+        /// Requested duration in nanoseconds.
+        duration_ns: f64,
+        /// Sample period in nanoseconds.
+        dt_ns: f64,
+    },
+    /// GRAPE failed to reach the target infidelity within the iteration budget.
+    DidNotConverge {
+        /// Infidelity reached when the budget was exhausted.
+        achieved_infidelity: f64,
+        /// Infidelity that was requested.
+        target_infidelity: f64,
+    },
+}
+
+impl fmt::Display for PulseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PulseError::DimensionMismatch { target_dim, device_dim } => write!(
+                f,
+                "target unitary dimension {target_dim} does not match device qubit dimension {device_dim}"
+            ),
+            PulseError::DurationTooShort { duration_ns, dt_ns } => write!(
+                f,
+                "pulse duration {duration_ns} ns is shorter than one sample period ({dt_ns} ns)"
+            ),
+            PulseError::DidNotConverge {
+                achieved_infidelity,
+                target_infidelity,
+            } => write!(
+                f,
+                "GRAPE did not converge: reached infidelity {achieved_infidelity:.3e}, wanted {target_infidelity:.3e}"
+            ),
+        }
+    }
+}
+
+impl Error for PulseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PulseError::DimensionMismatch { target_dim: 4, device_dim: 8 };
+        assert!(e.to_string().contains("4"));
+        let e = PulseError::DurationTooShort { duration_ns: 0.1, dt_ns: 0.5 };
+        assert!(e.to_string().contains("sample period"));
+        let e = PulseError::DidNotConverge {
+            achieved_infidelity: 0.1,
+            target_infidelity: 0.001,
+        };
+        assert!(e.to_string().contains("converge"));
+    }
+}

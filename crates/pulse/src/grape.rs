@@ -1,0 +1,564 @@
+//! The GRAPE gradient-descent loop.
+//!
+//! GRAPE treats the device as a black box mapping time-discretized control pulses to
+//! the unitary they realize, and performs gradient descent over pulse space to reach a
+//! target unitary (Section 5 of the paper). Gradients are computed *exactly* by
+//! diagonalizing each slice Hamiltonian and applying the Daleckii–Krein divided-
+//! difference formula for the derivative of the matrix exponential, mirroring the
+//! automatic-differentiation exactness of the TensorFlow implementation the paper uses.
+//! The optimizer is ADAM with exponential learning-rate decay — the two hyperparameters
+//! that flexible partial compilation tunes per subcircuit (Section 7.2).
+
+use crate::propagate::slice_hamiltonian;
+use crate::{DeviceModel, PulseError, PulseSequence};
+use serde::{Deserialize, Serialize};
+use vqc_linalg::{C64, Matrix, eigh};
+
+/// Hyperparameters and budget for one GRAPE run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrapeOptions {
+    /// Sample period of the control waveforms, in nanoseconds. The paper's standard
+    /// setting is 0.05 ns (20 GSa/s); the "realistic" setting of Section 8.3 is 1 ns.
+    pub dt_ns: f64,
+    /// Maximum number of gradient-descent iterations.
+    pub max_iterations: usize,
+    /// Target trace infidelity; the paper uses 1e-3 (99.9 % fidelity).
+    pub target_infidelity: f64,
+    /// ADAM learning rate (the primary tuned hyperparameter).
+    pub learning_rate: f64,
+    /// Multiplicative learning-rate decay applied every iteration (the second tuned
+    /// hyperparameter).
+    pub decay_rate: f64,
+    /// Weight of the pulse-energy (amplitude) regularizer.
+    pub amplitude_penalty: f64,
+    /// Weight of the slice-to-slice smoothness regularizer.
+    pub smoothness_penalty: f64,
+    /// Weight of the Gaussian-envelope regularizer that forces pulses to start and end
+    /// near zero (used by the "realistic" settings).
+    pub envelope_penalty: f64,
+    /// Seed selecting the deterministic initial guess.
+    pub seed: u64,
+}
+
+impl Default for GrapeOptions {
+    fn default() -> Self {
+        GrapeOptions::standard()
+    }
+}
+
+impl GrapeOptions {
+    /// Balanced settings used by the test-suite and the `fast` benchmark effort level:
+    /// coarse 0.5 ns samples and a 1 % infidelity target.
+    pub fn fast() -> Self {
+        GrapeOptions {
+            dt_ns: 0.5,
+            max_iterations: 300,
+            target_infidelity: 1e-2,
+            learning_rate: 0.1,
+            decay_rate: 0.999,
+            amplitude_penalty: 0.0,
+            smoothness_penalty: 0.0,
+            envelope_penalty: 0.0,
+            seed: 1,
+        }
+    }
+
+    /// Standard settings: 0.25 ns samples and a 0.1 % infidelity target.
+    pub fn standard() -> Self {
+        GrapeOptions {
+            dt_ns: 0.25,
+            max_iterations: 1000,
+            target_infidelity: 1e-3,
+            learning_rate: 0.08,
+            decay_rate: 0.9995,
+            amplitude_penalty: 0.0,
+            smoothness_penalty: 0.0,
+            envelope_penalty: 0.0,
+            seed: 1,
+        }
+    }
+
+    /// The paper's settings: 0.05 ns samples (20 GSa/s) and 99.9 % target fidelity.
+    /// Expect long compile times — this is exactly the latency problem partial
+    /// compilation addresses.
+    pub fn paper() -> Self {
+        GrapeOptions {
+            dt_ns: 0.05,
+            max_iterations: 4000,
+            target_infidelity: 1e-3,
+            learning_rate: 0.05,
+            decay_rate: 0.9998,
+            amplitude_penalty: 0.0,
+            smoothness_penalty: 0.0,
+            envelope_penalty: 0.0,
+            seed: 1,
+        }
+    }
+
+    /// Returns a copy with the two tuned hyperparameters replaced. This is the knob
+    /// flexible partial compilation turns per subcircuit.
+    pub fn with_hyperparameters(&self, learning_rate: f64, decay_rate: f64) -> Self {
+        GrapeOptions {
+            learning_rate,
+            decay_rate,
+            ..self.clone()
+        }
+    }
+}
+
+/// The outcome of one GRAPE run at a fixed pulse duration.
+#[derive(Debug, Clone)]
+pub struct GrapeResult {
+    /// The optimized pulse.
+    pub pulse: PulseSequence,
+    /// Trace infidelity of the final pulse against the target.
+    pub infidelity: f64,
+    /// Number of gradient iterations performed.
+    pub iterations: usize,
+    /// Whether the target infidelity was reached within the iteration budget.
+    pub converged: bool,
+    /// Total cost (infidelity + regularizers) after every iteration.
+    pub cost_history: Vec<f64>,
+}
+
+/// Number of gradient-descent parameters (controls × slices) in a run, a proxy for the
+/// per-iteration compilation cost used by the latency model.
+pub fn parameter_count(device: &DeviceModel, num_slices: usize) -> usize {
+    device.num_controls() * num_slices
+}
+
+/// Trace infidelity of a pulse against a device-space target, together with its exact
+/// gradient with respect to every control amplitude.
+#[derive(Debug, Clone)]
+pub struct FidelityGradient {
+    /// `1 - |Tr(V† U)|² / d²` for the zero-padded (device-space) target, where `d` is
+    /// the qubit-subspace dimension.
+    pub infidelity: f64,
+    /// `gradient[k][t]` = ∂(infidelity)/∂u_k(t).
+    pub gradient: Vec<Vec<f64>>,
+}
+
+/// Computes the trace infidelity of a pulse and its exact gradient.
+///
+/// The target is a `2^n x 2^n` unitary on the device's *qubit subspace*; it is
+/// zero-padded onto any leakage levels, so the fidelity measures only the action inside
+/// the computational subspace and leaked population counts as error. The gradient of
+/// the *infidelity* is returned, so gradient *descent* reduces the infidelity.
+pub fn fidelity_gradient(
+    target: &Matrix,
+    device: &DeviceModel,
+    pulse: &PulseSequence,
+) -> FidelityGradient {
+    let controls = device.control_hamiltonians();
+    let drift = device.drift();
+    let dim = device.dim();
+    let dim_f = device.qubit_dim() as f64;
+    let dt = pulse.dt_ns();
+    let num_slices = pulse.num_slices();
+    let target_dagger = device.pad_qubit_unitary(target).dagger();
+
+    // --- diagonalize each slice Hamiltonian and build its propagator ---------------
+    let mut slice_v = Vec::with_capacity(num_slices);
+    let mut slice_phases = Vec::with_capacity(num_slices);
+    let mut slice_lambdas = Vec::with_capacity(num_slices);
+    let mut slice_unitaries = Vec::with_capacity(num_slices);
+    for t in 0..num_slices {
+        let h = slice_hamiltonian(&drift, &controls, pulse, t);
+        let decomposition = eigh(&h);
+        let phases: Vec<C64> = decomposition
+            .eigenvalues
+            .iter()
+            .map(|&l| C64::cis(-dt * l))
+            .collect();
+        let v = decomposition.eigenvectors;
+        // U_t = V · diag(phases) · V†
+        let mut scaled = v.clone();
+        for c in 0..dim {
+            for r in 0..dim {
+                let value = scaled[(r, c)] * phases[c];
+                scaled[(r, c)] = value;
+            }
+        }
+        slice_unitaries.push(scaled.matmul(&v.dagger()));
+        slice_v.push(v);
+        slice_phases.push(phases);
+        slice_lambdas.push(decomposition.eigenvalues);
+    }
+
+    // --- forward / backward partial products ----------------------------------------
+    let mut forward = Vec::with_capacity(num_slices);
+    let mut acc = Matrix::identity(dim);
+    for u in &slice_unitaries {
+        acc = u.matmul(&acc);
+        forward.push(acc.clone());
+    }
+    let total = forward.last().expect("at least one slice");
+    let mut backward = vec![Matrix::identity(dim); num_slices];
+    let mut acc = Matrix::identity(dim);
+    for t in (0..num_slices).rev() {
+        backward[t] = acc.clone();
+        acc = acc.matmul(&slice_unitaries[t]);
+    }
+
+    let overlap = target_dagger.matmul(total).trace() / dim_f;
+    let infidelity = 1.0 - overlap.norm_sqr();
+    let conj_overlap = overlap.conj();
+
+    // --- exact gradient via the Daleckii–Krein formula -------------------------------
+    // For slice t: U_total = backward[t] · U_t · forward[t-1], and
+    //   ∂U_t/∂u_k = V (Γ ∘ (V† H_k V)) V†,
+    // where Γ_ij is the divided difference of f(λ) = e^{-iΔtλ} at (λ_i, λ_j).
+    // Writing M' = forward[t-1] · V_target† · backward[t] and P = V† M' V,
+    //   Tr(V_target† ∂U_total/∂u_k) = Tr(P (Γ ∘ Q_k)) = Σ_ab H_k[a,b] · G[a,b]
+    // with  G = conj(V) · (Pᵀ ∘ Γ) · Vᵀ,   which is independent of k.
+    let mut gradient = vec![vec![0.0; num_slices]; controls.len()];
+    let identity = Matrix::identity(dim);
+    for t in 0..num_slices {
+        let fwd_prev = if t == 0 { &identity } else { &forward[t - 1] };
+        let m_prime = fwd_prev.matmul(&target_dagger).matmul(&backward[t]);
+        let v = &slice_v[t];
+        let vdag = v.dagger();
+        let p = vdag.matmul(&m_prime).matmul(v);
+
+        let lambdas = &slice_lambdas[t];
+        let phases = &slice_phases[t];
+        // T = Pᵀ ∘ Γ
+        let mut t_mat = Matrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                let gamma = if (lambdas[i] - lambdas[j]).abs() < 1e-10 {
+                    C64::new(0.0, -dt) * phases[i]
+                } else {
+                    (phases[i] - phases[j]) * (1.0 / (lambdas[i] - lambdas[j]))
+                };
+                t_mat[(j, i)] = p[(i, j)] * gamma;
+            }
+        }
+        let g_mat = v.conj().matmul(&t_mat).matmul(&v.transpose());
+
+        for (k, control) in controls.iter().enumerate() {
+            let h_k = &control.operator;
+            let mut contraction = C64::ZERO;
+            for a in 0..dim {
+                for b in 0..dim {
+                    let h_ab = h_k[(a, b)];
+                    if h_ab.re != 0.0 || h_ab.im != 0.0 {
+                        contraction += h_ab * g_mat[(a, b)];
+                    }
+                }
+            }
+            let dg = contraction / dim_f;
+            let dfidelity = 2.0 * (conj_overlap * dg).re;
+            gradient[k][t] = -dfidelity;
+        }
+    }
+
+    FidelityGradient {
+        infidelity,
+        gradient,
+    }
+}
+
+/// Runs GRAPE for a target unitary at a fixed total pulse duration.
+///
+/// The target is a `2^n x 2^n` unitary on the device's qubit subspace; for qutrit
+/// devices it is embedded as the identity on leakage levels, so any population that
+/// leaks out of the computational subspace shows up as infidelity.
+///
+/// # Panics
+///
+/// Panics if the target dimension does not match the device or the duration is shorter
+/// than one sample period. Use [`try_optimize_pulse`] for a fallible variant.
+pub fn optimize_pulse(
+    target: &Matrix,
+    device: &DeviceModel,
+    duration_ns: f64,
+    options: &GrapeOptions,
+) -> GrapeResult {
+    try_optimize_pulse(target, device, duration_ns, options).expect("invalid GRAPE inputs")
+}
+
+/// Fallible variant of [`optimize_pulse`].
+///
+/// # Errors
+///
+/// * [`PulseError::DimensionMismatch`] if the target is not a qubit-subspace unitary of
+///   the device.
+/// * [`PulseError::DurationTooShort`] if `duration_ns < dt_ns`.
+pub fn try_optimize_pulse(
+    target: &Matrix,
+    device: &DeviceModel,
+    duration_ns: f64,
+    options: &GrapeOptions,
+) -> Result<GrapeResult, PulseError> {
+    if target.shape() != (device.qubit_dim(), device.qubit_dim()) {
+        return Err(PulseError::DimensionMismatch {
+            target_dim: target.rows(),
+            device_dim: device.qubit_dim(),
+        });
+    }
+    let num_slices = (duration_ns / options.dt_ns).round() as usize;
+    if num_slices == 0 {
+        return Err(PulseError::DurationTooShort {
+            duration_ns,
+            dt_ns: options.dt_ns,
+        });
+    }
+
+    let controls = device.control_hamiltonians();
+    let dt = options.dt_ns;
+
+    let mut pulse = PulseSequence::seeded_guess(device, num_slices, dt, options.seed);
+    pulse.clamp_to_device(device);
+
+    // ADAM state, one entry per (control, slice).
+    let num_controls = controls.len();
+    let mut m = vec![vec![0.0; num_slices]; num_controls];
+    let mut v = vec![vec![0.0; num_slices]; num_controls];
+    let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+
+    let mut cost_history = Vec::with_capacity(options.max_iterations);
+    let mut best_infidelity = f64::INFINITY;
+    let mut best_pulse = pulse.clone();
+    let mut iterations = 0;
+    let mut learning_rate = options.learning_rate;
+
+    for iter in 0..options.max_iterations {
+        iterations = iter + 1;
+
+        let fg = fidelity_gradient(target, device, &pulse);
+        let infidelity = fg.infidelity;
+
+        if infidelity < best_infidelity {
+            best_infidelity = infidelity;
+            best_pulse = pulse.clone();
+        }
+
+        // --- cost (for the history) -------------------------------------------------
+        let mut cost = infidelity;
+        cost += options.amplitude_penalty * pulse.energy();
+        if options.smoothness_penalty > 0.0 || options.envelope_penalty > 0.0 {
+            for k in 0..num_controls {
+                let w = pulse.waveform(k);
+                if options.smoothness_penalty > 0.0 {
+                    for t in 1..num_slices {
+                        let d = w[t] - w[t - 1];
+                        cost += options.smoothness_penalty * d * d;
+                    }
+                }
+                if options.envelope_penalty > 0.0 {
+                    for (t, &value) in w.iter().enumerate() {
+                        let x = (t as f64 + 0.5) / num_slices as f64 - 0.5;
+                        let envelope = (-x * x / 0.08).exp();
+                        cost += options.envelope_penalty * (1.0 - envelope) * value * value;
+                    }
+                }
+            }
+        }
+        cost_history.push(cost);
+
+        if infidelity <= options.target_infidelity {
+            return Ok(GrapeResult {
+                pulse: best_pulse,
+                infidelity: best_infidelity,
+                iterations,
+                converged: true,
+                cost_history,
+            });
+        }
+
+        // --- parameter update -------------------------------------------------------
+        for t in 0..num_slices {
+            for k in 0..num_controls {
+                let u_kt = pulse.amplitude(k, t);
+                let mut grad = fg.gradient[k][t];
+                grad += 2.0 * options.amplitude_penalty * u_kt * dt;
+                if options.smoothness_penalty > 0.0 {
+                    if t > 0 {
+                        grad += 2.0 * options.smoothness_penalty * (u_kt - pulse.amplitude(k, t - 1));
+                    }
+                    if t + 1 < num_slices {
+                        grad -= 2.0 * options.smoothness_penalty * (pulse.amplitude(k, t + 1) - u_kt);
+                    }
+                }
+                if options.envelope_penalty > 0.0 {
+                    let x = (t as f64 + 0.5) / num_slices as f64 - 0.5;
+                    let envelope = (-x * x / 0.08).exp();
+                    grad += 2.0 * options.envelope_penalty * (1.0 - envelope) * u_kt;
+                }
+
+                m[k][t] = beta1 * m[k][t] + (1.0 - beta1) * grad;
+                v[k][t] = beta2 * v[k][t] + (1.0 - beta2) * grad * grad;
+                let m_hat = m[k][t] / (1.0 - beta1.powi(iterations as i32));
+                let v_hat = v[k][t] / (1.0 - beta2.powi(iterations as i32));
+                let step = learning_rate * m_hat / (v_hat.sqrt() + eps);
+                pulse.set_amplitude(k, t, u_kt - step);
+            }
+        }
+        pulse.clamp_to_device(device);
+        learning_rate *= options.decay_rate;
+    }
+
+    Ok(GrapeResult {
+        pulse: best_pulse,
+        infidelity: best_infidelity,
+        iterations,
+        converged: best_infidelity <= options.target_infidelity,
+        cost_history,
+    })
+}
+
+/// Computes the trace infidelity of a pulse against a qubit-subspace target, without
+/// optimizing. Useful for verifying stored pulses.
+pub fn evaluate_pulse(target: &Matrix, device: &DeviceModel, pulse: &PulseSequence) -> f64 {
+    let padded_dagger = device.pad_qubit_unitary(target).dagger();
+    let realized = crate::propagate::final_unitary(device, pulse);
+    let d = device.qubit_dim() as f64;
+    let overlap = padded_dagger.matmul(&realized).trace() / d;
+    1.0 - overlap.norm_sqr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+    use vqc_sim::gates;
+
+    #[test]
+    fn finds_x_gate_pulse_on_one_qubit() {
+        let device = DeviceModel::qubits_line(1);
+        let target = gates::x();
+        let result = optimize_pulse(&target, &device, 3.0, &GrapeOptions::fast());
+        assert!(
+            result.infidelity < 1e-2,
+            "infidelity {} after {} iterations",
+            result.infidelity,
+            result.iterations
+        );
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn finds_hadamard_pulse_on_one_qubit() {
+        let device = DeviceModel::qubits_line(1);
+        let target = gates::h();
+        let result = optimize_pulse(&target, &device, 2.0, &GrapeOptions::fast());
+        assert!(result.infidelity < 1e-2, "infidelity {}", result.infidelity);
+    }
+
+    #[test]
+    fn z_rotations_need_very_little_time() {
+        // The flux drive is 15x stronger, so an Rz(π/2) should converge even at 0.5 ns.
+        let device = DeviceModel::qubits_line(1);
+        let target = gates::rz(PI / 2.0);
+        let result = optimize_pulse(&target, &device, 0.5, &GrapeOptions::fast());
+        assert!(result.infidelity < 1e-2, "infidelity {}", result.infidelity);
+    }
+
+    #[test]
+    fn finds_two_qubit_entangling_pulse() {
+        // A CZ-equivalent on two coupled qubits. 12 ns is comfortably above the
+        // interaction-limited minimum (~5 ns) for this device.
+        let device = DeviceModel::qubits_line(2);
+        let target = gates::cz();
+        let mut options = GrapeOptions::fast();
+        options.max_iterations = 400;
+        options.target_infidelity = 3e-2;
+        let result = optimize_pulse(&target, &device, 12.0, &options);
+        assert!(result.infidelity < 0.05, "infidelity {}", result.infidelity);
+    }
+
+    #[test]
+    fn impossible_duration_does_not_converge() {
+        // An X gate needs ~2.5 ns at the hardware amplitude limit; 0.5 ns cannot work.
+        let device = DeviceModel::qubits_line(1);
+        let target = gates::x();
+        let result = optimize_pulse(&target, &device, 0.5, &GrapeOptions::fast());
+        assert!(!result.converged);
+        assert!(result.infidelity > 0.1);
+    }
+
+    #[test]
+    fn evaluate_pulse_matches_reported_infidelity() {
+        let device = DeviceModel::qubits_line(1);
+        let target = gates::h();
+        let result = optimize_pulse(&target, &device, 2.0, &GrapeOptions::fast());
+        let evaluated = evaluate_pulse(&target, &device, &result.pulse);
+        assert!((evaluated - result.infidelity).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // Validate the exact analytic gradient against a numerical derivative.
+        let device = DeviceModel::qubits_line(2);
+        let target = gates::cx();
+        let dt = 0.5;
+        let pulse = PulseSequence::seeded_guess(&device, 6, dt, 3);
+        let analytic = fidelity_gradient(&target, &device, &pulse);
+
+        let eps = 1e-6;
+        for &(k, t) in &[(0usize, 2usize), (2, 0), (4, 5), (1, 3)] {
+            let mut plus = pulse.clone();
+            plus.set_amplitude(k, t, plus.amplitude(k, t) + eps);
+            let mut minus = pulse.clone();
+            minus.set_amplitude(k, t, minus.amplitude(k, t) - eps);
+            let f_plus = fidelity_gradient(&target, &device, &plus).infidelity;
+            let f_minus = fidelity_gradient(&target, &device, &minus).infidelity;
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let reference = numeric.abs().max(1e-6);
+            assert!(
+                (analytic.gradient[k][t] - numeric).abs() / reference < 1e-3,
+                "control {k} slice {t}: analytic {} vs numeric {numeric}",
+                analytic.gradient[k][t]
+            );
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let device = DeviceModel::qubits_line(2);
+        let target = gates::x(); // 2x2 target for a 4-dimensional device
+        assert!(matches!(
+            try_optimize_pulse(&target, &device, 3.0, &GrapeOptions::fast()),
+            Err(PulseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_duration_is_rejected() {
+        let device = DeviceModel::qubits_line(1);
+        let target = gates::x();
+        assert!(matches!(
+            try_optimize_pulse(&target, &device, 0.05, &GrapeOptions::fast()),
+            Err(PulseError::DurationTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn hyperparameter_override_changes_only_the_two_knobs() {
+        let base = GrapeOptions::fast();
+        let tuned = base.with_hyperparameters(0.3, 0.95);
+        assert_eq!(tuned.learning_rate, 0.3);
+        assert_eq!(tuned.decay_rate, 0.95);
+        assert_eq!(tuned.dt_ns, base.dt_ns);
+        assert_eq!(tuned.max_iterations, base.max_iterations);
+    }
+
+    #[test]
+    fn cost_history_tracks_iterations() {
+        let device = DeviceModel::qubits_line(1);
+        let target = gates::rz(0.3);
+        let result = optimize_pulse(&target, &device, 0.5, &GrapeOptions::fast());
+        assert_eq!(result.cost_history.len(), result.iterations);
+        assert!(!result.cost_history.is_empty());
+    }
+
+    #[test]
+    fn qutrit_device_still_reaches_qubit_targets() {
+        let device = DeviceModel::qubits_line(1).with_qutrit_levels();
+        let mut options = GrapeOptions::fast();
+        options.target_infidelity = 3e-2;
+        let result = optimize_pulse(&gates::rz(1.0), &device, 1.0, &options);
+        assert!(result.infidelity < 5e-2, "infidelity {}", result.infidelity);
+    }
+}

@@ -1,0 +1,205 @@
+//! Unitary matrices for every gate in the IR.
+
+use vqc_circuit::{Gate, GateOp};
+use vqc_linalg::{C64, Matrix, c64};
+
+/// `Rz(φ) = diag(1, e^{iφ})`, the convention printed in Section 2.2 of the paper.
+pub fn rz(phi: f64) -> Matrix {
+    Matrix::diag(&[C64::ONE, C64::cis(phi)])
+}
+
+/// `Rx(θ) = exp(-i θ X / 2)`.
+pub fn rx(theta: f64) -> Matrix {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    Matrix::from_rows(&[
+        &[c64(c, 0.0), c64(0.0, -s)],
+        &[c64(0.0, -s), c64(c, 0.0)],
+    ])
+}
+
+/// `Ry(θ) = exp(-i θ Y / 2)`.
+pub fn ry(theta: f64) -> Matrix {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    Matrix::from_rows(&[
+        &[c64(c, 0.0), c64(-s, 0.0)],
+        &[c64(s, 0.0), c64(c, 0.0)],
+    ])
+}
+
+/// The Hadamard gate.
+pub fn h() -> Matrix {
+    let s = 1.0 / 2.0_f64.sqrt();
+    Matrix::from_rows(&[
+        &[c64(s, 0.0), c64(s, 0.0)],
+        &[c64(s, 0.0), c64(-s, 0.0)],
+    ])
+}
+
+/// The Pauli-X gate.
+pub fn x() -> Matrix {
+    Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+}
+
+/// The Pauli-Y gate.
+pub fn y() -> Matrix {
+    Matrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]])
+}
+
+/// The Pauli-Z gate.
+pub fn z() -> Matrix {
+    Matrix::diag(&[C64::ONE, -C64::ONE])
+}
+
+/// The 2x2 identity.
+pub fn identity() -> Matrix {
+    Matrix::identity(2)
+}
+
+/// CNOT with the first (most-significant) qubit as control.
+pub fn cx() -> Matrix {
+    let mut m = Matrix::identity(4);
+    m[(2, 2)] = C64::ZERO;
+    m[(3, 3)] = C64::ZERO;
+    m[(2, 3)] = C64::ONE;
+    m[(3, 2)] = C64::ONE;
+    m
+}
+
+/// Controlled-Z.
+pub fn cz() -> Matrix {
+    Matrix::diag(&[C64::ONE, C64::ONE, C64::ONE, -C64::ONE])
+}
+
+/// SWAP.
+pub fn swap() -> Matrix {
+    let mut m = Matrix::zeros(4, 4);
+    m[(0, 0)] = C64::ONE;
+    m[(1, 2)] = C64::ONE;
+    m[(2, 1)] = C64::ONE;
+    m[(3, 3)] = C64::ONE;
+    m
+}
+
+/// Two-qubit ZZ rotation `diag(1, e^{iθ}, e^{iθ}, 1)`, matching the
+/// `CX · (I ⊗ Rz(θ)) · CX` decomposition used by the transpiler.
+pub fn rzz(theta: f64) -> Matrix {
+    let p = C64::cis(theta);
+    Matrix::diag(&[C64::ONE, p, p, C64::ONE])
+}
+
+/// The unitary of a *bound* (constant-angle) gate.
+///
+/// # Panics
+///
+/// Panics if the gate still carries a symbolic parameter; call
+/// [`vqc_circuit::Circuit::bind`] first.
+pub fn gate_matrix(gate: &Gate) -> Matrix {
+    let angle = |g: &Gate| -> f64 {
+        let expr = g.angle().expect("rotation gate must carry an angle");
+        assert!(
+            !expr.is_parameterized(),
+            "cannot build the matrix of an unbound parameterized gate; bind the circuit first"
+        );
+        expr.evaluate(&[])
+    };
+    match gate {
+        Gate::Rz(_) => rz(angle(gate)),
+        Gate::Rx(_) => rx(angle(gate)),
+        Gate::Ry(_) => ry(angle(gate)),
+        Gate::H => h(),
+        Gate::X => x(),
+        Gate::Z => z(),
+        Gate::Cx => cx(),
+        Gate::Cz => cz(),
+        Gate::Swap => swap(),
+        Gate::Rzz(_) => rzz(angle(gate)),
+    }
+}
+
+/// The unitary of a bound gate operation (same as [`gate_matrix`], taking the op).
+pub fn gate_op_matrix(op: &GateOp) -> Matrix {
+    gate_matrix(&op.gate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+    use vqc_circuit::ParamExpr;
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for m in [
+            rz(0.7),
+            rx(1.3),
+            ry(-0.4),
+            h(),
+            x(),
+            y(),
+            z(),
+            cx(),
+            cz(),
+            swap(),
+            rzz(0.9),
+        ] {
+            assert!(m.is_unitary(1e-12), "gate is not unitary");
+        }
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(rx(PI).approx_eq_up_to_phase(&x(), 1e-12));
+    }
+
+    #[test]
+    fn rz_pi_is_z_up_to_phase() {
+        assert!(rz(PI).approx_eq_up_to_phase(&z(), 1e-12));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        assert!(h().matmul(&h()).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn cx_flips_target_when_control_set() {
+        let m = cx();
+        // |10> (index 2) -> |11> (index 3)
+        assert_eq!(m[(3, 2)], C64::ONE);
+        // |00> unchanged.
+        assert_eq!(m[(0, 0)], C64::ONE);
+    }
+
+    #[test]
+    fn rzz_matches_cx_rz_cx() {
+        let theta = 0.83;
+        let composed = cx()
+            .matmul(&Matrix::identity(2).kron(&rz(theta)))
+            .matmul(&cx());
+        assert!(rzz(theta).approx_eq(&composed, 1e-12));
+    }
+
+    #[test]
+    fn cz_matches_h_cx_h() {
+        let eye_h = Matrix::identity(2).kron(&h());
+        let composed = eye_h.matmul(&cx()).matmul(&eye_h);
+        assert!(cz().approx_eq(&composed, 1e-12));
+    }
+
+    #[test]
+    fn ry_decomposition_matches_passes() {
+        // passes::decompose_to_basis lowers Ry(θ) to (time order) Rz(-π/2), Rx(θ), Rz(π/2);
+        // as a matrix product that is Rz(π/2)·Rx(θ)·Rz(-π/2).
+        let theta = 1.1;
+        let composed = rz(PI / 2.0).matmul(&rx(theta)).matmul(&rz(-PI / 2.0));
+        assert!(composed.approx_eq_up_to_phase(&ry(theta), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "bind the circuit first")]
+    fn unbound_gate_matrix_panics() {
+        gate_matrix(&Gate::Rz(ParamExpr::theta(0)));
+    }
+}

@@ -1,0 +1,340 @@
+//! Pauli-string operators and expectation values.
+//!
+//! VQE measures the energy `⟨ψ(θ)| H |ψ(θ)⟩` of a molecular Hamiltonian expressed as a
+//! weighted sum of Pauli strings; QAOA measures a MAXCUT cost Hamiltonian of `Z·Z`
+//! terms. Both are represented here as a [`PauliOperator`].
+
+use crate::StateVector;
+use crate::gates;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vqc_linalg::Matrix;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// The 2x2 matrix of this Pauli.
+    pub fn matrix(self) -> Matrix {
+        match self {
+            Pauli::I => Matrix::identity(2),
+            Pauli::X => gates::x(),
+            Pauli::Y => gates::y(),
+            Pauli::Z => gates::z(),
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A tensor product of single-qubit Paulis, one per qubit (qubit 0 first).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PauliString {
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Creates a Pauli string from one Pauli per qubit.
+    pub fn new(paulis: Vec<Pauli>) -> Self {
+        PauliString { paulis }
+    }
+
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            paulis: vec![Pauli::I; n],
+        }
+    }
+
+    /// Creates the string with a single non-identity Pauli `p` on `qubit`.
+    pub fn single(n: usize, qubit: usize, p: Pauli) -> Self {
+        let mut paulis = vec![Pauli::I; n];
+        paulis[qubit] = p;
+        PauliString { paulis }
+    }
+
+    /// Creates the two-qubit string `Z_a Z_b` used by MAXCUT cost Hamiltonians.
+    pub fn zz(n: usize, a: usize, b: usize) -> Self {
+        let mut paulis = vec![Pauli::I; n];
+        paulis[a] = Pauli::Z;
+        paulis[b] = Pauli::Z;
+        PauliString { paulis }
+    }
+
+    /// Parses a string like `"XIZY"` (qubit 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters outside `IXYZ`.
+    pub fn parse(s: &str) -> Self {
+        let paulis = s
+            .chars()
+            .map(|c| match c {
+                'I' | 'i' => Pauli::I,
+                'X' | 'x' => Pauli::X,
+                'Y' | 'y' => Pauli::Y,
+                'Z' | 'z' => Pauli::Z,
+                other => panic!("invalid Pauli character '{other}'"),
+            })
+            .collect();
+        PauliString { paulis }
+    }
+
+    /// Number of qubits the string acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// The per-qubit Paulis.
+    pub fn paulis(&self) -> &[Pauli] {
+        &self.paulis
+    }
+
+    /// Number of non-identity factors (the string's weight).
+    pub fn weight(&self) -> usize {
+        self.paulis.iter().filter(|p| **p != Pauli::I).count()
+    }
+
+    /// Applies the string to a state (in place).
+    pub fn apply(&self, state: &mut StateVector) {
+        assert_eq!(
+            self.num_qubits(),
+            state.num_qubits(),
+            "Pauli string width must match the state"
+        );
+        for (q, p) in self.paulis.iter().enumerate() {
+            if *p != Pauli::I {
+                state.apply_one_qubit(&p.matrix(), q);
+            }
+        }
+    }
+
+    /// Dense matrix of the string (small qubit counts only).
+    pub fn matrix(&self) -> Matrix {
+        let mut m = Matrix::identity(1);
+        for p in &self.paulis {
+            m = m.kron(&p.matrix());
+        }
+        m
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.paulis {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A Hermitian operator expressed as a real-weighted sum of Pauli strings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PauliOperator {
+    num_qubits: usize,
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl PauliOperator {
+    /// Creates an empty (zero) operator on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        PauliOperator {
+            num_qubits,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Adds a weighted Pauli-string term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string width does not match the operator width.
+    pub fn add_term(&mut self, coefficient: f64, string: PauliString) {
+        assert_eq!(string.num_qubits(), self.num_qubits, "term width mismatch");
+        self.terms.push((coefficient, string));
+    }
+
+    /// Builder-style variant of [`PauliOperator::add_term`].
+    pub fn with_term(mut self, coefficient: f64, string: PauliString) -> Self {
+        self.add_term(coefficient, string);
+        self
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The weighted terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Expectation value `⟨ψ| H |ψ⟩` against a pure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width does not match the operator width.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        assert_eq!(state.num_qubits(), self.num_qubits, "state width mismatch");
+        let mut total = 0.0;
+        for (coeff, string) in &self.terms {
+            let mut transformed = state.clone();
+            string.apply(&mut transformed);
+            total += coeff * state.inner(&transformed).re;
+        }
+        total
+    }
+
+    /// Dense matrix of the operator (small qubit counts only).
+    pub fn matrix(&self) -> Matrix {
+        let dim = 1usize << self.num_qubits;
+        let mut m = Matrix::zeros(dim, dim);
+        for (coeff, string) in &self.terms {
+            m = &m + &string.matrix().scale_real(*coeff);
+        }
+        m
+    }
+
+    /// Minimum eigenvalue estimated by dense diagonalization-free power iteration on
+    /// `(c·I − H)`; used in tests and examples to know the true ground-state energy of
+    /// small Hamiltonians.
+    ///
+    /// The shift `c` is chosen from the operator's 1-norm so that `c·I − H` is positive
+    /// semi-definite; repeated multiplication then converges to the largest eigenvalue
+    /// of the shifted operator, i.e. the smallest eigenvalue of `H`.
+    pub fn min_eigenvalue(&self, iterations: usize) -> f64 {
+        let m = self.matrix();
+        let dim = m.rows();
+        let shift: f64 = self.terms.iter().map(|(c, _)| c.abs()).sum::<f64>() + 1.0;
+        let shifted = &Matrix::identity(dim).scale_real(shift) - &m;
+        // Power iteration with a deterministic, dense starting vector.
+        let mut v = vqc_linalg::Vector::from_vec(
+            (0..dim)
+                .map(|i| vqc_linalg::c64(1.0 + (i as f64 * 0.37).sin(), (i as f64 * 0.73).cos()))
+                .collect(),
+        );
+        v.normalize();
+        let mut eigenvalue = 0.0;
+        for _ in 0..iterations {
+            let w = shifted.matvec(&v);
+            eigenvalue = v.inner(&w).re;
+            v = w;
+            v.normalize();
+        }
+        shift - eigenvalue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqc_circuit::Circuit;
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let h = PauliOperator::new(1).with_term(1.0, PauliString::single(1, 0, Pauli::Z));
+        let zero = StateVector::zero_state(1);
+        assert!((h.expectation(&zero) - 1.0).abs() < 1e-12);
+
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let one = StateVector::from_circuit(&c);
+        assert!((h.expectation(&one) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let h = PauliOperator::new(1).with_term(1.0, PauliString::single(1, 0, Pauli::X));
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let plus = StateVector::from_circuit(&c);
+        assert!((h.expectation(&plus) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_expectation_on_bell_state() {
+        let h = PauliOperator::new(2).with_term(1.0, PauliString::zz(2, 0, 1));
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let bell = StateVector::from_circuit(&c);
+        // Bell state is a +1 eigenstate of ZZ.
+        assert!((h.expectation(&bell) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_matrix_is_hermitian() {
+        let h = PauliOperator::new(2)
+            .with_term(0.5, PauliString::parse("XY"))
+            .with_term(-1.25, PauliString::parse("ZI"))
+            .with_term(0.75, PauliString::parse("ZZ"));
+        assert!(h.matrix().is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn expectation_matches_matrix_form() {
+        let h = PauliOperator::new(2)
+            .with_term(0.7, PauliString::parse("XX"))
+            .with_term(-0.3, PauliString::parse("ZI"))
+            .with_term(0.2, PauliString::parse("IZ"));
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(1, 0.4);
+        let state = StateVector::from_circuit(&c);
+        let via_terms = h.expectation(&state);
+        let via_matrix = {
+            let transformed = h.matrix().matvec(state.amplitudes());
+            state.amplitudes().inner(&transformed).re
+        };
+        assert!((via_terms - via_matrix).abs() < 1e-10);
+    }
+
+    #[test]
+    fn min_eigenvalue_of_z_is_minus_one() {
+        let h = PauliOperator::new(1).with_term(1.0, PauliString::single(1, 0, Pauli::Z));
+        let min = h.min_eigenvalue(200);
+        assert!((min + 1.0).abs() < 1e-6, "got {min}");
+    }
+
+    #[test]
+    fn string_weight_and_parse() {
+        let s = PauliString::parse("XIZY");
+        assert_eq!(s.num_qubits(), 4);
+        assert_eq!(s.weight(), 3);
+        assert_eq!(s.to_string(), "XIZY");
+        assert_eq!(PauliString::identity(3).weight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "term width mismatch")]
+    fn mismatched_term_width_panics() {
+        PauliOperator::new(2).add_term(1.0, PauliString::identity(3));
+    }
+}

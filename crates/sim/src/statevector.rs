@@ -1,0 +1,283 @@
+//! State-vector simulation.
+
+use crate::gates::gate_op_matrix;
+use vqc_circuit::{Circuit, GateOp};
+use vqc_linalg::{C64, Matrix, Vector};
+
+/// A pure quantum state on `n` qubits, stored as a dense vector of `2^n` amplitudes.
+///
+/// Qubit 0 is the most-significant bit of a basis-state index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vector,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩` on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 24 (the dense representation would not fit in
+    /// memory long before that, but the explicit cap gives a clear failure).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 24, "dense state-vector simulation capped at 24 qubits");
+        StateVector {
+            num_qubits,
+            amplitudes: Vector::basis_state(1 << num_qubits, 0),
+        }
+    }
+
+    /// Builds a state from explicit amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_amplitudes(amplitudes: Vector) -> Self {
+        let len = amplitudes.len();
+        assert!(len.is_power_of_two(), "amplitude count must be a power of two");
+        StateVector {
+            num_qubits: len.trailing_zeros() as usize,
+            amplitudes,
+        }
+    }
+
+    /// Simulates a bound circuit starting from `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit still contains unbound parameters.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        state.apply_circuit(circuit);
+        state
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dimension `2^n` of the state.
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// The underlying amplitude vector.
+    pub fn amplitudes(&self) -> &Vector {
+        &self.amplitudes
+    }
+
+    /// Probability of measuring the computational basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes.probability(index)
+    }
+
+    /// All basis-state probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.probabilities()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &StateVector) -> C64 {
+        self.amplitudes.inner(&other.amplitudes)
+    }
+
+    /// Applies every gate of a bound circuit in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit width exceeds the state width or contains unbound
+    /// parameters.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit is wider than the state"
+        );
+        for op in circuit.iter() {
+            self.apply_op(op);
+        }
+    }
+
+    /// Applies a single bound gate operation.
+    pub fn apply_op(&mut self, op: &GateOp) {
+        let matrix = gate_op_matrix(op);
+        match op.qubits.len() {
+            1 => self.apply_one_qubit(&matrix, op.qubits[0]),
+            2 => self.apply_two_qubit(&matrix, op.qubits[0], op.qubits[1]),
+            _ => unreachable!("gates act on at most two qubits"),
+        }
+    }
+
+    /// Applies an arbitrary 2x2 unitary to the given qubit.
+    pub fn apply_one_qubit(&mut self, gate: &Matrix, qubit: usize) {
+        assert_eq!(gate.shape(), (2, 2), "one-qubit gate must be 2x2");
+        assert!(qubit < self.num_qubits, "qubit index out of range");
+        let bit = 1usize << (self.num_qubits - 1 - qubit);
+        let amps = self.amplitudes.as_mut_slice();
+        for base in 0..amps.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let i0 = base;
+            let i1 = base | bit;
+            let a0 = amps[i0];
+            let a1 = amps[i1];
+            amps[i0] = gate[(0, 0)] * a0 + gate[(0, 1)] * a1;
+            amps[i1] = gate[(1, 0)] * a0 + gate[(1, 1)] * a1;
+        }
+    }
+
+    /// Applies an arbitrary 4x4 unitary to the ordered qubit pair `(q0, q1)`,
+    /// where `q0` is the first (most-significant) operand of the gate matrix.
+    pub fn apply_two_qubit(&mut self, gate: &Matrix, q0: usize, q1: usize) {
+        assert_eq!(gate.shape(), (4, 4), "two-qubit gate must be 4x4");
+        assert!(q0 < self.num_qubits && q1 < self.num_qubits, "qubit index out of range");
+        assert_ne!(q0, q1, "two-qubit gate operands must be distinct");
+        let bit0 = 1usize << (self.num_qubits - 1 - q0);
+        let bit1 = 1usize << (self.num_qubits - 1 - q1);
+        let amps = self.amplitudes.as_mut_slice();
+        for base in 0..amps.len() {
+            if base & bit0 != 0 || base & bit1 != 0 {
+                continue;
+            }
+            let idx = [base, base | bit1, base | bit0, base | bit0 | bit1];
+            let old = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+            for (row, &target) in idx.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (col, &value) in old.iter().enumerate() {
+                    acc += gate[(row, col)] * value;
+                }
+                amps[target] = acc;
+            }
+        }
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis using the
+    /// supplied uniform random values in `[0, 1)` (one per shot).
+    ///
+    /// Taking the randomness as input keeps this crate free of RNG dependencies and the
+    /// results reproducible.
+    pub fn sample_with(&self, uniform_draws: &[f64]) -> Vec<usize> {
+        let probs = self.probabilities();
+        uniform_draws
+            .iter()
+            .map(|&u| {
+                let mut acc = 0.0;
+                for (i, p) in probs.iter().enumerate() {
+                    acc += p;
+                    if u < acc {
+                        return i;
+                    }
+                }
+                probs.len() - 1
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use std::f64::consts::PI;
+    use vqc_circuit::Circuit;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero_state(3);
+        assert_eq!(s.dim(), 8);
+        assert!((s.probability(0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn x_flips_qubit_zero_into_high_bit() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_one_qubit(&gates::x(), 0);
+        // Qubit 0 is the most significant bit: |10> = index 2.
+        assert!((s.probability(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_qubit_one_into_low_bit() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_one_qubit(&gates::x(), 1);
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(3) - 0.5).abs() < 1e-12);
+        assert!(s.probability(1) < 1e-12);
+        assert!(s.probability(2) < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_on_four_qubits() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.cx(2, 3);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(15) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.swap(0, 1);
+        let s = StateVector::from_circuit(&c);
+        // |10> swapped -> |01> = index 1.
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_produces_expected_population() {
+        let mut c = Circuit::new(1);
+        c.rx(0, PI / 2.0);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_preserves_norm() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(1, 0.3);
+        c.rx(2, 1.2);
+        c.cz(1, 2);
+        c.swap(0, 2);
+        let s = StateVector::from_circuit(&c);
+        let total: f64 = s.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_probabilities() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let s = StateVector::from_circuit(&c);
+        let outcomes = s.sample_with(&[0.1, 0.5, 0.99]);
+        assert_eq!(outcomes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn control_ordering_matters() {
+        // CX with control=1, target=0 acting on |01> (qubit 1 set) flips qubit 0.
+        let mut c = Circuit::new(2);
+        c.x(1);
+        c.cx(1, 0);
+        let s = StateVector::from_circuit(&c);
+        assert!((s.probability(3) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! End-to-end VQE on molecular hydrogen: the variational loop of Figure 1, followed by
+//! pulse-level compilation of the converged ansatz.
+//!
+//! Run with `cargo run --release --example vqe_h2`.
+
+use vqc::apps::molecules::Molecule;
+use vqc::apps::optimizer::NelderMead;
+use vqc::apps::uccsd::uccsd_circuit;
+use vqc::apps::variational::run_molecule_vqe;
+use vqc::core::{CompilerOptions, PartialCompiler, Strategy};
+
+fn main() {
+    // --- the hybrid quantum-classical loop -----------------------------------------
+    let optimizer = NelderMead {
+        max_evaluations: 800,
+        ..NelderMead::default()
+    };
+    let result = run_molecule_vqe(Molecule::H2, &optimizer);
+    let exact = Molecule::H2.hamiltonian().min_eigenvalue(800);
+    println!("VQE on H2 (UCCSD ansatz, {} parameters)", Molecule::H2.num_parameters());
+    println!("  energy found : {:.6} Ha after {} circuit evaluations", result.energy, result.evaluations);
+    println!("  exact ground : {:.6} Ha", exact);
+    println!("  error        : {:.2e} Ha\n", (result.energy - exact).abs());
+
+    // --- pulse-level compilation of the converged ansatz ----------------------------
+    let ansatz = uccsd_circuit(Molecule::H2);
+    let compiler = PartialCompiler::new(CompilerOptions::fast());
+    println!("Compiling the converged H2 ansatz at the optimal parameters:");
+    for strategy in [Strategy::GateBased, Strategy::StrictPartial, Strategy::FlexiblePartial] {
+        let report = compiler
+            .compile(&ansatz, &result.parameters, strategy)
+            .expect("H2 ansatz compiles");
+        println!(
+            "  {:<18} {:>8.1} ns  ({:.2}x speedup, runtime latency {} GRAPE iterations)",
+            strategy.name(),
+            report.pulse_duration_ns,
+            report.pulse_speedup(),
+            report.runtime.grape_iterations
+        );
+    }
+    println!("\nEvery nanosecond saved compounds exponentially in fidelity: decoherence error grows");
+    println!("exponentially with pulse duration, which is why the paper optimizes pulse time.");
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the partial-compilation reproduction.
+//!
+//! This workspace reproduces *Gokhale et al., "Partial Compilation of Variational
+//! Algorithms for Noisy Intermediate-Scale Quantum Machines" (MICRO-52, 2019)* as a set
+//! of Rust crates. This crate simply re-exports the workspace so examples and
+//! integration tests can use one import path; the interesting code lives in:
+//!
+//! * [`linalg`] — complex dense linear algebra (matrices, `expm`, `eigh`, fidelities).
+//! * [`circuit`] — the quantum-circuit IR, transpiler passes, scheduling, and routing.
+//! * [`sim`] — unitary / state-vector simulation and Pauli-operator expectation values.
+//! * [`pulse`] — GRAPE quantum optimal control against the gmon device model.
+//! * [`apps`] — the VQE-UCCSD and QAOA MAXCUT benchmark generators and the classical
+//!   optimizer closing the variational loop.
+//! * [`core`] — the paper's contribution: gate-based, strict partial, flexible partial,
+//!   and full-GRAPE compilation behind one [`core::PartialCompiler`] API.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the reproduction of every table and figure.
+
+pub use vqc_apps as apps;
+pub use vqc_circuit as circuit;
+pub use vqc_core as core;
+pub use vqc_linalg as linalg;
+pub use vqc_pulse as pulse;
+pub use vqc_sim as sim;

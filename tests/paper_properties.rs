@@ -1,0 +1,83 @@
+//! Integration tests for the structural properties of the benchmark suites that the
+//! paper's compilation strategies rely on (Section 4, 6 and 7.1).
+
+use vqc::apps::molecules::Molecule;
+use vqc::apps::qaoa::{qaoa_circuit, table3_benchmarks};
+use vqc::apps::uccsd::uccsd_circuit;
+use vqc::apps::graphs::Graph;
+use vqc::circuit::passes;
+
+#[test]
+fn table2_benchmark_suite_matches_the_paper() {
+    let expected = [
+        (Molecule::H2, 2, 3),
+        (Molecule::LiH, 4, 8),
+        (Molecule::BeH2, 6, 26),
+        (Molecule::NaH, 8, 24),
+        (Molecule::H2O, 10, 92),
+    ];
+    for (molecule, qubits, params) in expected {
+        assert_eq!(molecule.num_qubits(), qubits);
+        assert_eq!(molecule.num_parameters(), params);
+    }
+}
+
+#[test]
+fn all_benchmark_circuits_are_parameter_monotonic() {
+    // Parameter monotonicity (Section 7.1) is what makes flexible partial compilation's
+    // deep single-angle slices possible; it must survive circuit optimization.
+    for molecule in [Molecule::H2, Molecule::LiH, Molecule::BeH2] {
+        let circuit = passes::optimize(&uccsd_circuit(molecule));
+        assert!(circuit.is_parameter_monotonic(), "{molecule}");
+        assert_eq!(circuit.num_parameters(), molecule.num_parameters(), "{molecule}");
+    }
+    for benchmark in table3_benchmarks().iter().filter(|b| b.p <= 3) {
+        let circuit = passes::optimize(&benchmark.circuit());
+        assert!(circuit.is_parameter_monotonic(), "{}", benchmark.name());
+        assert_eq!(circuit.num_parameters(), 2 * benchmark.p);
+    }
+}
+
+#[test]
+fn uccsd_is_parameter_sparse_and_qaoa_is_parameter_dense() {
+    // Section 6: Rz(θ) gates are 5-8% of UCCSD gates but 15-28% of QAOA gates, which is
+    // why strict partial compilation works well for VQE and poorly for QAOA.
+    let uccsd_fraction = passes::optimize(&uccsd_circuit(Molecule::BeH2)).parameterized_fraction();
+    let graph = Graph::three_regular(6, 19).unwrap();
+    let qaoa_fraction = passes::optimize(&qaoa_circuit(&graph, 4)).parameterized_fraction();
+    assert!(uccsd_fraction < 0.15, "UCCSD fraction {uccsd_fraction}");
+    assert!(qaoa_fraction > 0.15, "QAOA fraction {qaoa_fraction}");
+    assert!(qaoa_fraction > 2.0 * uccsd_fraction);
+}
+
+#[test]
+fn table3_covers_all_32_benchmarks_with_growing_runtimes() {
+    let benchmarks = table3_benchmarks();
+    assert_eq!(benchmarks.len(), 32);
+    // Within a family, the gate-based runtime grows with p (Table 3's key trend).
+    use vqc::circuit::timing::{GateTimes, critical_path_ns};
+    let times = GateTimes::default();
+    for &(n, regular) in &[(6usize, true), (8, false)] {
+        let mut last = 0.0;
+        for p in 1..=4 {
+            let benchmark = benchmarks
+                .iter()
+                .find(|b| b.num_nodes == n && b.three_regular == regular && b.p == p)
+                .unwrap();
+            let runtime = critical_path_ns(&passes::optimize(&benchmark.circuit()), &times);
+            assert!(runtime > last);
+            last = runtime;
+        }
+    }
+}
+
+#[test]
+fn three_regular_graphs_have_more_edges_than_average_erdos_renyi() {
+    // N=6: 3-regular has 9 edges, Erdos-Renyi(0.5) has 7.5 in expectation — consistent
+    // with 3-regular runtimes exceeding Erdos-Renyi runtimes in Table 3.
+    let regular = Graph::three_regular(6, 23).unwrap();
+    assert_eq!(regular.num_edges(), 9);
+    let total: usize = (0..20).map(|s| Graph::erdos_renyi(6, 0.5, s).num_edges()).sum();
+    let average = total as f64 / 20.0;
+    assert!(average < 9.0);
+}

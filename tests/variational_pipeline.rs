@@ -1,0 +1,68 @@
+//! Integration tests of the end-to-end variational loop on top of the simulator.
+
+use vqc::apps::graphs::Graph;
+use vqc::apps::molecules::Molecule;
+use vqc::apps::optimizer::NelderMead;
+use vqc::apps::qaoa::{maxcut_hamiltonian, qaoa_circuit};
+use vqc::apps::uccsd::uccsd_circuit;
+use vqc::apps::variational::{evaluate_energy, run_molecule_vqe, run_qaoa};
+use vqc::sim::StateVector;
+
+#[test]
+fn vqe_h2_reaches_chemical_accuracy_neighbourhood() {
+    let optimizer = NelderMead {
+        max_evaluations: 700,
+        ..NelderMead::default()
+    };
+    let result = run_molecule_vqe(Molecule::H2, &optimizer);
+    let exact = Molecule::H2.hamiltonian().min_eigenvalue(800);
+    assert!(result.energy >= exact - 1e-9, "variational energy cannot beat the true minimum");
+    assert!(
+        result.energy - exact < 0.05,
+        "VQE energy {} too far above exact {exact}",
+        result.energy
+    );
+}
+
+#[test]
+fn qaoa_on_three_regular_graph_beats_random_cut() {
+    let graph = Graph::three_regular(6, 11).unwrap();
+    let optimizer = NelderMead {
+        max_evaluations: 400,
+        ..NelderMead::default()
+    };
+    let result = run_qaoa(&graph, 1, &optimizer);
+    let random_expectation = graph.num_edges() as f64 / 2.0;
+    assert!(result.expected_cut > random_expectation);
+    assert!(result.approximation_ratio <= 1.0 + 1e-9);
+    assert!(result.approximation_ratio > 0.6);
+}
+
+#[test]
+fn qaoa_energy_landscape_is_consistent_with_direct_simulation() {
+    let graph = Graph::cycle(4);
+    let circuit = qaoa_circuit(&graph, 1);
+    let hamiltonian = maxcut_hamiltonian(&graph);
+    let params = [0.35, 0.8];
+    let via_helper = evaluate_energy(&circuit, &hamiltonian, &params);
+    let state = StateVector::from_circuit(&circuit.bind(&params));
+    let direct = hamiltonian.expectation(&state);
+    assert!((via_helper - direct).abs() < 1e-10);
+}
+
+#[test]
+fn uccsd_ansatz_prepares_states_of_the_right_particle_structure() {
+    // The Hartree-Fock reference (all parameters zero) must be the half-filled basis
+    // state for every molecule width.
+    for molecule in [Molecule::H2, Molecule::LiH, Molecule::BeH2] {
+        let circuit = uccsd_circuit(molecule).bind(&vec![0.0; molecule.num_parameters()]);
+        let state = StateVector::from_circuit(&circuit);
+        let n = molecule.num_qubits();
+        // Occupied orbitals 0..n/2 set -> index with the top n/2 bits set.
+        let expected_index = ((1usize << (n / 2)) - 1) << (n - n / 2);
+        assert!(
+            state.probability(expected_index) > 0.999,
+            "{molecule}: Hartree-Fock reference not prepared"
+        );
+    }
+}
