@@ -44,7 +44,10 @@ impl Graph {
     pub fn new(num_nodes: usize, edges: &[(usize, usize)]) -> Self {
         let mut set = BTreeSet::new();
         for &(a, b) in edges {
-            assert!(a < num_nodes && b < num_nodes, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_nodes && b < num_nodes,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loops are not allowed");
             set.insert((a.min(b), a.max(b)));
         }
@@ -94,7 +97,7 @@ impl Graph {
                 message: format!("cannot build a {degree}-regular graph on {num_nodes} nodes"),
             });
         }
-        if (degree * num_nodes) % 2 != 0 {
+        if !(degree * num_nodes).is_multiple_of(2) {
             return Err(GraphError {
                 message: format!(
                     "a {degree}-regular graph on {num_nodes} nodes would need an odd number of edge endpoints"
@@ -115,10 +118,7 @@ impl Graph {
                     continue 'attempt;
                 }
             }
-            return Ok(Graph {
-                num_nodes,
-                edges,
-            });
+            return Ok(Graph { num_nodes, edges });
         }
         Err(GraphError {
             message: format!("failed to sample a {degree}-regular graph on {num_nodes} nodes"),
@@ -137,10 +137,7 @@ impl Graph {
                 }
             }
         }
-        Graph {
-            num_nodes,
-            edges,
-        }
+        Graph { num_nodes, edges }
     }
 
     /// Number of nodes.

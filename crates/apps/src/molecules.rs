@@ -125,7 +125,13 @@ pub fn synthetic_hamiltonian(n: usize, seed: u64) -> PauliOperator {
     let mut h = PauliOperator::new(n);
     h.add_term(-(n as f64) * 0.5, PauliString::identity(n));
     for q in 0..n {
-        let coefficient = 0.4 * (0.9_f64).powi(q as i32) * if (q + seed as usize) % 2 == 0 { 1.0 } else { -1.0 };
+        let coefficient = 0.4
+            * (0.9_f64).powi(q as i32)
+            * if (q + seed as usize).is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
         h.add_term(coefficient, PauliString::single(n, q, Pauli::Z));
     }
     for a in 0..n {

@@ -199,10 +199,8 @@ mod tests {
 
     #[test]
     fn history_is_monotonically_non_increasing() {
-        let result = NelderMead::default().minimize(
-            |x| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2),
-            &[0.0, 0.0],
-        );
+        let result = NelderMead::default()
+            .minimize(|x| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2), &[0.0, 0.0]);
         for window in result.history.windows(2) {
             assert!(window[1] <= window[0] + 1e-12);
         }

@@ -80,7 +80,11 @@ pub struct QaoaBenchmark {
 impl QaoaBenchmark {
     /// Human-readable benchmark name, e.g. `"3-Regular N=6 p=3"`.
     pub fn name(&self) -> String {
-        let family = if self.three_regular { "3-Regular" } else { "Erdos-Renyi" };
+        let family = if self.three_regular {
+            "3-Regular"
+        } else {
+            "Erdos-Renyi"
+        };
         format!("{family} N={} p={}", self.num_nodes, self.p)
     }
 

@@ -91,13 +91,21 @@ pub fn enumerate_excitations(num_qubits: usize) -> Vec<Excitation> {
 pub fn molecule_excitations(molecule: Molecule) -> Vec<Excitation> {
     let all = enumerate_excitations(molecule.num_qubits());
     let wanted = molecule.num_parameters();
-    assert!(!all.is_empty(), "molecule must have at least one excitation");
+    assert!(
+        !all.is_empty(),
+        "molecule must have at least one excitation"
+    );
     (0..wanted).map(|i| all[i % all.len()].clone()).collect()
 }
 
 /// Appends the circuit for `exp(-i θ/2 · P)` where `P` is the Pauli string given by
 /// `axes` acting on `qubits`: basis changes, a CNOT ladder, `Rz(θ)`, and the inverse.
-fn append_pauli_evolution(circuit: &mut Circuit, qubits: &[usize], axes: &[Axis], angle: ParamExpr) {
+fn append_pauli_evolution(
+    circuit: &mut Circuit,
+    qubits: &[usize],
+    axes: &[Axis],
+    angle: ParamExpr,
+) {
     debug_assert_eq!(qubits.len(), axes.len());
     // Basis changes onto Z.
     for (&q, &axis) in qubits.iter().zip(axes.iter()) {
@@ -281,7 +289,7 @@ mod tests {
     fn bound_ansatz_simulates_to_a_normalized_state() {
         use vqc_sim::StateVector;
         let circuit = uccsd_circuit(Molecule::H2);
-        let bound = circuit.bind(&vec![0.1; 3]);
+        let bound = circuit.bind(&[0.1; 3]);
         let state = StateVector::from_circuit(&bound);
         let total: f64 = state.probabilities().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);

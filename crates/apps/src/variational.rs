@@ -56,8 +56,10 @@ pub fn run_vqe(
     optimizer: &NelderMead,
     initial: &[f64],
 ) -> VqeResult {
-    let result: OptimizationResult =
-        optimizer.minimize(|params| evaluate_energy(ansatz, hamiltonian, params), initial);
+    let result: OptimizationResult = optimizer.minimize(
+        |params| evaluate_energy(ansatz, hamiltonian, params),
+        initial,
+    );
     VqeResult {
         parameters: result.parameters,
         energy: result.value,
@@ -140,7 +142,11 @@ mod tests {
         let result = run_qaoa(&graph, 1, &optimizer);
         // Random assignment cuts half the edges (3 of 6) in expectation; even p=1 QAOA
         // should do better, and the paper quotes a 69 % worst-case ratio at p=1.
-        assert!(result.expected_cut > 3.0, "expected cut {}", result.expected_cut);
+        assert!(
+            result.expected_cut > 3.0,
+            "expected cut {}",
+            result.expected_cut
+        );
         assert!(result.approximation_ratio > 0.69);
         assert_eq!(result.max_cut, 4);
     }

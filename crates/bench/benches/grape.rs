@@ -1,9 +1,9 @@
 //! Benchmarks of the GRAPE engine: one exact gradient evaluation and one full
 //! fixed-duration optimization on one- and two-qubit targets.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vqc_pulse::grape::{GrapeOptions, fidelity_gradient, optimize_pulse};
+use vqc_pulse::grape::{fidelity_gradient, optimize_pulse, GrapeOptions};
 use vqc_pulse::{DeviceModel, PulseSequence};
 use vqc_sim::gates;
 
@@ -25,7 +25,14 @@ fn bench_grape(c: &mut Criterion) {
     options.max_iterations = 50;
     options.target_infidelity = 1e-3;
     group.bench_function("optimize_rz_1q_50iters", |b| {
-        b.iter(|| optimize_pulse(black_box(&gates::rz(1.0)), black_box(&device), 1.0, black_box(&options)))
+        b.iter(|| {
+            optimize_pulse(
+                black_box(&gates::rz(1.0)),
+                black_box(&device),
+                1.0,
+                black_box(&options),
+            )
+        })
     });
 
     group.finish();

@@ -1,0 +1,175 @@
+//! Benchmark of the concurrent compilation runtime against the seed's sequential
+//! path on a repeated-block QAOA workload: a batch of QAOA circuits whose blocks
+//! recur within each circuit and across requests. Compares sequential
+//! `PulseLibrary` compilation with the sharded runtime at 1/2/4/8 workers, plus a
+//! raw cache-contention microbenchmark, and writes a `BENCH_runtime.json` summary
+//! next to the workspace root. Interpret worker scaling against the
+//! `host_parallelism` field: on a single-CPU host all configurations legitimately
+//! tie, and the comparison degenerates to measuring scheduling overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::io::Write;
+use vqc_apps::graphs::Graph;
+use vqc_apps::qaoa::qaoa_circuit;
+use vqc_bench::reference_parameters;
+use vqc_circuit::Circuit;
+use vqc_core::{
+    BlockKey, CachedBlock, CompilerOptions, PartialCompiler, PulseCache, PulseLibrary, Strategy,
+};
+use vqc_runtime::{CacheConfig, CompilationRuntime, CompileJob, RuntimeOptions, ShardedPulseCache};
+
+/// GRAPE effort reduced far enough that a cold compile of the workload is
+/// benchmark-sized; the cache/parallelism behavior under study is unaffected.
+fn bench_options() -> CompilerOptions {
+    let mut options = CompilerOptions::fast();
+    options.grape.max_iterations = 40;
+    options.grape.target_infidelity = 1e-1;
+    options.search_precision_ns = 2.0;
+    options
+}
+
+/// The repeated-block workload: full-GRAPE compilation of QAOA circuits on four
+/// different 3-regular 6-node graphs (one batch of requests, as concurrent clients
+/// would submit). Each circuit aggregates into several ≤4-qubit blocks; identical
+/// edge blocks dedup through the shared cache, distinct ones GRAPE in parallel.
+fn workload() -> Vec<CompileJob> {
+    (0..4)
+        .map(|seed| {
+            let graph = Graph::three_regular(6, 20 + seed).expect("3-regular graph on 6 nodes");
+            let circuit = qaoa_circuit(&graph, 1);
+            let params: Vec<f64> = reference_parameters(2)
+                .iter()
+                .map(|p| p + 0.05 * seed as f64)
+                .collect();
+            CompileJob::new(circuit, params, Strategy::FullGrape)
+        })
+        .collect()
+}
+
+fn bench_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_compilation");
+    group.sample_size(3);
+    let jobs = workload();
+
+    // Baseline: the seed path — a sequential compiler over a global-mutex library,
+    // one compile call per request. Cold cache per measurement.
+    group.bench_function("sequential_pulse_library", |b| {
+        b.iter(|| {
+            let compiler = PartialCompiler::new(bench_options());
+            for job in &jobs {
+                black_box(
+                    compiler
+                        .compile(&job.circuit, &job.params, job.strategy)
+                        .unwrap(),
+                );
+            }
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("sharded_runtime_{workers}_workers"), |b| {
+            b.iter(|| {
+                let runtime =
+                    CompilationRuntime::new(bench_options(), RuntimeOptions::with_workers(workers));
+                for report in runtime.compile_batch(&jobs) {
+                    black_box(report.unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_contention");
+    group.sample_size(10);
+
+    // A realistic key population: block keys of small bound circuits.
+    let keys: Vec<BlockKey> = (0..256)
+        .map(|i| {
+            let mut circuit = Circuit::new(2);
+            circuit.rz(0, i as f64 * 0.01);
+            circuit.cx(0, 1);
+            BlockKey::from_bound_circuit(&circuit)
+        })
+        .collect();
+    let entry = CachedBlock {
+        duration_ns: 3.0,
+        converged: true,
+        grape_iterations: 50,
+    };
+
+    fn hammer(
+        cache: &(impl PulseCache + ?Sized),
+        keys: &[BlockKey],
+        entry: &CachedBlock,
+        threads: usize,
+    ) {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    for (i, key) in keys.iter().enumerate() {
+                        if (i + t) % 8 == 0 {
+                            cache.insert_block(key.clone(), entry.clone());
+                        } else {
+                            black_box(cache.block(key));
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    group.bench_function("pulse_library_8_threads", |b| {
+        let cache = PulseLibrary::new();
+        b.iter(|| hammer(&cache, &keys, &entry, 8))
+    });
+    group.bench_function("sharded_cache_8_threads", |b| {
+        let cache = ShardedPulseCache::new(CacheConfig::default());
+        b.iter(|| hammer(&cache, &keys, &entry, 8))
+    });
+    group.finish();
+}
+
+/// Writes the recorded measurements as `BENCH_runtime.json` in the workspace root
+/// (or the current directory when the manifest-relative path is unavailable).
+fn emit_summary(c: &mut Criterion) {
+    // Worker-count scaling is bounded by the host: on a single-CPU machine all
+    // configurations legitimately measure equal, and the comparison shows the
+    // runtime's scheduling overhead instead of its speedup.
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"runtime\",\n  \"workload\": \"qaoa_3regular_n6_p1_full_grape_batch_of_4_graphs\",\n  \"host_parallelism\": {host_parallelism},\n  \"results\": [\n",
+    );
+    let results = c.results();
+    for (index, result) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+            result.group,
+            result.name,
+            result.mean_ns,
+            result.min_ns,
+            result.samples,
+            if index + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_runtime.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => println!("could not write {}: {error}", path.display()),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_compilation,
+    bench_cache_contention,
+    emit_summary
+);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! gate-based and (cache-warm) strict partial compilation, which is the latency a
 //! variational algorithm actually pays at runtime.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vqc_apps::graphs::Graph;
 use vqc_apps::qaoa::qaoa_circuit;
@@ -34,7 +34,11 @@ fn bench_strategies(c: &mut Criterion) {
     group.bench_function("strict_partial_qaoa_c4_p1_cached", |b| {
         b.iter(|| {
             compiler
-                .compile(black_box(&circuit), black_box(&params), Strategy::StrictPartial)
+                .compile(
+                    black_box(&circuit),
+                    black_box(&params),
+                    Strategy::StrictPartial,
+                )
                 .unwrap()
         })
     });

@@ -1,18 +1,21 @@
 //! Micro-benchmarks of the numerical substrate: matrix exponentials, Hermitian
 //! eigendecomposition, state-vector simulation, and circuit-unitary construction.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vqc_apps::graphs::Graph;
 use vqc_apps::qaoa::qaoa_circuit;
 use vqc_bench::reference_parameters;
 use vqc_linalg::expm::expm;
-use vqc_linalg::{C64, Matrix, c64, eigh};
-use vqc_sim::{StateVector, circuit_unitary};
+use vqc_linalg::{c64, eigh, Matrix, C64};
+use vqc_sim::{circuit_unitary, StateVector};
 
 fn random_hermitian(n: usize) -> Matrix {
     let raw = Matrix::from_fn(n, n, |r, c| {
-        c64(((r * 7 + c * 13) as f64 * 0.37).sin(), ((r * 3 + c * 11) as f64 * 0.53).cos())
+        c64(
+            ((r * 7 + c * 13) as f64 * 0.37).sin(),
+            ((r * 3 + c * 11) as f64 * 0.53).cos(),
+        )
     });
     (&raw + &raw.dagger()).scale_real(0.5)
 }
@@ -37,7 +40,9 @@ fn bench_substrate(c: &mut Criterion) {
 
     let small_graph = Graph::clique(4);
     let small = qaoa_circuit(&small_graph, 1).bind(&reference_parameters(2));
-    group.bench_function("circuit_unitary_4q", |b| b.iter(|| circuit_unitary(black_box(&small))));
+    group.bench_function("circuit_unitary_4q", |b| {
+        b.iter(|| circuit_unitary(black_box(&small)))
+    });
 
     group.finish();
 }

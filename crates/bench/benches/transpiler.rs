@@ -1,24 +1,28 @@
 //! Benchmarks of the circuit-level transpiler: optimization passes, routing, and ASAP
 //! scheduling on the paper's benchmark circuits.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vqc_apps::molecules::Molecule;
 use vqc_apps::qaoa::table3_benchmarks;
 use vqc_apps::uccsd::uccsd_circuit;
 use vqc_circuit::mapping::map_to_topology;
-use vqc_circuit::timing::{GateTimes, critical_path_ns};
-use vqc_circuit::{Topology, passes};
+use vqc_circuit::timing::{critical_path_ns, GateTimes};
+use vqc_circuit::{passes, Topology};
 
 fn bench_transpiler(c: &mut Criterion) {
     let mut group = c.benchmark_group("transpiler");
     group.sample_size(10);
 
     let lih = uccsd_circuit(Molecule::LiH);
-    group.bench_function("optimize_uccsd_lih", |b| b.iter(|| passes::optimize(black_box(&lih))));
+    group.bench_function("optimize_uccsd_lih", |b| {
+        b.iter(|| passes::optimize(black_box(&lih)))
+    });
 
     let qaoa = table3_benchmarks()[7].circuit(); // 3-Regular N=6 p=8
-    group.bench_function("optimize_qaoa_n6_p8", |b| b.iter(|| passes::optimize(black_box(&qaoa))));
+    group.bench_function("optimize_qaoa_n6_p8", |b| {
+        b.iter(|| passes::optimize(black_box(&qaoa)))
+    });
 
     let optimized = passes::optimize(&qaoa);
     let topology = Topology::grid(2, 3);

@@ -4,12 +4,17 @@
 
 use vqc_apps::graphs::Graph;
 use vqc_apps::qaoa::qaoa_circuit;
-use vqc_bench::{Effort, print_header, reference_parameters};
-use vqc_core::{PartialCompiler, Strategy};
+use vqc_bench::{
+    persist_if_requested, print_header, reference_parameters, runtime_with_options, Effort,
+};
+use vqc_core::Strategy;
 
 fn main() {
     let effort = Effort::from_env();
-    print_header("Figure 2: gate-based vs GRAPE pulse length, K4 MAXCUT", effort);
+    print_header(
+        "Figure 2: gate-based vs GRAPE pulse length, K4 MAXCUT",
+        effort,
+    );
     let graph = Graph::clique(4);
     let mut options = effort.compiler_options();
     // The asymptote only appears when GRAPE may fuse a whole round stack into one
@@ -19,19 +24,26 @@ fn main() {
         options.grape.dt_ns = 1.0;
         options.search_precision_ns = 2.0;
     }
-    let compiler = PartialCompiler::new(options);
+    let compiler = runtime_with_options(options);
 
     let max_p = match effort {
         Effort::Fast => 3,
         Effort::Standard => 4,
         Effort::Full => 6,
     };
-    println!("{:>4} {:>18} {:>18} {:>10}", "p", "Gate-based (ns)", "Full GRAPE (ns)", "ratio");
+    println!(
+        "{:>4} {:>18} {:>18} {:>10}",
+        "p", "Gate-based (ns)", "Full GRAPE (ns)", "ratio"
+    );
     for p in 1..=max_p {
         let circuit = qaoa_circuit(&graph, p);
         let params = reference_parameters(2 * p);
-        let gate = compiler.compile(&circuit, &params, Strategy::GateBased).unwrap();
-        let grape = compiler.compile(&circuit, &params, Strategy::FullGrape).unwrap();
+        let gate = compiler
+            .compile(&circuit, &params, Strategy::GateBased)
+            .unwrap();
+        let grape = compiler
+            .compile(&circuit, &params, Strategy::FullGrape)
+            .unwrap();
         println!(
             "{:>4} {:>18.1} {:>18.1} {:>9.1}x",
             p,
@@ -40,6 +52,9 @@ fn main() {
             gate.pulse_duration_ns / grape.pulse_duration_ns.max(1e-9)
         );
     }
-    println!("\nPaper reference (Figure 2): ratio grows from 2.0x at p=1 to 12.0x at p=6, with the");
+    println!(
+        "\nPaper reference (Figure 2): ratio grows from 2.0x at p=1 to 12.0x at p=6, with the"
+    );
     println!("GRAPE time asymptoting below 50 ns while the gate-based time grows linearly in p.");
+    persist_if_requested(&compiler);
 }

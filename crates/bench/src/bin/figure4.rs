@@ -5,35 +5,51 @@
 
 use vqc_apps::molecules::Molecule;
 use vqc_apps::uccsd::uccsd_circuit;
-use vqc_bench::{Effort, print_header};
+use vqc_bench::{print_header, Effort};
 use vqc_circuit::passes;
-use vqc_core::blocking::{ParameterPolicy, aggregate_blocks_with_cap};
-use vqc_pulse::DeviceModel;
+use vqc_circuit::timing::{critical_path_ns, GateTimes};
+use vqc_core::blocking::{aggregate_blocks_with_cap, ParameterPolicy};
 use vqc_pulse::grape::try_optimize_pulse;
+use vqc_pulse::DeviceModel;
 use vqc_sim::circuit_unitary;
-use vqc_circuit::timing::{GateTimes, critical_path_ns};
 
 fn main() {
     let effort = Effort::from_env();
-    print_header("Figure 4: GRAPE error vs learning rate, LiH single-angle subcircuits", effort);
+    print_header(
+        "Figure 4: GRAPE error vs learning rate, LiH single-angle subcircuits",
+        effort,
+    );
 
     let prepared = passes::optimize(&uccsd_circuit(Molecule::LiH));
-    let blocks = aggregate_blocks_with_cap(&prepared, 4, ParameterPolicy::AtMostOne, effort.compiler_options().max_block_ops);
-    let single_angle: Vec<_> = blocks.iter().filter(|b| b.parameters.len() == 1 && b.len() > 3).collect();
+    let blocks = aggregate_blocks_with_cap(
+        &prepared,
+        4,
+        ParameterPolicy::AtMostOne,
+        effort.compiler_options().max_block_ops,
+    );
+    let single_angle: Vec<_> = blocks
+        .iter()
+        .filter(|b| b.parameters.len() == 1 && b.len() > 3)
+        .collect();
     let picks = [0usize, single_angle.len().saturating_sub(1)];
     let learning_rates = [0.02, 0.05, 0.1, 0.2, 0.4];
     let angles = [0.3, 1.1, 2.4];
     let base = effort.compiler_options();
 
     for (which, &index) in picks.iter().enumerate() {
-        let Some(block) = single_angle.get(index) else { continue };
+        let Some(block) = single_angle.get(index) else {
+            continue;
+        };
         let subcircuit = block.to_circuit(&prepared);
         let duration = critical_path_ns(&subcircuit.bind(&vec![0.5; 92]), &GateTimes::default());
         println!(
             "subcircuit {} ({} ops, {} qubits, {:.1} ns budget):",
-            which, block.len(), block.qubits.len(), duration
+            which,
+            block.len(),
+            block.qubits.len(),
+            duration
         );
-        println!("{:>12} {}", "learning rate", "final infidelity per angle argument");
+        println!("learning rate final infidelity per angle argument");
         for &lr in &learning_rates {
             let mut row = format!("{:>12.2} ", lr);
             for &theta in &angles {
@@ -50,6 +66,10 @@ fn main() {
         }
         println!();
     }
-    println!("Paper reference (Figure 4): the learning-rate range achieving the lowest error is the");
-    println!("same for every permutation of the angle argument — the row minima line up by column.");
+    println!(
+        "Paper reference (Figure 4): the learning-rate range achieving the lowest error is the"
+    );
+    println!(
+        "same for every permutation of the angle argument — the row minima line up by column."
+    );
 }

@@ -2,14 +2,19 @@
 //! partial, flexible partial, and full GRAPE compilation.
 
 use vqc_apps::uccsd::uccsd_circuit;
-use vqc_bench::{Effort, compile_all_strategies, print_header, reference_parameters};
-use vqc_core::PartialCompiler;
+use vqc_bench::{
+    compile_all_strategies, effort_runtime, persist_if_requested, print_header,
+    reference_parameters, Effort,
+};
 
 fn main() {
     let effort = Effort::from_env();
     print_header("Figure 5: VQE pulse speedup factors", effort);
-    let compiler = PartialCompiler::new(effort.compiler_options());
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "Molecule", "Gate", "Strict", "Flexible", "GRAPE");
+    let compiler = effort_runtime(effort);
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "Molecule", "Gate", "Strict", "Flexible", "GRAPE"
+    );
     for molecule in effort.vqe_molecules() {
         let circuit = uccsd_circuit(molecule);
         let params = reference_parameters(molecule.num_parameters());
@@ -23,6 +28,9 @@ fn main() {
             reports[3].pulse_speedup()
         );
     }
-    println!("Paper reference (Figure 5): BeH2/NaH speedups ~2x for GRAPE with strict recovering ~95%");
+    println!(
+        "Paper reference (Figure 5): BeH2/NaH speedups ~2x for GRAPE with strict recovering ~95%"
+    );
     println!("and flexible ~99% of it; H2O ~1.4x. Expect the same ordering here.");
+    persist_if_requested(&compiler);
 }

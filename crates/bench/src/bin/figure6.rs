@@ -1,20 +1,26 @@
 //! Figure 6: QAOA pulse durations vs p under the four compilation strategies, for
 //! 3-regular and Erdős–Rényi graphs on 6 and 8 nodes.
 
-use vqc_bench::{Effort, compile_all_strategies, print_header, qaoa_instance, reference_parameters};
-use vqc_core::PartialCompiler;
+use vqc_bench::{
+    compile_all_strategies, effort_runtime, persist_if_requested, print_header, qaoa_instance,
+    reference_parameters, Effort,
+};
 
 fn main() {
     let effort = Effort::from_env();
     print_header("Figure 6: QAOA pulse durations vs p", effort);
-    let compiler = PartialCompiler::new(effort.compiler_options());
+    let compiler = effort_runtime(effort);
     let sizes: Vec<usize> = match effort {
         Effort::Fast => vec![6],
         _ => vec![6, 8],
     };
     for n in sizes {
         for &three_regular in &[true, false] {
-            let family = if three_regular { "3-Regular" } else { "Erdos-Renyi" };
+            let family = if three_regular {
+                "3-Regular"
+            } else {
+                "Erdos-Renyi"
+            };
             println!("--- {family} N={n} ---");
             for &p in &effort.qaoa_rounds() {
                 let instance = qaoa_instance(n, three_regular, p);
@@ -26,4 +32,5 @@ fn main() {
     }
     println!("Paper reference (Figure 6): gate-based grows linearly in p; strict gives a modest");
     println!("improvement; flexible essentially matches full GRAPE (average 2.6x for N=6, 1.8x for N=8).");
+    persist_if_requested(&compiler);
 }

@@ -2,13 +2,18 @@
 //! full GRAPE compilation, per benchmark.
 
 use vqc_apps::uccsd::uccsd_circuit;
-use vqc_bench::{Effort, print_header, qaoa_instance, reference_parameters};
-use vqc_core::{PartialCompiler, Strategy};
+use vqc_bench::{
+    effort_runtime, persist_if_requested, print_header, qaoa_instance, reference_parameters, Effort,
+};
+use vqc_core::Strategy;
 
 fn main() {
     let effort = Effort::from_env();
-    print_header("Figure 7: compilation latency reduction (full GRAPE / flexible)", effort);
-    let compiler = PartialCompiler::new(effort.compiler_options());
+    print_header(
+        "Figure 7: compilation latency reduction (full GRAPE / flexible)",
+        effort,
+    );
+    let compiler = effort_runtime(effort);
 
     let mut rows: Vec<(String, vqc_circuit::Circuit, Vec<f64>)> = Vec::new();
     for molecule in effort.vqe_molecules() {
@@ -21,7 +26,11 @@ fn main() {
     let qaoa_p = *effort.qaoa_rounds().last().unwrap_or(&1);
     for &(n, regular, label) in &[(6usize, true, "3Reg N=6"), (6, false, "Erdos N=6")] {
         let instance = qaoa_instance(n, regular, qaoa_p);
-        rows.push((label.to_string(), instance.circuit(), reference_parameters(2 * qaoa_p)));
+        rows.push((
+            label.to_string(),
+            instance.circuit(),
+            reference_parameters(2 * qaoa_p),
+        ));
     }
 
     println!(
@@ -29,8 +38,12 @@ fn main() {
         "Benchmark", "Full GRAPE runtime (s)", "Flexible runtime (s)", "Reduction"
     );
     for (name, circuit, params) in rows {
-        let full = compiler.compile(&circuit, &params, Strategy::FullGrape).unwrap();
-        let flexible = compiler.compile(&circuit, &params, Strategy::FlexiblePartial).unwrap();
+        let full = compiler
+            .compile(&circuit, &params, Strategy::FullGrape)
+            .unwrap();
+        let flexible = compiler
+            .compile(&circuit, &params, Strategy::FlexiblePartial)
+            .unwrap();
         let reduction = full.runtime.reduction_factor_vs(&flexible.runtime);
         println!(
             "{:<12} {:>22.1} {:>22.1} {:>11.1}x   (flexible pre-compute: {:.1} s)",
@@ -43,5 +56,8 @@ fn main() {
     }
     println!("\nLatencies are the estimated per-variational-iteration compilation times under the");
     println!("paper-calibrated latency model; Figure 7 of the paper reports reductions of 10-100x");
-    println!("(e.g. 3-regular graphs ~80x), with about an hour of pre-compute for flexible tuning.");
+    println!(
+        "(e.g. 3-regular graphs ~80x), with about an hour of pre-compute for flexible tuning."
+    );
+    persist_if_requested(&compiler);
 }

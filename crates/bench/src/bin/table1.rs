@@ -4,12 +4,12 @@
 //! binary additionally re-derives each duration with GRAPE's minimum-time search
 //! against the Appendix-A device model, which is how the paper obtained them.
 
-use vqc_bench::{Effort, print_header};
+use vqc_bench::{print_header, Effort};
 use vqc_circuit::timing::GateTimes;
-use vqc_pulse::DeviceModel;
-use vqc_pulse::minimum_time::{MinimumTimeOptions, minimum_pulse_time};
-use vqc_sim::gates;
 use vqc_linalg::Matrix;
+use vqc_pulse::minimum_time::{minimum_pulse_time, MinimumTimeOptions};
+use vqc_pulse::DeviceModel;
+use vqc_sim::gates;
 
 fn grape_duration(target: &Matrix, qubits: usize, upper: f64, effort: Effort) -> (f64, bool) {
     let device = DeviceModel::qubits_line(qubits);
@@ -25,7 +25,10 @@ fn main() {
     let effort = Effort::from_env();
     print_header("Table 1: gate set and pulse durations", effort);
     let times = GateTimes::default();
-    println!("{:<8} {:>14} {:>22}", "Gate", "Table 1 (ns)", "GRAPE-derived (ns)");
+    println!(
+        "{:<8} {:>14} {:>22}",
+        "Gate", "Table 1 (ns)", "GRAPE-derived (ns)"
+    );
 
     let rows: Vec<(&str, f64, Matrix, usize)> = vec![
         ("Rz(pi)", times.rz_ns, gates::rz(std::f64::consts::PI), 1),
@@ -42,7 +45,11 @@ fn main() {
             name,
             table_ns,
             grape_ns,
-            if converged { "" } else { "  (did not converge; upper bound shown)" }
+            if converged {
+                ""
+            } else {
+                "  (did not converge; upper bound shown)"
+            }
         );
     }
     println!("\nPaper reference (Table 1): Rz 0.4, Rx 2.5, H 1.4, CX 3.8, SWAP 7.4 ns");

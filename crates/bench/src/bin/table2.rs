@@ -3,10 +3,10 @@
 
 use vqc_apps::molecules::Molecule;
 use vqc_apps::uccsd::uccsd_circuit;
-use vqc_bench::{Effort, print_header};
+use vqc_bench::{print_header, Effort};
 use vqc_circuit::mapping::map_to_topology;
-use vqc_circuit::timing::{GateTimes, critical_path_ns};
-use vqc_circuit::{Topology, passes};
+use vqc_circuit::timing::{critical_path_ns, GateTimes};
+use vqc_circuit::{passes, Topology};
 
 fn main() {
     let effort = Effort::from_env();
@@ -34,6 +34,8 @@ fn main() {
             molecule.paper_gate_runtime_ns()
         );
     }
-    println!("\nRuntimes are indexed to the Table-1 pulse durations; absolute values differ from the");
+    println!(
+        "\nRuntimes are indexed to the Table-1 pulse durations; absolute values differ from the"
+    );
     println!("paper because the ansatz generator is a structural substitute for Qiskit+PySCF (see DESIGN.md).");
 }

@@ -1,10 +1,10 @@
 //! Table 3: gate-based runtimes of the 32 QAOA MAXCUT benchmarks.
 
 use vqc_apps::qaoa::table3_benchmarks;
-use vqc_bench::{Effort, print_header};
+use vqc_bench::{print_header, Effort};
 use vqc_circuit::mapping::map_to_topology;
-use vqc_circuit::timing::{GateTimes, critical_path_ns};
-use vqc_circuit::{Topology, passes};
+use vqc_circuit::timing::{critical_path_ns, GateTimes};
+use vqc_circuit::{passes, Topology};
 
 fn main() {
     let effort = Effort::from_env();

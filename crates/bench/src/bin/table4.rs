@@ -5,23 +5,32 @@
 //! `VQC_EFFORT` to widen coverage.
 
 use vqc_apps::uccsd::uccsd_circuit;
-use vqc_bench::{Effort, compile_all_strategies, print_header, qaoa_instance, reference_parameters};
-use vqc_core::PartialCompiler;
+use vqc_bench::{
+    compile_all_strategies, effort_runtime, persist_if_requested, print_header, qaoa_instance,
+    reference_parameters, Effort,
+};
 
 fn main() {
     let effort = Effort::from_env();
     print_header("Table 4: pulse durations by compilation strategy", effort);
-    let compiler = PartialCompiler::new(effort.compiler_options());
+    let compiler = effort_runtime(effort);
 
     println!("VQE-UCCSD benchmarks:");
     for molecule in effort.vqe_molecules() {
         let circuit = uccsd_circuit(molecule);
         let params = reference_parameters(molecule.num_parameters());
         let reports = compile_all_strategies(&compiler, &molecule.to_string(), &circuit, &params);
-        let row: Vec<String> = reports.iter().map(|r| format!("{:.1}", r.pulse_duration_ns)).collect();
+        let row: Vec<String> = reports
+            .iter()
+            .map(|r| format!("{:.1}", r.pulse_duration_ns))
+            .collect();
         println!(
             "  -> {:<10} gate {} | strict {} | flexible {} | GRAPE {}\n",
-            molecule.to_string(), row[0], row[1], row[2], row[3]
+            molecule.to_string(),
+            row[0],
+            row[1],
+            row[2],
+            row[3]
         );
     }
 
@@ -43,4 +52,5 @@ fn main() {
 
     println!("\nPaper reference (Table 4, ns): e.g. H2 35.3 / 15.0 / 5.0 / 3.1; LiH 871 / 307 / 84 / 19;");
     println!("3-Regular N=6 p=1: 113 / 91 / 72 / 72. Compare orderings and speedup factors, not absolutes.");
+    persist_if_requested(&compiler);
 }

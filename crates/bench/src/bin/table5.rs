@@ -5,22 +5,31 @@ use vqc_apps::graphs::Graph;
 use vqc_apps::molecules::Molecule;
 use vqc_apps::qaoa::qaoa_circuit;
 use vqc_apps::uccsd::uccsd_circuit;
-use vqc_bench::{Effort, print_header, reference_parameters};
+use vqc_bench::{print_header, reference_parameters, Effort};
 use vqc_circuit::passes;
-use vqc_circuit::timing::{GateTimes, critical_path_ns};
-use vqc_pulse::DeviceModel;
-use vqc_pulse::minimum_time::{MinimumTimeOptions, minimum_pulse_time};
+use vqc_circuit::timing::{critical_path_ns, GateTimes};
+use vqc_pulse::minimum_time::{minimum_pulse_time, MinimumTimeOptions};
 use vqc_pulse::realistic::RealisticSettings;
+use vqc_pulse::DeviceModel;
 use vqc_sim::circuit_unitary;
 
-fn grape_time(circuit: &vqc_circuit::Circuit, settings: RealisticSettings, effort: Effort, upper: f64) -> (f64, bool) {
+fn grape_time(
+    circuit: &vqc_circuit::Circuit,
+    settings: RealisticSettings,
+    effort: Effort,
+    upper: f64,
+) -> (f64, bool) {
     let device = settings.apply_to_device(&DeviceModel::qubits_line(circuit.num_qubits()));
     let mut grape = settings.apply_to_options(&effort.compiler_options().grape);
     // Leakage + regularization make the target fidelity harder to hit exactly; the
     // paper's point is the relative speedup, so accept a slightly looser target.
     grape.target_infidelity = grape.target_infidelity.max(3e-2);
-    let search = MinimumTimeOptions::new(0.0, upper)
-        .with_precision(effort.compiler_options().search_precision_ns.max(settings.dt_ns()));
+    let search = MinimumTimeOptions::new(0.0, upper).with_precision(
+        effort
+            .compiler_options()
+            .search_precision_ns
+            .max(settings.dt_ns()),
+    );
     let target = circuit_unitary(circuit);
     match minimum_pulse_time(&target, &device, &search, &grape) {
         Ok(result) => (result.duration_ns, result.converged),
@@ -70,6 +79,8 @@ fn main() {
     let qaoa_bound = qaoa.bind(&reference_parameters(2));
     report("Erdos-Renyi N=3 QAOA", &qaoa_bound, effort);
 
-    println!("\nPaper reference (Table 5): H2 11.4x standard vs 8.8x realistic; QAOA 4.5x vs 3.0x.");
+    println!(
+        "\nPaper reference (Table 5): H2 11.4x standard vs 8.8x realistic; QAOA 4.5x vs 3.0x."
+    );
     println!("The property to compare: realistic settings reduce but do not eliminate the GRAPE speedup.");
 }

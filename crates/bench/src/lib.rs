@@ -13,7 +13,8 @@
 use std::time::Instant;
 use vqc_apps::molecules::Molecule;
 use vqc_apps::qaoa::QaoaBenchmark;
-use vqc_core::{CompilationReport, CompilerOptions, PartialCompiler, Strategy};
+use vqc_core::{CompilationReport, CompilerOptions, Strategy};
+use vqc_runtime::{CompilationRuntime, RuntimeOptions};
 
 /// How much compute a harness run is allowed to spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +30,11 @@ pub enum Effort {
 impl Effort {
     /// Reads the effort level from the `VQC_EFFORT` environment variable.
     pub fn from_env() -> Effort {
-        match std::env::var("VQC_EFFORT").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("VQC_EFFORT")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "full" | "paper" => Effort::Full,
             "standard" | "std" => Effort::Standard,
             _ => Effort::Fast,
@@ -83,11 +88,63 @@ pub fn print_header(experiment: &str, effort: Effort) {
     );
 }
 
-/// Compiles one circuit under every strategy and returns the reports in
+/// Builds the concurrent compilation runtime the harness binaries share, from
+/// explicit compiler options.
+///
+/// Worker count comes from `VQC_WORKERS` (default: available parallelism, capped at
+/// 8). If `VQC_SNAPSHOT` names a readable cache snapshot, the runtime warm-starts
+/// from it — re-running a harness binary then skips all GRAPE work its previous run
+/// already paid for; pair with [`persist_if_requested`] at the end of `main`.
+pub fn runtime_with_options(options: CompilerOptions) -> CompilationRuntime {
+    let mut runtime_options = RuntimeOptions::default();
+    if let Ok(workers) = std::env::var("VQC_WORKERS") {
+        if let Ok(workers) = workers.parse::<usize>() {
+            runtime_options = RuntimeOptions::with_workers(workers);
+        }
+    }
+    if let Ok(path) = std::env::var("VQC_SNAPSHOT") {
+        match CompilationRuntime::with_warm_start(options.clone(), runtime_options.clone(), &path) {
+            Ok(runtime) => {
+                println!(
+                    "    warm-started {} cached blocks / {} tunings from {path}\n",
+                    vqc_core::PulseCache::num_blocks(runtime.cache()),
+                    vqc_core::PulseCache::num_tunings(runtime.cache()),
+                );
+                return runtime;
+            }
+            Err(error) => println!("    (snapshot {path} not loaded: {error}; starting cold)\n"),
+        }
+    }
+    CompilationRuntime::new(options, runtime_options)
+}
+
+/// [`runtime_with_options`] at an effort level's standard compiler options.
+pub fn effort_runtime(effort: Effort) -> CompilationRuntime {
+    runtime_with_options(effort.compiler_options())
+}
+
+/// Writes the runtime's cache to the `VQC_SNAPSHOT` path, if one is configured.
+pub fn persist_if_requested(runtime: &CompilationRuntime) {
+    if let Ok(path) = std::env::var("VQC_SNAPSHOT") {
+        match runtime.save_snapshot(&path) {
+            Ok(()) => println!("\nsaved pulse-cache snapshot to {path}"),
+            Err(error) => println!("\nfailed to save pulse-cache snapshot to {path}: {error}"),
+        }
+    }
+}
+
+/// Compiles one circuit under every strategy on the shared runtime (each strategy's
+/// independent blocks run in parallel on the worker pool) and returns the reports in
 /// [gate-based, strict, flexible, full-GRAPE] order, printing a one-line summary per
 /// strategy as it goes.
+///
+/// Strategies are compiled in paper order rather than as one concurrent batch on
+/// purpose: the strategies share the pulse cache, so batching them together would
+/// make the *attribution* of GRAPE latency (strict's pre-compute vs full GRAPE's
+/// runtime) depend on which worker happens to lead a shared block's flight. Batching
+/// belongs to same-strategy workloads — see [`compile_iteration_batch`].
 pub fn compile_all_strategies(
-    compiler: &PartialCompiler,
+    runtime: &CompilationRuntime,
     name: &str,
     circuit: &vqc_circuit::Circuit,
     params: &[f64],
@@ -95,7 +152,7 @@ pub fn compile_all_strategies(
     let mut reports = Vec::new();
     for strategy in Strategy::all() {
         let started = Instant::now();
-        let report = compiler
+        let report = runtime
             .compile(circuit, params, strategy)
             .expect("benchmark circuits compile");
         println!(
@@ -109,10 +166,28 @@ pub fn compile_all_strategies(
     reports
 }
 
+/// Compiles one circuit at many parameter bindings under one strategy as a single
+/// batch — the variational-loop workload the runtime's cross-request cache reuse is
+/// built for. Returns per-iteration reports in input order.
+pub fn compile_iteration_batch(
+    runtime: &CompilationRuntime,
+    circuit: &vqc_circuit::Circuit,
+    parameter_sets: &[Vec<f64>],
+    strategy: Strategy,
+) -> Vec<CompilationReport> {
+    runtime
+        .compile_iterations(circuit, parameter_sets, strategy)
+        .into_iter()
+        .map(|report| report.expect("benchmark circuits compile"))
+        .collect()
+}
+
 /// A deterministic parameter binding of the requested length, used whenever the paper
 /// says "a random parametrization was set".
 pub fn reference_parameters(count: usize) -> Vec<f64> {
-    (0..count).map(|i| 0.37 + 0.61 * (i as f64 * 1.7).sin()).collect()
+    (0..count)
+        .map(|i| 0.37 + 0.61 * (i as f64 * 1.7).sin())
+        .collect()
 }
 
 /// The QAOA benchmark instance (graph family, size, rounds) used by the pulse-level

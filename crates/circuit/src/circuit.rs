@@ -309,7 +309,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit on {} qubits, {} ops:", self.num_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "circuit on {} qubits, {} ops:",
+            self.num_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             writeln!(f, "  {op}")?;
         }

@@ -32,13 +32,22 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::WidthMismatch { expected, actual } => {
-                write!(f, "circuit width mismatch: expected at most {expected} qubits, got {actual}")
+                write!(
+                    f,
+                    "circuit width mismatch: expected at most {expected} qubits, got {actual}"
+                )
             }
             CircuitError::UnroutableGate { a, b } => {
-                write!(f, "no path between qubits {a} and {b} in the device topology")
+                write!(
+                    f,
+                    "no path between qubits {a} and {b} in the device topology"
+                )
             }
             CircuitError::NonBasisGate { gate } => {
-                write!(f, "gate '{gate}' is not in the compilation basis; run decompose_to_basis first")
+                write!(
+                    f,
+                    "gate '{gate}' is not in the compilation basis; run decompose_to_basis first"
+                )
             }
         }
     }
@@ -52,10 +61,17 @@ mod tests {
 
     #[test]
     fn messages_mention_the_problem() {
-        assert!(CircuitError::WidthMismatch { expected: 2, actual: 4 }
+        assert!(CircuitError::WidthMismatch {
+            expected: 2,
+            actual: 4
+        }
+        .to_string()
+        .contains("width"));
+        assert!(CircuitError::UnroutableGate { a: 0, b: 5 }
             .to_string()
-            .contains("width"));
-        assert!(CircuitError::UnroutableGate { a: 0, b: 5 }.to_string().contains("path"));
-        assert!(CircuitError::NonBasisGate { gate: "cz" }.to_string().contains("cz"));
+            .contains("path"));
+        assert!(CircuitError::NonBasisGate { gate: "cz" }
+            .to_string()
+            .contains("cz"));
     }
 }

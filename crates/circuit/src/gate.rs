@@ -69,7 +69,9 @@ impl Gate {
 
     /// Returns `true` if the gate's angle depends on a variational parameter.
     pub fn is_parameterized(&self) -> bool {
-        self.angle().map(ParamExpr::is_parameterized).unwrap_or(false)
+        self.angle()
+            .map(ParamExpr::is_parameterized)
+            .unwrap_or(false)
     }
 
     /// Index of the variational parameter the gate depends on, if any.
@@ -80,7 +82,10 @@ impl Gate {
     /// Returns `true` if the gate belongs to the Table-1 compilation basis
     /// `{Rz, Rx, H, CX, SWAP}`.
     pub fn is_basis_gate(&self) -> bool {
-        matches!(self, Gate::Rz(_) | Gate::Rx(_) | Gate::H | Gate::Cx | Gate::Swap)
+        matches!(
+            self,
+            Gate::Rz(_) | Gate::Rx(_) | Gate::H | Gate::Cx | Gate::Swap
+        )
     }
 
     /// Returns the same gate with its angle expression replaced, for rotation gates.
@@ -130,7 +135,10 @@ impl GateOp {
             qubits.len()
         );
         if qubits.len() == 2 {
-            assert_ne!(qubits[0], qubits[1], "two-qubit gate operands must be distinct");
+            assert_ne!(
+                qubits[0], qubits[1],
+                "two-qubit gate operands must be distinct"
+            );
         }
         GateOp { gate, qubits }
     }

@@ -29,7 +29,10 @@ pub struct MappedCircuit {
 /// Returns [`CircuitError::WidthMismatch`] if the topology has fewer qubits than the
 /// circuit, or [`CircuitError::UnroutableGate`] if two operands of a gate lie in
 /// disconnected components of the topology.
-pub fn map_to_topology(circuit: &Circuit, topology: &Topology) -> Result<MappedCircuit, CircuitError> {
+pub fn map_to_topology(
+    circuit: &Circuit,
+    topology: &Topology,
+) -> Result<MappedCircuit, CircuitError> {
     if topology.num_qubits() < circuit.num_qubits() {
         return Err(CircuitError::WidthMismatch {
             expected: circuit.num_qubits(),

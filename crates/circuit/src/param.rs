@@ -68,7 +68,11 @@ impl ParamExpr {
     pub fn evaluate(&self, params: &[f64]) -> f64 {
         match self {
             ParamExpr::Constant(v) => *v,
-            ParamExpr::Linear { index, scale, offset } => {
+            ParamExpr::Linear {
+                index,
+                scale,
+                offset,
+            } => {
                 assert!(
                     *index < params.len(),
                     "parameter index {index} out of range (got {} parameters)",
@@ -83,7 +87,11 @@ impl ParamExpr {
     pub fn scaled(&self, k: f64) -> Self {
         match self {
             ParamExpr::Constant(v) => ParamExpr::Constant(v * k),
-            ParamExpr::Linear { index, scale, offset } => ParamExpr::Linear {
+            ParamExpr::Linear {
+                index,
+                scale,
+                offset,
+            } => ParamExpr::Linear {
                 index: *index,
                 scale: scale * k,
                 offset: offset * k,
@@ -103,20 +111,30 @@ impl ParamExpr {
     pub fn try_add(&self, other: &ParamExpr) -> Option<ParamExpr> {
         match (self, other) {
             (ParamExpr::Constant(a), ParamExpr::Constant(b)) => Some(ParamExpr::Constant(a + b)),
-            (ParamExpr::Constant(a), ParamExpr::Linear { index, scale, offset }) => {
-                Some(ParamExpr::Linear {
-                    index: *index,
-                    scale: *scale,
-                    offset: offset + a,
-                })
-            }
-            (ParamExpr::Linear { index, scale, offset }, ParamExpr::Constant(b)) => {
-                Some(ParamExpr::Linear {
-                    index: *index,
-                    scale: *scale,
-                    offset: offset + b,
-                })
-            }
+            (
+                ParamExpr::Constant(a),
+                ParamExpr::Linear {
+                    index,
+                    scale,
+                    offset,
+                },
+            ) => Some(ParamExpr::Linear {
+                index: *index,
+                scale: *scale,
+                offset: offset + a,
+            }),
+            (
+                ParamExpr::Linear {
+                    index,
+                    scale,
+                    offset,
+                },
+                ParamExpr::Constant(b),
+            ) => Some(ParamExpr::Linear {
+                index: *index,
+                scale: *scale,
+                offset: offset + b,
+            }),
             (
                 ParamExpr::Linear {
                     index: i1,
@@ -167,7 +185,11 @@ impl fmt::Display for ParamExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParamExpr::Constant(v) => write!(f, "{v:.4}"),
-            ParamExpr::Linear { index, scale, offset } => {
+            ParamExpr::Linear {
+                index,
+                scale,
+                offset,
+            } => {
                 if *offset == 0.0 {
                     if *scale == 1.0 {
                         write!(f, "θ{index}")
@@ -221,11 +243,15 @@ mod tests {
 
     #[test]
     fn merging_with_constants() {
-        let sum = ParamExpr::theta(0).try_add(&ParamExpr::constant(0.25)).unwrap();
+        let sum = ParamExpr::theta(0)
+            .try_add(&ParamExpr::constant(0.25))
+            .unwrap();
         assert_eq!(sum.parameter(), Some(0));
         assert!((sum.evaluate(&[1.0]) - 1.25).abs() < 1e-12);
 
-        let sum2 = ParamExpr::constant(0.25).try_add(&ParamExpr::theta(0)).unwrap();
+        let sum2 = ParamExpr::constant(0.25)
+            .try_add(&ParamExpr::theta(0))
+            .unwrap();
         assert!((sum2.evaluate(&[1.0]) - 1.25).abs() < 1e-12);
     }
 
@@ -234,7 +260,9 @@ mod tests {
         assert!(ParamExpr::constant(0.0).is_zero(1e-12));
         assert!(!ParamExpr::constant(0.1).is_zero(1e-12));
         assert!(!ParamExpr::theta(0).is_zero(1e-12));
-        let cancelled = ParamExpr::theta(0).try_add(&ParamExpr::theta(0).negated()).unwrap();
+        let cancelled = ParamExpr::theta(0)
+            .try_add(&ParamExpr::theta(0).negated())
+            .unwrap();
         assert!(cancelled.is_zero(1e-12));
     }
 

@@ -123,7 +123,10 @@ pub fn schedule_asap(circuit: &Circuit, times: &GateTimes) -> Result<Schedule, C
             duration_ns: duration,
         });
     }
-    Ok(Schedule { ops, total_ns: total })
+    Ok(Schedule {
+        ops,
+        total_ns: total,
+    })
 }
 
 /// Critical-path runtime (ns) of a basis-gate circuit: the paper's "gate-based runtime".

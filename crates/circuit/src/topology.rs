@@ -23,7 +23,10 @@ impl Topology {
     pub fn new(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
         let mut set = BTreeSet::new();
         for &(a, b) in edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop edges are not allowed");
             set.insert((a.min(b), a.max(b)));
         }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use vqc_circuit::passes::{cancel_adjacent_pairs, decompose_to_basis, merge_rotations, optimize};
-use vqc_circuit::timing::{GateTimes, critical_path_ns, serial_duration_ns};
-use vqc_circuit::{Circuit, ParamExpr, Topology, mapping::map_to_topology};
+use vqc_circuit::timing::{critical_path_ns, serial_duration_ns, GateTimes};
+use vqc_circuit::{mapping::map_to_topology, Circuit, ParamExpr, Topology};
 
 /// A random instruction description we can replay onto a `Circuit`.
 #[derive(Debug, Clone)]
@@ -53,7 +53,11 @@ fn build(num_qubits: usize, instrs: &[Instr]) -> Circuit {
     c
 }
 
-fn arb_circuit(num_qubits: usize, num_params: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+fn arb_circuit(
+    num_qubits: usize,
+    num_params: usize,
+    max_len: usize,
+) -> impl Strategy<Value = Circuit> {
     prop::collection::vec(arb_instr(num_qubits, num_params), 0..max_len)
         .prop_map(move |instrs| build(num_qubits, &instrs))
 }

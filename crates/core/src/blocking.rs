@@ -78,7 +78,11 @@ impl Block {
 /// # Panics
 ///
 /// Panics if `max_width == 0`.
-pub fn aggregate_blocks(circuit: &Circuit, max_width: usize, policy: ParameterPolicy) -> Vec<Block> {
+pub fn aggregate_blocks(
+    circuit: &Circuit,
+    max_width: usize,
+    policy: ParameterPolicy,
+) -> Vec<Block> {
     aggregate_blocks_with_cap(circuit, max_width, policy, usize::MAX)
 }
 
@@ -94,7 +98,10 @@ pub fn aggregate_blocks_with_cap(
     max_ops_per_block: usize,
 ) -> Vec<Block> {
     assert!(max_width > 0, "blocks must be allowed at least one qubit");
-    assert!(max_ops_per_block > 0, "blocks must be allowed at least one operation");
+    assert!(
+        max_ops_per_block > 0,
+        "blocks must be allowed at least one operation"
+    );
     let mut blocks: Vec<Block> = Vec::new();
     // current_block[q] = index into `blocks` of the block that most recently touched q.
     let mut current_block: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
@@ -104,11 +111,7 @@ pub fn aggregate_blocks_with_cap(
         let force_isolated = matches!(policy, ParameterPolicy::Forbid) && op_param.is_some();
 
         // Blocks that currently own the op's already-touched operands.
-        let owners: BTreeSet<usize> = op
-            .qubits
-            .iter()
-            .filter_map(|&q| current_block[q])
-            .collect();
+        let owners: BTreeSet<usize> = op.qubits.iter().filter_map(|&q| current_block[q]).collect();
 
         let mut target: Option<usize> = None;
         if !force_isolated && !owners.is_empty() {
@@ -244,9 +247,14 @@ mod tests {
     #[test]
     fn every_op_lands_in_exactly_one_block() {
         let c = strict_alternating_example();
-        for policy in [ParameterPolicy::Forbid, ParameterPolicy::AtMostOne, ParameterPolicy::Unlimited] {
+        for policy in [
+            ParameterPolicy::Forbid,
+            ParameterPolicy::AtMostOne,
+            ParameterPolicy::Unlimited,
+        ] {
             let blocks = aggregate_blocks(&c, 4, policy);
-            let mut covered: Vec<usize> = blocks.iter().flat_map(|b| b.op_indices.clone()).collect();
+            let mut covered: Vec<usize> =
+                blocks.iter().flat_map(|b| b.op_indices.clone()).collect();
             covered.sort_unstable();
             assert_eq!(covered, (0..c.len()).collect::<Vec<_>>(), "{policy:?}");
         }
@@ -307,11 +315,18 @@ mod tests {
         for q in 0..5 {
             c.cx(q, q + 1);
         }
-        for policy in [ParameterPolicy::Forbid, ParameterPolicy::AtMostOne, ParameterPolicy::Unlimited] {
+        for policy in [
+            ParameterPolicy::Forbid,
+            ParameterPolicy::AtMostOne,
+            ParameterPolicy::Unlimited,
+        ] {
             for max_width in [2usize, 3, 4] {
                 let blocks = aggregate_blocks(&c, max_width, policy);
                 for block in &blocks {
-                    assert!(block.qubits.len() <= max_width, "{policy:?} width {max_width}");
+                    assert!(
+                        block.qubits.len() <= max_width,
+                        "{policy:?} width {max_width}"
+                    );
                 }
             }
         }

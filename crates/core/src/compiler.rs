@@ -1,19 +1,20 @@
 //! The [`PartialCompiler`]: one API over the four compilation strategies.
 
-use crate::blocking::{Block, ParameterPolicy, aggregate_blocks_with_cap};
-use crate::hyperparam::{HyperparameterGrid, tune_hyperparameters};
+use crate::blocking::{aggregate_blocks_with_cap, Block, ParameterPolicy};
+use crate::hyperparam::{tune_hyperparameters, HyperparameterGrid};
 use crate::latency::{LatencyEstimate, LatencyModel};
-use crate::library::{BlockKey, CachedBlock, CachedTuning, PulseLibrary};
+use crate::library::{BlockKey, CachedBlock, CachedTuning, PulseCache, PulseLibrary};
 use crate::schedule::schedule_blocks;
 use crate::CompileError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
-use vqc_circuit::timing::{GateTimes, critical_path_ns};
-use vqc_circuit::{Circuit, passes};
-use vqc_pulse::DeviceModel;
+use vqc_circuit::timing::{critical_path_ns, GateTimes};
+use vqc_circuit::{passes, Circuit};
 use vqc_pulse::grape::GrapeOptions;
-use vqc_pulse::minimum_time::{MinimumTimeOptions, minimum_pulse_time};
+use vqc_pulse::minimum_time::{minimum_pulse_time, MinimumTimeOptions};
+use vqc_pulse::DeviceModel;
 use vqc_sim::circuit_unitary;
 
 /// The compilation strategy to apply (Sections 2.3, 5, 6 and 7 of the paper).
@@ -191,20 +192,76 @@ impl CompilationReport {
     }
 }
 
-/// The partial compiler: owns the configuration and the pulse library cache.
+/// The blocking decision for one circuit under one strategy: everything the
+/// per-block compilation steps need, produced once by [`PartialCompiler::plan`].
+///
+/// Splitting planning from block compilation is what lets `vqc-runtime` compile the
+/// independent blocks of a plan on a worker pool: each block's
+/// [`PartialCompiler::compile_block_outcome`] call is side-effect-free apart from
+/// inserts into the shared [`PulseCache`], so blocks can run in any order and in
+/// parallel, and [`PartialCompiler::assemble`] folds the outcomes back into the same
+/// [`CompilationReport`] the sequential path produces.
+#[derive(Debug, Clone)]
+pub struct CompilationPlan {
+    /// The optimized, basis-lowered circuit the blocks index into.
+    pub prepared: Circuit,
+    /// Gate-based critical-path duration of the prepared circuit (ns).
+    pub gate_based_duration_ns: f64,
+    /// The aggregated blocks (empty for the gate-based strategy).
+    pub blocks: Vec<Block>,
+    /// Strategy the plan was made for.
+    pub strategy: Strategy,
+}
+
+impl CompilationPlan {
+    /// The key under which a block's pulse-level work is cached, or `None` when the
+    /// block needs no GRAPE work at all (single-gate lookup blocks, gate-based
+    /// strategy). Two blocks with the same key perform identical GRAPE work, so a
+    /// concurrent runtime deduplicates in-flight compilations on this key.
+    pub fn dedup_key(&self, block: &Block, params: &[f64]) -> Option<BlockKey> {
+        if self.strategy == Strategy::GateBased || block.len() <= 1 {
+            return None;
+        }
+        let subcircuit = block.to_circuit(&self.prepared);
+        if self.strategy == Strategy::FlexiblePartial && !block.is_fixed() {
+            // Flexible runtime blocks cache their tuning under the structural key.
+            Some(BlockKey::structural(&subcircuit))
+        } else {
+            Some(BlockKey::from_bound_circuit(&subcircuit.bind(params)))
+        }
+    }
+}
+
+/// The result of compiling one block of a [`CompilationPlan`]: the per-block report
+/// plus the compilation latency the work incurred, attributed to its phase.
+#[derive(Debug, Clone)]
+pub struct BlockOutcome {
+    /// Per-block compilation details.
+    pub report: BlockCompilation,
+    /// Latency attributed to the pre-compute phase by this block.
+    pub precompute: LatencyEstimate,
+    /// Latency attributed to the runtime phase by this block.
+    pub runtime: LatencyEstimate,
+}
+
+/// The partial compiler: owns the configuration and a shared pulse cache.
 #[derive(Debug)]
 pub struct PartialCompiler {
     options: CompilerOptions,
-    library: PulseLibrary,
+    cache: Arc<dyn PulseCache>,
 }
 
 impl PartialCompiler {
-    /// Creates a compiler with the given options and an empty pulse library.
+    /// Creates a compiler with the given options and an empty in-process
+    /// [`PulseLibrary`] cache.
     pub fn new(options: CompilerOptions) -> Self {
-        PartialCompiler {
-            options,
-            library: PulseLibrary::new(),
-        }
+        PartialCompiler::with_cache(options, Arc::new(PulseLibrary::new()))
+    }
+
+    /// Creates a compiler backed by an externally owned cache (e.g. the sharded
+    /// cache of `vqc-runtime`, shared across compilers and requests).
+    pub fn with_cache(options: CompilerOptions, cache: Arc<dyn PulseCache>) -> Self {
+        PartialCompiler { options, cache }
     }
 
     /// The compiler's configuration.
@@ -212,9 +269,14 @@ impl PartialCompiler {
         &self.options
     }
 
-    /// The shared pulse library (cache of block compilations and tunings).
-    pub fn library(&self) -> &PulseLibrary {
-        &self.library
+    /// The shared pulse cache (block compilations and tunings).
+    pub fn library(&self) -> &dyn PulseCache {
+        self.cache.as_ref()
+    }
+
+    /// A cloneable handle to the shared pulse cache.
+    pub fn shared_cache(&self) -> Arc<dyn PulseCache> {
+        Arc::clone(&self.cache)
     }
 
     /// Optimizes and lowers a circuit to the compilation basis — the preparation every
@@ -240,6 +302,29 @@ impl PartialCompiler {
         params: &[f64],
         strategy: Strategy,
     ) -> Result<CompilationReport, CompileError> {
+        let plan = self.plan(circuit, params, strategy)?;
+        let mut outcomes = Vec::with_capacity(plan.blocks.len());
+        for block in &plan.blocks {
+            outcomes.push(self.compile_block_outcome(&plan, block, params)?);
+        }
+        Ok(self.assemble(&plan, outcomes))
+    }
+
+    /// Prepares a circuit and decides its blocking under a strategy, without doing any
+    /// pulse-level work. The returned plan's blocks are independent: they can be fed
+    /// to [`PartialCompiler::compile_block_outcome`] in any order (or concurrently)
+    /// and folded back with [`PartialCompiler::assemble`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::MissingParameters`] if `params` is shorter than the
+    /// highest θ index the circuit references.
+    pub fn plan(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        strategy: Strategy,
+    ) -> Result<CompilationPlan, CompileError> {
         let required = circuit
             .parameter_indices()
             .into_iter()
@@ -255,50 +340,104 @@ impl PartialCompiler {
 
         let prepared = self.prepare(circuit);
         let gate_based_duration_ns = critical_path_ns(&prepared, &self.options.gate_times);
+        let blocks = match strategy.parameter_policy() {
+            None => Vec::new(),
+            Some(policy) => aggregate_blocks_with_cap(
+                &prepared,
+                self.options.max_block_width,
+                policy,
+                self.options.max_block_ops,
+            ),
+        };
+        Ok(CompilationPlan {
+            prepared,
+            gate_based_duration_ns,
+            blocks,
+            strategy,
+        })
+    }
 
-        let Some(policy) = strategy.parameter_policy() else {
-            return Ok(CompilationReport {
-                strategy,
-                pulse_duration_ns: gate_based_duration_ns,
-                gate_based_duration_ns,
-                num_blocks: prepared.len(),
+    /// Folds per-block outcomes back into the report [`PartialCompiler::compile`]
+    /// would have produced sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` does not contain exactly one outcome per plan block, in
+    /// plan order.
+    pub fn assemble(
+        &self,
+        plan: &CompilationPlan,
+        outcomes: Vec<BlockOutcome>,
+    ) -> CompilationReport {
+        assert_eq!(
+            outcomes.len(),
+            plan.blocks.len(),
+            "assemble needs one outcome per planned block"
+        );
+        if plan.strategy.parameter_policy().is_none() {
+            return CompilationReport {
+                strategy: plan.strategy,
+                pulse_duration_ns: plan.gate_based_duration_ns,
+                gate_based_duration_ns: plan.gate_based_duration_ns,
+                num_blocks: plan.prepared.len(),
                 blocks: Vec::new(),
                 precompute: LatencyEstimate::default(),
                 runtime: LatencyEstimate::default(),
-            });
-        };
-
-        let blocks = aggregate_blocks_with_cap(
-            &prepared,
-            self.options.max_block_width,
-            policy,
-            self.options.max_block_ops,
-        );
-        let mut block_reports = Vec::with_capacity(blocks.len());
-        let mut precompute = LatencyEstimate::default();
-        let mut runtime = LatencyEstimate::default();
-        let mut durations: Vec<(Vec<usize>, f64)> = Vec::with_capacity(blocks.len());
-
-        for block in &blocks {
-            let report = self.compile_block(&prepared, block, params, strategy, &mut precompute, &mut runtime)?;
-            durations.push((block.qubits.clone(), report.duration_ns));
-            block_reports.push(report);
+            };
         }
 
-        let (_placement, blocked_duration_ns) = schedule_blocks(prepared.num_qubits(), &durations);
+        let mut precompute = LatencyEstimate::default();
+        let mut runtime = LatencyEstimate::default();
+        let mut block_reports = Vec::with_capacity(outcomes.len());
+        let mut durations: Vec<(Vec<usize>, f64)> = Vec::with_capacity(outcomes.len());
+        for (block, outcome) in plan.blocks.iter().zip(outcomes) {
+            precompute.accumulate(&outcome.precompute);
+            runtime.accumulate(&outcome.runtime);
+            durations.push((block.qubits.clone(), outcome.report.duration_ns));
+            block_reports.push(outcome.report);
+        }
+
+        let (_placement, blocked_duration_ns) =
+            schedule_blocks(plan.prepared.num_qubits(), &durations);
         // Section 5.2: the paper's aggregation only accepts blockings that do not delay
         // execution, so GRAPE-style strategies are strictly better than gate-based
         // compilation. Our greedy aggregation can occasionally serialize gates that the
         // gate-level ASAP schedule overlapped; when that happens the compiler falls back
         // to emitting the gate-based pulse schedule, preserving the guarantee.
-        let pulse_duration_ns = blocked_duration_ns.min(gate_based_duration_ns);
+        let pulse_duration_ns = blocked_duration_ns.min(plan.gate_based_duration_ns);
 
-        Ok(CompilationReport {
-            strategy,
+        CompilationReport {
+            strategy: plan.strategy,
             pulse_duration_ns,
-            gate_based_duration_ns,
-            num_blocks: blocks.len(),
+            gate_based_duration_ns: plan.gate_based_duration_ns,
+            num_blocks: plan.blocks.len(),
             blocks: block_reports,
+            precompute,
+            runtime,
+        }
+    }
+
+    /// Compiles a single block of a plan, returning its report together with the
+    /// latency it incurred in each phase. Results of pulse-level work are cached in
+    /// the shared [`PulseCache`], so re-compiling an identical block is a lookup.
+    pub fn compile_block_outcome(
+        &self,
+        plan: &CompilationPlan,
+        block: &Block,
+        params: &[f64],
+    ) -> Result<BlockOutcome, CompileError> {
+        let mut precompute = LatencyEstimate::default();
+        let mut runtime = LatencyEstimate::default();
+        let report = self.compile_block(
+            &plan.prepared,
+            block,
+            params,
+            plan.strategy,
+            &mut precompute,
+            &mut runtime,
+        )?;
+        Ok(BlockOutcome {
+            report,
             precompute,
             runtime,
         })
@@ -341,7 +480,9 @@ impl PartialCompiler {
         let controls = device.num_controls();
 
         match strategy {
-            Strategy::GateBased => unreachable!("gate-based compilation never reaches block compilation"),
+            Strategy::GateBased => {
+                unreachable!("gate-based compilation never reaches block compilation")
+            }
             Strategy::StrictPartial | Strategy::FullGrape => {
                 let started = Instant::now();
                 let (cached_entry, cached) = self.grape_block(&bound, &device, gate_based_ns)?;
@@ -384,7 +525,8 @@ impl PartialCompiler {
                     // Fixed blocks are pre-compiled exactly as in strict partial
                     // compilation.
                     let started = Instant::now();
-                    let (cached_entry, cached) = self.grape_block(&bound, &device, gate_based_ns)?;
+                    let (cached_entry, cached) =
+                        self.grape_block(&bound, &device, gate_based_ns)?;
                     let measured = started.elapsed().as_secs_f64();
                     if !cached {
                         precompute.accumulate(&LatencyEstimate {
@@ -407,15 +549,16 @@ impl PartialCompiler {
                         used_grape: true,
                         converged: cached_entry.converged,
                         cached,
-                    })
+                    });
                 }
 
                 let structural_key = BlockKey::structural(&subcircuit);
-                let (tuning, cached) = match self.library.tuning(&structural_key) {
+                let (tuning, cached) = match self.cache.tuning(&structural_key) {
                     Some(entry) => (entry, true),
                     None => {
                         let started = Instant::now();
-                        let entry = self.tune_flexible_block(&subcircuit, &bound, &device, gate_based_ns)?;
+                        let entry =
+                            self.tune_flexible_block(&subcircuit, &bound, &device, gate_based_ns)?;
                         let measured = started.elapsed().as_secs_f64();
                         precompute.accumulate(&LatencyEstimate {
                             grape_iterations: entry.precompute_iterations,
@@ -427,7 +570,7 @@ impl PartialCompiler {
                             ),
                             measured_seconds: measured,
                         });
-                        self.library.insert_tuning(structural_key, entry.clone());
+                        self.cache.insert_tuning(structural_key, entry.clone());
                         (entry, false)
                     }
                 };
@@ -473,7 +616,7 @@ impl PartialCompiler {
         upper_bound_ns: f64,
     ) -> Result<(CachedBlock, bool), CompileError> {
         let key = BlockKey::from_bound_circuit(bound);
-        if let Some(entry) = self.library.block(&key) {
+        if let Some(entry) = self.cache.block(&key) {
             return Ok((entry, true));
         }
         let target = circuit_unitary(bound);
@@ -489,7 +632,7 @@ impl PartialCompiler {
             converged: result.converged,
             grape_iterations: result.total_iterations(),
         };
-        self.library.insert_block(key, entry.clone());
+        self.cache.insert_block(key, entry.clone());
         Ok((entry, false))
     }
 
@@ -570,7 +713,9 @@ mod tests {
     fn gate_based_report_matches_critical_path() {
         let compiler = compiler();
         let circuit = example_circuit();
-        let report = compiler.compile(&circuit, &[0.3, 0.9], Strategy::GateBased).unwrap();
+        let report = compiler
+            .compile(&circuit, &[0.3, 0.9], Strategy::GateBased)
+            .unwrap();
         assert_eq!(report.pulse_duration_ns, report.gate_based_duration_ns);
         assert!((report.pulse_speedup() - 1.0).abs() < 1e-12);
         assert_eq!(report.runtime.grape_iterations, 0);
@@ -583,7 +728,10 @@ mod tests {
         let circuit = example_circuit();
         assert!(matches!(
             compiler.compile(&circuit, &[0.3], Strategy::GateBased),
-            Err(CompileError::MissingParameters { supplied: 1, required: 2 })
+            Err(CompileError::MissingParameters {
+                supplied: 1,
+                required: 2
+            })
         ));
     }
 
@@ -592,8 +740,12 @@ mod tests {
         let compiler = compiler();
         let circuit = example_circuit();
         let params = [0.4, 1.2];
-        let gate = compiler.compile(&circuit, &params, Strategy::GateBased).unwrap();
-        let strict = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
+        let gate = compiler
+            .compile(&circuit, &params, Strategy::GateBased)
+            .unwrap();
+        let strict = compiler
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
         assert!(strict.pulse_duration_ns <= gate.pulse_duration_ns + 1e-9);
         // Strict pays no runtime GRAPE latency.
         assert_eq!(strict.runtime.grape_iterations, 0);
@@ -606,8 +758,12 @@ mod tests {
         let compiler = compiler();
         let circuit = example_circuit();
         let params = [0.4, 1.2];
-        let strict = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
-        let full = compiler.compile(&circuit, &params, Strategy::FullGrape).unwrap();
+        let strict = compiler
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        let full = compiler
+            .compile(&circuit, &params, Strategy::FullGrape)
+            .unwrap();
         assert!(full.pulse_duration_ns <= strict.pulse_duration_ns + 1e-9);
         assert!(full.runtime.grape_iterations > 0);
         assert_eq!(full.precompute.grape_iterations, 0);
@@ -619,9 +775,15 @@ mod tests {
         let compiler = compiler();
         let circuit = example_circuit();
         let params = [0.4, 1.2];
-        let full = compiler.compile(&circuit, &params, Strategy::FullGrape).unwrap();
-        let strict = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
-        let flexible = compiler.compile(&circuit, &params, Strategy::FlexiblePartial).unwrap();
+        let full = compiler
+            .compile(&circuit, &params, Strategy::FullGrape)
+            .unwrap();
+        let strict = compiler
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        let flexible = compiler
+            .compile(&circuit, &params, Strategy::FlexiblePartial)
+            .unwrap();
         // Flexible sits between strict partial compilation and full GRAPE in pulse
         // duration (it only ties GRAPE exactly when every GRAPE block depends on at
         // most one parameter, which this deliberately-small example violates).
@@ -644,10 +806,18 @@ mod tests {
         let compiler = compiler();
         let circuit = example_circuit();
         let params = [0.4, 1.2];
-        let first = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
-        let second = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
+        let first = compiler
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        let second = compiler
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
         assert_eq!(first.pulse_duration_ns, second.pulse_duration_ns);
-        assert!(second.blocks.iter().filter(|b| b.used_grape).all(|b| b.cached));
+        assert!(second
+            .blocks
+            .iter()
+            .filter(|b| b.used_grape)
+            .all(|b| b.cached));
         assert!(compiler.library().num_blocks() > 0);
     }
 
@@ -657,8 +827,12 @@ mod tests {
         // tuning cost again (that is the whole point of flexible partial compilation).
         let compiler = compiler();
         let circuit = example_circuit();
-        let first = compiler.compile(&circuit, &[0.4, 1.2], Strategy::FlexiblePartial).unwrap();
-        let second = compiler.compile(&circuit, &[2.0, -0.7], Strategy::FlexiblePartial).unwrap();
+        let first = compiler
+            .compile(&circuit, &[0.4, 1.2], Strategy::FlexiblePartial)
+            .unwrap();
+        let second = compiler
+            .compile(&circuit, &[2.0, -0.7], Strategy::FlexiblePartial)
+            .unwrap();
         assert!(first.precompute.grape_iterations > 0);
         assert_eq!(second.precompute.grape_iterations, 0);
         assert!(second.runtime.grape_iterations > 0);
@@ -669,7 +843,12 @@ mod tests {
         let names: Vec<&str> = Strategy::all().iter().map(Strategy::name).collect();
         assert_eq!(
             names,
-            vec!["Gate-based", "Strict Partial", "Flexible Partial", "Full GRAPE"]
+            vec![
+                "Gate-based",
+                "Strict Partial",
+                "Flexible Partial",
+                "Full GRAPE"
+            ]
         );
         assert_eq!(Strategy::FullGrape.to_string(), "Full GRAPE");
     }

@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn messages_and_conversions() {
-        let e = CompileError::MissingParameters { supplied: 2, required: 5 };
+        let e = CompileError::MissingParameters {
+            supplied: 2,
+            required: 5,
+        };
         assert!(e.to_string().contains("5"));
 
         let from_circuit: CompileError = CircuitError::NonBasisGate { gate: "cz" }.into();

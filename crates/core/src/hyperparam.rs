@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use vqc_circuit::Circuit;
-use vqc_pulse::grape::{GrapeOptions, try_optimize_pulse};
+use vqc_pulse::grape::{try_optimize_pulse, GrapeOptions};
 use vqc_pulse::{DeviceModel, PulseError};
 use vqc_sim::circuit_unitary;
 
@@ -136,14 +136,26 @@ pub fn tune_hyperparameters(
         .min_by(|a, b| {
             (
                 !a.converged,
-                if a.converged { a.iterations } else { usize::MAX },
+                if a.converged {
+                    a.iterations
+                } else {
+                    usize::MAX
+                },
             )
                 .partial_cmp(&(
                     !b.converged,
-                    if b.converged { b.iterations } else { usize::MAX },
+                    if b.converged {
+                        b.iterations
+                    } else {
+                        usize::MAX
+                    },
                 ))
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.infidelity.partial_cmp(&b.infidelity).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    a.infidelity
+                        .partial_cmp(&b.infidelity)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
         })
         .expect("grid is non-empty")
         .clone();
@@ -191,10 +203,20 @@ mod tests {
     fn tuning_finds_a_converging_configuration() {
         let circuit = single_angle_subcircuit(0.8);
         let device = DeviceModel::qubits_line(2);
-        let result = tune_hyperparameters(&circuit, &device, 12.0, &fast_options(), &HyperparameterGrid::fast())
-            .unwrap();
+        let result = tune_hyperparameters(
+            &circuit,
+            &device,
+            12.0,
+            &fast_options(),
+            &HyperparameterGrid::fast(),
+        )
+        .unwrap();
         assert_eq!(result.probes.len(), 3);
-        assert!(result.converged, "no candidate converged: {:?}", result.probes);
+        assert!(
+            result.converged,
+            "no candidate converged: {:?}",
+            result.probes
+        );
         assert!(result.runtime_iterations <= 120);
         assert!(result.total_probe_iterations() >= result.runtime_iterations);
     }

@@ -36,7 +36,13 @@ impl Default for LatencyModel {
 impl LatencyModel {
     /// Estimated seconds for `iterations` GRAPE iterations on a problem with the given
     /// number of time slices, Hilbert-space dimension, and control knobs.
-    pub fn estimate_seconds(&self, iterations: usize, slices: usize, dim: usize, controls: usize) -> f64 {
+    pub fn estimate_seconds(
+        &self,
+        iterations: usize,
+        slices: usize,
+        dim: usize,
+        controls: usize,
+    ) -> f64 {
         self.seconds_per_work_unit
             * iterations as f64
             * slices as f64
@@ -128,7 +134,10 @@ mod tests {
         };
         assert!((a.reduction_factor_vs(&small) - 100.0).abs() < 1e-9);
         // Degenerate comparisons do not panic.
-        assert_eq!(small.reduction_factor_vs(&LatencyEstimate::default()), f64::INFINITY);
+        assert_eq!(
+            small.reduction_factor_vs(&LatencyEstimate::default()),
+            f64::INFINITY
+        );
         assert_eq!(
             LatencyEstimate::default().reduction_factor_vs(&LatencyEstimate::default()),
             1.0

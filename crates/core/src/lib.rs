@@ -56,6 +56,9 @@ pub mod latency;
 mod library;
 pub mod schedule;
 
-pub use compiler::{BlockCompilation, CompilationReport, CompilerOptions, PartialCompiler, Strategy};
+pub use compiler::{
+    BlockCompilation, BlockOutcome, CompilationPlan, CompilationReport, CompilerOptions,
+    PartialCompiler, Strategy,
+};
 pub use error::CompileError;
-pub use library::{BlockKey, PulseLibrary};
+pub use library::{BlockKey, CachedBlock, CachedTuning, PulseCache, PulseLibrary};

@@ -92,11 +92,70 @@ pub struct CachedTuning {
     pub runtime_iterations: usize,
 }
 
+/// The storage interface behind the compiler's block/tuning caches.
+///
+/// [`PulseLibrary`] is the in-process reference implementation; `vqc-runtime`
+/// provides a lock-striped, sharded, snapshot-persistable implementation for
+/// concurrent workloads. [`crate::PartialCompiler`] only talks to this trait, so the
+/// two are interchangeable.
+pub trait PulseCache: Send + Sync + std::fmt::Debug {
+    /// Looks up a cached block compilation.
+    fn block(&self, key: &BlockKey) -> Option<CachedBlock>;
+
+    /// Inserts a block compilation result.
+    fn insert_block(&self, key: BlockKey, value: CachedBlock);
+
+    /// Looks up a cached flexible-compilation tuning.
+    fn tuning(&self, key: &BlockKey) -> Option<CachedTuning>;
+
+    /// Inserts a tuning result.
+    fn insert_tuning(&self, key: BlockKey, value: CachedTuning);
+
+    /// Number of cached block compilations.
+    fn num_blocks(&self) -> usize;
+
+    /// Number of cached tunings.
+    fn num_tunings(&self) -> usize;
+
+    /// Clears both caches.
+    fn clear(&self);
+}
+
 /// Thread-safe cache of block compilations and flexible-compilation tunings.
 #[derive(Debug, Default)]
 pub struct PulseLibrary {
     blocks: Mutex<HashMap<BlockKey, CachedBlock>>,
     tunings: Mutex<HashMap<BlockKey, CachedTuning>>,
+}
+
+impl PulseCache for PulseLibrary {
+    fn block(&self, key: &BlockKey) -> Option<CachedBlock> {
+        PulseLibrary::block(self, key)
+    }
+
+    fn insert_block(&self, key: BlockKey, value: CachedBlock) {
+        PulseLibrary::insert_block(self, key, value)
+    }
+
+    fn tuning(&self, key: &BlockKey) -> Option<CachedTuning> {
+        PulseLibrary::tuning(self, key)
+    }
+
+    fn insert_tuning(&self, key: BlockKey, value: CachedTuning) {
+        PulseLibrary::insert_tuning(self, key, value)
+    }
+
+    fn num_blocks(&self) -> usize {
+        PulseLibrary::num_blocks(self)
+    }
+
+    fn num_tunings(&self) -> usize {
+        PulseLibrary::num_tunings(self)
+    }
+
+    fn clear(&self) {
+        PulseLibrary::clear(self)
+    }
 }
 
 impl PulseLibrary {
@@ -153,7 +212,10 @@ mod tests {
         a.rz(0, 0.5);
         let mut b = Circuit::new(1);
         b.rz(0, 0.6);
-        assert_ne!(BlockKey::from_bound_circuit(&a), BlockKey::from_bound_circuit(&b));
+        assert_ne!(
+            BlockKey::from_bound_circuit(&a),
+            BlockKey::from_bound_circuit(&b)
+        );
         assert_eq!(
             BlockKey::from_bound_circuit(&a),
             BlockKey::from_bound_circuit(&a.clone())

@@ -24,7 +24,10 @@ pub struct ScheduledBlock {
 /// # Panics
 ///
 /// Panics if a block references a qubit `>= num_qubits`.
-pub fn schedule_blocks(num_qubits: usize, blocks: &[(Vec<usize>, f64)]) -> (Vec<ScheduledBlock>, f64) {
+pub fn schedule_blocks(
+    num_qubits: usize,
+    blocks: &[(Vec<usize>, f64)],
+) -> (Vec<ScheduledBlock>, f64) {
     let mut qubit_free_at = vec![0.0_f64; num_qubits];
     let mut placements = Vec::with_capacity(blocks.len());
     let mut total = 0.0_f64;

@@ -172,6 +172,8 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    // Division via the reciprocal is the standard complex-number formulation.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()
     }

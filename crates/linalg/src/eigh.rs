@@ -6,7 +6,7 @@
 //! Hamiltonian. The matrices involved are small (≤ 81x81), where Jacobi is simple,
 //! numerically robust, and plenty fast.
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 
 /// Result of a Hermitian eigendecomposition `A = V · diag(λ) · V†`.
 #[derive(Debug, Clone)]

@@ -33,7 +33,11 @@ impl fmt::Display for LinalgError {
                 left.0, left.1, right.0, right.1
             ),
             LinalgError::NotSquare { shape, op } => {
-                write!(f, "{op} requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "{op} requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
         }
     }

@@ -5,7 +5,7 @@
 //! accurate to near machine precision for the norms encountered here and avoids the
 //! complexity of a Padé implementation.
 
-use crate::{C64, Matrix};
+use crate::{Matrix, C64};
 
 /// Default Taylor truncation order used by [`expm`].
 pub const DEFAULT_TAYLOR_ORDER: usize = 18;

@@ -14,7 +14,10 @@ use crate::{Matrix, Vector};
 ///
 /// Panics if the matrices are not square or have different shapes.
 pub fn trace_fidelity(u: &Matrix, v: &Matrix) -> f64 {
-    assert!(u.is_square() && v.is_square(), "fidelity requires square matrices");
+    assert!(
+        u.is_square() && v.is_square(),
+        "fidelity requires square matrices"
+    );
     assert_eq!(u.shape(), v.shape(), "fidelity requires equal shapes");
     let d = u.rows() as f64;
     let overlap = u.dagger().matmul(v).trace();
@@ -45,14 +48,11 @@ pub fn average_gate_fidelity(u: &Matrix, v: &Matrix) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{C64, c64};
+    use crate::{c64, C64};
 
     fn hadamard() -> Matrix {
         let s = 1.0 / 2.0_f64.sqrt();
-        Matrix::from_rows(&[
-            &[c64(s, 0.0), c64(s, 0.0)],
-            &[c64(s, 0.0), c64(-s, 0.0)],
-        ])
+        Matrix::from_rows(&[&[c64(s, 0.0), c64(s, 0.0)], &[c64(s, 0.0), c64(-s, 0.0)]])
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod matrix;
 mod vector;
 
 pub use complex::C64;
-pub use eigh::{EighResult, eigh};
+pub use eigh::{eigh, EighResult};
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use vector::Vector;

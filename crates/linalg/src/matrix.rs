@@ -1,6 +1,6 @@
 //! Dense, row-major complex matrices.
 
-use crate::{C64, LinalgError, Vector};
+use crate::{LinalgError, Vector, C64};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
@@ -62,7 +62,10 @@ impl Matrix {
     ///
     /// Panics if the rows have inconsistent lengths or `rows` is empty.
     pub fn from_rows(rows: &[&[C64]]) -> Self {
-        assert!(!rows.is_empty(), "Matrix::from_rows requires at least one row");
+        assert!(
+            !rows.is_empty(),
+            "Matrix::from_rows requires at least one row"
+        );
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
@@ -82,7 +85,11 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -180,13 +187,13 @@ impl Matrix {
     pub fn matvec(&self, v: &Vector) -> Vector {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
         let mut out = vec![C64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut acc = C64::ZERO;
             for (a, b) in row.iter().zip(v.as_slice().iter()) {
                 acc += *a * *b;
             }
-            out[i] = acc;
+            *slot = acc;
         }
         Vector::from_vec(out)
     }
@@ -373,7 +380,11 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use vqc_linalg::expm::{expm, expm_i_hermitian};
 use vqc_linalg::fidelity::{trace_fidelity, trace_infidelity};
-use vqc_linalg::{C64, Matrix, Vector, c64};
+use vqc_linalg::{c64, Matrix, Vector, C64};
 
 /// Strategy producing a complex number with bounded components.
 fn arb_c64(bound: f64) -> impl Strategy<Value = C64> {
@@ -12,8 +12,7 @@ fn arb_c64(bound: f64) -> impl Strategy<Value = C64> {
 
 /// Strategy producing an `n x n` complex matrix with bounded entries.
 fn arb_matrix(n: usize, bound: f64) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(arb_c64(bound), n * n)
-        .prop_map(move |data| Matrix::from_vec(n, n, data))
+    prop::collection::vec(arb_c64(bound), n * n).prop_map(move |data| Matrix::from_vec(n, n, data))
 }
 
 /// Strategy producing an `n x n` Hermitian matrix with bounded entries.

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 use vqc_circuit::Topology;
-use vqc_linalg::{C64, Matrix};
+use vqc_linalg::{Matrix, C64};
 
 /// Maximum charge-drive amplitude `|Ω_c| ≤ 2π · 0.1 GHz`, in rad/ns.
 pub const CHARGE_DRIVE_MAX: f64 = 2.0 * PI * 0.1;
@@ -133,7 +133,11 @@ impl DeviceModel {
         let d = self.levels.dim();
         let mut full = Matrix::identity(1);
         for i in 0..self.num_qubits {
-            let factor = if i == q { op.clone() } else { Matrix::identity(d) };
+            let factor = if i == q {
+                op.clone()
+            } else {
+                Matrix::identity(d)
+            };
             full = full.kron(&factor);
         }
         full
@@ -271,7 +275,9 @@ impl DeviceModel {
     /// Restricts a device-space operator to the computational qubit subspace.
     pub fn project_to_qubit_subspace(&self, full: &Matrix) -> Matrix {
         let indices = self.qubit_subspace_indices();
-        Matrix::from_fn(indices.len(), indices.len(), |r, c| full[(indices[r], indices[c])])
+        Matrix::from_fn(indices.len(), indices.len(), |r, c| {
+            full[(indices[r], indices[c])]
+        })
     }
 }
 

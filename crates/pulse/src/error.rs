@@ -59,9 +59,15 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = PulseError::DimensionMismatch { target_dim: 4, device_dim: 8 };
+        let e = PulseError::DimensionMismatch {
+            target_dim: 4,
+            device_dim: 8,
+        };
         assert!(e.to_string().contains("4"));
-        let e = PulseError::DurationTooShort { duration_ns: 0.1, dt_ns: 0.5 };
+        let e = PulseError::DurationTooShort {
+            duration_ns: 0.1,
+            dt_ns: 0.5,
+        };
         assert!(e.to_string().contains("sample period"));
         let e = PulseError::DidNotConverge {
             achieved_infidelity: 0.1,

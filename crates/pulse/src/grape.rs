@@ -12,7 +12,7 @@
 use crate::propagate::slice_hamiltonian;
 use crate::{DeviceModel, PulseError, PulseSequence};
 use serde::{Deserialize, Serialize};
-use vqc_linalg::{C64, Matrix, eigh};
+use vqc_linalg::{eigh, Matrix, C64};
 
 /// Hyperparameters and budget for one GRAPE run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -375,10 +375,12 @@ pub fn try_optimize_pulse(
                 grad += 2.0 * options.amplitude_penalty * u_kt * dt;
                 if options.smoothness_penalty > 0.0 {
                     if t > 0 {
-                        grad += 2.0 * options.smoothness_penalty * (u_kt - pulse.amplitude(k, t - 1));
+                        grad +=
+                            2.0 * options.smoothness_penalty * (u_kt - pulse.amplitude(k, t - 1));
                     }
                     if t + 1 < num_slices {
-                        grad -= 2.0 * options.smoothness_penalty * (pulse.amplitude(k, t + 1) - u_kt);
+                        grad -=
+                            2.0 * options.smoothness_penalty * (pulse.amplitude(k, t + 1) - u_kt);
                     }
                 }
                 if options.envelope_penalty > 0.0 {

@@ -6,7 +6,7 @@
 //! GRAPE-compiled blocks are never slower than the gate-based baseline — the property
 //! the paper's aggregation scheme is designed to preserve.
 
-use crate::grape::{GrapeOptions, GrapeResult, try_optimize_pulse};
+use crate::grape::{try_optimize_pulse, GrapeOptions, GrapeResult};
 use crate::{DeviceModel, PulseError};
 use serde::{Deserialize, Serialize};
 use vqc_linalg::Matrix;
@@ -171,8 +171,13 @@ mod tests {
     fn z_rotation_minimum_time_is_much_shorter_than_x() {
         let device = DeviceModel::qubits_line(1);
         let search = MinimumTimeOptions::new(0.0, 4.0).with_precision(0.5);
-        let z = minimum_pulse_time(&gates::rz(std::f64::consts::PI), &device, &search, &fast_grape())
-            .unwrap();
+        let z = minimum_pulse_time(
+            &gates::rz(std::f64::consts::PI),
+            &device,
+            &search,
+            &fast_grape(),
+        )
+        .unwrap();
         let x = minimum_pulse_time(&gates::x(), &device, &search, &fast_grape()).unwrap();
         assert!(z.converged && x.converged);
         assert!(
@@ -198,8 +203,7 @@ mod tests {
     fn probes_shrink_the_window() {
         let device = DeviceModel::qubits_line(1);
         let search = MinimumTimeOptions::new(0.0, 2.0).with_precision(0.5);
-        let result =
-            minimum_pulse_time(&gates::rz(1.0), &device, &search, &fast_grape()).unwrap();
+        let result = minimum_pulse_time(&gates::rz(1.0), &device, &search, &fast_grape()).unwrap();
         assert!(result.converged);
         // The first probe is always the upper bound, later probes bisect.
         assert!(result.probes.len() >= 2);

@@ -2,7 +2,7 @@
 
 use crate::{ControlHamiltonian, DeviceModel, PulseSequence};
 use vqc_linalg::expm::expm;
-use vqc_linalg::{C64, Matrix};
+use vqc_linalg::{Matrix, C64};
 
 /// The result of propagating a pulse: every per-slice propagator plus the cumulative
 /// forward and backward partial products needed for analytic GRAPE gradients.

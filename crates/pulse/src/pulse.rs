@@ -142,6 +142,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn seeded_guess_respects_amplitude_limits() {
         let device = DeviceModel::qubits_line(2);
         let p = PulseSequence::seeded_guess(&device, 20, 0.5, 1);

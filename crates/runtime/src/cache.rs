@@ -1,0 +1,365 @@
+//! The lock-striped, sharded pulse cache.
+//!
+//! The seed's [`vqc_core::PulseLibrary`] guards its whole map with one mutex, which
+//! serializes every lookup once block compilation runs on a worker pool. This cache
+//! stripes the key space over independent shards, each guarded by its own mutex, so
+//! lookups of different blocks proceed without contention. (A per-shard
+//! reader-writer lock was measured slower here: the critical sections are a few
+//! nanoseconds, so lock acquisition dominates, and a mutex acquire is cheaper than a
+//! read-lock acquire once the key space is striped.) Keys are content-addressed: a
+//! [`BlockKey`] is a canonical fingerprint of the block circuit, so two requests
+//! compiling the same subcircuit hit the same shard slot regardless of which circuit
+//! or which variational iteration they came from.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use vqc_core::{BlockKey, CachedBlock, CachedTuning, PulseCache};
+
+/// Configuration of a [`ShardedPulseCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of independent shards (rounded up to a power of two, minimum 1).
+    pub shards: usize,
+    /// Maximum number of block entries per shard; the oldest entry of a full shard
+    /// is evicted on insert. `None` disables eviction (the seed behavior).
+    pub max_blocks_per_shard: Option<usize>,
+    /// Maximum number of tuning entries per shard, as for `max_blocks_per_shard`.
+    pub max_tunings_per_shard: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 16,
+            max_blocks_per_shard: None,
+            max_tunings_per_shard: None,
+        }
+    }
+}
+
+/// Point-in-time cache counters.
+///
+/// `hits`/`misses` count lookups of both block and tuning entries; `evictions`
+/// counts entries displaced by the per-shard capacity bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheMetrics {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written (first insert or overwrite).
+    pub insertions: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+}
+
+/// Per-shard counters. Keeping one `Counters` inside every shard (rather than one
+/// global set) spreads the atomic increments across as many cache lines as there are
+/// shards, so metrics do not re-introduce the very contention the striping removes.
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Counters {
+    fn record_lookup(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One capacity-bounded key→value map; insertion order is tracked for FIFO eviction.
+#[derive(Debug)]
+struct BoundedMap<V> {
+    entries: HashMap<BlockKey, V>,
+    order: VecDeque<BlockKey>,
+    capacity: Option<usize>,
+}
+
+impl<V> BoundedMap<V> {
+    fn new(capacity: Option<usize>) -> Self {
+        BoundedMap {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Inserts, returning the number of entries evicted to make room.
+    fn insert(&mut self, key: BlockKey, value: V) -> u64 {
+        if self.entries.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        }
+        let mut evicted = 0;
+        if let Some(capacity) = self.capacity {
+            while self.entries.len() > capacity.max(1) {
+                // Entries overwritten rather than evicted keep their original queue
+                // position; that is fine for a FIFO bound.
+                if let Some(oldest) = self.order.pop_front() {
+                    if self.entries.remove(&oldest).is_some() {
+                        evicted += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        evicted
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    blocks: Mutex<BoundedMap<CachedBlock>>,
+    tunings: Mutex<BoundedMap<CachedTuning>>,
+    counters: Counters,
+}
+
+/// Serializable image of a cache's contents, for warm-start persistence.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// All cached block compilations.
+    pub blocks: Vec<(BlockKey, CachedBlock)>,
+    /// All cached flexible-compilation tunings.
+    pub tunings: Vec<(BlockKey, CachedTuning)>,
+}
+
+/// A lock-striped, sharded, content-addressed implementation of [`PulseCache`].
+#[derive(Debug)]
+pub struct ShardedPulseCache {
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; shard count is a power of two so this masks a hash.
+    mask: usize,
+}
+
+impl Default for ShardedPulseCache {
+    fn default() -> Self {
+        ShardedPulseCache::new(CacheConfig::default())
+    }
+}
+
+impl ShardedPulseCache {
+    /// Creates an empty cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        ShardedPulseCache {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    blocks: Mutex::new(BoundedMap::new(config.max_blocks_per_shard)),
+                    tunings: Mutex::new(BoundedMap::new(config.max_tunings_per_shard)),
+                    counters: Counters::default(),
+                })
+                .collect(),
+            mask: shards - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &BlockKey) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & self.mask]
+    }
+
+    /// Current counter values, aggregated over all shards.
+    pub fn metrics(&self) -> CacheMetrics {
+        let mut metrics = CacheMetrics::default();
+        for shard in &self.shards {
+            metrics.hits += shard.counters.hits.load(Ordering::Relaxed);
+            metrics.misses += shard.counters.misses.load(Ordering::Relaxed);
+            metrics.insertions += shard.counters.insertions.load(Ordering::Relaxed);
+            metrics.evictions += shard.counters.evictions.load(Ordering::Relaxed);
+        }
+        metrics
+    }
+
+    /// Copies the full cache contents into a serializable snapshot.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut snapshot = CacheSnapshot::default();
+        for shard in &self.shards {
+            let blocks = shard.blocks.lock();
+            snapshot
+                .blocks
+                .extend(blocks.entries.iter().map(|(k, v)| (k.clone(), v.clone())));
+            let tunings = shard.tunings.lock();
+            snapshot
+                .tunings
+                .extend(tunings.entries.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        snapshot
+    }
+
+    /// Inserts every entry of a snapshot (e.g. one loaded from disk).
+    pub fn absorb(&self, snapshot: CacheSnapshot) {
+        for (key, value) in snapshot.blocks {
+            self.insert_block(key, value);
+        }
+        for (key, value) in snapshot.tunings {
+            self.insert_tuning(key, value);
+        }
+    }
+}
+
+impl PulseCache for ShardedPulseCache {
+    fn block(&self, key: &BlockKey) -> Option<CachedBlock> {
+        let shard = self.shard(key);
+        let found = shard.blocks.lock().entries.get(key).cloned();
+        shard.counters.record_lookup(found.is_some());
+        found
+    }
+
+    fn insert_block(&self, key: BlockKey, value: CachedBlock) {
+        let shard = self.shard(&key);
+        let evicted = shard.blocks.lock().insert(key, value);
+        shard.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        shard
+            .counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    fn tuning(&self, key: &BlockKey) -> Option<CachedTuning> {
+        let shard = self.shard(key);
+        let found = shard.tunings.lock().entries.get(key).cloned();
+        shard.counters.record_lookup(found.is_some());
+        found
+    }
+
+    fn insert_tuning(&self, key: BlockKey, value: CachedTuning) {
+        let shard = self.shard(&key);
+        let evicted = shard.tunings.lock().insert(key, value);
+        shard.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        shard
+            .counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.blocks.lock().entries.len())
+            .sum()
+    }
+
+    fn num_tunings(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tunings.lock().entries.len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            let mut blocks = shard.blocks.lock();
+            blocks.entries.clear();
+            blocks.order.clear();
+            let mut tunings = shard.tunings.lock();
+            tunings.entries.clear();
+            tunings.order.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqc_circuit::Circuit;
+
+    fn key(tag: usize) -> BlockKey {
+        let mut circuit = Circuit::new(1);
+        circuit.rz(0, tag as f64 * 0.1);
+        BlockKey::from_bound_circuit(&circuit)
+    }
+
+    fn entry(tag: usize) -> CachedBlock {
+        CachedBlock {
+            duration_ns: tag as f64,
+            converged: true,
+            grape_iterations: tag,
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        let cache = ShardedPulseCache::new(CacheConfig {
+            shards: 5,
+            ..CacheConfig::default()
+        });
+        assert_eq!(cache.num_shards(), 8);
+        assert_eq!(
+            ShardedPulseCache::new(CacheConfig {
+                shards: 0,
+                ..CacheConfig::default()
+            })
+            .num_shards(),
+            1
+        );
+    }
+
+    #[test]
+    fn lookups_count_hits_and_misses() {
+        let cache = ShardedPulseCache::default();
+        assert!(cache.block(&key(1)).is_none());
+        cache.insert_block(key(1), entry(1));
+        assert_eq!(cache.block(&key(1)).unwrap(), entry(1));
+        let metrics = cache.metrics();
+        assert_eq!(
+            (metrics.hits, metrics.misses, metrics.insertions),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let cache = ShardedPulseCache::new(CacheConfig {
+            shards: 1,
+            max_blocks_per_shard: Some(2),
+            max_tunings_per_shard: None,
+        });
+        cache.insert_block(key(1), entry(1));
+        cache.insert_block(key(2), entry(2));
+        cache.insert_block(key(3), entry(3));
+        assert_eq!(cache.num_blocks(), 2);
+        assert_eq!(cache.metrics().evictions, 1);
+        assert!(
+            cache.block(&key(1)).is_none(),
+            "oldest entry should be evicted"
+        );
+        assert!(cache.block(&key(3)).is_some());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_absorb() {
+        let cache = ShardedPulseCache::default();
+        for tag in 0..20 {
+            cache.insert_block(key(tag), entry(tag));
+        }
+        let snapshot = cache.snapshot();
+        assert_eq!(snapshot.blocks.len(), 20);
+
+        let restored = ShardedPulseCache::new(CacheConfig {
+            shards: 4,
+            ..CacheConfig::default()
+        });
+        restored.absorb(snapshot);
+        assert_eq!(restored.num_blocks(), 20);
+        for tag in 0..20 {
+            assert_eq!(restored.block(&key(tag)).unwrap(), entry(tag));
+        }
+    }
+}

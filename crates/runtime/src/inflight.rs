@@ -1,0 +1,188 @@
+//! In-flight deduplication of block compilations.
+//!
+//! Two workers that reach for the same [`BlockKey`] at the same time must not both
+//! run GRAPE: the first becomes the *leader* and compiles; every other worker gets a
+//! *follower* ticket and blocks until the leader finishes (by which point the shared
+//! pulse cache holds the result, so the follower's own compile call degenerates to a
+//! lookup). This is the runtime's "singleflight" primitive.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use vqc_core::BlockKey;
+
+/// Completion signal for one in-flight compilation (opaque; carried by [`Ticket`]).
+#[derive(Debug, Default)]
+pub struct Flight {
+    done: Mutex<bool>,
+    finished: Condvar,
+}
+
+/// Which role a worker was assigned for one key; see [`InFlight::begin`].
+#[derive(Debug)]
+pub enum Ticket {
+    /// This worker must perform the compilation and then call [`InFlight::complete`].
+    Leader(Arc<Flight>),
+    /// Another worker is compiling this key; wait via [`InFlight::wait`].
+    Follower(Arc<Flight>),
+}
+
+/// Table of compilations currently being performed somewhere on the worker pool.
+#[derive(Debug, Default)]
+pub struct InFlight {
+    flights: Mutex<HashMap<BlockKey, Arc<Flight>>>,
+    leads: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl InFlight {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        InFlight::default()
+    }
+
+    /// Registers interest in a key: the first caller becomes the leader, later
+    /// callers (until the leader completes) become followers.
+    pub fn begin(&self, key: BlockKey) -> Ticket {
+        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(flight) = flights.get(&key) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            Ticket::Follower(Arc::clone(flight))
+        } else {
+            let flight = Arc::new(Flight::default());
+            flights.insert(key, Arc::clone(&flight));
+            self.leads.fetch_add(1, Ordering::Relaxed);
+            Ticket::Leader(flight)
+        }
+    }
+
+    /// Marks a leader's flight finished and wakes all followers. Must be called even
+    /// when the compilation failed, or followers would wait forever.
+    pub fn complete(&self, key: &BlockKey, flight: Arc<Flight>) {
+        {
+            let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            flights.remove(key);
+        }
+        *flight.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        flight.finished.notify_all();
+    }
+
+    /// Blocks a follower until its leader calls [`InFlight::complete`].
+    pub fn wait(&self, flight: &Arc<Flight>) {
+        let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = flight
+                .finished
+                .wait(done)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Number of times a caller became a leader (unique in-flight compilations).
+    pub fn leads(&self) -> u64 {
+        self.leads.load(Ordering::Relaxed)
+    }
+
+    /// Number of times a caller was coalesced onto an existing flight.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Returns a guard that calls [`InFlight::complete`] when dropped. Leaders must
+    /// hold one across their compilation: if the compile panics, the unwinding drop
+    /// still completes the flight, so followers wake (and observe the missing cache
+    /// entry) instead of deadlocking on a flight nobody will ever finish.
+    pub fn complete_on_drop<'a>(
+        &'a self,
+        key: BlockKey,
+        flight: Arc<Flight>,
+    ) -> CompletionGuard<'a> {
+        CompletionGuard {
+            table: self,
+            key,
+            flight: Some(flight),
+        }
+    }
+}
+
+/// Drop guard completing a leader's flight; see [`InFlight::complete_on_drop`].
+#[derive(Debug)]
+pub struct CompletionGuard<'a> {
+    table: &'a InFlight,
+    key: BlockKey,
+    flight: Option<Arc<Flight>>,
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(flight) = self.flight.take() {
+            self.table.complete(&self.key, flight);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{InFlight, Ticket};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use vqc_circuit::Circuit;
+    use vqc_core::BlockKey;
+
+    fn key() -> BlockKey {
+        let mut circuit = Circuit::new(2);
+        circuit.cx(0, 1);
+        BlockKey::from_bound_circuit(&circuit)
+    }
+
+    #[test]
+    fn leader_then_followers_then_leader_again() {
+        let table = InFlight::new();
+        let Ticket::Leader(flight) = table.begin(key()) else {
+            panic!("first begin must lead")
+        };
+        assert!(matches!(table.begin(key()), Ticket::Follower(_)));
+        table.complete(&key(), flight);
+        // Once completed, the key leads again (a fresh compile would hit the cache).
+        assert!(matches!(table.begin(key()), Ticket::Leader(_)));
+        assert_eq!(table.leads(), 2);
+        assert_eq!(table.coalesced(), 1);
+    }
+
+    #[test]
+    fn followers_unblock_when_leader_completes() {
+        let table = Arc::new(InFlight::new());
+        let Ticket::Leader(leader_flight) = table.begin(key()) else {
+            panic!("first begin must lead")
+        };
+        let woken = Arc::new(AtomicUsize::new(0));
+        // All followers obtain their tickets before the leader completes (barrier),
+        // so every spawned thread must coalesce.
+        let registered = Arc::new(std::sync::Barrier::new(5));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                let woken = Arc::clone(&woken);
+                let registered = Arc::clone(&registered);
+                std::thread::spawn(move || {
+                    let ticket = table.begin(key());
+                    registered.wait();
+                    match ticket {
+                        Ticket::Follower(flight) => {
+                            table.wait(&flight);
+                            woken.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Ticket::Leader(_) => panic!("leader already exists"),
+                    }
+                })
+            })
+            .collect();
+        registered.wait();
+        assert_eq!(woken.load(Ordering::SeqCst), 0);
+        table.complete(&key(), leader_flight);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(woken.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,173 @@
+//! On-disk persistence of cache snapshots for warm-start across runs.
+//!
+//! A snapshot file is a small header (magic bytes + format version) followed by the
+//! bincode encoding of a [`CacheSnapshot`]. The header keeps a future format change
+//! from being misparsed as data, and snapshots are written via a temporary file +
+//! rename so a crash mid-write never leaves a truncated snapshot at the target path.
+
+use crate::cache::CacheSnapshot;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Leading bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"VQCPULSE";
+/// Version of the snapshot layout this build writes and accepts.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Error loading or saving a snapshot.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file exists but is not a snapshot this build understands.
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot io error: {e}"),
+            PersistError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes a snapshot to `path` atomically (temp file + rename).
+///
+/// # Errors
+///
+/// Fails on I/O errors; the target path is left untouched in that case.
+pub fn save_snapshot(path: impl AsRef<Path>, snapshot: &CacheSnapshot) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let payload = bincode::serialize(snapshot)
+        .map_err(|e| PersistError::Corrupt(format!("encoding failed: {e}")))?;
+    // The temp name must be unique per target file AND per process: appending to the
+    // full file name (rather than replacing the extension) keeps `a.blocks` and
+    // `a.tunings` from sharing a temp file, and the pid keeps two processes saving
+    // to the same path from interleaving writes.
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| PersistError::Corrupt("snapshot path has no file name".into()))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp_path = path.with_file_name(format!("{file_name}.{}.tmp", std::process::id()));
+    {
+        let mut file = fs::File::create(&tmp_path)?;
+        file.write_all(SNAPSHOT_MAGIC)?;
+        file.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        file.write_all(&payload)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp_path, path)?;
+    Ok(())
+}
+
+/// Reads a snapshot from `path`.
+///
+/// # Errors
+///
+/// Fails if the file is unreadable, has the wrong magic/version, or does not decode.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<CacheSnapshot, PersistError> {
+    let bytes = fs::read(path)?;
+    let header_len = SNAPSHOT_MAGIC.len() + 4;
+    if bytes.len() < header_len || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(PersistError::Corrupt("missing snapshot magic".into()));
+    }
+    let version = u32::from_le_bytes(
+        bytes[SNAPSHOT_MAGIC.len()..header_len]
+            .try_into()
+            .expect("four version bytes"),
+    );
+    if version != SNAPSHOT_VERSION {
+        return Err(PersistError::Corrupt(format!(
+            "snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+        )));
+    }
+    bincode::deserialize(&bytes[header_len..])
+        .map_err(|e| PersistError::Corrupt(format!("payload does not decode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqc_circuit::Circuit;
+    use vqc_core::{BlockKey, CachedBlock};
+
+    fn sample_snapshot() -> CacheSnapshot {
+        let mut circuit = Circuit::new(2);
+        circuit.cx(0, 1);
+        circuit.rz(1, 0.5);
+        CacheSnapshot {
+            blocks: vec![(
+                BlockKey::from_bound_circuit(&circuit),
+                CachedBlock {
+                    duration_ns: 4.25,
+                    converged: true,
+                    grape_iterations: 310,
+                },
+            )],
+            tunings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn snapshot_file_round_trips() {
+        let dir = std::env::temp_dir().join("vqc_persist_test_roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snapshot");
+        let snapshot = sample_snapshot();
+        save_snapshot(&path, &snapshot).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap(), snapshot);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_rejected() {
+        let dir = std::env::temp_dir().join("vqc_persist_test_corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snapshot");
+
+        fs::write(&path, b"NOTASNAP").unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        save_snapshot(&path, &sample_snapshot()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let dir = std::env::temp_dir().join("vqc_persist_test_version");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snapshot");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,490 @@
+//! The concurrent compilation runtime: a worker pool over a shared sharded cache.
+//!
+//! [`CompilationRuntime`] owns a [`PartialCompiler`] whose [`vqc_core::PulseCache`]
+//! is a [`ShardedPulseCache`], and compiles the independent blocks of one or many
+//! circuits on a pool of worker threads. Identical blocks are deduplicated at two
+//! levels: completed work through the content-addressed cache, and concurrent work
+//! through the [`InFlight`] table, so each unique [`vqc_core::BlockKey`] is
+//! GRAPE-optimized at most once per process no matter how many circuits, parameter
+//! bindings, or worker threads are involved.
+//!
+//! The batch API is the paper's cross-iteration reuse turned cross-request: a
+//! variational optimizer (or many concurrent clients) submits whole iterations of
+//! circuits, and every Fixed block compiled for any of them is reused by all.
+
+use crate::cache::{CacheConfig, CacheMetrics, ShardedPulseCache};
+use crate::inflight::{InFlight, Ticket};
+use crate::persist::{self, PersistError};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use vqc_circuit::Circuit;
+use vqc_core::{
+    BlockOutcome, CompilationPlan, CompilationReport, CompileError, CompilerOptions,
+    PartialCompiler, Strategy,
+};
+
+/// Configuration of a [`CompilationRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Number of worker threads block compilation may use (minimum 1).
+    pub workers: usize,
+    /// Configuration of the shared sharded cache.
+    pub cache: CacheConfig,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// Options with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeOptions {
+            workers: workers.max(1),
+            ..RuntimeOptions::default()
+        }
+    }
+}
+
+/// One compilation request of a batch: a circuit at a parameter binding under a
+/// strategy.
+#[derive(Debug, Clone)]
+pub struct CompileJob {
+    /// The (possibly parameterized) circuit to compile.
+    pub circuit: Circuit,
+    /// Parameter binding for this request.
+    pub params: Vec<f64>,
+    /// Compilation strategy.
+    pub strategy: Strategy,
+}
+
+impl CompileJob {
+    /// Convenience constructor.
+    pub fn new(circuit: Circuit, params: impl Into<Vec<f64>>, strategy: Strategy) -> Self {
+        CompileJob {
+            circuit,
+            params: params.into(),
+            strategy,
+        }
+    }
+}
+
+/// Counters describing what a runtime has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RuntimeMetrics {
+    /// Shared-cache counters (hits/misses/insertions/evictions).
+    pub cache: CacheMetrics,
+    /// Blocks whose pulse-level work this runtime actually performed (a led flight
+    /// that missed the cache and ran GRAPE / tuning). Cache hits and coalesced
+    /// followers do not count.
+    pub unique_compilations: u64,
+    /// Block compilations coalesced onto an in-flight leader.
+    pub coalesced_waits: u64,
+    /// Worker threads the runtime schedules onto.
+    pub workers: usize,
+}
+
+/// Per-plan result slots a worker pool fills in as block tasks complete.
+type OutcomeSlots = Mutex<Vec<Option<Result<BlockOutcome, CompileError>>>>;
+
+/// The concurrent compilation runtime.
+#[derive(Debug)]
+pub struct CompilationRuntime {
+    compiler: PartialCompiler,
+    cache: Arc<ShardedPulseCache>,
+    inflight: InFlight,
+    workers: usize,
+    compilations: AtomicU64,
+}
+
+impl CompilationRuntime {
+    /// Creates a runtime with a fresh empty cache.
+    pub fn new(options: CompilerOptions, runtime_options: RuntimeOptions) -> Self {
+        let cache = Arc::new(ShardedPulseCache::new(runtime_options.cache));
+        CompilationRuntime {
+            compiler: PartialCompiler::with_cache(options, Arc::<ShardedPulseCache>::clone(&cache)),
+            cache,
+            inflight: InFlight::new(),
+            workers: runtime_options.workers.max(1),
+            compilations: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a runtime warm-started from a cache snapshot on disk.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot cannot be read or does not parse.
+    pub fn with_warm_start(
+        options: CompilerOptions,
+        runtime_options: RuntimeOptions,
+        snapshot_path: impl AsRef<Path>,
+    ) -> Result<Self, PersistError> {
+        let runtime = CompilationRuntime::new(options, runtime_options);
+        runtime.cache.absorb(persist::load_snapshot(snapshot_path)?);
+        Ok(runtime)
+    }
+
+    /// The underlying compiler (shared cache included).
+    pub fn compiler(&self) -> &PartialCompiler {
+        &self.compiler
+    }
+
+    /// The shared sharded cache.
+    pub fn cache(&self) -> &ShardedPulseCache {
+        &self.cache
+    }
+
+    /// Number of worker threads used for block compilation.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current runtime counters.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        RuntimeMetrics {
+            cache: self.cache.metrics(),
+            unique_compilations: self.compilations.load(Ordering::Relaxed),
+            coalesced_waits: self.inflight.coalesced(),
+            workers: self.workers,
+        }
+    }
+
+    /// Writes the cache contents to disk for a later warm start.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        persist::save_snapshot(path, &self.cache.snapshot())
+    }
+
+    /// Compiles one circuit, running its independent blocks on the worker pool.
+    ///
+    /// Produces the same [`CompilationReport`] as [`PartialCompiler::compile`]
+    /// (block order, durations, and latency accounting included); only the wall-clock
+    /// schedule differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and block-compilation errors.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        strategy: Strategy,
+    ) -> Result<CompilationReport, CompileError> {
+        let plan = self.compiler.plan(circuit, params, strategy)?;
+        let outcomes = self
+            .compile_blocks(&[(&plan, params)])?
+            .pop()
+            .expect("one plan in, one out");
+        Ok(self.compiler.assemble(&plan, outcomes))
+    }
+
+    /// Compiles a batch of jobs against the shared cache.
+    ///
+    /// All blocks of all jobs form one task pool, so the worker threads stay busy
+    /// across job boundaries and identical blocks appearing in different jobs (the
+    /// common case across variational iterations) are compiled once. Each job's
+    /// result is reported independently: one failing job does not poison the rest.
+    pub fn compile_batch(
+        &self,
+        jobs: &[CompileJob],
+    ) -> Vec<Result<CompilationReport, CompileError>> {
+        let plans: Vec<Result<CompilationPlan, CompileError>> = jobs
+            .iter()
+            .map(|job| self.compiler.plan(&job.circuit, &job.params, job.strategy))
+            .collect();
+
+        let planned: Vec<(&CompilationPlan, &[f64])> = plans
+            .iter()
+            .zip(jobs)
+            .filter_map(|(plan, job)| plan.as_ref().ok().map(|p| (p, job.params.as_slice())))
+            .collect();
+        let mut compiled = match self.compile_blocks(&planned) {
+            Ok(outcomes) => outcomes.into_iter(),
+            Err(error) => {
+                // A block failure fails every job that was scheduled with it; per-job
+                // attribution is not worth tracking because block errors are
+                // deterministic per circuit and re-submitting individually recovers.
+                return plans
+                    .into_iter()
+                    .map(|plan| plan.and(Err(error.clone())))
+                    .collect();
+            }
+        };
+
+        plans
+            .into_iter()
+            .map(|plan| {
+                plan.map(|plan| {
+                    let outcomes = compiled.next().expect("one outcome set per planned job");
+                    self.compiler.assemble(&plan, outcomes)
+                })
+            })
+            .collect()
+    }
+
+    /// Compiles one circuit at many parameter bindings (a sequence of variational
+    /// iterations) under one strategy — the paper's central workload.
+    ///
+    /// The circuit is prepared and blocked once; the resulting plan is shared by all
+    /// bindings (blocking is structural and does not depend on parameter values), so
+    /// N iterations pay one transpiler pass rather than N.
+    pub fn compile_iterations(
+        &self,
+        circuit: &Circuit,
+        parameter_sets: &[Vec<f64>],
+        strategy: Strategy,
+    ) -> Vec<Result<CompilationReport, CompileError>> {
+        let required = circuit
+            .parameter_indices()
+            .into_iter()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        // Planning only consults params for the length check, which is re-done per
+        // binding below; a zero vector of the required length stands in here.
+        let plan = match self.compiler.plan(circuit, &vec![0.0; required], strategy) {
+            Ok(plan) => plan,
+            Err(error) => return parameter_sets.iter().map(|_| Err(error.clone())).collect(),
+        };
+
+        let valid: Vec<(&CompilationPlan, &[f64])> = parameter_sets
+            .iter()
+            .filter(|params| params.len() >= required)
+            .map(|params| (&plan, params.as_slice()))
+            .collect();
+        let mut compiled = match self.compile_blocks(&valid) {
+            Ok(outcomes) => outcomes.into_iter(),
+            Err(error) => {
+                return parameter_sets
+                    .iter()
+                    .map(|params| {
+                        if params.len() < required {
+                            Err(CompileError::MissingParameters {
+                                supplied: params.len(),
+                                required,
+                            })
+                        } else {
+                            Err(error.clone())
+                        }
+                    })
+                    .collect();
+            }
+        };
+
+        parameter_sets
+            .iter()
+            .map(|params| {
+                if params.len() < required {
+                    Err(CompileError::MissingParameters {
+                        supplied: params.len(),
+                        required,
+                    })
+                } else {
+                    let outcomes = compiled.next().expect("one outcome set per valid binding");
+                    Ok(self.compiler.assemble(&plan, outcomes))
+                }
+            })
+            .collect()
+    }
+
+    /// Runs every block of every plan on the worker pool; returns per-plan outcome
+    /// vectors in plan order, or the first error encountered.
+    fn compile_blocks(
+        &self,
+        plans: &[(&CompilationPlan, &[f64])],
+    ) -> Result<Vec<Vec<BlockOutcome>>, CompileError> {
+        // Flatten all blocks into one task list so workers drain jobs collectively.
+        let tasks: Vec<(usize, usize)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(plan_index, (plan, _))| {
+                (0..plan.blocks.len()).map(move |block_index| (plan_index, block_index))
+            })
+            .collect();
+
+        let slots: Vec<OutcomeSlots> = plans
+            .iter()
+            .map(|(plan, _)| Mutex::new((0..plan.blocks.len()).map(|_| None).collect()))
+            .collect();
+        let next_task = AtomicUsize::new(0);
+        let worker_count = self.workers.min(tasks.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| loop {
+                    let index = next_task.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(plan_index, block_index)) = tasks.get(index) else {
+                        break;
+                    };
+                    let (plan, params) = plans[plan_index];
+                    let outcome = self.compile_block_deduped(plan, block_index, params);
+                    slots[plan_index].lock().unwrap_or_else(|e| e.into_inner())[block_index] =
+                        Some(outcome);
+                });
+            }
+        });
+
+        let mut results = Vec::with_capacity(plans.len());
+        for slot in slots {
+            let outcomes = slot.into_inner().unwrap_or_else(|e| e.into_inner());
+            let mut plan_outcomes = Vec::with_capacity(outcomes.len());
+            for outcome in outcomes {
+                plan_outcomes.push(outcome.expect("every task ran")?);
+            }
+            results.push(plan_outcomes);
+        }
+        Ok(results)
+    }
+
+    /// Compiles one block with in-flight deduplication on its cache key.
+    fn compile_block_deduped(
+        &self,
+        plan: &CompilationPlan,
+        block_index: usize,
+        params: &[f64],
+    ) -> Result<BlockOutcome, CompileError> {
+        let block = &plan.blocks[block_index];
+        let Some(key) = plan.dedup_key(block, params) else {
+            // Lookup-table blocks do no pulse-level work; nothing to deduplicate.
+            return self.compiler.compile_block_outcome(plan, block, params);
+        };
+        match self.inflight.begin(key.clone()) {
+            Ticket::Leader(flight) => {
+                // The guard completes the flight even if the compile panics, so
+                // followers wake instead of deadlocking inside the thread scope.
+                let _guard = self.inflight.complete_on_drop(key, flight);
+                let outcome = self.compiler.compile_block_outcome(plan, block, params);
+                if let Ok(outcome) = &outcome {
+                    if !outcome.report.cached {
+                        self.compilations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                outcome
+            }
+            Ticket::Follower(flight) => {
+                self.inflight.wait(&flight);
+                // The leader populated the shared cache (or failed); compiling now is
+                // a cache lookup in the success case and an honest retry otherwise.
+                self.compiler.compile_block_outcome(plan, block, params)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqc_circuit::ParamExpr;
+
+    fn fast_options() -> CompilerOptions {
+        let mut options = CompilerOptions::fast();
+        options.grape.max_iterations = 80;
+        options.grape.target_infidelity = 5e-2;
+        options.search_precision_ns = 2.0;
+        options
+    }
+
+    fn variational_circuit() -> Circuit {
+        let mut circuit = Circuit::new(2);
+        circuit.h(0);
+        circuit.h(1);
+        circuit.cx(0, 1);
+        circuit.rz_expr(1, ParamExpr::theta(0));
+        circuit.cx(0, 1);
+        circuit.h(0);
+        circuit.h(1);
+        circuit
+    }
+
+    #[test]
+    fn parallel_compile_matches_sequential_compile() {
+        let circuit = variational_circuit();
+        let params = [0.7];
+        let sequential = PartialCompiler::new(fast_options())
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(4));
+        let parallel = runtime
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        assert_eq!(parallel.pulse_duration_ns, sequential.pulse_duration_ns);
+        assert_eq!(parallel.num_blocks, sequential.num_blocks);
+        assert_eq!(parallel.blocks.len(), sequential.blocks.len());
+    }
+
+    #[test]
+    fn batch_shares_fixed_blocks_across_iterations() {
+        let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(4));
+        let circuit = variational_circuit();
+        let iterations = vec![vec![0.3], vec![1.1], vec![2.6]];
+        let reports = runtime.compile_iterations(&circuit, &iterations, Strategy::StrictPartial);
+        assert_eq!(reports.len(), 3);
+        for report in &reports {
+            assert!(report.is_ok());
+        }
+        // Strict partial compilation's Fixed blocks are θ-independent, so later
+        // iterations must pay zero additional pre-compute latency in aggregate:
+        // exactly one iteration's worth of GRAPE was led.
+        let total_grape: usize = reports
+            .iter()
+            .map(|r| r.as_ref().unwrap().precompute.grape_iterations)
+            .sum();
+        let first_grape = reports[0].as_ref().unwrap().precompute.grape_iterations;
+        let single = PartialCompiler::new(fast_options())
+            .compile(&circuit, &[0.3], Strategy::StrictPartial)
+            .unwrap();
+        assert_eq!(
+            total_grape,
+            first_grape.max(single.precompute.grape_iterations)
+        );
+    }
+
+    #[test]
+    fn iterations_report_short_bindings_individually() {
+        let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(2));
+        let circuit = variational_circuit();
+        let results = runtime.compile_iterations(
+            &circuit,
+            &[vec![0.4], vec![], vec![1.9]],
+            Strategy::GateBased,
+        );
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(CompileError::MissingParameters {
+                supplied: 0,
+                required: 1
+            })
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn batch_reports_planning_errors_per_job() {
+        let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(2));
+        let good = CompileJob::new(variational_circuit(), vec![0.4], Strategy::GateBased);
+        let bad = CompileJob::new(variational_circuit(), vec![], Strategy::GateBased);
+        let results = runtime.compile_batch(&[good, bad]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(CompileError::MissingParameters {
+                supplied: 0,
+                required: 1
+            })
+        ));
+    }
+}

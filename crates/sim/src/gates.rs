@@ -1,7 +1,7 @@
 //! Unitary matrices for every gate in the IR.
 
 use vqc_circuit::{Gate, GateOp};
-use vqc_linalg::{C64, Matrix, c64};
+use vqc_linalg::{c64, Matrix, C64};
 
 /// `Rz(φ) = diag(1, e^{iφ})`, the convention printed in Section 2.2 of the paper.
 pub fn rz(phi: f64) -> Matrix {
@@ -12,29 +12,20 @@ pub fn rz(phi: f64) -> Matrix {
 pub fn rx(theta: f64) -> Matrix {
     let c = (theta / 2.0).cos();
     let s = (theta / 2.0).sin();
-    Matrix::from_rows(&[
-        &[c64(c, 0.0), c64(0.0, -s)],
-        &[c64(0.0, -s), c64(c, 0.0)],
-    ])
+    Matrix::from_rows(&[&[c64(c, 0.0), c64(0.0, -s)], &[c64(0.0, -s), c64(c, 0.0)]])
 }
 
 /// `Ry(θ) = exp(-i θ Y / 2)`.
 pub fn ry(theta: f64) -> Matrix {
     let c = (theta / 2.0).cos();
     let s = (theta / 2.0).sin();
-    Matrix::from_rows(&[
-        &[c64(c, 0.0), c64(-s, 0.0)],
-        &[c64(s, 0.0), c64(c, 0.0)],
-    ])
+    Matrix::from_rows(&[&[c64(c, 0.0), c64(-s, 0.0)], &[c64(s, 0.0), c64(c, 0.0)]])
 }
 
 /// The Hadamard gate.
 pub fn h() -> Matrix {
     let s = 1.0 / 2.0_f64.sqrt();
-    Matrix::from_rows(&[
-        &[c64(s, 0.0), c64(s, 0.0)],
-        &[c64(s, 0.0), c64(-s, 0.0)],
-    ])
+    Matrix::from_rows(&[&[c64(s, 0.0), c64(s, 0.0)], &[c64(s, 0.0), c64(-s, 0.0)]])
 }
 
 /// The Pauli-X gate.

@@ -4,8 +4,8 @@
 //! weighted sum of Pauli strings; QAOA measures a MAXCUT cost Hamiltonian of `Z·Z`
 //! terms. Both are represented here as a [`PauliOperator`].
 
-use crate::StateVector;
 use crate::gates;
+use crate::StateVector;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vqc_linalg::Matrix;

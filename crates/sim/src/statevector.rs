@@ -2,7 +2,7 @@
 
 use crate::gates::gate_op_matrix;
 use vqc_circuit::{Circuit, GateOp};
-use vqc_linalg::{C64, Matrix, Vector};
+use vqc_linalg::{Matrix, Vector, C64};
 
 /// A pure quantum state on `n` qubits, stored as a dense vector of `2^n` amplitudes.
 ///
@@ -21,7 +21,10 @@ impl StateVector {
     /// Panics if `num_qubits` exceeds 24 (the dense representation would not fit in
     /// memory long before that, but the explicit cap gives a clear failure).
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 24, "dense state-vector simulation capped at 24 qubits");
+        assert!(
+            num_qubits <= 24,
+            "dense state-vector simulation capped at 24 qubits"
+        );
         StateVector {
             num_qubits,
             amplitudes: Vector::basis_state(1 << num_qubits, 0),
@@ -35,7 +38,10 @@ impl StateVector {
     /// Panics if the length is not a power of two.
     pub fn from_amplitudes(amplitudes: Vector) -> Self {
         let len = amplitudes.len();
-        assert!(len.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            len.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         StateVector {
             num_qubits: len.trailing_zeros() as usize,
             amplitudes,
@@ -132,7 +138,10 @@ impl StateVector {
     /// where `q0` is the first (most-significant) operand of the gate matrix.
     pub fn apply_two_qubit(&mut self, gate: &Matrix, q0: usize, q1: usize) {
         assert_eq!(gate.shape(), (4, 4), "two-qubit gate must be 4x4");
-        assert!(q0 < self.num_qubits && q1 < self.num_qubits, "qubit index out of range");
+        assert!(
+            q0 < self.num_qubits && q1 < self.num_qubits,
+            "qubit index out of range"
+        );
         assert_ne!(q0, q1, "two-qubit gate operands must be distinct");
         let bit0 = 1usize << (self.num_qubits - 1 - q0);
         let bit1 = 1usize << (self.num_qubits - 1 - q1);

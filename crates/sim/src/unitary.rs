@@ -4,8 +4,8 @@
 //! blocking pass in `vqc-core` keeps subcircuits at ≤ 4 qubits precisely so these
 //! matrices stay small (16x16).
 
-use crate::StateVector;
 use crate::gates::gate_op_matrix;
+use crate::StateVector;
 use vqc_circuit::{Circuit, GateOp};
 use vqc_linalg::{Matrix, Vector};
 

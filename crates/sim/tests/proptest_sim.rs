@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use vqc_circuit::passes::{decompose_to_basis, optimize};
 use vqc_circuit::{Circuit, ParamExpr};
 use vqc_linalg::fidelity::trace_fidelity;
-use vqc_sim::{PauliOperator, PauliString, StateVector, circuit_unitary};
+use vqc_sim::{circuit_unitary, PauliOperator, PauliString, StateVector};
 
 #[derive(Debug, Clone)]
 enum Instr {

@@ -1,5 +1,5 @@
 //! End-to-end QAOA MAXCUT on a random 3-regular graph, followed by compilation of the
-//! QAOA circuit under strict partial compilation.
+//! QAOA circuit as a batch of parameter bindings on the concurrent runtime.
 //!
 //! Run with `cargo run --release --example qaoa_maxcut`.
 
@@ -7,7 +7,8 @@ use vqc::apps::graphs::Graph;
 use vqc::apps::optimizer::NelderMead;
 use vqc::apps::qaoa::qaoa_circuit;
 use vqc::apps::variational::run_qaoa;
-use vqc::core::{CompilerOptions, PartialCompiler, Strategy};
+use vqc::core::{CompilerOptions, Strategy};
+use vqc::runtime::{CompilationRuntime, RuntimeOptions};
 
 fn main() {
     let graph = Graph::three_regular(6, 7).expect("3-regular graphs exist on 6 nodes");
@@ -30,15 +31,20 @@ fn main() {
         );
     }
 
-    // Compile the p=1 circuit; QAOA's parameter-dense structure is where strict partial
-    // compilation helps least and flexible shines (Section 8.1).
+    // Compile the p=1 circuit at several (γ, β) bindings as one batch; QAOA's
+    // parameter-dense structure is where strict partial compilation helps least and
+    // flexible shines (Section 8.1), and the batch reuses whatever Fixed blocks exist
+    // across all bindings.
     let circuit = qaoa_circuit(&graph, 1);
-    let compiler = PartialCompiler::new(CompilerOptions::fast());
-    println!("\nCompiling the p=1 QAOA circuit:");
+    let runtime = CompilationRuntime::new(CompilerOptions::fast(), RuntimeOptions::default());
+    let bindings = vec![vec![0.4, 0.8], vec![0.9, 0.3], vec![1.3, 1.1]];
+    println!(
+        "\nCompiling the p=1 QAOA circuit at {} parameter bindings:",
+        bindings.len()
+    );
     for strategy in [Strategy::GateBased, Strategy::StrictPartial] {
-        let report = compiler
-            .compile(&circuit, &[0.4, 0.8], strategy)
-            .expect("QAOA circuit compiles");
+        let reports = runtime.compile_iterations(&circuit, &bindings, strategy);
+        let report = reports[0].as_ref().expect("QAOA circuit compiles");
         println!(
             "  {:<18} {:>8.1} ns  ({:.2}x speedup)",
             strategy.name(),
@@ -46,4 +52,9 @@ fn main() {
             report.pulse_speedup()
         );
     }
+    let metrics = runtime.metrics();
+    println!(
+        "\nRuntime metrics: {} cache hits, {} misses, {} unique block compilations.",
+        metrics.cache.hits, metrics.cache.misses, metrics.unique_compilations
+    );
 }

@@ -1,9 +1,11 @@
-//! Quickstart: compile one small variational circuit with all four strategies.
+//! Quickstart: compile one small variational circuit with all four strategies on the
+//! concurrent compilation runtime.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use vqc::circuit::{Circuit, ParamExpr};
-use vqc::core::{CompilerOptions, PartialCompiler, Strategy};
+use vqc::core::{CompilerOptions, Strategy};
+use vqc::runtime::{CompilationRuntime, RuntimeOptions};
 
 fn main() {
     // A Figure-3-style variational circuit: fixed entangling sections surrounding two
@@ -20,16 +22,20 @@ fn main() {
     circuit.cx(0, 1);
 
     let params = [0.5, 1.3];
-    let compiler = PartialCompiler::new(CompilerOptions::fast());
+    let runtime = CompilationRuntime::new(CompilerOptions::fast(), RuntimeOptions::default());
 
-    println!("Compiling a 2-qubit variational circuit ({} gates, {} parameters):\n",
-        circuit.len(), circuit.num_parameters());
+    println!(
+        "Compiling a 2-qubit variational circuit ({} gates, {} parameters) on {} workers:\n",
+        circuit.len(),
+        circuit.num_parameters(),
+        runtime.workers()
+    );
     println!(
         "{:<18} {:>14} {:>10} {:>22} {:>20}",
         "Strategy", "Pulse (ns)", "Speedup", "Pre-compute GRAPE iters", "Runtime GRAPE iters"
     );
     for strategy in Strategy::all() {
-        let report = compiler
+        let report = runtime
             .compile(&circuit, &params, strategy)
             .expect("the quickstart circuit compiles");
         println!(
@@ -41,6 +47,11 @@ fn main() {
             report.runtime.grape_iterations
         );
     }
-    println!("\nStrict partial compilation keeps the (near-)GRAPE pulse speedup while paying zero");
+    let metrics = runtime.metrics();
+    println!(
+        "\nShared pulse cache: {} hits / {} misses across the four strategies.",
+        metrics.cache.hits, metrics.cache.misses
+    );
+    println!("Strict partial compilation keeps the (near-)GRAPE pulse speedup while paying zero");
     println!("runtime compilation latency — the paper's headline trade-off.");
 }

@@ -1,5 +1,6 @@
 //! End-to-end VQE on molecular hydrogen: the variational loop of Figure 1, followed by
-//! pulse-level compilation of the converged ansatz.
+//! pulse-level compilation of the converged ansatz on the concurrent runtime, with a
+//! cache snapshot persisted so a re-run warm-starts instantly.
 //!
 //! Run with `cargo run --release --example vqe_h2`.
 
@@ -7,7 +8,8 @@ use vqc::apps::molecules::Molecule;
 use vqc::apps::optimizer::NelderMead;
 use vqc::apps::uccsd::uccsd_circuit;
 use vqc::apps::variational::run_molecule_vqe;
-use vqc::core::{CompilerOptions, PartialCompiler, Strategy};
+use vqc::core::{CompilerOptions, Strategy};
+use vqc::runtime::{CompilationRuntime, RuntimeOptions};
 
 fn main() {
     // --- the hybrid quantum-classical loop -----------------------------------------
@@ -17,17 +19,41 @@ fn main() {
     };
     let result = run_molecule_vqe(Molecule::H2, &optimizer);
     let exact = Molecule::H2.hamiltonian().min_eigenvalue(800);
-    println!("VQE on H2 (UCCSD ansatz, {} parameters)", Molecule::H2.num_parameters());
-    println!("  energy found : {:.6} Ha after {} circuit evaluations", result.energy, result.evaluations);
+    println!(
+        "VQE on H2 (UCCSD ansatz, {} parameters)",
+        Molecule::H2.num_parameters()
+    );
+    println!(
+        "  energy found : {:.6} Ha after {} circuit evaluations",
+        result.energy, result.evaluations
+    );
     println!("  exact ground : {:.6} Ha", exact);
-    println!("  error        : {:.2e} Ha\n", (result.energy - exact).abs());
+    println!(
+        "  error        : {:.2e} Ha\n",
+        (result.energy - exact).abs()
+    );
 
     // --- pulse-level compilation of the converged ansatz ----------------------------
+    // Warm-start from a previous run's snapshot when one exists: re-running this
+    // example skips all GRAPE work the first run already paid for.
+    let snapshot_path = std::env::temp_dir().join("vqc_vqe_h2.snapshot");
+    let runtime = CompilationRuntime::with_warm_start(
+        CompilerOptions::fast(),
+        RuntimeOptions::default(),
+        &snapshot_path,
+    )
+    .unwrap_or_else(|_| {
+        CompilationRuntime::new(CompilerOptions::fast(), RuntimeOptions::default())
+    });
+
     let ansatz = uccsd_circuit(Molecule::H2);
-    let compiler = PartialCompiler::new(CompilerOptions::fast());
     println!("Compiling the converged H2 ansatz at the optimal parameters:");
-    for strategy in [Strategy::GateBased, Strategy::StrictPartial, Strategy::FlexiblePartial] {
-        let report = compiler
+    for strategy in [
+        Strategy::GateBased,
+        Strategy::StrictPartial,
+        Strategy::FlexiblePartial,
+    ] {
+        let report = runtime
             .compile(&ansatz, &result.parameters, strategy)
             .expect("H2 ansatz compiles");
         println!(
@@ -38,6 +64,13 @@ fn main() {
             report.runtime.grape_iterations
         );
     }
-    println!("\nEvery nanosecond saved compounds exponentially in fidelity: decoherence error grows");
+    match runtime.save_snapshot(&snapshot_path) {
+        Ok(()) => println!(
+            "\nPulse cache persisted to {} for warm re-runs.",
+            snapshot_path.display()
+        ),
+        Err(error) => println!("\nSnapshot not saved: {error}"),
+    }
+    println!("Every nanosecond saved compounds exponentially in fidelity: decoherence error grows");
     println!("exponentially with pulse duration, which is why the paper optimizes pulse time.");
 }

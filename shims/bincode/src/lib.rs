@@ -1,0 +1,122 @@
+//! Offline stand-in for `bincode`: byte-buffer and `io` entry points over the
+//! workspace serde shim's fixed little-endian binary format.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Error raised by serialization or deserialization.
+#[derive(Debug)]
+pub enum Error {
+    /// The byte stream did not decode as the requested type.
+    Decode(serde::de::Error),
+    /// An underlying reader or writer failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Decode(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Result alias matching bincode's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encodes a value to a byte vector.
+pub fn serialize<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Decodes a value from a byte slice, requiring the slice to be fully consumed.
+pub fn deserialize<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let mut reader = serde::de::Reader::new(bytes);
+    let value = T::deserialize(&mut reader)?;
+    if reader.remaining() != 0 {
+        return Err(Error::Decode(serde::de::Error::custom(format!(
+            "{} trailing bytes after value",
+            reader.remaining()
+        ))));
+    }
+    Ok(value)
+}
+
+/// Encodes a value into a writer.
+pub fn serialize_into<W: Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    let bytes = serialize(value)?;
+    writer.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Decodes a value by reading a reader to its end.
+pub fn deserialize_from<R: Read, T: serde::Deserialize>(mut reader: R) -> Result<T> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    deserialize(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        label: String,
+        values: Vec<f64>,
+        flag: bool,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        Pair(u32, u32),
+        Named { x: f64 },
+    }
+
+    #[test]
+    fn derived_struct_round_trips() {
+        let sample = Sample {
+            label: "grape".into(),
+            values: vec![1.5, -2.0],
+            flag: true,
+        };
+        let bytes = super::serialize(&sample).unwrap();
+        assert_eq!(super::deserialize::<Sample>(&bytes).unwrap(), sample);
+    }
+
+    #[test]
+    fn derived_enum_round_trips() {
+        for shape in [Shape::Unit, Shape::Pair(3, 4), Shape::Named { x: 0.25 }] {
+            let bytes = super::serialize(&shape).unwrap();
+            assert_eq!(super::deserialize::<Shape>(&bytes).unwrap(), shape);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = super::serialize(&7u32).unwrap();
+        bytes.push(0);
+        assert!(super::deserialize::<u32>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmark-harness surface the workspace uses — `Criterion`,
+//! `benchmark_group` / `bench_function` / `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a deliberately simple
+//! measurement loop (one warm-up call, then up to `sample_size` timed calls under a
+//! wall-clock budget). Recorded results are kept on the `Criterion` value so harness
+//! binaries can post-process them (e.g. emit a JSON summary).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (empty for top-level `Criterion::bench_function`).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed iterations behind the mean.
+    pub samples: usize,
+}
+
+/// The benchmark harness: runs closures and records their timings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+/// Wall-clock budget one benchmark may spend on timed samples.
+const SAMPLE_BUDGET: Duration = Duration::from_secs(3);
+
+fn run_benchmark(
+    results: &mut Vec<BenchResult>,
+    group: &str,
+    name: String,
+    sample_size: usize,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    routine(&mut bencher);
+    let samples = bencher.samples_ns;
+    let (mean_ns, min_ns) = if samples.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (
+            samples.iter().sum::<f64>() / samples.len() as f64,
+            samples.iter().cloned().fold(f64::INFINITY, f64::min),
+        )
+    };
+    let qualified = if group.is_empty() {
+        name.clone()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "bench {qualified:<52} mean {:>12.1} ns  ({} samples)",
+        mean_ns,
+        samples.len()
+    );
+    results.push(BenchResult {
+        group: group.to_string(),
+        name,
+        mean_ns,
+        min_ns,
+        samples: samples.len(),
+    });
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&mut self.results, "", name.into(), 20, routine);
+        self
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(
+            &mut self.criterion.results,
+            &self.name,
+            name.into(),
+            self.sample_size,
+            routine,
+        );
+        self
+    }
+
+    /// Ends the group (measurements are already recorded; this exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the routine handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warm-up call, then up to `sample_size` timed calls
+    /// (stopping early if the wall-clock budget is exhausted).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        let budget_start = Instant::now();
+        for done in 0..self.sample_size {
+            let started = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(started.elapsed().as_secs_f64() * 1e9);
+            if budget_start.elapsed() > SAMPLE_BUDGET && done + 1 >= 1 {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given group runners in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            println!("{} benchmarks recorded", criterion.results().len());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Criterion;
+
+    #[test]
+    fn measurements_are_recorded_per_group() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(5);
+        group.bench_function("square", |b| b.iter(|| super::black_box(7u64).pow(2)));
+        group.bench_function(format!("cube_{}", 3), |b| {
+            b.iter(|| super::black_box(3u64).pow(3))
+        });
+        group.finish();
+        let results = criterion.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].group, "demo");
+        assert_eq!(results[1].name, "cube_3");
+        assert!(results.iter().all(|r| r.samples >= 1 && r.mean_ns >= 0.0));
+    }
+}

@@ -1,0 +1,574 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests use:
+//! range strategies, tuple strategies, `prop_map` / `prop_filter` / `prop_filter_map`,
+//! `prop::collection::vec`, `prop_oneof!`, and the `proptest!` test macro with
+//! `#![proptest_config(...)]`. Test cases are generated from a deterministic
+//! per-test-name stream (so CI runs are reproducible) and there is no shrinking: a
+//! failing case panics with the generating values Debug-printed.
+
+use std::ops::Range;
+
+/// Marker returned when a strategy rejects a candidate (e.g. a failed `prop_filter`).
+#[derive(Debug, Clone)]
+pub struct Rejection(pub &'static str);
+
+/// Failure raised by `prop_assert!` and friends inside a test case body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+/// Deterministic random stream used to generate test cases (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a stream that is a deterministic function of the seed.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Produces one value, or a [`Rejection`] if the candidate was filtered out.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Maps generated values through a function.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Rejects generated values failing the predicate; the runner retries.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Maps generated values through a partial function, rejecting `None`.
+    fn prop_filter_map<O: std::fmt::Debug, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            base: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies can share a container
+    /// (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
+            self.new_value(rng)
+        }))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.base.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        let value = self.base.new_value(rng)?;
+        if (self.f)(&value) {
+            Ok(value)
+        } else {
+            Err(Rejection(self.reason))
+        }
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    base: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        let value = self.base.new_value(rng)?;
+        (self.f)(value).ok_or(Rejection(self.reason))
+    }
+}
+
+/// The generator function a [`BoxedStrategy`] erases to.
+type DynGenerator<V> = dyn Fn(&mut TestRng) -> Result<V, Rejection>;
+
+/// A type-erased strategy; see [`Strategy::boxed`].
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(std::rc::Rc<DynGenerator<V>>);
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxedStrategy")
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<V, Rejection> {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between several strategies of one value type (`prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<V, Rejection> {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].new_value(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        Ok(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<f32, Rejection> {
+        Ok(self.start + (self.end - self.start) * rng.unit_f64() as f32)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$ty, Rejection> {
+                if self.start >= self.end {
+                    return Err(Rejection("empty integer range"));
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Ok((self.start as i128 + rng.below(span) as i128) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Strategies over collections (`prop::collection`).
+pub mod collection {
+    use super::{Rejection, Strategy, TestRng};
+
+    /// A length specification: a fixed size or a half-open range of sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                min: len,
+                max: len + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec length range");
+            SizeRange {
+                min: range.start,
+                max: range.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Re-exports giving the `prop::collection::vec` path used by the tests.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one property test: generates `config.cases` values (retrying rejections)
+/// and runs the case body on each. Called by the `proptest!` macro, not directly.
+///
+/// # Panics
+///
+/// Panics when a case fails or when the strategy rejects too many candidates in a row.
+pub fn run_proptest<S: Strategy>(
+    config: ProptestConfig,
+    name: &str,
+    strategy: S,
+    case: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    // Seed from the test name so every test sees an independent but reproducible
+    // stream (FNV-1a over the name).
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    let mut rng = TestRng::seeded(seed);
+    const MAX_CONSECUTIVE_REJECTIONS: u32 = 10_000;
+    for case_index in 0..config.cases {
+        let mut rejections = 0u32;
+        let value = loop {
+            match strategy.new_value(&mut rng) {
+                Ok(value) => break value,
+                Err(Rejection(reason)) => {
+                    rejections += 1;
+                    if rejections >= MAX_CONSECUTIVE_REJECTIONS {
+                        panic!(
+                            "proptest {name}: strategy rejected {MAX_CONSECUTIVE_REJECTIONS} \
+                             candidates in a row (last reason: {reason})"
+                        );
+                    }
+                }
+            }
+        };
+        let repr = format!("{value:?}");
+        if let Err(TestCaseError(message)) = case(value) {
+            panic!(
+                "proptest {name} failed at case {case_index}/{}: {message}\n  input: {repr}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// The `proptest!` test-suite macro: expands each `fn name(arg in strategy, ...)` into
+/// an ordinary `#[test]` driven by [`run_proptest`].
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(
+                    $config,
+                    stringify!($name),
+                    ($($strategy,)+),
+                    |__value| {
+                        let ($($arg,)+) = __value;
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` case, failing the case (with the inputs
+/// printed) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// One-import prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(usize),
+        B(f64),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0..3.0f64, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn filters_are_respected(pair in (0usize..5, 0usize..5).prop_filter("distinct", |(a, b)| a != b)) {
+            prop_assert_ne!(pair.0, pair.1);
+        }
+
+        #[test]
+        fn vec_lengths_follow_the_size_range(v in prop::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_covers_both_arms(op in prop_oneof![
+            (0usize..4).prop_map(Op::A),
+            (-1.0..1.0f64).prop_map(Op::B),
+        ]) {
+            match op {
+                Op::A(n) => prop_assert!(n < 4),
+                Op::B(x) => prop_assert!((-1.0..1.0).contains(&x)),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_input() {
+        crate::run_proptest(
+            ProptestConfig::with_cases(16),
+            "always_fails",
+            (0usize..10,),
+            |_| Err(TestCaseError::fail("forced failure")),
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace serde shim.
+//!
+//! The build environment has no registry access, so this crate cannot use `syn` /
+//! `quote`; instead it walks the raw [`proc_macro::TokenStream`] of the deriving item
+//! directly. That is tractable because the workspace only derives on non-generic
+//! structs and enums without serde attributes — exactly the shapes this parser
+//! supports. Anything fancier (generics, lifetimes, `#[serde(...)]`) is rejected with
+//! a compile error rather than silently miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The field shape of a struct or of one enum variant.
+enum Fields {
+    Unit,
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Number of tuple fields.
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(message) => compile_error(&message),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(message) => compile_error(&message),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+/// Walks the item tokens up to the struct/enum keyword, then parses the body.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            // Attributes (including doc comments) come through as `#` + group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                Some(TokenTree::Group(_)) => {}
+                _ => return Err("malformed attribute on deriving item".into()),
+            },
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                // Skip a `pub(crate)` / `pub(super)` restriction if present.
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "struct" => {
+                let name = expect_ident(tokens.next())?;
+                reject_generics(tokens.peek())?;
+                return match tokens.next() {
+                    Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                        Ok(Item::Struct {
+                            name,
+                            fields: Fields::Named(parse_named_fields(group.stream())?),
+                        })
+                    }
+                    Some(TokenTree::Group(group))
+                        if group.delimiter() == Delimiter::Parenthesis =>
+                    {
+                        Ok(Item::Struct {
+                            name,
+                            fields: Fields::Tuple(count_tuple_fields(group.stream())),
+                        })
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                        name,
+                        fields: Fields::Unit,
+                    }),
+                    _ => Err(format!("unsupported struct body for `{name}`")),
+                };
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "enum" => {
+                let name = expect_ident(tokens.next())?;
+                reject_generics(tokens.peek())?;
+                return match tokens.next() {
+                    Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                        Ok(Item::Enum {
+                            name,
+                            variants: parse_variants(group.stream())?,
+                        })
+                    }
+                    _ => Err(format!("unsupported enum body for `{name}`")),
+                };
+            }
+            Some(_) => {}
+            None => return Err("expected a struct or enum to derive on".into()),
+        }
+    }
+}
+
+fn expect_ident(token: Option<TokenTree>) -> Result<String, String> {
+    match token {
+        Some(TokenTree::Ident(ident)) => Ok(ident.to_string()),
+        other => Err(format!("expected an identifier, found {other:?}")),
+    }
+}
+
+fn reject_generics(token: Option<&TokenTree>) -> Result<(), String> {
+    if let Some(TokenTree::Punct(p)) = token {
+        if p.as_char() == '<' {
+            return Err("the serde shim derive does not support generic types".into());
+        }
+    }
+    Ok(())
+}
+
+/// Parses `name: Type, ...` field lists, returning the names in declaration order.
+/// Commas inside `<...>` belong to the type and are skipped via angle-depth tracking
+/// (commas inside parentheses/brackets are invisible here because groups are atomic
+/// token trees).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Field prelude: attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if !matches!(tokens.next(), Some(TokenTree::Group(_))) {
+                        return Err("malformed field attribute".into());
+                    }
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    tokens.next();
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(token) = tokens.next() else { break };
+        let name = match token {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected a field name, found {other}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    count + pending as usize
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                if !matches!(tokens.next(), Some(TokenTree::Group(_))) {
+                    return Err("malformed variant attribute".into());
+                }
+            } else {
+                return Err(format!("unexpected `{p}` between enum variants"));
+            }
+        }
+        let Some(token) = tokens.next() else { break };
+        let name = match token {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected a variant name, found {other}")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                tokens.next();
+                Fields::Tuple(count)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(group.stream())?;
+                tokens.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        match tokens.next() {
+            None => {
+                variants.push((name, fields));
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push((name, fields)),
+            Some(other) => return Err(format!("unexpected `{other}` after variant `{name}`")),
+        }
+    }
+    Ok(variants)
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => String::new(),
+                Fields::Named(names) => names
+                    .iter()
+                    .map(|f| format!("serde::ser::Serialize::serialize(&self.{f}, out);"))
+                    .collect(),
+                Fields::Tuple(count) => (0..*count)
+                    .map(|i| format!("serde::ser::Serialize::serialize(&self.{i}, out);"))
+                    .collect(),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::ser::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut std::vec::Vec<u8>) {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, (variant, fields))| {
+                    let tag = tag as u32;
+                    match fields {
+                        Fields::Unit => format!(
+                            "{name}::{variant} => {{ serde::ser::Serialize::serialize(&{tag}u32, out); }}\n"
+                        ),
+                        Fields::Named(field_names) => {
+                            let bindings = field_names.join(", ");
+                            let writes: String = field_names
+                                .iter()
+                                .map(|f| format!("serde::ser::Serialize::serialize({f}, out);"))
+                                .collect();
+                            format!(
+                                "{name}::{variant} {{ {bindings} }} => {{\n\
+                                     serde::ser::Serialize::serialize(&{tag}u32, out);\n\
+                                     {writes}\n\
+                                 }}\n"
+                            )
+                        }
+                        Fields::Tuple(count) => {
+                            let bindings: Vec<String> = (0..*count).map(|i| format!("__f{i}")).collect();
+                            let writes: String = bindings
+                                .iter()
+                                .map(|b| format!("serde::ser::Serialize::serialize({b}, out);"))
+                                .collect();
+                            format!(
+                                "{name}::{variant}({}) => {{\n\
+                                     serde::ser::Serialize::serialize(&{tag}u32, out);\n\
+                                     {writes}\n\
+                                 }}\n",
+                                bindings.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::ser::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut std::vec::Vec<u8>) {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let read = "serde::de::Deserialize::deserialize(reader)?";
+    let constructor = |name: &str, fields: &Fields| match fields {
+        Fields::Unit => name.to_string(),
+        Fields::Named(field_names) => {
+            let inits: Vec<String> = field_names.iter().map(|f| format!("{f}: {read}")).collect();
+            format!("{name} {{ {} }}", inits.join(", "))
+        }
+        Fields::Tuple(count) => {
+            let inits: Vec<String> = (0..*count).map(|_| read.to_string()).collect();
+            format!("{name}({})", inits.join(", "))
+        }
+    };
+    match item {
+        Item::Struct { name, fields } => {
+            let build = constructor(name, fields);
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::de::Deserialize for {name} {{\n\
+                     fn deserialize(reader: &mut serde::de::Reader<'_>) \
+                         -> std::result::Result<Self, serde::de::Error> {{\n\
+                         std::result::Result::Ok({build})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, (variant, fields))| {
+                    let build = constructor(&format!("{name}::{variant}"), fields);
+                    format!("{tag}u32 => std::result::Result::Ok({build}),\n")
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::de::Deserialize for {name} {{\n\
+                     fn deserialize(reader: &mut serde::de::Reader<'_>) \
+                         -> std::result::Result<Self, serde::de::Error> {{\n\
+                         let __tag: u32 = serde::de::Deserialize::deserialize(reader)?;\n\
+                         match __tag {{\n\
+                             {arms}\n\
+                             __other => std::result::Result::Err(serde::de::Error::custom(\
+                                 format!(\"invalid variant tag {{__other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //!   optimizer closing the variational loop.
 //! * [`core`] — the paper's contribution: gate-based, strict partial, flexible partial,
 //!   and full-GRAPE compilation behind one [`core::PartialCompiler`] API.
+//! * [`runtime`] — the concurrent compilation runtime: a sharded pulse cache, parallel
+//!   block compilation with in-flight deduplication, a batch API over many circuits /
+//!   variational iterations, and persistent cache warm-start.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction of every table and figure.
@@ -22,4 +25,5 @@ pub use vqc_circuit as circuit;
 pub use vqc_core as core;
 pub use vqc_linalg as linalg;
 pub use vqc_pulse as pulse;
+pub use vqc_runtime as runtime;
 pub use vqc_sim as sim;

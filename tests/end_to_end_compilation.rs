@@ -22,10 +22,18 @@ fn qaoa_cycle_strategies_preserve_paper_ordering() {
     let params = [0.5, 0.9];
     let compiler = fast_compiler();
 
-    let gate = compiler.compile(&circuit, &params, Strategy::GateBased).unwrap();
-    let strict = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
-    let flexible = compiler.compile(&circuit, &params, Strategy::FlexiblePartial).unwrap();
-    let full = compiler.compile(&circuit, &params, Strategy::FullGrape).unwrap();
+    let gate = compiler
+        .compile(&circuit, &params, Strategy::GateBased)
+        .unwrap();
+    let strict = compiler
+        .compile(&circuit, &params, Strategy::StrictPartial)
+        .unwrap();
+    let flexible = compiler
+        .compile(&circuit, &params, Strategy::FlexiblePartial)
+        .unwrap();
+    let full = compiler
+        .compile(&circuit, &params, Strategy::FullGrape)
+        .unwrap();
 
     // Pulse-duration ordering: every strategy is at least as fast as gate-based, and
     // full GRAPE is the fastest.
@@ -48,14 +56,18 @@ fn h2_uccsd_compiles_under_every_strategy() {
     let circuit = uccsd_circuit(Molecule::H2);
     let params = vec![0.4; Molecule::H2.num_parameters()];
     let compiler = fast_compiler();
-    let gate = compiler.compile(&circuit, &params, Strategy::GateBased).unwrap();
+    let gate = compiler
+        .compile(&circuit, &params, Strategy::GateBased)
+        .unwrap();
     assert!(gate.pulse_duration_ns > 0.0);
-    let strict = compiler.compile(&circuit, &params, Strategy::StrictPartial).unwrap();
+    let strict = compiler
+        .compile(&circuit, &params, Strategy::StrictPartial)
+        .unwrap();
     assert!(strict.pulse_duration_ns <= gate.pulse_duration_ns + 1e-9);
     assert!(strict.pulse_speedup() >= 1.0 - 1e-9);
     // A second compile at new parameters reuses the whole Fixed-block library.
     let again = compiler
-        .compile(&circuit, &vec![1.2; 3], Strategy::StrictPartial)
+        .compile(&circuit, &[1.2; 3], Strategy::StrictPartial)
         .unwrap();
     assert_eq!(again.precompute.grape_iterations, 0);
 }
@@ -76,7 +88,10 @@ fn gate_based_runtime_grows_linearly_in_qaoa_rounds() {
     // Successive increments are roughly equal (linear growth).
     let first = increments[1];
     for inc in &increments[1..] {
-        assert!((inc - first).abs() < 0.35 * first, "increments {increments:?}");
+        assert!(
+            (inc - first).abs() < 0.35 * first,
+            "increments {increments:?}"
+        );
     }
 }
 

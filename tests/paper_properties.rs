@@ -1,10 +1,10 @@
 //! Integration tests for the structural properties of the benchmark suites that the
 //! paper's compilation strategies rely on (Section 4, 6 and 7.1).
 
+use vqc::apps::graphs::Graph;
 use vqc::apps::molecules::Molecule;
 use vqc::apps::qaoa::{qaoa_circuit, table3_benchmarks};
 use vqc::apps::uccsd::uccsd_circuit;
-use vqc::apps::graphs::Graph;
 use vqc::circuit::passes;
 
 #[test]
@@ -29,7 +29,11 @@ fn all_benchmark_circuits_are_parameter_monotonic() {
     for molecule in [Molecule::H2, Molecule::LiH, Molecule::BeH2] {
         let circuit = passes::optimize(&uccsd_circuit(molecule));
         assert!(circuit.is_parameter_monotonic(), "{molecule}");
-        assert_eq!(circuit.num_parameters(), molecule.num_parameters(), "{molecule}");
+        assert_eq!(
+            circuit.num_parameters(),
+            molecule.num_parameters(),
+            "{molecule}"
+        );
     }
     for benchmark in table3_benchmarks().iter().filter(|b| b.p <= 3) {
         let circuit = passes::optimize(&benchmark.circuit());
@@ -55,7 +59,7 @@ fn table3_covers_all_32_benchmarks_with_growing_runtimes() {
     let benchmarks = table3_benchmarks();
     assert_eq!(benchmarks.len(), 32);
     // Within a family, the gate-based runtime grows with p (Table 3's key trend).
-    use vqc::circuit::timing::{GateTimes, critical_path_ns};
+    use vqc::circuit::timing::{critical_path_ns, GateTimes};
     let times = GateTimes::default();
     for &(n, regular) in &[(6usize, true), (8, false)] {
         let mut last = 0.0;
@@ -77,7 +81,9 @@ fn three_regular_graphs_have_more_edges_than_average_erdos_renyi() {
     // with 3-regular runtimes exceeding Erdos-Renyi runtimes in Table 3.
     let regular = Graph::three_regular(6, 23).unwrap();
     assert_eq!(regular.num_edges(), 9);
-    let total: usize = (0..20).map(|s| Graph::erdos_renyi(6, 0.5, s).num_edges()).sum();
+    let total: usize = (0..20)
+        .map(|s| Graph::erdos_renyi(6, 0.5, s).num_edges())
+        .sum();
     let average = total as f64 / 20.0;
     assert!(average < 9.0);
 }

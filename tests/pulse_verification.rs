@@ -1,13 +1,13 @@
 //! Integration tests tying the pulse layer back to the circuit layer: GRAPE pulses for
 //! compiled blocks really implement the block unitaries they claim to.
 
-use vqc::circuit::{Circuit, passes};
-use vqc::core::blocking::{ParameterPolicy, aggregate_blocks};
-use vqc::pulse::grape::{GrapeOptions, evaluate_pulse, optimize_pulse};
-use vqc::pulse::minimum_time::{MinimumTimeOptions, minimum_pulse_time};
+use vqc::circuit::timing::{critical_path_ns, GateTimes};
+use vqc::circuit::{passes, Circuit};
+use vqc::core::blocking::{aggregate_blocks, ParameterPolicy};
+use vqc::pulse::grape::{evaluate_pulse, optimize_pulse, GrapeOptions};
+use vqc::pulse::minimum_time::{minimum_pulse_time, MinimumTimeOptions};
 use vqc::pulse::DeviceModel;
 use vqc::sim::{circuit_unitary, gates};
-use vqc::circuit::timing::{GateTimes, critical_path_ns};
 
 #[test]
 fn grape_pulse_for_a_fixed_block_reaches_target_fidelity() {

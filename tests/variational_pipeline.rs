@@ -16,7 +16,10 @@ fn vqe_h2_reaches_chemical_accuracy_neighbourhood() {
     };
     let result = run_molecule_vqe(Molecule::H2, &optimizer);
     let exact = Molecule::H2.hamiltonian().min_eigenvalue(800);
-    assert!(result.energy >= exact - 1e-9, "variational energy cannot beat the true minimum");
+    assert!(
+        result.energy >= exact - 1e-9,
+        "variational energy cannot beat the true minimum"
+    );
     assert!(
         result.energy - exact < 0.05,
         "VQE energy {} too far above exact {exact}",
