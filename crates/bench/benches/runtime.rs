@@ -1,11 +1,13 @@
 //! Benchmark of the concurrent compilation runtime against the seed's sequential
 //! path on a repeated-block QAOA workload: a batch of QAOA circuits whose blocks
 //! recur within each circuit and across requests. Compares sequential
-//! `PulseLibrary` compilation with the sharded runtime at 1/2/4/8 workers, plus a
-//! raw cache-contention microbenchmark, and writes a `BENCH_runtime.json` summary
-//! next to the workspace root. Interpret worker scaling against the
-//! `host_parallelism` field: on a single-CPU host all configurations legitimately
-//! tie, and the comparison degenerates to measuring scheduling overhead.
+//! `PulseLibrary` compilation with the sharded runtime at 1/2/4/8 workers, the LPT
+//! block schedule against an unsorted drain on a heterogeneous batch, cost-aware
+//! against FIFO eviction on a bounded cache under churn, plus a raw
+//! cache-contention microbenchmark, and writes a `BENCH_runtime.json` summary next
+//! to the workspace root. Interpret worker scaling against the `host_parallelism`
+//! field: on a single-CPU host all configurations legitimately tie, and the
+//! comparison degenerates to measuring scheduling overhead.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::io::Write;
@@ -16,7 +18,10 @@ use vqc_circuit::Circuit;
 use vqc_core::{
     BlockKey, CachedBlock, CompilerOptions, PartialCompiler, PulseCache, PulseLibrary, Strategy,
 };
-use vqc_runtime::{CacheConfig, CompilationRuntime, CompileJob, RuntimeOptions, ShardedPulseCache};
+use vqc_runtime::{
+    CacheConfig, CompilationRuntime, CompileJob, EvictionPolicy, RuntimeOptions, SchedulePolicy,
+    ShardedPulseCache,
+};
 
 /// GRAPE effort reduced far enough that a cold compile of the workload is
 /// benchmark-sized; the cache/parallelism behavior under study is unaffected.
@@ -73,6 +78,110 @@ fn bench_compilation(c: &mut Criterion) {
                     CompilationRuntime::new(bench_options(), RuntimeOptions::with_workers(workers));
                 for report in runtime.compile_batch(&jobs) {
                     black_box(report.unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A heterogeneous batch: two QAOA requests whose plans contain wide (≤4-qubit)
+/// GRAPE blocks, padded with cheap 2-qubit requests. Submission order puts the
+/// expensive blocks *last*, the adversarial case for an unsorted drain: the pool
+/// finishes the cheap work first and then serializes on the stragglers.
+fn heterogeneous_workload() -> Vec<CompileJob> {
+    let params: Vec<f64> = reference_parameters(2);
+    let mut jobs: Vec<CompileJob> = (0..6)
+        .map(|seed| {
+            let mut circuit = Circuit::new(2);
+            circuit.h(0);
+            circuit.cx(0, 1);
+            circuit.rx(1, 0.2 + 0.17 * seed as f64);
+            circuit.cx(0, 1);
+            CompileJob::new(circuit, params.clone(), Strategy::FullGrape)
+        })
+        .collect();
+    for seed in 0..2 {
+        let graph = Graph::three_regular(6, 40 + seed).expect("3-regular graph on 6 nodes");
+        jobs.push(CompileJob::new(
+            qaoa_circuit(&graph, 1),
+            params.clone(),
+            Strategy::FullGrape,
+        ));
+    }
+    jobs
+}
+
+/// LPT vs unsorted drain of the same heterogeneous batch. On a multi-core host LPT
+/// wins by starting the expensive QAOA blocks immediately; on a single-CPU host the
+/// two measure the same total work and the comparison records the sort's overhead.
+fn bench_scheduling_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_order");
+    group.sample_size(3);
+    let jobs = heterogeneous_workload();
+    for (name, schedule) in [
+        ("lpt_4_workers", SchedulePolicy::Lpt),
+        ("unsorted_4_workers", SchedulePolicy::Unsorted),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let runtime = CompilationRuntime::new(
+                    bench_options(),
+                    RuntimeOptions::with_workers(4).with_schedule(schedule),
+                );
+                for report in runtime.compile_batch(&jobs) {
+                    black_box(report.unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cost-aware vs FIFO eviction on a tightly bounded cache: compile an expensive
+/// batch, churn through cheap single-use requests, then re-submit the expensive
+/// batch. FIFO lets the churn flush the expensive blocks (the re-submit pays GRAPE
+/// again); cost-aware keeps them (the re-submit is cache hits).
+fn bench_eviction_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eviction_policy");
+    group.sample_size(3);
+
+    let params: Vec<f64> = reference_parameters(2);
+    let expensive: Vec<CompileJob> = (0..2)
+        .map(|seed| {
+            let graph = Graph::three_regular(6, 60 + seed).expect("3-regular graph on 6 nodes");
+            CompileJob::new(qaoa_circuit(&graph, 1), params.clone(), Strategy::FullGrape)
+        })
+        .collect();
+    let churn: Vec<CompileJob> = (0..12)
+        .map(|seed| {
+            let mut circuit = Circuit::new(2);
+            circuit.h(0);
+            circuit.cx(0, 1);
+            circuit.rx(1, 0.05 + 0.13 * seed as f64);
+            circuit.cx(0, 1);
+            CompileJob::new(circuit, params.clone(), Strategy::FullGrape)
+        })
+        .collect();
+
+    for (name, eviction) in [
+        ("cost_aware_bounded", EvictionPolicy::CostAware),
+        ("fifo_bounded", EvictionPolicy::Fifo),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut options = RuntimeOptions::with_workers(2);
+                options.cache = CacheConfig {
+                    shards: 1,
+                    max_blocks_per_shard: Some(8),
+                    max_tunings_per_shard: None,
+                    eviction,
+                };
+                let runtime = CompilationRuntime::new(bench_options(), options);
+                for batch in [&expensive, &churn, &expensive] {
+                    for report in runtime.compile_batch(batch) {
+                        black_box(report.unwrap());
+                    }
                 }
             })
         });
@@ -169,6 +278,8 @@ fn emit_summary(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_compilation,
+    bench_scheduling_order,
+    bench_eviction_policy,
     bench_cache_contention,
     emit_summary
 );

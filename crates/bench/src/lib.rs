@@ -14,7 +14,7 @@ use std::time::Instant;
 use vqc_apps::molecules::Molecule;
 use vqc_apps::qaoa::QaoaBenchmark;
 use vqc_core::{CompilationReport, CompilerOptions, Strategy};
-use vqc_runtime::{CompilationRuntime, RuntimeOptions};
+use vqc_runtime::{CompilationRuntime, EvictionPolicy, RuntimeOptions};
 
 /// How much compute a harness run is allowed to spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,15 +91,30 @@ pub fn print_header(experiment: &str, effort: Effort) {
 /// Builds the concurrent compilation runtime the harness binaries share, from
 /// explicit compiler options.
 ///
-/// Worker count comes from `VQC_WORKERS` (default: available parallelism, capped at
-/// 8). If `VQC_SNAPSHOT` names a readable cache snapshot, the runtime warm-starts
-/// from it — re-running a harness binary then skips all GRAPE work its previous run
-/// already paid for; pair with [`persist_if_requested`] at the end of `main`.
+/// Environment knobs:
+///
+/// * `VQC_WORKERS=<n>` — worker count (default: available parallelism, capped at
+///   8), honored by `RuntimeOptions::default()` itself so tests and examples pick
+///   it up too.
+/// * `VQC_CACHE_BLOCKS=<n>` — bound the block cache to `n` entries per shard
+///   (default: unbounded); the eviction policy decides what a full shard drops.
+/// * `VQC_EVICTION=cost|fifo` — eviction policy for bounded shards (default:
+///   cost-aware, i.e. the cheapest-to-recompute entry leaves first).
+/// * `VQC_SNAPSHOT=<path>` — warm-start from (and persist to) this cache snapshot;
+///   re-running a harness binary then skips all GRAPE work its previous run already
+///   paid for. Pair with [`persist_if_requested`] at the end of `main`.
+///
+/// Garbage values fall back to the defaults.
 pub fn runtime_with_options(options: CompilerOptions) -> CompilationRuntime {
     let mut runtime_options = RuntimeOptions::default();
-    if let Ok(workers) = std::env::var("VQC_WORKERS") {
-        if let Ok(workers) = workers.parse::<usize>() {
-            runtime_options = RuntimeOptions::with_workers(workers);
+    if let Ok(blocks) = std::env::var("VQC_CACHE_BLOCKS") {
+        if let Ok(blocks) = blocks.parse::<usize>() {
+            runtime_options.cache.max_blocks_per_shard = Some(blocks.max(1));
+        }
+    }
+    if let Ok(policy) = std::env::var("VQC_EVICTION") {
+        if let Some(policy) = EvictionPolicy::parse(&policy) {
+            runtime_options.cache.eviction = policy;
         }
     }
     if let Ok(path) = std::env::var("VQC_SNAPSHOT") {

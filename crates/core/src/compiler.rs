@@ -417,6 +417,45 @@ impl PartialCompiler {
         }
     }
 
+    /// Estimated seconds of GRAPE work compiling this block of the plan will cost if
+    /// nothing is cached — the block's *processing time* for scheduling purposes.
+    ///
+    /// The estimate follows the [`LatencyModel`]'s work formula: the block width
+    /// fixes the device (Hilbert dimension `dim³` and control count), the gate-based
+    /// duration of the bound subcircuit fixes both the number of pulse slices and the
+    /// binary-search window (probe count ≈ log₂(window / precision)), and each probe
+    /// spends up to `grape.max_iterations` iterations. The absolute scale is
+    /// irrelevant to its only consumer — ordering block tasks
+    /// longest-processing-time-first so a worker pool's makespan shrinks — but it is
+    /// monotone in everything that makes a block expensive.
+    ///
+    /// Blocks that do no pulse-level work (gate-based strategy, single-gate lookup
+    /// blocks) cost zero.
+    pub fn estimate_block_cost_seconds(
+        &self,
+        plan: &CompilationPlan,
+        block: &Block,
+        params: &[f64],
+    ) -> f64 {
+        if plan.strategy == Strategy::GateBased || block.len() <= 1 {
+            return 0.0;
+        }
+        let bound = block.to_circuit(&plan.prepared).bind(params);
+        let window_ns = critical_path_ns(&bound, &self.options.gate_times);
+        let probes = (window_ns / self.options.search_precision_ns.max(1e-9))
+            .max(1.0)
+            .log2()
+            .ceil()
+            .max(0.0) as usize
+            + 1;
+        self.options.latency_model.block_work_seconds(
+            probes * self.options.grape.max_iterations,
+            window_ns,
+            self.options.grape.dt_ns,
+            block.qubits.len(),
+        )
+    }
+
     /// Compiles a single block of a plan, returning its report together with the
     /// latency it incurred in each phase. Results of pulse-level work are cached in
     /// the shared [`PulseCache`], so re-compiling an identical block is a lookup.
@@ -836,6 +875,58 @@ mod tests {
         assert!(first.precompute.grape_iterations > 0);
         assert_eq!(second.precompute.grape_iterations, 0);
         assert!(second.runtime.grape_iterations > 0);
+    }
+
+    #[test]
+    fn block_cost_estimates_order_blocks_by_expense() {
+        let compiler = compiler();
+        let params = [0.4, 1.2];
+
+        // Gate-based plans cost nothing at the block level.
+        let circuit = example_circuit();
+        let gate_plan = compiler
+            .plan(&circuit, &params, Strategy::GateBased)
+            .unwrap();
+        assert!(gate_plan.blocks.is_empty());
+
+        let strict = compiler
+            .plan(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        let costs: Vec<f64> = strict
+            .blocks
+            .iter()
+            .map(|b| compiler.estimate_block_cost_seconds(&strict, b, &params))
+            .collect();
+        // Single-gate lookup blocks are free; multi-gate GRAPE blocks are not.
+        for (block, cost) in strict.blocks.iter().zip(&costs) {
+            if block.len() <= 1 {
+                assert_eq!(*cost, 0.0);
+            } else {
+                assert!(*cost > 0.0, "GRAPE block must have positive cost");
+            }
+        }
+
+        // A wider and deeper block dominates a narrow shallow one.
+        let mut wide = Circuit::new(4);
+        for q in 0..4 {
+            wide.h(q);
+        }
+        for q in 0..3 {
+            wide.cx(q, q + 1);
+            wide.rx(q, 0.3 + q as f64);
+            wide.cx(q, q + 1);
+        }
+        let wide_plan = compiler.plan(&wide, &[], Strategy::FullGrape).unwrap();
+        let wide_cost: f64 = wide_plan
+            .blocks
+            .iter()
+            .map(|b| compiler.estimate_block_cost_seconds(&wide_plan, b, &[]))
+            .fold(0.0, f64::max);
+        let narrow_cost = costs.iter().copied().fold(0.0, f64::max);
+        assert!(
+            wide_cost > narrow_cost,
+            "4-qubit block ({wide_cost} s) must out-cost 2-qubit block ({narrow_cost} s)"
+        );
     }
 
     #[test]

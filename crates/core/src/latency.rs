@@ -8,7 +8,15 @@
 //! describes. The reduction *factor* is insensitive to the calibration constant because
 //! both strategies are scaled identically.
 
+use crate::library::{BlockKey, CachedBlock, CachedTuning};
 use serde::{Deserialize, Serialize};
+use vqc_pulse::DeviceModel;
+
+/// Canonical GRAPE sample period (ns) assumed when estimating the recompute cost of a
+/// *cached* entry, which no longer carries the `GrapeOptions` it was produced with.
+/// Cost-aware cache eviction only needs a consistent ordering of entries, so a fixed
+/// sample period (the `GrapeOptions::fast` setting) is accurate enough.
+pub const RECOMPUTE_DT_NS: f64 = 0.5;
 
 /// Calibration constant: estimated seconds of compilation per unit of GRAPE work,
 /// where one unit is `iterations × slices × dim³ × controls`. The default is chosen so
@@ -48,6 +56,49 @@ impl LatencyModel {
             * slices as f64
             * (dim as f64).powi(3)
             * controls as f64
+    }
+
+    /// Estimated seconds of `iterations` GRAPE iterations on a `num_qubits`-wide
+    /// line-device block whose pulse spans `duration_ns` at the `dt_ns` sample
+    /// period. This is the one place the block-level work formula (slices from the
+    /// duration, `dim³` and control count from the width) lives; both cache
+    /// eviction and LPT scheduling rank blocks through it, so the two always agree
+    /// on what makes a block expensive.
+    pub fn block_work_seconds(
+        &self,
+        iterations: usize,
+        duration_ns: f64,
+        dt_ns: f64,
+        num_qubits: usize,
+    ) -> f64 {
+        let device = DeviceModel::qubits_line(num_qubits.max(1));
+        let slices = (duration_ns / dt_ns).ceil().max(1.0) as usize;
+        self.estimate_seconds(iterations, slices, device.dim(), device.num_controls())
+    }
+
+    /// Estimated seconds of GRAPE work needed to recompute a cached block entry from
+    /// scratch: the iterations it took to produce, on the device its key's qubit
+    /// count implies, at the [`RECOMPUTE_DT_NS`] sample period. This is the value a
+    /// bounded cache protects by keeping the entry — cost-aware eviction drops the
+    /// entries with the smallest recompute cost first.
+    pub fn block_recompute_seconds(&self, key: &BlockKey, entry: &CachedBlock) -> f64 {
+        self.block_work_seconds(
+            entry.grape_iterations,
+            entry.duration_ns,
+            RECOMPUTE_DT_NS,
+            key.num_qubits(),
+        )
+    }
+
+    /// Estimated seconds to recompute a cached flexible-compilation tuning from
+    /// scratch (the hyperparameter probes plus the duration search it took).
+    pub fn tuning_recompute_seconds(&self, key: &BlockKey, entry: &CachedTuning) -> f64 {
+        self.block_work_seconds(
+            entry.precompute_iterations,
+            entry.duration_ns,
+            RECOMPUTE_DT_NS,
+            key.num_qubits(),
+        )
     }
 }
 

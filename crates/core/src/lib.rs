@@ -61,4 +61,5 @@ pub use compiler::{
     PartialCompiler, Strategy,
 };
 pub use error::CompileError;
+pub use latency::{LatencyEstimate, LatencyModel};
 pub use library::{BlockKey, CachedBlock, CachedTuning, PulseCache, PulseLibrary};

@@ -40,6 +40,20 @@ impl BlockKey {
         BlockKey(key)
     }
 
+    /// The qubit count encoded in the key's `q{n}|` prefix (0 if the key is
+    /// malformed). Both bound and structural keys carry it, so cache layers can
+    /// estimate a cached entry's recompute cost (which scales as `dim³ = 8ⁿ`) without
+    /// access to the originating circuit.
+    pub fn num_qubits(&self) -> usize {
+        let digits = self
+            .0
+            .strip_prefix("s|")
+            .unwrap_or(&self.0)
+            .strip_prefix('q')
+            .and_then(|rest| rest.split('|').next());
+        digits.and_then(|d| d.parse().ok()).unwrap_or(0)
+    }
+
     /// Builds a *structural* key that ignores the numeric values of parameterized
     /// angles (but keeps constant angles). Used to cache per-subcircuit hyperparameters
     /// and minimum durations, which the paper observes are robust to the θ argument.

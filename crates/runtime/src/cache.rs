@@ -10,25 +10,61 @@
 //! [`BlockKey`] is a canonical fingerprint of the block circuit, so two requests
 //! compiling the same subcircuit hit the same shard slot regardless of which circuit
 //! or which variational iteration they came from.
+//!
+//! # Eviction
+//!
+//! Bounded shards evict by *recompute cost*: every entry carries an estimate of the
+//! GRAPE seconds it would take to reproduce (derived from its recorded iterations
+//! via [`vqc_core::LatencyModel`]), and a full shard drops the cheapest-to-recompute
+//! entry first, breaking ties by insertion order. That is the economics of the
+//! paper's pulse library made explicit — a cached 4-qubit block stands for minutes
+//! of GRAPE, a 2-qubit block for a fraction of a second, and a bounded cache should
+//! spend its capacity on the former. [`EvictionPolicy::Fifo`] retains the plain
+//! oldest-first bound for comparison.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use vqc_core::{BlockKey, CachedBlock, CachedTuning, PulseCache};
+use vqc_core::{BlockKey, CachedBlock, CachedTuning, LatencyModel, PulseCache};
+
+/// Which entry a full shard evicts on insert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the entry with the smallest estimated recompute cost first; entries of
+    /// equal cost leave in insertion order.
+    #[default]
+    CostAware,
+    /// Evict the entry least recently inserted (or overwritten) first.
+    Fifo,
+}
+
+impl EvictionPolicy {
+    /// Parses the `VQC_EVICTION` spelling of a policy (`"fifo"` or `"cost"` /
+    /// `"cost-aware"`, case-insensitive); anything else is `None`.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "fifo" => Some(EvictionPolicy::Fifo),
+            "cost" | "cost-aware" | "cost_aware" => Some(EvictionPolicy::CostAware),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of a [`ShardedPulseCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
     /// Number of independent shards (rounded up to a power of two, minimum 1).
     pub shards: usize,
-    /// Maximum number of block entries per shard; the oldest entry of a full shard
-    /// is evicted on insert. `None` disables eviction (the seed behavior).
+    /// Maximum number of block entries per shard; a full shard evicts per the
+    /// [`EvictionPolicy`] on insert. `None` disables eviction (the seed behavior).
     pub max_blocks_per_shard: Option<usize>,
     /// Maximum number of tuning entries per shard, as for `max_blocks_per_shard`.
     pub max_tunings_per_shard: Option<usize>,
+    /// Which entry a full shard evicts.
+    pub eviction: EvictionPolicy,
 }
 
 impl Default for CacheConfig {
@@ -37,6 +73,7 @@ impl Default for CacheConfig {
             shards: 16,
             max_blocks_per_shard: None,
             max_tunings_per_shard: None,
+            eviction: EvictionPolicy::default(),
         }
     }
 }
@@ -44,17 +81,23 @@ impl Default for CacheConfig {
 /// Point-in-time cache counters.
 ///
 /// `hits`/`misses` count lookups of both block and tuning entries; `evictions`
-/// counts entries displaced by the per-shard capacity bound.
+/// counts entries displaced by the per-shard capacity bound (on any write path,
+/// including a bounded warm start). `restored` counts entries absorbed from a
+/// snapshot, which deliberately do **not** contribute to `insertions` — a warm
+/// start is not compile-time work, and polluting the compile-time counters with it
+/// would make the first post-restart metrics read look like a compilation storm.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheMetrics {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
-    /// Entries written (first insert or overwrite).
+    /// Entries written (first insert or overwrite) by compilation.
     pub insertions: u64,
     /// Entries displaced by the capacity bound.
     pub evictions: u64,
+    /// Entries restored from a snapshot by [`ShardedPulseCache::absorb`].
+    pub restored: u64,
 }
 
 /// Per-shard counters. Keeping one `Counters` inside every shard (rather than one
@@ -66,6 +109,7 @@ struct Counters {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    restored: AtomicU64,
 }
 
 impl Counters {
@@ -78,40 +122,115 @@ impl Counters {
     }
 }
 
-/// One capacity-bounded key→value map; insertion order is tracked for FIFO eviction.
+/// One stored value plus its eviction metadata.
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    /// Estimated seconds of GRAPE work to reproduce the value if evicted.
+    cost: f64,
+    /// Monotone write stamp. Overwriting a key refreshes its stamp, so an entry's
+    /// age reflects its latest write — the seed's FIFO queue kept the *original*
+    /// position, wrongly evicting a just-refreshed entry as "oldest".
+    seq: u64,
+}
+
+/// Maps a cost to a key that sorts exactly like [`f64::total_cmp`] (the standard
+/// sign-flip trick), so the victim index below can order entries without floats.
+fn cost_order_bits(cost: f64) -> u64 {
+    let bits = cost.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// One capacity-bounded key→value map with per-entry recompute costs.
 #[derive(Debug)]
 struct BoundedMap<V> {
-    entries: HashMap<BlockKey, V>,
-    order: VecDeque<BlockKey>,
+    entries: HashMap<BlockKey, Slot<V>>,
+    /// Eviction order index: the map's first entry is the next victim. Keys are
+    /// `(policy order bits, seq)` — unique because `seq` is — so picking a victim
+    /// and maintaining the index on insert/overwrite are both O(log n), where the
+    /// seed's plain scan would make every insert into a full shard O(n) under the
+    /// shard mutex.
+    victims: BTreeMap<(u64, u64), BlockKey>,
     capacity: Option<usize>,
+    policy: EvictionPolicy,
+    next_seq: u64,
 }
 
 impl<V> BoundedMap<V> {
-    fn new(capacity: Option<usize>) -> Self {
+    fn new(capacity: Option<usize>, policy: EvictionPolicy) -> Self {
         BoundedMap {
             entries: HashMap::new(),
-            order: VecDeque::new(),
+            victims: BTreeMap::new(),
             capacity,
+            policy,
+            next_seq: 0,
         }
     }
 
-    /// Inserts, returning the number of entries evicted to make room.
-    fn insert(&mut self, key: BlockKey, value: V) -> u64 {
-        if self.entries.insert(key.clone(), value).is_none() {
-            self.order.push_back(key);
+    /// Where an entry sorts in the eviction order under this map's policy.
+    fn victim_order(&self, cost: f64, seq: u64) -> (u64, u64) {
+        match self.policy {
+            EvictionPolicy::Fifo => (0, seq),
+            EvictionPolicy::CostAware => (cost_order_bits(cost), seq),
         }
+    }
+
+    fn get(&self, key: &BlockKey) -> Option<&V> {
+        self.entries.get(key).map(|slot| &slot.value)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.victims.clear();
+    }
+
+    /// Sum of the recompute-cost estimates of all retained entries (seconds).
+    fn total_cost(&self) -> f64 {
+        self.entries.values().map(|slot| slot.cost).sum()
+    }
+
+    /// Inserts, returning the number of entries evicted to make room. The entry
+    /// inserted by this very call is never its own victim, even when it is the
+    /// cheapest in the shard — evicting what the caller is about to rely on would
+    /// guarantee an immediate recompute.
+    fn insert(&mut self, key: BlockKey, value: V, cost: f64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let Some(capacity) = self.capacity else {
+            // Unbounded maps (the default config) never evict, so they skip the
+            // victim index entirely rather than mirror every key into it.
+            self.entries.insert(key, Slot { value, cost, seq });
+            return 0;
+        };
+        if let Some(old) = self.entries.insert(key.clone(), Slot { value, cost, seq }) {
+            self.victims.remove(&self.victim_order(old.cost, old.seq));
+        }
+        self.victims
+            .insert(self.victim_order(cost, seq), key.clone());
         let mut evicted = 0;
-        if let Some(capacity) = self.capacity {
-            while self.entries.len() > capacity.max(1) {
-                // Entries overwritten rather than evicted keep their original queue
-                // position; that is fine for a FIFO bound.
-                if let Some(oldest) = self.order.pop_front() {
-                    if self.entries.remove(&oldest).is_some() {
-                        evicted += 1;
-                    }
-                } else {
-                    break;
+        while self.entries.len() > capacity.max(1) {
+            // The just-inserted key is at most one of the first two index
+            // entries away from the front, so this scan inspects ≤ 2 entries.
+            let victim = self
+                .victims
+                .iter()
+                .find(|(_, candidate)| **candidate != key)
+                .map(|(order, candidate)| (*order, candidate.clone()));
+            match victim {
+                Some((order, victim)) => {
+                    self.victims.remove(&order);
+                    self.entries.remove(&victim);
+                    evicted += 1;
                 }
+                None => break,
             }
         }
         evicted
@@ -125,13 +244,53 @@ struct Shard {
     counters: Counters,
 }
 
-/// Serializable image of a cache's contents, for warm-start persistence.
+/// Serializable image of a cache's contents, for warm-start persistence. Each entry
+/// carries its recompute-cost estimate (seconds), so a restored cache ranks restored
+/// and freshly compiled entries on the same eviction scale.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheSnapshot {
-    /// All cached block compilations.
-    pub blocks: Vec<(BlockKey, CachedBlock)>,
-    /// All cached flexible-compilation tunings.
-    pub tunings: Vec<(BlockKey, CachedTuning)>,
+    /// All cached block compilations, with per-entry recompute costs.
+    pub blocks: Vec<(BlockKey, CachedBlock, f64)>,
+    /// All cached flexible-compilation tunings, with per-entry recompute costs.
+    pub tunings: Vec<(BlockKey, CachedTuning, f64)>,
+}
+
+/// What snapshot compaction drops at save time. The default drops nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompactionPolicy {
+    /// Drop entries whose recompute cost (seconds) is below this floor — entries so
+    /// cheap that re-deriving them costs less than carrying them across restarts.
+    pub cost_floor_seconds: Option<f64>,
+    /// Keep at most this many block entries and this many tuning entries; the
+    /// costliest-to-recompute survive.
+    pub max_entries: Option<usize>,
+}
+
+impl CacheSnapshot {
+    /// Applies a [`CompactionPolicy`] in place: entries below the cost floor are
+    /// dropped, then each section is truncated to the size budget keeping the
+    /// costliest entries (ties keep their snapshot order).
+    pub fn compact(&mut self, policy: &CompactionPolicy) {
+        fn apply<V>(entries: &mut Vec<(BlockKey, V, f64)>, policy: &CompactionPolicy) {
+            if let Some(floor) = policy.cost_floor_seconds {
+                entries.retain(|(_, _, cost)| *cost >= floor);
+            }
+            if let Some(max) = policy.max_entries {
+                if entries.len() > max {
+                    entries.sort_by(|a, b| b.2.total_cmp(&a.2));
+                    entries.truncate(max);
+                }
+            }
+        }
+        apply(&mut self.blocks, policy);
+        apply(&mut self.tunings, policy);
+    }
+
+    /// Total estimated GRAPE seconds the snapshot's entries stand for.
+    pub fn total_cost_seconds(&self) -> f64 {
+        self.blocks.iter().map(|(_, _, cost)| cost).sum::<f64>()
+            + self.tunings.iter().map(|(_, _, cost)| cost).sum::<f64>()
+    }
 }
 
 /// A lock-striped, sharded, content-addressed implementation of [`PulseCache`].
@@ -140,6 +299,8 @@ pub struct ShardedPulseCache {
     shards: Vec<Shard>,
     /// `shards.len() - 1`; shard count is a power of two so this masks a hash.
     mask: usize,
+    /// Converts an entry's recorded GRAPE iterations into its recompute cost.
+    latency: LatencyModel,
 }
 
 impl Default for ShardedPulseCache {
@@ -155,12 +316,19 @@ impl ShardedPulseCache {
         ShardedPulseCache {
             shards: (0..shards)
                 .map(|_| Shard {
-                    blocks: Mutex::new(BoundedMap::new(config.max_blocks_per_shard)),
-                    tunings: Mutex::new(BoundedMap::new(config.max_tunings_per_shard)),
+                    blocks: Mutex::new(BoundedMap::new(
+                        config.max_blocks_per_shard,
+                        config.eviction,
+                    )),
+                    tunings: Mutex::new(BoundedMap::new(
+                        config.max_tunings_per_shard,
+                        config.eviction,
+                    )),
                     counters: Counters::default(),
                 })
                 .collect(),
             mask: shards - 1,
+            latency: LatencyModel::default(),
         }
     }
 
@@ -183,8 +351,19 @@ impl ShardedPulseCache {
             metrics.misses += shard.counters.misses.load(Ordering::Relaxed);
             metrics.insertions += shard.counters.insertions.load(Ordering::Relaxed);
             metrics.evictions += shard.counters.evictions.load(Ordering::Relaxed);
+            metrics.restored += shard.counters.restored.load(Ordering::Relaxed);
         }
         metrics
+    }
+
+    /// Sum of the recompute-cost estimates of all retained block entries, in
+    /// seconds — the estimated GRAPE work the cache is currently protecting. This is
+    /// the quantity cost-aware eviction maximizes at a given capacity.
+    pub fn retained_block_cost_seconds(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.blocks.lock().total_cost())
+            .sum()
     }
 
     /// Copies the full cache contents into a serializable snapshot.
@@ -192,24 +371,49 @@ impl ShardedPulseCache {
         let mut snapshot = CacheSnapshot::default();
         for shard in &self.shards {
             let blocks = shard.blocks.lock();
-            snapshot
-                .blocks
-                .extend(blocks.entries.iter().map(|(k, v)| (k.clone(), v.clone())));
+            snapshot.blocks.extend(
+                blocks
+                    .entries
+                    .iter()
+                    .map(|(k, slot)| (k.clone(), slot.value.clone(), slot.cost)),
+            );
             let tunings = shard.tunings.lock();
-            snapshot
-                .tunings
-                .extend(tunings.entries.iter().map(|(k, v)| (k.clone(), v.clone())));
+            snapshot.tunings.extend(
+                tunings
+                    .entries
+                    .iter()
+                    .map(|(k, slot)| (k.clone(), slot.value.clone(), slot.cost)),
+            );
         }
         snapshot
     }
 
-    /// Inserts every entry of a snapshot (e.g. one loaded from disk).
+    /// Restores every entry of a snapshot (e.g. one loaded from disk) without
+    /// fabricating compile-time activity: `restored` counts the entries read from
+    /// the snapshot (never `insertions`), so metrics read zero compilation after a
+    /// warm start. Capacity bounds still apply — a snapshot larger than the cache
+    /// keeps only what fits under the eviction policy, and entries displaced that
+    /// way are real displacements and do count in `evictions` (so
+    /// `restored - evictions` reconciles with the entry count after a bounded warm
+    /// start).
     pub fn absorb(&self, snapshot: CacheSnapshot) {
-        for (key, value) in snapshot.blocks {
-            self.insert_block(key, value);
+        for (key, value, cost) in snapshot.blocks {
+            let shard = self.shard(&key);
+            let evicted = shard.blocks.lock().insert(key, value, cost);
+            shard.counters.restored.fetch_add(1, Ordering::Relaxed);
+            shard
+                .counters
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
         }
-        for (key, value) in snapshot.tunings {
-            self.insert_tuning(key, value);
+        for (key, value, cost) in snapshot.tunings {
+            let shard = self.shard(&key);
+            let evicted = shard.tunings.lock().insert(key, value, cost);
+            shard.counters.restored.fetch_add(1, Ordering::Relaxed);
+            shard
+                .counters
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
         }
     }
 }
@@ -217,14 +421,15 @@ impl ShardedPulseCache {
 impl PulseCache for ShardedPulseCache {
     fn block(&self, key: &BlockKey) -> Option<CachedBlock> {
         let shard = self.shard(key);
-        let found = shard.blocks.lock().entries.get(key).cloned();
+        let found = shard.blocks.lock().get(key).cloned();
         shard.counters.record_lookup(found.is_some());
         found
     }
 
     fn insert_block(&self, key: BlockKey, value: CachedBlock) {
         let shard = self.shard(&key);
-        let evicted = shard.blocks.lock().insert(key, value);
+        let cost = self.latency.block_recompute_seconds(&key, &value);
+        let evicted = shard.blocks.lock().insert(key, value, cost);
         shard.counters.insertions.fetch_add(1, Ordering::Relaxed);
         shard
             .counters
@@ -234,14 +439,15 @@ impl PulseCache for ShardedPulseCache {
 
     fn tuning(&self, key: &BlockKey) -> Option<CachedTuning> {
         let shard = self.shard(key);
-        let found = shard.tunings.lock().entries.get(key).cloned();
+        let found = shard.tunings.lock().get(key).cloned();
         shard.counters.record_lookup(found.is_some());
         found
     }
 
     fn insert_tuning(&self, key: BlockKey, value: CachedTuning) {
         let shard = self.shard(&key);
-        let evicted = shard.tunings.lock().insert(key, value);
+        let cost = self.latency.tuning_recompute_seconds(&key, &value);
+        let evicted = shard.tunings.lock().insert(key, value, cost);
         shard.counters.insertions.fetch_add(1, Ordering::Relaxed);
         shard
             .counters
@@ -250,27 +456,17 @@ impl PulseCache for ShardedPulseCache {
     }
 
     fn num_blocks(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.blocks.lock().entries.len())
-            .sum()
+        self.shards.iter().map(|s| s.blocks.lock().len()).sum()
     }
 
     fn num_tunings(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.tunings.lock().entries.len())
-            .sum()
+        self.shards.iter().map(|s| s.tunings.lock().len()).sum()
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            let mut blocks = shard.blocks.lock();
-            blocks.entries.clear();
-            blocks.order.clear();
-            let mut tunings = shard.tunings.lock();
-            tunings.entries.clear();
-            tunings.order.clear();
+            shard.blocks.lock().clear();
+            shard.tunings.lock().clear();
         }
     }
 }
@@ -286,12 +482,23 @@ mod tests {
         BlockKey::from_bound_circuit(&circuit)
     }
 
+    /// An entry whose recompute cost grows with `tag` (iterations and duration both
+    /// scale with it).
     fn entry(tag: usize) -> CachedBlock {
         CachedBlock {
             duration_ns: tag as f64,
             converged: true,
             grape_iterations: tag,
         }
+    }
+
+    fn bounded(capacity: usize, eviction: EvictionPolicy) -> ShardedPulseCache {
+        ShardedPulseCache::new(CacheConfig {
+            shards: 1,
+            max_blocks_per_shard: Some(capacity),
+            max_tunings_per_shard: None,
+            eviction,
+        })
     }
 
     #[test]
@@ -325,12 +532,8 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_evicts_oldest_first() {
-        let cache = ShardedPulseCache::new(CacheConfig {
-            shards: 1,
-            max_blocks_per_shard: Some(2),
-            max_tunings_per_shard: None,
-        });
+    fn fifo_capacity_bound_evicts_oldest_first() {
+        let cache = bounded(2, EvictionPolicy::Fifo);
         cache.insert_block(key(1), entry(1));
         cache.insert_block(key(2), entry(2));
         cache.insert_block(key(3), entry(3));
@@ -344,6 +547,163 @@ mod tests {
     }
 
     #[test]
+    fn fifo_overwrite_refreshes_the_entry_position() {
+        let cache = bounded(2, EvictionPolicy::Fifo);
+        cache.insert_block(key(1), entry(1));
+        cache.insert_block(key(2), entry(2));
+        // Overwriting key 1 makes key 2 the oldest write; the seed kept key 1's
+        // original queue position and would wrongly evict the just-refreshed entry.
+        cache.insert_block(key(1), entry(7));
+        cache.insert_block(key(3), entry(3));
+        assert!(
+            cache.block(&key(1)).is_some(),
+            "refreshed entry must survive"
+        );
+        assert!(cache.block(&key(2)).is_none(), "stalest entry is evicted");
+        assert!(cache.block(&key(3)).is_some());
+    }
+
+    #[test]
+    fn cost_aware_eviction_drops_cheapest_first_with_insertion_tiebreak() {
+        let cache = bounded(2, EvictionPolicy::CostAware);
+        // Expensive entry first, then a cheap one, then a medium one: the cheap
+        // entry goes, not the oldest.
+        cache.insert_block(key(1), entry(100));
+        cache.insert_block(key(2), entry(1));
+        cache.insert_block(key(3), entry(10));
+        assert!(cache.block(&key(1)).is_some(), "costliest entry survives");
+        assert!(cache.block(&key(2)).is_none(), "cheapest entry is evicted");
+        assert!(cache.block(&key(3)).is_some());
+
+        // Equal costs fall back to insertion order.
+        let cache = bounded(2, EvictionPolicy::CostAware);
+        cache.insert_block(key(1), entry(5));
+        cache.insert_block(key(2), entry(5));
+        cache.insert_block(key(3), entry(5));
+        assert!(cache.block(&key(1)).is_none(), "tie evicts the oldest");
+        assert!(cache.block(&key(2)).is_some());
+        assert!(cache.block(&key(3)).is_some());
+    }
+
+    #[test]
+    fn just_inserted_entry_is_never_its_own_victim() {
+        let cache = bounded(1, EvictionPolicy::CostAware);
+        cache.insert_block(key(1), entry(100));
+        // Cheaper than the resident entry, but the insert call must still land it.
+        cache.insert_block(key(2), entry(1));
+        assert!(cache.block(&key(2)).is_some());
+        assert!(cache.block(&key(1)).is_none());
+    }
+
+    #[test]
+    fn cost_aware_retains_more_grape_seconds_than_fifo_at_equal_capacity() {
+        // Repeated-block workload shape: a handful of expensive blocks compiled
+        // early, then a churn of cheap single-purpose blocks. FIFO lets the churn
+        // flush the expensive entries; cost-aware keeps them.
+        let fifo = bounded(4, EvictionPolicy::Fifo);
+        let cost_aware = bounded(4, EvictionPolicy::CostAware);
+        for cache in [&fifo, &cost_aware] {
+            for tag in 0..4 {
+                cache.insert_block(key(1000 + tag), entry(500 + tag));
+            }
+            for tag in 0..16 {
+                cache.insert_block(key(tag), entry(1 + tag % 3));
+            }
+        }
+        assert_eq!(fifo.num_blocks(), 4);
+        assert_eq!(cost_aware.num_blocks(), 4);
+        assert!(
+            cost_aware.retained_block_cost_seconds() > fifo.retained_block_cost_seconds(),
+            "cost-aware must retain strictly more estimated GRAPE seconds: {} vs {}",
+            cost_aware.retained_block_cost_seconds(),
+            fifo.retained_block_cost_seconds(),
+        );
+        // The costliest entries specifically survived. (One of the four capacity
+        // slots is always held by the most recent insert — an insert call never
+        // evicts its own entry — so the steady state is the top `capacity - 1`
+        // expensive entries plus the latest cheap one.)
+        for tag in 1..4 {
+            assert!(cost_aware.block(&key(1000 + tag)).is_some());
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_against_a_tight_bound_respect_capacity_and_balance_metrics() {
+        for eviction in [EvictionPolicy::Fifo, EvictionPolicy::CostAware] {
+            let capacity = 3;
+            let cache = bounded(capacity, eviction);
+            let threads = 8;
+            let per_thread_ops = 200;
+            let lookups_per_thread = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let cache = &cache;
+                    let lookups = &lookups_per_thread;
+                    scope.spawn(move || {
+                        for i in 0..per_thread_ops {
+                            let tag = (t * 31 + i * 7) % 24;
+                            if i % 3 == 0 {
+                                cache.block(&key(tag));
+                                lookups.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                cache.insert_block(key(tag), entry(tag));
+                            }
+                            // The capacity bound must hold at every intermediate
+                            // point, not just after the dust settles.
+                            assert!(cache.num_blocks() <= capacity);
+                        }
+                    });
+                }
+            });
+            let metrics = cache.metrics();
+            assert!(cache.num_blocks() <= capacity, "{eviction:?}");
+            assert_eq!(
+                metrics.hits + metrics.misses,
+                lookups_per_thread.load(Ordering::Relaxed),
+                "{eviction:?}: every lookup is a hit or a miss"
+            );
+            let total_inserts = (threads * (per_thread_ops - per_thread_ops.div_ceil(3))) as u64;
+            assert_eq!(metrics.insertions, total_inserts, "{eviction:?}");
+            assert!(metrics.evictions > 0, "{eviction:?}: churn must evict");
+        }
+    }
+
+    #[test]
+    fn absorb_restores_without_perturbing_compile_time_counters() {
+        let source = ShardedPulseCache::default();
+        for tag in 0..10 {
+            source.insert_block(key(tag), entry(tag));
+        }
+        let restored = ShardedPulseCache::default();
+        restored.absorb(source.snapshot());
+        let metrics = restored.metrics();
+        assert_eq!(metrics.hits, 0);
+        assert_eq!(metrics.misses, 0);
+        assert_eq!(metrics.insertions, 0, "absorb must not count as insertions");
+        assert_eq!(metrics.evictions, 0);
+        assert_eq!(metrics.restored, 10);
+        assert_eq!(restored.num_blocks(), 10);
+    }
+
+    #[test]
+    fn bounded_absorb_reconciles_restored_against_evictions() {
+        let source = ShardedPulseCache::default();
+        for tag in 0..10 {
+            source.insert_block(key(tag), entry(tag));
+        }
+        let bounded = bounded(3, EvictionPolicy::CostAware);
+        bounded.absorb(source.snapshot());
+        let metrics = bounded.metrics();
+        assert_eq!(metrics.restored, 10);
+        assert_eq!(metrics.insertions, 0);
+        assert_eq!(metrics.evictions, 7, "capacity displacements stay visible");
+        assert_eq!(
+            (metrics.restored - metrics.evictions) as usize,
+            bounded.num_blocks()
+        );
+    }
+
+    #[test]
     fn snapshot_round_trips_through_absorb() {
         let cache = ShardedPulseCache::default();
         for tag in 0..20 {
@@ -351,6 +711,11 @@ mod tests {
         }
         let snapshot = cache.snapshot();
         assert_eq!(snapshot.blocks.len(), 20);
+        // Every snapshot entry carries the same cost the live cache computed.
+        let model = LatencyModel::default();
+        for (key, value, cost) in &snapshot.blocks {
+            assert_eq!(*cost, model.block_recompute_seconds(key, value));
+        }
 
         let restored = ShardedPulseCache::new(CacheConfig {
             shards: 4,
@@ -361,5 +726,65 @@ mod tests {
         for tag in 0..20 {
             assert_eq!(restored.block(&key(tag)).unwrap(), entry(tag));
         }
+        // The multiset of retained costs is preserved exactly. (The *sums* can
+        // differ in the last bits: shard layout and hash order change the f64
+        // summation order, so comparing totals bitwise would be flaky.)
+        let costs = |cache: &ShardedPulseCache| {
+            let mut costs: Vec<f64> = cache.snapshot().blocks.iter().map(|(_, _, c)| *c).collect();
+            costs.sort_by(f64::total_cmp);
+            costs
+        };
+        assert_eq!(costs(&restored), costs(&cache));
+        let drift =
+            (restored.retained_block_cost_seconds() - cache.retained_block_cost_seconds()).abs();
+        assert!(drift <= 1e-9 * cache.retained_block_cost_seconds().abs());
+    }
+
+    #[test]
+    fn compaction_drops_cheap_entries_and_respects_the_size_budget() {
+        let cache = ShardedPulseCache::default();
+        for tag in 0..10 {
+            cache.insert_block(key(tag), entry(tag));
+        }
+        let full = cache.snapshot();
+
+        // Cost floor: entry 0 does zero GRAPE work and is the only one below it.
+        let mut floored = full.clone();
+        let min_positive = full
+            .blocks
+            .iter()
+            .map(|(_, _, c)| *c)
+            .filter(|c| *c > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        floored.compact(&CompactionPolicy {
+            cost_floor_seconds: Some(min_positive),
+            max_entries: None,
+        });
+        assert_eq!(floored.blocks.len(), 9);
+
+        // Size budget: the 3 costliest entries survive.
+        let mut budgeted = full.clone();
+        budgeted.compact(&CompactionPolicy {
+            cost_floor_seconds: None,
+            max_entries: Some(3),
+        });
+        assert_eq!(budgeted.blocks.len(), 3);
+        let kept_min = budgeted
+            .blocks
+            .iter()
+            .map(|(_, _, c)| *c)
+            .fold(f64::INFINITY, f64::min);
+        let dropped_max = full
+            .blocks
+            .iter()
+            .filter(|(k, _, _)| !budgeted.blocks.iter().any(|(bk, _, _)| bk == k))
+            .map(|(_, _, c)| *c)
+            .fold(0.0, f64::max);
+        assert!(kept_min >= dropped_max);
+
+        // The default policy is a no-op.
+        let mut untouched = full.clone();
+        untouched.compact(&CompactionPolicy::default());
+        assert_eq!(untouched, full);
     }
 }

@@ -6,10 +6,14 @@
 //!
 //! * [`ShardedPulseCache`] — a lock-striped, sharded, content-addressed replacement
 //!   for the global-mutex [`vqc_core::PulseLibrary`], with hit/miss/eviction
-//!   [`CacheMetrics`] and optional per-shard capacity bounds.
+//!   [`CacheMetrics`] and optional per-shard capacity bounds. Bounded shards evict
+//!   by [`EvictionPolicy`]: cost-aware by default (the cheapest-to-recompute entry
+//!   leaves first, so capacity protects the most GRAPE seconds), FIFO as fallback.
 //! * [`CompilationRuntime`] — compiles the independent blocks of a circuit in
 //!   parallel on a worker pool, with [`InFlight`] deduplication so two workers never
-//!   GRAPE-optimize the same [`vqc_core::BlockKey`] twice.
+//!   GRAPE-optimize the same [`vqc_core::BlockKey`] twice. Block tasks drain
+//!   longest-processing-time-first ([`SchedulePolicy::Lpt`]) by estimated GRAPE
+//!   cost, shrinking the pool's makespan on heterogeneous plans.
 //! * [`CompilationRuntime::compile_batch`] / [`CompilationRuntime::compile_iterations`]
 //!   — the batch API: many circuits or many variational iterations drain one task
 //!   pool against the shared cache, making the paper's cross-iteration reuse
@@ -51,7 +55,9 @@ pub mod persist;
 #[allow(clippy::module_inception)]
 mod runtime;
 
-pub use cache::{CacheConfig, CacheMetrics, CacheSnapshot, ShardedPulseCache};
+pub use cache::{
+    CacheConfig, CacheMetrics, CacheSnapshot, CompactionPolicy, EvictionPolicy, ShardedPulseCache,
+};
 pub use inflight::{InFlight, Ticket};
 pub use persist::PersistError;
-pub use runtime::{CompilationRuntime, CompileJob, RuntimeMetrics, RuntimeOptions};
+pub use runtime::{CompilationRuntime, CompileJob, RuntimeMetrics, RuntimeOptions, SchedulePolicy};

@@ -4,17 +4,30 @@
 //! bincode encoding of a [`CacheSnapshot`]. The header keeps a future format change
 //! from being misparsed as data, and snapshots are written via a temporary file +
 //! rename so a crash mid-write never leaves a truncated snapshot at the target path.
+//!
+//! Format history:
+//!
+//! * **v1** — `(key, entry)` pairs. Still readable: entries are migrated on load by
+//!   recomputing their cost metadata from the recorded GRAPE iterations.
+//! * **v2** (current) — `(key, entry, recompute_cost_seconds)` triples, so a restored
+//!   cache ranks restored and freshly compiled entries on the same eviction scale
+//!   without re-deriving costs, and snapshot compaction can filter on cost at save
+//!   time.
 
 use crate::cache::CacheSnapshot;
+use serde::Deserialize;
 use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::Path;
+use vqc_core::{BlockKey, CachedBlock, CachedTuning, LatencyModel};
 
 /// Leading bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"VQCPULSE";
-/// Version of the snapshot layout this build writes and accepts.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version of the snapshot layout this build writes.
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// Oldest snapshot layout this build still reads (migrating on load).
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 /// Error loading or saving a snapshot.
 #[derive(Debug)]
@@ -42,11 +55,44 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// The v1 payload layout, kept for read-only migration.
+#[derive(Debug, Default, Deserialize)]
+struct SnapshotV1 {
+    blocks: Vec<(BlockKey, CachedBlock)>,
+    tunings: Vec<(BlockKey, CachedTuning)>,
+}
+
+impl SnapshotV1 {
+    /// Upgrades to the current layout by deriving the cost metadata v1 lacked.
+    fn migrate(self) -> CacheSnapshot {
+        let model = LatencyModel::default();
+        CacheSnapshot {
+            blocks: self
+                .blocks
+                .into_iter()
+                .map(|(key, entry)| {
+                    let cost = model.block_recompute_seconds(&key, &entry);
+                    (key, entry, cost)
+                })
+                .collect(),
+            tunings: self
+                .tunings
+                .into_iter()
+                .map(|(key, entry)| {
+                    let cost = model.tuning_recompute_seconds(&key, &entry);
+                    (key, entry, cost)
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Writes a snapshot to `path` atomically (temp file + rename).
 ///
 /// # Errors
 ///
-/// Fails on I/O errors; the target path is left untouched in that case.
+/// Fails on I/O errors; the target path is left untouched and the temporary file is
+/// removed in that case.
 pub fn save_snapshot(path: impl AsRef<Path>, snapshot: &CacheSnapshot) -> Result<(), PersistError> {
     let path = path.as_ref();
     let payload = bincode::serialize(snapshot)
@@ -61,18 +107,28 @@ pub fn save_snapshot(path: impl AsRef<Path>, snapshot: &CacheSnapshot) -> Result
         .to_string_lossy()
         .into_owned();
     let tmp_path = path.with_file_name(format!("{file_name}.{}.tmp", std::process::id()));
-    {
-        let mut file = fs::File::create(&tmp_path)?;
-        file.write_all(SNAPSHOT_MAGIC)?;
-        file.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
-        file.write_all(&payload)?;
-        file.sync_all()?;
+    let write = || -> Result<(), PersistError> {
+        {
+            let mut file = fs::File::create(&tmp_path)?;
+            file.write_all(SNAPSHOT_MAGIC)?;
+            file.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+            file.write_all(&payload)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp_path, path)?;
+        Ok(())
+    };
+    let result = write();
+    if result.is_err() {
+        // Any failure past File::create leaves the temp file behind; a process that
+        // keeps retrying saves would otherwise litter the snapshot directory.
+        fs::remove_file(&tmp_path).ok();
     }
-    fs::rename(&tmp_path, path)?;
-    Ok(())
+    result
 }
 
-/// Reads a snapshot from `path`.
+/// Reads a snapshot from `path`, migrating older supported versions to the current
+/// layout.
 ///
 /// # Errors
 ///
@@ -88,46 +144,92 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<CacheSnapshot, PersistErr
             .try_into()
             .expect("four version bytes"),
     );
-    if version != SNAPSHOT_VERSION {
-        return Err(PersistError::Corrupt(format!(
-            "snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
-        )));
+    let payload = &bytes[header_len..];
+    match version {
+        // Guarded by the same constant the rejection message advertises, so
+        // raising SNAPSHOT_MIN_VERSION retires this migration arm automatically.
+        1 if SNAPSHOT_MIN_VERSION <= 1 => bincode::deserialize::<SnapshotV1>(payload)
+            .map(SnapshotV1::migrate)
+            .map_err(|e| PersistError::Corrupt(format!("v1 payload does not decode: {e}"))),
+        SNAPSHOT_VERSION => bincode::deserialize(payload)
+            .map_err(|e| PersistError::Corrupt(format!("payload does not decode: {e}"))),
+        other => Err(PersistError::Corrupt(format!(
+            "snapshot version {other} (this build reads {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION})"
+        ))),
     }
-    bincode::deserialize(&bytes[header_len..])
-        .map_err(|e| PersistError::Corrupt(format!("payload does not decode: {e}")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vqc_circuit::Circuit;
-    use vqc_core::{BlockKey, CachedBlock};
 
-    fn sample_snapshot() -> CacheSnapshot {
+    fn sample_key() -> BlockKey {
         let mut circuit = Circuit::new(2);
         circuit.cx(0, 1);
         circuit.rz(1, 0.5);
+        BlockKey::from_bound_circuit(&circuit)
+    }
+
+    fn sample_entry() -> CachedBlock {
+        CachedBlock {
+            duration_ns: 4.25,
+            converged: true,
+            grape_iterations: 310,
+        }
+    }
+
+    fn sample_snapshot() -> CacheSnapshot {
+        let key = sample_key();
+        let entry = sample_entry();
+        let cost = LatencyModel::default().block_recompute_seconds(&key, &entry);
         CacheSnapshot {
-            blocks: vec![(
-                BlockKey::from_bound_circuit(&circuit),
-                CachedBlock {
-                    duration_ns: 4.25,
-                    converged: true,
-                    grape_iterations: 310,
-                },
-            )],
+            blocks: vec![(key, entry, cost)],
             tunings: Vec::new(),
         }
     }
 
     #[test]
-    fn snapshot_file_round_trips() {
+    fn snapshot_file_round_trips_with_cost_metadata() {
         let dir = std::env::temp_dir().join("vqc_persist_test_roundtrip");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cache.snapshot");
         let snapshot = sample_snapshot();
         save_snapshot(&path, &snapshot).unwrap();
-        assert_eq!(load_snapshot(&path).unwrap(), snapshot);
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded, snapshot);
+        assert!(loaded.blocks[0].2 > 0.0, "cost metadata must round-trip");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_with_derived_costs() {
+        let dir = std::env::temp_dir().join("vqc_persist_test_v1");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snapshot");
+
+        // A v1 file: (key, entry) pairs without costs. The v1 struct serialized
+        // field-by-field is byte-identical to the tuple of its two vectors.
+        let v1_payload = bincode::serialize(&(
+            vec![(sample_key(), sample_entry())],
+            Vec::<(BlockKey, CachedTuning)>::new(),
+        ))
+        .unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&v1_payload);
+        fs::write(&path, &bytes).unwrap();
+
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.blocks.len(), 1);
+        assert_eq!(loaded.blocks[0].0, sample_key());
+        assert_eq!(loaded.blocks[0].1, sample_entry());
+        assert_eq!(
+            loaded.blocks[0].2,
+            LatencyModel::default().block_recompute_seconds(&sample_key(), &sample_entry()),
+            "migration derives the cost v1 lacked"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -168,6 +270,31 @@ mod tests {
             load_snapshot(&path),
             Err(PersistError::Corrupt(_))
         ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join("vqc_persist_test_tmp_leak");
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        // The target path is an existing directory, so the final rename of the temp
+        // file onto it must fail after the temp file was fully written.
+        let target = dir.join("occupied");
+        fs::create_dir_all(&target).unwrap();
+        assert!(matches!(
+            save_snapshot(&target, &sample_snapshot()),
+            Err(PersistError::Io(_))
+        ));
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|entry| entry.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "failed save left temp files: {leftovers:?}"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -12,7 +12,7 @@
 //! variational optimizer (or many concurrent clients) submits whole iterations of
 //! circuits, and every Fixed block compiled for any of them is reused by all.
 
-use crate::cache::{CacheConfig, CacheMetrics, ShardedPulseCache};
+use crate::cache::{CacheConfig, CacheMetrics, CompactionPolicy, ShardedPulseCache};
 use crate::inflight::{InFlight, Ticket};
 use crate::persist::{self, PersistError};
 use std::path::Path;
@@ -24,6 +24,20 @@ use vqc_core::{
     PartialCompiler, Strategy,
 };
 
+/// In which order the worker pool drains a batch's flattened block-task list.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Longest-processing-time-first: tasks are sorted by estimated GRAPE cost
+    /// (descending) before the pool drains them. The classic LPT bound keeps the
+    /// makespan within 4/3 of optimal on heterogeneous plans, where submission order
+    /// can strand one worker on a minutes-scale block while the rest sit idle.
+    #[default]
+    Lpt,
+    /// Plan/submission order, as the seed runtime drained tasks. Kept for
+    /// benchmarking the scheduling win and for bit-faithful replay of old runs.
+    Unsorted,
+}
+
 /// Configuration of a [`CompilationRuntime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeOptions {
@@ -31,16 +45,28 @@ pub struct RuntimeOptions {
     pub workers: usize,
     /// Configuration of the shared sharded cache.
     pub cache: CacheConfig,
+    /// Order in which the worker pool drains block tasks.
+    pub schedule: SchedulePolicy,
 }
 
 impl Default for RuntimeOptions {
+    /// Defaults to one worker per available core (capped at 8); the `VQC_WORKERS`
+    /// environment variable overrides the worker count (garbage values are ignored,
+    /// `0` clamps to 1).
     fn default() -> Self {
+        let workers = std::env::var("VQC_WORKERS")
+            .ok()
+            .and_then(|raw| raw.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+                    .min(8)
+            });
         RuntimeOptions {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(8),
+            workers: workers.max(1),
             cache: CacheConfig::default(),
+            schedule: SchedulePolicy::default(),
         }
     }
 }
@@ -52,6 +78,12 @@ impl RuntimeOptions {
             workers: workers.max(1),
             ..RuntimeOptions::default()
         }
+    }
+
+    /// Replaces the schedule policy.
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
     }
 }
 
@@ -83,9 +115,10 @@ impl CompileJob {
 pub struct RuntimeMetrics {
     /// Shared-cache counters (hits/misses/insertions/evictions).
     pub cache: CacheMetrics,
-    /// Blocks whose pulse-level work this runtime actually performed (a led flight
-    /// that missed the cache and ran GRAPE / tuning). Cache hits and coalesced
-    /// followers do not count.
+    /// Block compilations whose pulse-level work this runtime actually performed —
+    /// any path (led flight *or* a follower whose leader failed or whose entry was
+    /// already evicted) that missed the cache and ran GRAPE / tuning. Cache hits and
+    /// cleanly coalesced followers do not count.
     pub unique_compilations: u64,
     /// Block compilations coalesced onto an in-flight leader.
     pub coalesced_waits: u64,
@@ -103,6 +136,7 @@ pub struct CompilationRuntime {
     cache: Arc<ShardedPulseCache>,
     inflight: InFlight,
     workers: usize,
+    schedule: SchedulePolicy,
     compilations: AtomicU64,
 }
 
@@ -115,6 +149,7 @@ impl CompilationRuntime {
             cache,
             inflight: InFlight::new(),
             workers: runtime_options.workers.max(1),
+            schedule: runtime_options.schedule,
             compilations: AtomicU64::new(0),
         }
     }
@@ -165,7 +200,25 @@ impl CompilationRuntime {
     ///
     /// Fails on I/O errors.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        persist::save_snapshot(path, &self.cache.snapshot())
+        self.save_snapshot_compacted(path, &CompactionPolicy::default())
+    }
+
+    /// Writes the cache contents to disk, compacted: entries below the policy's cost
+    /// floor or beyond its size budget are dropped at save time (the costliest
+    /// entries survive), so a long-lived process does not grow its snapshot file with
+    /// entries that are cheaper to recompute than to carry.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn save_snapshot_compacted(
+        &self,
+        path: impl AsRef<Path>,
+        policy: &CompactionPolicy,
+    ) -> Result<(), PersistError> {
+        let mut snapshot = self.cache.snapshot();
+        snapshot.compact(policy);
+        persist::save_snapshot(path, &snapshot)
     }
 
     /// Compiles one circuit, running its independent blocks on the worker pool.
@@ -307,13 +360,44 @@ impl CompilationRuntime {
         plans: &[(&CompilationPlan, &[f64])],
     ) -> Result<Vec<Vec<BlockOutcome>>, CompileError> {
         // Flatten all blocks into one task list so workers drain jobs collectively.
-        let tasks: Vec<(usize, usize)> = plans
+        let mut tasks: Vec<(usize, usize)> = plans
             .iter()
             .enumerate()
             .flat_map(|(plan_index, (plan, _))| {
                 (0..plan.blocks.len()).map(move |block_index| (plan_index, block_index))
             })
             .collect();
+        if self.schedule == SchedulePolicy::Lpt && tasks.len() > 1 {
+            // Longest-processing-time-first: start the most expensive GRAPE blocks
+            // before the cheap ones so no worker is left finishing a minutes-scale
+            // block alone after its peers drained the rest. Costs are estimates
+            // (width, search window, iteration budget), which is all LPT needs; the
+            // sort is stable so equal-cost tasks keep plan order, and the result
+            // slots below make outcome order independent of execution order.
+            //
+            // Estimates are memoized per (plan, block): gate durations depend only
+            // on gate type, never on θ, so every parameter binding of one plan (the
+            // `compile_iterations` workload) shares one estimate instead of paying
+            // a per-binding circuit walk before any worker starts.
+            let mut memo: std::collections::HashMap<(usize, usize), f64> =
+                std::collections::HashMap::new();
+            let mut costs: Vec<f64> = Vec::with_capacity(tasks.len());
+            for &(plan_index, block_index) in &tasks {
+                let (plan, params) = plans[plan_index];
+                let plan_addr = std::ptr::from_ref(plan) as usize;
+                let cost = *memo.entry((plan_addr, block_index)).or_insert_with(|| {
+                    self.compiler.estimate_block_cost_seconds(
+                        plan,
+                        &plan.blocks[block_index],
+                        params,
+                    )
+                });
+                costs.push(cost);
+            }
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]));
+            tasks = order.into_iter().map(|index| tasks[index]).collect();
+        }
 
         let slots: Vec<OutcomeSlots> = plans
             .iter()
@@ -361,18 +445,12 @@ impl CompilationRuntime {
             // Lookup-table blocks do no pulse-level work; nothing to deduplicate.
             return self.compiler.compile_block_outcome(plan, block, params);
         };
-        match self.inflight.begin(key.clone()) {
+        let outcome = match self.inflight.begin(key.clone()) {
             Ticket::Leader(flight) => {
                 // The guard completes the flight even if the compile panics, so
                 // followers wake instead of deadlocking inside the thread scope.
                 let _guard = self.inflight.complete_on_drop(key, flight);
-                let outcome = self.compiler.compile_block_outcome(plan, block, params);
-                if let Ok(outcome) = &outcome {
-                    if !outcome.report.cached {
-                        self.compilations.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                outcome
+                self.compiler.compile_block_outcome(plan, block, params)
             }
             Ticket::Follower(flight) => {
                 self.inflight.wait(&flight);
@@ -380,7 +458,17 @@ impl CompilationRuntime {
                 // a cache lookup in the success case and an honest retry otherwise.
                 self.compiler.compile_block_outcome(plan, block, params)
             }
+        };
+        // Count every compilation that actually ran GRAPE / tuning, whichever ticket
+        // held it. A follower is not automatically free: when its leader failed, or
+        // when a bounded cache already evicted the leader's entry, the follower's
+        // "lookup" misses and performs the real work.
+        if let Ok(outcome) = &outcome {
+            if !outcome.report.cached {
+                self.compilations.fetch_add(1, Ordering::Relaxed);
+            }
         }
+        outcome
     }
 }
 
@@ -407,6 +495,57 @@ mod tests {
         circuit.h(0);
         circuit.h(1);
         circuit
+    }
+
+    /// Deterministic regression for the follower-path `unique_compilations`
+    /// undercount: a follower that wakes to find no cache entry (its leader failed,
+    /// or a bounded cache evicted the entry before the follower looked) performs
+    /// the real compilation and must be counted. The leader here is simulated by
+    /// claiming the in-flight key directly and completing the flight *without*
+    /// populating the cache — exactly the state a real follower observes after
+    /// leader failure or eviction, with no races.
+    #[test]
+    fn follower_compiling_after_a_vanished_leader_entry_is_counted() {
+        let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(2));
+        let params = [0.7];
+        let plan = runtime
+            .compiler
+            .plan(&variational_circuit(), &params, Strategy::StrictPartial)
+            .unwrap();
+        let block_index = (0..plan.blocks.len())
+            .find(|&i| plan.dedup_key(&plan.blocks[i], &params).is_some())
+            .expect("plan has a GRAPE block");
+        let key = plan
+            .dedup_key(&plan.blocks[block_index], &params)
+            .expect("chosen block has a dedup key");
+
+        let Ticket::Leader(flight) = runtime.inflight.begin(key.clone()) else {
+            panic!("fresh key must lead");
+        };
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                runtime
+                    .compile_block_deduped(&plan, block_index, &params)
+                    .unwrap()
+            });
+            // The worker is a follower of our flight; wait for it to register
+            // (coalesced is incremented inside `begin`, before it blocks).
+            while runtime.inflight.coalesced() == 0 {
+                std::thread::yield_now();
+            }
+            assert_eq!(runtime.metrics().unique_compilations, 0);
+            // Complete the flight without inserting anything into the cache: the
+            // woken follower's lookup misses and it compiles for real.
+            runtime.inflight.complete(&key, flight);
+            let outcome = worker.join().unwrap();
+            assert!(!outcome.report.cached, "follower did the real work");
+        });
+        let metrics = runtime.metrics();
+        assert_eq!(
+            metrics.unique_compilations, 1,
+            "the follower's real compilation must be counted"
+        );
+        assert_eq!(metrics.coalesced_waits, 1);
     }
 
     #[test]

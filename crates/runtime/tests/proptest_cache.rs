@@ -1,11 +1,15 @@
-//! Property test: the sharded cache is observationally equivalent to the seed
-//! `PulseLibrary` under any interleaving of inserts and lookups (when no capacity
-//! bound is set), for any shard count.
+//! Property tests of the sharded cache.
+//!
+//! Unbounded, the cache is observationally equivalent to the seed `PulseLibrary`
+//! under any interleaving of inserts and lookups, for any shard count and either
+//! eviction policy. Bounded, it must respect its capacity under any insert sequence,
+//! never evict the entry an insert call just wrote, and retain at least as many
+//! estimated GRAPE seconds under cost-aware eviction as under FIFO.
 
 use proptest::prelude::*;
 use vqc_circuit::Circuit;
 use vqc_core::{BlockKey, CachedBlock, CachedTuning, PulseCache, PulseLibrary};
-use vqc_runtime::{CacheConfig, ShardedPulseCache};
+use vqc_runtime::{CacheConfig, EvictionPolicy, ShardedPulseCache};
 
 /// One step of a cache workload, replayed against both implementations.
 #[derive(Debug, Clone)]
@@ -28,6 +32,16 @@ fn arb_op(key_space: usize) -> impl Strategy<Value = Op> {
     ]
 }
 
+fn arb_policy() -> impl Strategy<Value = EvictionPolicy> {
+    (0usize..2).prop_map(|i| {
+        if i == 0 {
+            EvictionPolicy::Fifo
+        } else {
+            EvictionPolicy::CostAware
+        }
+    })
+}
+
 /// Distinct, deterministic keys: one-qubit circuits with distinct rotation angles.
 fn key(tag: usize) -> BlockKey {
     let mut circuit = Circuit::new(1);
@@ -35,6 +49,7 @@ fn key(tag: usize) -> BlockKey {
     BlockKey::from_bound_circuit(&circuit)
 }
 
+/// `value` scales the entry's recompute cost (iterations and duration both grow).
 fn block(value: usize) -> CachedBlock {
     CachedBlock {
         duration_ns: value as f64 * 0.5,
@@ -54,6 +69,24 @@ fn tuning(value: usize) -> CachedTuning {
     }
 }
 
+fn unbounded(shards: usize, eviction: EvictionPolicy) -> ShardedPulseCache {
+    ShardedPulseCache::new(CacheConfig {
+        shards,
+        max_blocks_per_shard: None,
+        max_tunings_per_shard: None,
+        eviction,
+    })
+}
+
+fn bounded_single_shard(capacity: usize, eviction: EvictionPolicy) -> ShardedPulseCache {
+    ShardedPulseCache::new(CacheConfig {
+        shards: 1,
+        max_blocks_per_shard: Some(capacity),
+        max_tunings_per_shard: None,
+        eviction,
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -61,13 +94,10 @@ proptest! {
     fn sharded_cache_agrees_with_pulse_library(
         ops in prop::collection::vec(arb_op(12), 1..80),
         shards in 1usize..32,
+        eviction in arb_policy(),
     ) {
         let reference = PulseLibrary::new();
-        let sharded = ShardedPulseCache::new(CacheConfig {
-            shards,
-            max_blocks_per_shard: None,
-            max_tunings_per_shard: None,
-        });
+        let sharded = unbounded(shards, eviction);
         for op in &ops {
             match *op {
                 Op::InsertBlock(k, v) => {
@@ -103,23 +133,82 @@ proptest! {
         shards_a in 1usize..16,
         shards_b in 1usize..16,
     ) {
-        let original = ShardedPulseCache::new(CacheConfig {
-            shards: shards_a,
-            max_blocks_per_shard: None,
-            max_tunings_per_shard: None,
-        });
+        let original = unbounded(shards_a, EvictionPolicy::CostAware);
         for &(k, v) in &entries {
             PulseCache::insert_block(&original, key(k), block(v));
         }
-        let restored = ShardedPulseCache::new(CacheConfig {
-            shards: shards_b,
-            max_blocks_per_shard: None,
-            max_tunings_per_shard: None,
-        });
+        let restored = unbounded(shards_b, EvictionPolicy::CostAware);
         restored.absorb(original.snapshot());
         prop_assert_eq!(PulseCache::num_blocks(&original), PulseCache::num_blocks(&restored));
         for k in 0..40 {
             prop_assert_eq!(PulseCache::block(&original, &key(k)), PulseCache::block(&restored, &key(k)));
         }
+        // Absorb is a restore, not compile-time work: the compile counters stay zero.
+        let metrics = restored.metrics();
+        prop_assert_eq!(metrics.insertions, 0);
+        prop_assert_eq!(metrics.evictions, 0);
+        prop_assert_eq!(metrics.restored, PulseCache::num_blocks(&original) as u64);
+    }
+
+    /// Bounded shards obey their capacity under any insert/lookup sequence, the
+    /// entry an insert call just wrote is always still present afterwards, and the
+    /// lookup counters balance (`hits + misses == lookups`).
+    #[test]
+    fn bounded_cache_respects_capacity_and_counts_every_lookup(
+        ops in prop::collection::vec(arb_op(16), 1..120),
+        capacity in 1usize..6,
+        eviction in arb_policy(),
+    ) {
+        let cache = bounded_single_shard(capacity, eviction);
+        let mut lookups = 0u64;
+        for op in &ops {
+            match *op {
+                Op::InsertBlock(k, v) => {
+                    PulseCache::insert_block(&cache, key(k), block(v));
+                    prop_assert!(
+                        PulseCache::block(&cache, &key(k)).is_some(),
+                        "the entry just inserted must never be this insert's victim"
+                    );
+                    lookups += 1; // the assertion above performed a lookup
+                    prop_assert!(PulseCache::num_blocks(&cache) <= capacity);
+                }
+                Op::LookupBlock(k) => {
+                    PulseCache::block(&cache, &key(k));
+                    lookups += 1;
+                }
+                // Tunings are unbounded in this config; exercise them lightly.
+                Op::InsertTuning(k, v) => PulseCache::insert_tuning(&cache, key(k), tuning(v)),
+                Op::LookupTuning(k) => {
+                    PulseCache::tuning(&cache, &key(k));
+                    lookups += 1;
+                }
+                Op::Counts => {
+                    prop_assert!(PulseCache::num_blocks(&cache) <= capacity);
+                }
+            }
+        }
+        let metrics = cache.metrics();
+        prop_assert_eq!(metrics.hits + metrics.misses, lookups);
+    }
+
+    /// At equal capacity, cost-aware eviction never retains fewer estimated GRAPE
+    /// seconds than FIFO for the same insert sequence.
+    #[test]
+    fn cost_aware_retention_dominates_fifo(
+        inserts in prop::collection::vec((0usize..24, 0usize..1000), 1..100),
+        capacity in 1usize..8,
+    ) {
+        let fifo = bounded_single_shard(capacity, EvictionPolicy::Fifo);
+        let cost_aware = bounded_single_shard(capacity, EvictionPolicy::CostAware);
+        for &(k, v) in &inserts {
+            PulseCache::insert_block(&fifo, key(k), block(v));
+            PulseCache::insert_block(&cost_aware, key(k), block(v));
+        }
+        prop_assert!(
+            cost_aware.retained_block_cost_seconds() >= fifo.retained_block_cost_seconds() - 1e-12,
+            "cost-aware retained {} s < fifo retained {} s",
+            cost_aware.retained_block_cost_seconds(),
+            fifo.retained_block_cost_seconds(),
+        );
     }
 }
