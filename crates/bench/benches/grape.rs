@@ -1,10 +1,15 @@
 //! Benchmarks of the GRAPE engine: one exact gradient evaluation and one full
-//! fixed-duration optimization on one- and two-qubit targets.
+//! fixed-duration optimization on one- and two-qubit targets, plus the
+//! `grape_kernel` group comparing the seed's allocate-per-call gradient path
+//! against the reused [`GrapeWorkspace`] kernel. The group's measurements (and the
+//! kernel-over-seed speedup they imply) are written to `BENCH_grape.json` in the
+//! workspace root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::io::Write;
 use vqc_pulse::grape::{fidelity_gradient, optimize_pulse, GrapeOptions};
-use vqc_pulse::{DeviceModel, PulseSequence};
+use vqc_pulse::{DeviceModel, GrapeWorkspace, PulseSequence};
 use vqc_sim::gates;
 
 fn bench_grape(c: &mut Criterion) {
@@ -38,5 +43,89 @@ fn bench_grape(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_grape);
+/// Before/after comparison of one gradient iteration: the seed path rebuilt and
+/// heap-allocated every slice eigensystem, propagator, and partial product per call
+/// (reproduced faithfully by constructing a fresh workspace each iteration, which
+/// is exactly what the allocating `fidelity_gradient` wrapper does); the kernel
+/// path reuses one [`GrapeWorkspace`] across iterations, the way
+/// `try_optimize_pulse` now runs.
+fn bench_grape_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grape_kernel");
+    group.sample_size(30);
+
+    for (qubits, slices) in [(1usize, 24usize), (2, 24)] {
+        let device = DeviceModel::qubits_line(qubits);
+        let target = if qubits == 1 { gates::h() } else { gates::cx() };
+        let pulse = PulseSequence::seeded_guess(&device, slices, 0.5, 1);
+
+        group.bench_function(format!("seed_alloc_{qubits}q_{slices}slices"), |b| {
+            b.iter(|| {
+                fidelity_gradient(black_box(&target), black_box(&device), black_box(&pulse))
+                    .infidelity
+            })
+        });
+
+        let mut workspace = GrapeWorkspace::new(&device, slices);
+        workspace.set_target(&device, &target);
+        group.bench_function(format!("workspace_{qubits}q_{slices}slices"), |b| {
+            b.iter(|| workspace.fidelity_gradient(black_box(&pulse)))
+        });
+    }
+
+    group.finish();
+}
+
+/// Writes the `grape_kernel` measurements and per-size kernel-over-seed speedups as
+/// `BENCH_grape.json` in the workspace root. Skipped under `--test` smoke runs.
+fn emit_summary(c: &mut Criterion) {
+    if c.test_mode() {
+        return;
+    }
+    let results = c.results();
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"grape\",\n  \"workload\": \"fidelity_gradient_iteration_seed_alloc_vs_reused_workspace\",\n  \"results\": [\n",
+    );
+    for (index, result) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+            result.group,
+            result.name,
+            result.mean_ns,
+            result.min_ns,
+            result.samples,
+            if index + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"kernel_speedup_over_seed\": {\n");
+    let mean_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.group == "grape_kernel" && r.name == name)
+            .map(|r| r.mean_ns)
+    };
+    let mut speedups = Vec::new();
+    for (qubits, slices) in [(1usize, 24usize), (2, 24)] {
+        if let (Some(seed), Some(kernel)) = (
+            mean_of(&format!("seed_alloc_{qubits}q_{slices}slices")),
+            mean_of(&format!("workspace_{qubits}q_{slices}slices")),
+        ) {
+            speedups.push(format!(
+                "    \"{qubits}q_{slices}slices\": {:.3}",
+                seed / kernel
+            ));
+        }
+    }
+    json.push_str(&speedups.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_grape.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => println!("could not write {}: {error}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_grape, bench_grape_kernel, emit_summary);
 criterion_main!(benches);

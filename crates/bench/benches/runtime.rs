@@ -5,7 +5,8 @@
 //! block schedule against an unsorted drain on a heterogeneous batch, cost-aware
 //! against FIFO eviction on a bounded cache under churn, plus a raw
 //! cache-contention microbenchmark, and writes a `BENCH_runtime.json` summary next
-//! to the workspace root. Interpret worker scaling against the `host_parallelism`
+//! to the workspace root (including the observed-vs-estimated block-cost error the
+//! runtime's cost feedback closes once blocks have run). Interpret worker scaling against the `host_parallelism`
 //! field: on a single-CPU host all configurations legitimately tie, and the
 //! comparison degenerates to measuring scheduling overhead.
 
@@ -240,9 +241,64 @@ fn bench_cache_contention(c: &mut Criterion) {
     group.finish();
 }
 
+/// Compiles the QAOA workload once on a fresh runtime, comparing every GRAPE
+/// block's a-priori cost estimate (taken before any compilation) against the
+/// wall time the block was then observed to cost. Returns `(blocks,
+/// model_to_host_scale, mean_abs_rel_error)`: the least-squares factor aligning
+/// the model's paper-scale unit to this host, and the mean relative error of the
+/// scaled estimates — the gap the observed-cost feedback closes for recurring
+/// blocks.
+fn cost_feedback_error() -> Option<(usize, f64, f64)> {
+    let runtime = CompilationRuntime::new(bench_options(), RuntimeOptions::with_workers(2));
+    let jobs = workload();
+    let compiler = runtime.compiler();
+    let mut seen = std::collections::HashSet::new();
+    let mut keyed: Vec<(BlockKey, f64)> = Vec::new();
+    for job in &jobs {
+        let plan = compiler
+            .plan(&job.circuit, &job.params, job.strategy)
+            .ok()?;
+        for block in &plan.blocks {
+            if let Some(key) = plan.dedup_key(block, &job.params) {
+                if seen.insert(key.clone()) {
+                    let estimate = compiler.estimate_block_cost_seconds(&plan, block, &job.params);
+                    keyed.push((key, estimate));
+                }
+            }
+        }
+    }
+    for report in runtime.compile_batch(&jobs) {
+        report.ok()?;
+    }
+    let pairs: Vec<(f64, f64)> = keyed
+        .iter()
+        .filter_map(|(key, estimate)| {
+            compiler
+                .library()
+                .observed_cost(key)
+                .map(|observed| (*estimate, observed))
+        })
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let scale = pairs.iter().map(|(e, o)| e * o).sum::<f64>()
+        / pairs.iter().map(|(e, _)| e * e).sum::<f64>();
+    let mean_abs_rel_error = pairs
+        .iter()
+        .map(|(e, o)| (scale * e - o).abs() / o.max(1e-12))
+        .sum::<f64>()
+        / pairs.len() as f64;
+    Some((pairs.len(), scale, mean_abs_rel_error))
+}
+
 /// Writes the recorded measurements as `BENCH_runtime.json` in the workspace root
 /// (or the current directory when the manifest-relative path is unavailable).
+/// Skipped under `--test` smoke runs.
 fn emit_summary(c: &mut Criterion) {
+    if c.test_mode() {
+        return;
+    }
     // Worker-count scaling is bounded by the host: on a single-CPU machine all
     // configurations legitimately measure equal, and the comparison shows the
     // runtime's scheduling overhead instead of its speedup.
@@ -264,7 +320,15 @@ fn emit_summary(c: &mut Criterion) {
             if index + 1 == results.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    match cost_feedback_error() {
+        Some((blocks, scale, error)) => json.push_str(&format!(
+            "  \"cost_model_feedback\": {{\"grape_blocks\": {blocks}, \"model_to_host_scale\": {scale:.3e}, \"mean_abs_rel_error_of_scaled_estimates\": {error:.3}}}\n",
+        )),
+        None => json.push_str("  \"cost_model_feedback\": null\n"),
+    }
+    json.push('}');
+    json.push('\n');
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -159,6 +159,11 @@ pub struct BlockCompilation {
     pub converged: bool,
     /// Whether the result was served from the pulse library cache.
     pub cached: bool,
+    /// Wall-clock seconds of pulse-level work (GRAPE / tuning) this compile call
+    /// actually performed for the block. Cache hits and lookup-table blocks report
+    /// `0.0`. This is the observed cost that feeds back into LPT scheduling and
+    /// cost-aware eviction through [`PulseCache::record_observed_cost`].
+    pub measured_seconds: f64,
 }
 
 /// The result of compiling one circuit with one strategy at one parameter binding.
@@ -223,12 +228,18 @@ impl CompilationPlan {
             return None;
         }
         let subcircuit = block.to_circuit(&self.prepared);
-        if self.strategy == Strategy::FlexiblePartial && !block.is_fixed() {
-            // Flexible runtime blocks cache their tuning under the structural key.
+        if self.uses_structural_key(block) {
             Some(BlockKey::structural(&subcircuit))
         } else {
             Some(BlockKey::from_bound_circuit(&subcircuit.bind(params)))
         }
+    }
+
+    /// Whether this plan caches the block's pulse-level work under a *structural*
+    /// (θ-independent) key: flexible runtime blocks cache their tuning per
+    /// subcircuit structure, everything else per bound circuit.
+    fn uses_structural_key(&self, block: &Block) -> bool {
+        self.strategy == Strategy::FlexiblePartial && !block.is_fixed()
     }
 }
 
@@ -420,14 +431,20 @@ impl PartialCompiler {
     /// Estimated seconds of GRAPE work compiling this block of the plan will cost if
     /// nothing is cached — the block's *processing time* for scheduling purposes.
     ///
-    /// The estimate follows the [`LatencyModel`]'s work formula: the block width
-    /// fixes the device (Hilbert dimension `dim³` and control count), the gate-based
-    /// duration of the bound subcircuit fixes both the number of pulse slices and the
-    /// binary-search window (probe count ≈ log₂(window / precision)), and each probe
-    /// spends up to `grape.max_iterations` iterations. The absolute scale is
-    /// irrelevant to its only consumer — ordering block tasks
-    /// longest-processing-time-first so a worker pool's makespan shrinks — but it is
-    /// monotone in everything that makes a block expensive.
+    /// Once the block's cache key has been compiled for real anywhere in the
+    /// process (or a warm-started predecessor recorded it), the measured wall time
+    /// of that run replaces the model: observed costs are exact where the a-priori
+    /// formula only ranks. Unseen blocks fall back to the [`LatencyModel`]'s work
+    /// formula: the block width fixes the device (Hilbert dimension `dim³` and
+    /// control count), the gate-based duration of the bound subcircuit fixes both
+    /// the number of pulse slices and the binary-search window (probe count ≈
+    /// log₂(window / precision)), and each probe spends up to
+    /// `grape.max_iterations` iterations. The absolute scale is irrelevant to its
+    /// only consumer — ordering block tasks longest-processing-time-first so a
+    /// worker pool's makespan shrinks — but it is monotone in everything that makes
+    /// a block expensive. (Observed costs are host seconds while model estimates
+    /// are paper-scale seconds; the mixed regime only lasts until a workload's
+    /// recurring blocks have each run once.)
     ///
     /// Blocks that do no pulse-level work (gate-based strategy, single-gate lookup
     /// blocks) cost zero.
@@ -440,7 +457,19 @@ impl PartialCompiler {
         if plan.strategy == Strategy::GateBased || block.len() <= 1 {
             return 0.0;
         }
-        let bound = block.to_circuit(&plan.prepared).bind(params);
+        // Build the subcircuit once: the cache key (mirroring
+        // [`CompilationPlan::dedup_key`]) and the model fallback share it, so a
+        // cold batch does not pay double circuit construction per block.
+        let subcircuit = block.to_circuit(&plan.prepared);
+        let bound = subcircuit.bind(params);
+        let key = if plan.uses_structural_key(block) {
+            BlockKey::structural(&subcircuit)
+        } else {
+            BlockKey::from_bound_circuit(&bound)
+        };
+        if let Some(observed) = self.cache.observed_cost(&key) {
+            return observed;
+        }
         let window_ns = critical_path_ns(&bound, &self.options.gate_times);
         let probes = (window_ns / self.options.search_precision_ns.max(1e-9))
             .max(1.0)
@@ -509,6 +538,7 @@ impl PartialCompiler {
                 used_grape: false,
                 converged: true,
                 cached: false,
+                measured_seconds: 0.0,
             });
         }
 
@@ -523,9 +553,8 @@ impl PartialCompiler {
                 unreachable!("gate-based compilation never reaches block compilation")
             }
             Strategy::StrictPartial | Strategy::FullGrape => {
-                let started = Instant::now();
-                let (cached_entry, cached) = self.grape_block(&bound, &device, gate_based_ns)?;
-                let measured = started.elapsed().as_secs_f64();
+                let (cached_entry, cached, measured) =
+                    self.grape_block(&bound, &device, gate_based_ns)?;
                 // Latency is only paid when the pulse library misses; a cache hit is a
                 // (near-instant) lookup.
                 if !cached {
@@ -557,16 +586,15 @@ impl PartialCompiler {
                     used_grape: true,
                     converged: cached_entry.converged,
                     cached,
+                    measured_seconds: measured,
                 })
             }
             Strategy::FlexiblePartial => {
                 if block.is_fixed() {
                     // Fixed blocks are pre-compiled exactly as in strict partial
                     // compilation.
-                    let started = Instant::now();
-                    let (cached_entry, cached) =
+                    let (cached_entry, cached, measured) =
                         self.grape_block(&bound, &device, gate_based_ns)?;
-                    let measured = started.elapsed().as_secs_f64();
                     if !cached {
                         precompute.accumulate(&LatencyEstimate {
                             grape_iterations: cached_entry.grape_iterations,
@@ -588,12 +616,13 @@ impl PartialCompiler {
                         used_grape: true,
                         converged: cached_entry.converged,
                         cached,
+                        measured_seconds: measured,
                     });
                 }
 
                 let structural_key = BlockKey::structural(&subcircuit);
-                let (tuning, cached) = match self.cache.tuning(&structural_key) {
-                    Some(entry) => (entry, true),
+                let (tuning, cached, tuning_measured) = match self.cache.tuning(&structural_key) {
+                    Some(entry) => (entry, true, 0.0),
                     None => {
                         let started = Instant::now();
                         let entry =
@@ -609,8 +638,11 @@ impl PartialCompiler {
                             ),
                             measured_seconds: measured,
                         });
+                        // Record before inserting, as in `grape_block`: the insert's
+                        // eviction metadata then reflects the measured tuning cost.
+                        self.cache.record_observed_cost(&structural_key, measured);
                         self.cache.insert_tuning(structural_key, entry.clone());
-                        (entry, false)
+                        (entry, false, measured)
                     }
                 };
 
@@ -642,26 +674,33 @@ impl PartialCompiler {
                     used_grape: tuning.converged,
                     converged: tuning.converged,
                     cached,
+                    measured_seconds: tuning_measured,
                 })
             }
         }
     }
 
-    /// Minimum-time GRAPE compilation of a bound block, with caching.
+    /// Minimum-time GRAPE compilation of a bound block, with caching. Returns the
+    /// cached entry, whether it was a cache hit, and the wall-clock seconds of
+    /// GRAPE work this call performed (`0.0` on a hit). Real compilations record
+    /// their observed cost *before* inserting the entry, so the cache's eviction
+    /// metadata ranks the fresh entry by what it actually cost to produce.
     fn grape_block(
         &self,
         bound: &Circuit,
         device: &DeviceModel,
         upper_bound_ns: f64,
-    ) -> Result<(CachedBlock, bool), CompileError> {
+    ) -> Result<(CachedBlock, bool, f64), CompileError> {
         let key = BlockKey::from_bound_circuit(bound);
         if let Some(entry) = self.cache.block(&key) {
-            return Ok((entry, true));
+            return Ok((entry, true, 0.0));
         }
+        let started = Instant::now();
         let target = circuit_unitary(bound);
         let search = MinimumTimeOptions::new(0.0, upper_bound_ns)
             .with_precision(self.options.search_precision_ns);
         let result = minimum_pulse_time(&target, device, &search, &self.options.grape)?;
+        let measured = started.elapsed().as_secs_f64();
         let entry = CachedBlock {
             duration_ns: if result.converged {
                 result.duration_ns
@@ -671,8 +710,9 @@ impl PartialCompiler {
             converged: result.converged,
             grape_iterations: result.total_iterations(),
         };
+        self.cache.record_observed_cost(&key, measured);
         self.cache.insert_block(key, entry.clone());
-        Ok((entry, false))
+        Ok((entry, false, measured))
     }
 
     /// Flexible partial compilation pre-compute for a single-θ block: tune the
@@ -927,6 +967,55 @@ mod tests {
             wide_cost > narrow_cost,
             "4-qubit block ({wide_cost} s) must out-cost 2-qubit block ({narrow_cost} s)"
         );
+    }
+
+    #[test]
+    fn estimates_switch_to_observed_costs_after_a_block_runs() {
+        let compiler = compiler();
+        let circuit = example_circuit();
+        let params = [0.4, 1.2];
+        let plan = compiler
+            .plan(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        let grape_blocks: Vec<_> = plan.blocks.iter().filter(|b| b.len() > 1).collect();
+        assert!(!grape_blocks.is_empty());
+        let before: Vec<f64> = grape_blocks
+            .iter()
+            .map(|b| compiler.estimate_block_cost_seconds(&plan, b, &params))
+            .collect();
+
+        let report = compiler
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        // Every real (uncached) GRAPE block reports the wall time it cost...
+        for block in report.blocks.iter().filter(|b| b.used_grape && !b.cached) {
+            assert!(block.measured_seconds > 0.0);
+        }
+        // ...and that observation replaces the a-priori model in the estimator.
+        for (block, a_priori) in grape_blocks.iter().zip(&before) {
+            let key = plan
+                .dedup_key(block, &params)
+                .expect("GRAPE block has a key");
+            let observed = compiler
+                .library()
+                .observed_cost(&key)
+                .expect("compiled block records its cost");
+            let after = compiler.estimate_block_cost_seconds(&plan, block, &params);
+            assert_eq!(after, observed);
+            assert_ne!(after, *a_priori, "estimate must switch to the observation");
+        }
+        // Cache hits do not overwrite the recorded cost with a zero.
+        let report = compiler
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .unwrap();
+        for block in report.blocks.iter().filter(|b| b.used_grape) {
+            assert!(block.cached);
+            assert_eq!(block.measured_seconds, 0.0);
+        }
+        for block in &grape_blocks {
+            let key = plan.dedup_key(block, &params).unwrap();
+            assert!(compiler.library().observed_cost(&key).unwrap() > 0.0);
+        }
     }
 
     #[test]

@@ -17,7 +17,41 @@ pub struct EighResult {
     pub eigenvectors: Matrix,
 }
 
+/// Reusable scratch buffers for [`eigh_into`].
+///
+/// GRAPE diagonalizes one slice Hamiltonian per time slice per iteration; reusing
+/// one workspace across all of them removes every per-call heap allocation from the
+/// Jacobi sweep.
+#[derive(Debug, Clone)]
+pub struct EighWorkspace {
+    /// Hermitian working copy that the Jacobi rotations reduce to diagonal form.
+    work: Matrix,
+    /// Accumulated product of Jacobi rotations (the unsorted eigenvector basis).
+    vectors: Matrix,
+    /// Sort buffer pairing each diagonal entry with its column index.
+    order: Vec<(f64, usize)>,
+}
+
+impl EighWorkspace {
+    /// Creates scratch buffers for diagonalizing `n x n` matrices.
+    pub fn new(n: usize) -> Self {
+        EighWorkspace {
+            work: Matrix::zeros(n, n),
+            vectors: Matrix::zeros(n, n),
+            order: Vec::with_capacity(n),
+        }
+    }
+
+    /// The matrix dimension this workspace was sized for.
+    pub fn dim(&self) -> usize {
+        self.work.rows()
+    }
+}
+
 /// Diagonalizes a Hermitian matrix with the cyclic Jacobi method.
+///
+/// This is the allocating reference API; [`eigh_into`] is the same algorithm on
+/// caller-owned buffers.
 ///
 /// # Panics
 ///
@@ -26,9 +60,55 @@ pub struct EighResult {
 pub fn eigh(a: &Matrix) -> EighResult {
     assert!(a.is_square(), "eigh requires a square matrix");
     let n = a.rows();
+    let mut workspace = EighWorkspace::new(n);
+    let mut eigenvalues = Vec::with_capacity(n);
+    let mut eigenvectors = Matrix::zeros(n, n);
+    eigh_into(a, &mut workspace, &mut eigenvalues, &mut eigenvectors);
+    EighResult {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+/// Diagonalizes a Hermitian matrix into caller-owned buffers, allocating nothing
+/// once `eigenvalues` has capacity for `n` entries.
+///
+/// `eigenvalues` is cleared and refilled in ascending order; `eigenvectors` is
+/// overwritten with the corresponding unitary basis (columns permuted to match the
+/// sorted eigenvalues).
+///
+/// # Panics
+///
+/// Panics if `a` is not square, or if `workspace` / `eigenvectors` were sized for a
+/// different dimension. The matrix is *assumed* Hermitian; only its Hermitian part
+/// influences the result.
+pub fn eigh_into(
+    a: &Matrix,
+    workspace: &mut EighWorkspace,
+    eigenvalues: &mut Vec<f64>,
+    eigenvectors: &mut Matrix,
+) {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let n = a.rows();
+    assert_eq!(workspace.dim(), n, "eigh workspace dimension mismatch");
+    assert_eq!(
+        eigenvectors.shape(),
+        (n, n),
+        "eigh eigenvector output shape mismatch"
+    );
+
     // Work on the Hermitian part to be robust against tiny asymmetries.
-    let mut work = (&a.dagger() + a).scale_real(0.5);
-    let mut v = Matrix::identity(n);
+    let work = &mut workspace.work;
+    for r in 0..n {
+        for c in 0..n {
+            work[(r, c)] = (a[(r, c)] + a[(c, r)].conj()) * 0.5;
+        }
+    }
+    let v = &mut workspace.vectors;
+    v.as_mut_slice().fill(C64::ZERO);
+    for i in 0..n {
+        v[(i, i)] = C64::ONE;
+    }
 
     let max_sweeps = 60;
     let tol = 1e-14 * work.frobenius_norm().max(1.0);
@@ -83,15 +163,20 @@ pub fn eigh(a: &Matrix) -> EighResult {
         }
     }
 
-    // Extract eigenvalues and sort ascending, permuting the eigenvector columns along.
-    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (work[(i, i)].re, i)).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("eigenvalues are finite"));
-    let eigenvalues: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
-    let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);
-
-    EighResult {
-        eigenvalues,
-        eigenvectors,
+    // Extract eigenvalues and sort ascending, permuting the eigenvector columns
+    // along. `sort_unstable_by` keeps this path allocation-free (stable sort
+    // allocates a merge buffer); ties cannot reorder equal eigenvalues observably.
+    let pairs = &mut workspace.order;
+    pairs.clear();
+    pairs.extend((0..n).map(|i| (work[(i, i)].re, i)));
+    pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("eigenvalues are finite"));
+    eigenvalues.clear();
+    eigenvalues.extend(pairs.iter().map(|(value, _)| *value));
+    for c in 0..n {
+        let source = pairs[c].1;
+        for r in 0..n {
+            eigenvectors[(r, c)] = v[(r, source)];
+        }
     }
 }
 

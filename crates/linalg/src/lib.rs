@@ -6,7 +6,11 @@
 //! * [`C64`] — a `Copy` double-precision complex scalar with the usual arithmetic,
 //!   exponentials, and polar helpers.
 //! * [`Matrix`] — a dense, row-major complex matrix with matrix multiplication,
-//!   Kronecker products, adjoints, traces, and unitarity checks.
+//!   Kronecker products, adjoints, traces, and unitarity checks. The allocating
+//!   operations are thin wrappers over in-place kernels ([`Matrix::matmul_into`],
+//!   [`Matrix::dagger_into`], [`Matrix::scale_into`], [`Matrix::add_scaled_into`],
+//!   [`eigh_into`]) that write into caller-owned buffers, which is what lets the
+//!   GRAPE optimizer iterate without touching the heap.
 //! * [`Vector`] — a dense complex column vector used for quantum state vectors.
 //! * [`expm`](expm::expm) — the matrix exponential via scaling-and-squaring with a
 //!   truncated Taylor series, which is the workhorse of pulse propagation in GRAPE.
@@ -43,7 +47,7 @@ mod matrix;
 mod vector;
 
 pub use complex::C64;
-pub use eigh::{eigh, EighResult};
+pub use eigh::{eigh, eigh_into, EighResult, EighWorkspace};
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use vector::Vector;

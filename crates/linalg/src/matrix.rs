@@ -163,6 +163,28 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        Ok(out)
+    }
+
+    /// Writes the matrix product `self * rhs` into `out` without allocating.
+    ///
+    /// `out` is overwritten entirely; the borrow checker guarantees it aliases
+    /// neither operand. This is the hot kernel behind GRAPE's per-iteration
+    /// propagator and gradient products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not `self.rows() x
+    /// rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul_into dimension mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_into output shape mismatch"
+        );
+        out.data.fill(C64::ZERO);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -176,7 +198,6 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
     }
 
     /// Matrix-vector product `self * v`.
@@ -200,7 +221,37 @@ impl Matrix {
 
     /// Conjugate transpose (Hermitian adjoint).
     pub fn dagger(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        self.dagger_into(&mut out);
+        out
+    }
+
+    /// Writes the conjugate transpose of `self` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `self.cols() x self.rows()`.
+    pub fn dagger_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "dagger_into output shape mismatch"
+        );
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c].conj();
+            }
+        }
+    }
+
+    /// Overwrites `self` with the contents of `src` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Transpose without conjugation.
@@ -252,16 +303,66 @@ impl Matrix {
 
     /// Scales every entry by a complex factor.
     pub fn scale(&self, k: C64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|z| *z * k).collect(),
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.scale_into(k, &mut out);
+        out
+    }
+
+    /// Writes `k * self` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn scale_into(&self, k: C64, out: &mut Matrix) {
+        assert_eq!(self.shape(), out.shape(), "scale_into shape mismatch");
+        for (o, &z) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = z * k;
         }
     }
 
     /// Scales every entry by a real factor.
     pub fn scale_real(&self, k: f64) -> Matrix {
         self.scale(C64::from_real(k))
+    }
+
+    /// Writes `self + k * rhs` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the three shapes differ.
+    pub fn add_scaled_into(&self, k: C64, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled_into shape mismatch");
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "add_scaled_into output shape mismatch"
+        );
+        for ((o, &a), &b) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter())
+            .zip(rhs.data.iter())
+        {
+            *o = a + b * k;
+        }
+    }
+
+    /// Adds `k * rhs` into `self` in place — the accumulating form of
+    /// [`Matrix::add_scaled_into`], used to assemble slice Hamiltonians
+    /// `H = H_drift + Σ_k u_k H_k` without temporaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled_assign(&mut self, k: C64, rhs: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled_assign shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b * k;
+        }
     }
 
     /// Frobenius norm `sqrt(sum |a_ij|^2)`.

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use vqc_linalg::expm::{expm, expm_i_hermitian};
 use vqc_linalg::fidelity::{trace_fidelity, trace_infidelity};
-use vqc_linalg::{c64, Matrix, Vector, C64};
+use vqc_linalg::{c64, eigh, eigh_into, EighWorkspace, Matrix, Vector, C64};
 
 /// Strategy producing a complex number with bounded components.
 fn arb_c64(bound: f64) -> impl Strategy<Value = C64> {
@@ -131,4 +131,68 @@ proptest! {
         let total: f64 = psi.probabilities().iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
     }
+
+    // --- in-place kernels match their allocating counterparts ---------------------
+    // The allocating APIs are the reference implementations; every `_into` kernel
+    // must produce identical results into a caller-owned (and dirty) buffer.
+
+    #[test]
+    fn matmul_into_matches_matmul(a in arb_matrix(3, 2.0), b in arb_matrix(3, 2.0)) {
+        let mut out = arb_dirty(3);
+        a.matmul_into(&b, &mut out);
+        prop_assert!(out.approx_eq(&a.matmul(&b), 1e-12));
+    }
+
+    #[test]
+    fn dagger_into_matches_dagger(a in arb_matrix(4, 3.0)) {
+        let mut out = arb_dirty(4);
+        a.dagger_into(&mut out);
+        prop_assert!(out.approx_eq(&a.dagger(), 1e-12));
+    }
+
+    #[test]
+    fn scale_into_matches_scale(a in arb_matrix(3, 2.0), k in arb_c64(3.0)) {
+        let mut out = arb_dirty(3);
+        a.scale_into(k, &mut out);
+        prop_assert!(out.approx_eq(&a.scale(k), 1e-12));
+    }
+
+    #[test]
+    fn add_scaled_into_matches_add_and_scale(a in arb_matrix(3, 2.0), b in arb_matrix(3, 2.0),
+                                             k in arb_c64(3.0)) {
+        let mut out = arb_dirty(3);
+        a.add_scaled_into(k, &b, &mut out);
+        prop_assert!(out.approx_eq(&(&a + &b.scale(k)), 1e-12));
+
+        let mut acc = a.clone();
+        acc.add_scaled_assign(k, &b);
+        prop_assert!(acc.approx_eq(&out, 1e-12));
+    }
+
+    #[test]
+    fn copy_from_matches_clone(a in arb_matrix(4, 2.0)) {
+        let mut out = arb_dirty(4);
+        out.copy_from(&a);
+        prop_assert_eq!(out, a);
+    }
+
+    #[test]
+    fn eigh_into_matches_eigh(h in arb_hermitian(4, 2.0)) {
+        let reference = eigh(&h);
+        let mut workspace = EighWorkspace::new(4);
+        let mut eigenvalues = Vec::new();
+        let mut eigenvectors = arb_dirty(4);
+        // Run twice through the same workspace: the second call must not be
+        // perturbed by the first call's leftovers.
+        eigh_into(&h, &mut workspace, &mut eigenvalues, &mut eigenvectors);
+        eigh_into(&h, &mut workspace, &mut eigenvalues, &mut eigenvectors);
+        prop_assert_eq!(&eigenvalues, &reference.eigenvalues);
+        prop_assert!(eigenvectors.approx_eq(&reference.eigenvectors, 1e-12));
+    }
+}
+
+/// A deliberately garbage-filled square matrix, so the `_into` tests prove the
+/// kernels overwrite (rather than accumulate into) their output buffers.
+fn arb_dirty(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| c64(1.0 + r as f64, -2.0 - c as f64))
 }

@@ -9,10 +9,10 @@
 //! The optimizer is ADAM with exponential learning-rate decay — the two hyperparameters
 //! that flexible partial compilation tunes per subcircuit (Section 7.2).
 
-use crate::propagate::slice_hamiltonian;
+use crate::workspace::GrapeWorkspace;
 use crate::{DeviceModel, PulseError, PulseSequence};
 use serde::{Deserialize, Serialize};
-use vqc_linalg::{eigh, Matrix, C64};
+use vqc_linalg::Matrix;
 
 /// Hyperparameters and budget for one GRAPE run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -144,118 +144,22 @@ pub struct FidelityGradient {
 /// zero-padded onto any leakage levels, so the fidelity measures only the action inside
 /// the computational subspace and leaked population counts as error. The gradient of
 /// the *infidelity* is returned, so gradient *descent* reduces the infidelity.
+///
+/// This convenience wrapper allocates a fresh [`GrapeWorkspace`] per call — exactly
+/// what the seed implementation did implicitly. The optimizer loop constructs one
+/// workspace and calls [`GrapeWorkspace::fidelity_gradient`] directly, which is
+/// allocation-free across iterations.
 pub fn fidelity_gradient(
     target: &Matrix,
     device: &DeviceModel,
     pulse: &PulseSequence,
 ) -> FidelityGradient {
-    let controls = device.control_hamiltonians();
-    let drift = device.drift();
-    let dim = device.dim();
-    let dim_f = device.qubit_dim() as f64;
-    let dt = pulse.dt_ns();
-    let num_slices = pulse.num_slices();
-    let target_dagger = device.pad_qubit_unitary(target).dagger();
-
-    // --- diagonalize each slice Hamiltonian and build its propagator ---------------
-    let mut slice_v = Vec::with_capacity(num_slices);
-    let mut slice_phases = Vec::with_capacity(num_slices);
-    let mut slice_lambdas = Vec::with_capacity(num_slices);
-    let mut slice_unitaries = Vec::with_capacity(num_slices);
-    for t in 0..num_slices {
-        let h = slice_hamiltonian(&drift, &controls, pulse, t);
-        let decomposition = eigh(&h);
-        let phases: Vec<C64> = decomposition
-            .eigenvalues
-            .iter()
-            .map(|&l| C64::cis(-dt * l))
-            .collect();
-        let v = decomposition.eigenvectors;
-        // U_t = V · diag(phases) · V†
-        let mut scaled = v.clone();
-        for c in 0..dim {
-            for r in 0..dim {
-                let value = scaled[(r, c)] * phases[c];
-                scaled[(r, c)] = value;
-            }
-        }
-        slice_unitaries.push(scaled.matmul(&v.dagger()));
-        slice_v.push(v);
-        slice_phases.push(phases);
-        slice_lambdas.push(decomposition.eigenvalues);
-    }
-
-    // --- forward / backward partial products ----------------------------------------
-    let mut forward = Vec::with_capacity(num_slices);
-    let mut acc = Matrix::identity(dim);
-    for u in &slice_unitaries {
-        acc = u.matmul(&acc);
-        forward.push(acc.clone());
-    }
-    let total = forward.last().expect("at least one slice");
-    let mut backward = vec![Matrix::identity(dim); num_slices];
-    let mut acc = Matrix::identity(dim);
-    for t in (0..num_slices).rev() {
-        backward[t] = acc.clone();
-        acc = acc.matmul(&slice_unitaries[t]);
-    }
-
-    let overlap = target_dagger.matmul(total).trace() / dim_f;
-    let infidelity = 1.0 - overlap.norm_sqr();
-    let conj_overlap = overlap.conj();
-
-    // --- exact gradient via the Daleckii–Krein formula -------------------------------
-    // For slice t: U_total = backward[t] · U_t · forward[t-1], and
-    //   ∂U_t/∂u_k = V (Γ ∘ (V† H_k V)) V†,
-    // where Γ_ij is the divided difference of f(λ) = e^{-iΔtλ} at (λ_i, λ_j).
-    // Writing M' = forward[t-1] · V_target† · backward[t] and P = V† M' V,
-    //   Tr(V_target† ∂U_total/∂u_k) = Tr(P (Γ ∘ Q_k)) = Σ_ab H_k[a,b] · G[a,b]
-    // with  G = conj(V) · (Pᵀ ∘ Γ) · Vᵀ,   which is independent of k.
-    let mut gradient = vec![vec![0.0; num_slices]; controls.len()];
-    let identity = Matrix::identity(dim);
-    for t in 0..num_slices {
-        let fwd_prev = if t == 0 { &identity } else { &forward[t - 1] };
-        let m_prime = fwd_prev.matmul(&target_dagger).matmul(&backward[t]);
-        let v = &slice_v[t];
-        let vdag = v.dagger();
-        let p = vdag.matmul(&m_prime).matmul(v);
-
-        let lambdas = &slice_lambdas[t];
-        let phases = &slice_phases[t];
-        // T = Pᵀ ∘ Γ
-        let mut t_mat = Matrix::zeros(dim, dim);
-        for i in 0..dim {
-            for j in 0..dim {
-                let gamma = if (lambdas[i] - lambdas[j]).abs() < 1e-10 {
-                    C64::new(0.0, -dt) * phases[i]
-                } else {
-                    (phases[i] - phases[j]) * (1.0 / (lambdas[i] - lambdas[j]))
-                };
-                t_mat[(j, i)] = p[(i, j)] * gamma;
-            }
-        }
-        let g_mat = v.conj().matmul(&t_mat).matmul(&v.transpose());
-
-        for (k, control) in controls.iter().enumerate() {
-            let h_k = &control.operator;
-            let mut contraction = C64::ZERO;
-            for a in 0..dim {
-                for b in 0..dim {
-                    let h_ab = h_k[(a, b)];
-                    if h_ab.re != 0.0 || h_ab.im != 0.0 {
-                        contraction += h_ab * g_mat[(a, b)];
-                    }
-                }
-            }
-            let dg = contraction / dim_f;
-            let dfidelity = 2.0 * (conj_overlap * dg).re;
-            gradient[k][t] = -dfidelity;
-        }
-    }
-
+    let mut workspace = GrapeWorkspace::new(device, pulse.num_slices());
+    workspace.set_target(device, target);
+    let infidelity = workspace.fidelity_gradient(pulse);
     FidelityGradient {
         infidelity,
-        gradient,
+        gradient: workspace.gradient().to_vec(),
     }
 }
 
@@ -305,20 +209,31 @@ pub fn try_optimize_pulse(
         });
     }
 
-    let controls = device.control_hamiltonians();
     let dt = options.dt_ns;
 
     let mut pulse = PulseSequence::seeded_guess(device, num_slices, dt, options.seed);
     pulse.clamp_to_device(device);
 
+    // All per-iteration buffers live in the workspace, allocated once here; the
+    // iteration loop below performs no heap allocation.
+    let mut workspace = GrapeWorkspace::new(device, num_slices);
+    workspace.set_target(device, target);
+    let num_controls = workspace.controls().len();
+    let amplitude_limits: Vec<f64> = workspace
+        .controls()
+        .iter()
+        .map(|control| control.max_amplitude)
+        .collect();
+
     // ADAM state, one entry per (control, slice).
-    let num_controls = controls.len();
     let mut m = vec![vec![0.0; num_slices]; num_controls];
     let mut v = vec![vec![0.0; num_slices]; num_controls];
     let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
 
     let mut cost_history = Vec::with_capacity(options.max_iterations);
     let mut best_infidelity = f64::INFINITY;
+    // Best-so-far amplitudes are *copied* into this preallocated pulse rather than
+    // cloning the whole sequence on every improving iteration.
     let mut best_pulse = pulse.clone();
     let mut iterations = 0;
     let mut learning_rate = options.learning_rate;
@@ -326,12 +241,13 @@ pub fn try_optimize_pulse(
     for iter in 0..options.max_iterations {
         iterations = iter + 1;
 
-        let fg = fidelity_gradient(target, device, &pulse);
-        let infidelity = fg.infidelity;
+        let infidelity = workspace.fidelity_gradient(&pulse);
 
         if infidelity < best_infidelity {
             best_infidelity = infidelity;
-            best_pulse = pulse.clone();
+            for (k, waveform) in best_pulse.waveforms_mut().iter_mut().enumerate() {
+                waveform.copy_from_slice(pulse.waveform(k));
+            }
         }
 
         // --- cost (for the history) -------------------------------------------------
@@ -371,7 +287,7 @@ pub fn try_optimize_pulse(
         for t in 0..num_slices {
             for k in 0..num_controls {
                 let u_kt = pulse.amplitude(k, t);
-                let mut grad = fg.gradient[k][t];
+                let mut grad = workspace.gradient()[k][t];
                 grad += 2.0 * options.amplitude_penalty * u_kt * dt;
                 if options.smoothness_penalty > 0.0 {
                     if t > 0 {
@@ -394,10 +310,13 @@ pub fn try_optimize_pulse(
                 let m_hat = m[k][t] / (1.0 - beta1.powi(iterations as i32));
                 let v_hat = v[k][t] / (1.0 - beta2.powi(iterations as i32));
                 let step = learning_rate * m_hat / (v_hat.sqrt() + eps);
-                pulse.set_amplitude(k, t, u_kt - step);
+                // Clamping inline keeps the hardware amplitude limits enforced
+                // without the per-iteration `clamp_to_device` pass (which rebuilt
+                // the control Hamiltonians — an allocation — every call).
+                let limit = amplitude_limits[k];
+                pulse.set_amplitude(k, t, (u_kt - step).clamp(-limit, limit));
             }
         }
-        pulse.clamp_to_device(device);
         learning_rate *= options.decay_rate;
     }
 
@@ -491,12 +410,19 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        // Validate the exact analytic gradient against a numerical derivative.
+        // Validate the exact analytic gradient against a numerical derivative, both
+        // through the allocating wrapper and through a reused GrapeWorkspace (the
+        // path the optimizer iterates on).
         let device = DeviceModel::qubits_line(2);
         let target = gates::cx();
         let dt = 0.5;
         let pulse = PulseSequence::seeded_guess(&device, 6, dt, 3);
         let analytic = fidelity_gradient(&target, &device, &pulse);
+
+        let mut workspace = GrapeWorkspace::new(&device, pulse.num_slices());
+        workspace.set_target(&device, &target);
+        let workspace_infidelity = workspace.fidelity_gradient(&pulse);
+        assert!((workspace_infidelity - analytic.infidelity).abs() < 1e-12);
 
         let eps = 1e-6;
         for &(k, t) in &[(0usize, 2usize), (2, 0), (4, 5), (1, 3)] {
@@ -504,14 +430,24 @@ mod tests {
             plus.set_amplitude(k, t, plus.amplitude(k, t) + eps);
             let mut minus = pulse.clone();
             minus.set_amplitude(k, t, minus.amplitude(k, t) - eps);
-            let f_plus = fidelity_gradient(&target, &device, &plus).infidelity;
-            let f_minus = fidelity_gradient(&target, &device, &minus).infidelity;
+            // Drive the probes through the same reused workspace so the test also
+            // catches state leaking between fidelity_gradient calls.
+            let f_plus = workspace.fidelity_gradient(&plus);
+            let f_minus = workspace.fidelity_gradient(&minus);
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let reference = numeric.abs().max(1e-6);
             assert!(
                 (analytic.gradient[k][t] - numeric).abs() / reference < 1e-3,
                 "control {k} slice {t}: analytic {} vs numeric {numeric}",
                 analytic.gradient[k][t]
+            );
+            let workspace_grad = {
+                workspace.fidelity_gradient(&pulse);
+                workspace.gradient()[k][t]
+            };
+            assert!(
+                (workspace_grad - analytic.gradient[k][t]).abs() < 1e-12,
+                "workspace gradient must match the allocating wrapper exactly"
             );
         }
     }

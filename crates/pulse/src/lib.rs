@@ -14,6 +14,9 @@
 //!   forward/backward partial products needed for analytic gradients.
 //! * [`grape`] — the gradient-descent loop (ADAM with learning-rate decay), the cost
 //!   terms (infidelity, amplitude, smoothness regularization), and convergence control.
+//! * [`workspace`] — the reusable [`GrapeWorkspace`]: every buffer one GRAPE run
+//!   needs, allocated once per optimization so the iteration kernel never touches
+//!   the heap.
 //! * [`minimum_time`] — the binary search for the shortest pulse duration that still
 //!   reaches the target fidelity (Section 5.3).
 //! * [`realistic`] — the "more realistic" settings of Section 8.3: 1 GSa/s waveforms,
@@ -43,7 +46,9 @@ pub mod minimum_time;
 pub mod propagate;
 mod pulse;
 pub mod realistic;
+pub mod workspace;
 
 pub use device::{ControlHamiltonian, DeviceModel};
 pub use error::PulseError;
 pub use pulse::PulseSequence;
+pub use workspace::GrapeWorkspace;

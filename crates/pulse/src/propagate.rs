@@ -1,7 +1,13 @@
 //! Time-ordered propagation of piecewise-constant control pulses.
+//!
+//! Slice propagators are built by the same eigendecomposition path the GRAPE
+//! gradient uses ([`crate::workspace::GrapeWorkspace`]), so the optimizer and the
+//! verifier can never drift apart. The independent Taylor
+//! [`expm`](vqc_linalg::expm::expm) survives as a reference implementation that a
+//! debug assertion checks the shared path against on small systems.
 
+use crate::workspace::GrapeWorkspace;
 use crate::{ControlHamiltonian, DeviceModel, PulseSequence};
-use vqc_linalg::expm::expm;
 use vqc_linalg::{Matrix, C64};
 
 /// The result of propagating a pulse: every per-slice propagator plus the cumulative
@@ -32,17 +38,37 @@ pub fn slice_hamiltonian(
     pulse: &PulseSequence,
     t: usize,
 ) -> Matrix {
-    let mut h = drift.clone();
-    for (k, control) in controls.iter().enumerate() {
-        let amp = pulse.amplitude(k, t);
-        if amp != 0.0 {
-            h = &h + &control.operator.scale_real(amp);
-        }
-    }
+    let mut h = Matrix::zeros(drift.rows(), drift.cols());
+    slice_hamiltonian_into(drift, controls, pulse, t, &mut h);
     h
 }
 
+/// Writes the Hamiltonian of one time slice into `out` without allocating.
+///
+/// # Panics
+///
+/// Panics if `out` does not have the drift's shape.
+pub fn slice_hamiltonian_into(
+    drift: &Matrix,
+    controls: &[ControlHamiltonian],
+    pulse: &PulseSequence,
+    t: usize,
+    out: &mut Matrix,
+) {
+    out.copy_from(drift);
+    for (k, control) in controls.iter().enumerate() {
+        let amp = pulse.amplitude(k, t);
+        if amp != 0.0 {
+            out.add_scaled_assign(C64::from_real(amp), &control.operator);
+        }
+    }
+}
+
 /// Propagates a pulse on a device, returning all intermediate products.
+///
+/// The slice propagators come from the eigendecomposition path shared with the GRAPE
+/// gradient kernel; in debug builds each one is cross-checked against the
+/// independent Taylor `expm` on small systems (agreement to `1e-10`).
 ///
 /// # Panics
 ///
@@ -56,34 +82,30 @@ pub fn propagate(device: &DeviceModel, pulse: &PulseSequence) -> Propagation {
         pulse.num_controls(),
         controls.len()
     );
-    let drift = device.drift();
-    let num_slices = pulse.num_slices();
-    let dt = pulse.dt_ns();
+    let mut workspace = GrapeWorkspace::new(device, pulse.num_slices());
+    workspace.propagate(pulse);
 
-    let mut slice_unitaries = Vec::with_capacity(num_slices);
-    for t in 0..num_slices {
-        let h = slice_hamiltonian(&drift, &controls, pulse, t);
-        slice_unitaries.push(expm(&h.scale(C64::new(0.0, -dt))));
-    }
-
-    let mut forward = Vec::with_capacity(num_slices);
-    let mut acc = Matrix::identity(device.dim());
-    for u in &slice_unitaries {
-        acc = u.matmul(&acc);
-        forward.push(acc.clone());
-    }
-
-    let mut backward = vec![Matrix::identity(device.dim()); num_slices];
-    let mut acc = Matrix::identity(device.dim());
-    for t in (0..num_slices).rev() {
-        backward[t] = acc.clone();
-        acc = acc.matmul(&slice_unitaries[t]);
+    // The Taylor expm is the independent reference implementation: on systems small
+    // enough to pay for it, every debug build verifies the shared
+    // eigendecomposition propagator against it.
+    #[cfg(debug_assertions)]
+    if device.dim() <= 4 {
+        let drift = device.drift();
+        let dt = pulse.dt_ns();
+        for t in 0..pulse.num_slices() {
+            let h = slice_hamiltonian(&drift, &controls, pulse, t);
+            let taylor = vqc_linalg::expm::expm(&h.scale(C64::new(0.0, -dt)));
+            debug_assert!(
+                workspace.slice_unitaries()[t].approx_eq(&taylor, 1e-10),
+                "eigendecomposition and Taylor propagators disagree at slice {t}"
+            );
+        }
     }
 
     Propagation {
-        slice_unitaries,
-        forward,
-        backward,
+        slice_unitaries: workspace.slice_unitaries().to_vec(),
+        forward: workspace.forward().to_vec(),
+        backward: workspace.backward().to_vec(),
     }
 }
 

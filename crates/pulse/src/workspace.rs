@@ -1,0 +1,381 @@
+//! The reusable GRAPE iteration workspace.
+//!
+//! GRAPE spends its entire budget evaluating [`GrapeWorkspace::fidelity_gradient`]:
+//! hundreds of optimizer iterations, each diagonalizing every slice Hamiltonian and
+//! multiplying out the forward/backward partial products. The seed implementation
+//! heap-allocated every one of those matrices on every iteration; this workspace
+//! owns all of them — per-slice eigensystems, propagators, partial products, and the
+//! gradient scratch — allocated once per [`crate::grape::try_optimize_pulse`] call
+//! and reused across all iterations. After construction (and one `set_target`),
+//! `fidelity_gradient` performs **zero** heap allocations, which `vqc-pulse`'s
+//! counting-allocator test asserts.
+//!
+//! The workspace is also the single home of the eigendecomposition-based slice
+//! propagator `U_t = V e^{-iΔtΛ} V†`; [`crate::propagate`] drives the same path (the
+//! Taylor [`vqc_linalg::expm`] stays as an independent reference that a debug
+//! assertion checks it against).
+
+use crate::propagate::slice_hamiltonian_into;
+use crate::{ControlHamiltonian, DeviceModel, PulseSequence};
+use vqc_linalg::{eigh_into, EighWorkspace, Matrix, C64};
+
+/// All buffers one GRAPE run needs, allocated once and reused every iteration.
+#[derive(Debug, Clone)]
+pub struct GrapeWorkspace {
+    dim: usize,
+    num_slices: usize,
+    qubit_dim: f64,
+    drift: Matrix,
+    controls: Vec<ControlHamiltonian>,
+    /// `(padded target)†`, set by [`GrapeWorkspace::set_target`].
+    target_dagger: Option<Matrix>,
+
+    // --- per-slice eigensystems and propagators -----------------------------------
+    slice_v: Vec<Matrix>,
+    slice_lambdas: Vec<Vec<f64>>,
+    slice_phases: Vec<Vec<C64>>,
+    slice_unitaries: Vec<Matrix>,
+    forward: Vec<Matrix>,
+    backward: Vec<Matrix>,
+
+    // --- iteration scratch ----------------------------------------------------------
+    hamiltonian: Matrix,
+    eigh: EighWorkspace,
+    vdag: Matrix,
+    scratch_a: Matrix,
+    scratch_b: Matrix,
+    scratch_c: Matrix,
+
+    /// `gradient[k][t] = ∂(infidelity)/∂u_k(t)` after a `fidelity_gradient` call.
+    gradient: Vec<Vec<f64>>,
+}
+
+impl GrapeWorkspace {
+    /// Allocates every buffer needed to optimize `num_slices`-slice pulses on
+    /// `device`. The target is supplied separately via
+    /// [`GrapeWorkspace::set_target`] (propagation-only users never need one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slices == 0`.
+    pub fn new(device: &DeviceModel, num_slices: usize) -> Self {
+        assert!(num_slices > 0, "a pulse needs at least one time slice");
+        let dim = device.dim();
+        let controls = device.control_hamiltonians();
+        let num_controls = controls.len();
+        let square = || Matrix::zeros(dim, dim);
+        GrapeWorkspace {
+            dim,
+            num_slices,
+            qubit_dim: device.qubit_dim() as f64,
+            drift: device.drift(),
+            controls,
+            target_dagger: None,
+            slice_v: (0..num_slices).map(|_| square()).collect(),
+            slice_lambdas: (0..num_slices).map(|_| Vec::with_capacity(dim)).collect(),
+            slice_phases: (0..num_slices).map(|_| Vec::with_capacity(dim)).collect(),
+            slice_unitaries: (0..num_slices).map(|_| square()).collect(),
+            forward: (0..num_slices).map(|_| square()).collect(),
+            backward: (0..num_slices).map(|_| square()).collect(),
+            hamiltonian: square(),
+            eigh: EighWorkspace::new(dim),
+            vdag: square(),
+            scratch_a: square(),
+            scratch_b: square(),
+            scratch_c: square(),
+            gradient: vec![vec![0.0; num_slices]; num_controls],
+        }
+    }
+
+    /// Sets the optimization target: a `2^n x 2^n` unitary on the device's qubit
+    /// subspace, zero-padded onto any leakage levels (so leaked population counts as
+    /// infidelity) and stored daggered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not a qubit-subspace unitary of the device this
+    /// workspace was built for.
+    pub fn set_target(&mut self, device: &DeviceModel, target: &Matrix) {
+        assert_eq!(device.dim(), self.dim, "workspace built for another device");
+        self.target_dagger = Some(device.pad_qubit_unitary(target).dagger());
+    }
+
+    /// Number of time slices the workspace was sized for.
+    pub fn num_slices(&self) -> usize {
+        self.num_slices
+    }
+
+    /// The device's control Hamiltonians, captured at construction.
+    pub fn controls(&self) -> &[ControlHamiltonian] {
+        &self.controls
+    }
+
+    /// Per-slice propagators `U_t = exp(-i Δt H(t))` from the last propagation.
+    pub fn slice_unitaries(&self) -> &[Matrix] {
+        &self.slice_unitaries
+    }
+
+    /// Forward partial products `forward[t] = U_t · … · U_0` from the last
+    /// propagation.
+    pub fn forward(&self) -> &[Matrix] {
+        &self.forward
+    }
+
+    /// Backward partial products `backward[t] = U_{T-1} · … · U_{t+1}` from the last
+    /// propagation (`backward[T-1]` is the identity).
+    pub fn backward(&self) -> &[Matrix] {
+        &self.backward
+    }
+
+    /// The total evolution operator of the last propagated pulse.
+    pub fn total(&self) -> &Matrix {
+        self.forward
+            .last()
+            .expect("workspace has at least one slice")
+    }
+
+    /// The gradient filled by the last [`GrapeWorkspace::fidelity_gradient`] call:
+    /// `gradient()[k][t] = ∂(infidelity)/∂u_k(t)`.
+    pub fn gradient(&self) -> &[Vec<f64>] {
+        &self.gradient
+    }
+
+    /// Checks that a pulse matches the geometry this workspace was allocated for.
+    fn assert_pulse_shape(&self, pulse: &PulseSequence) {
+        assert_eq!(
+            pulse.num_controls(),
+            self.controls.len(),
+            "pulse has {} waveforms but the device has {} controls",
+            pulse.num_controls(),
+            self.controls.len()
+        );
+        assert_eq!(
+            pulse.num_slices(),
+            self.num_slices,
+            "workspace sized for {} slices, pulse has {}",
+            self.num_slices,
+            pulse.num_slices()
+        );
+    }
+
+    /// Propagates a pulse through the shared eigendecomposition path, filling the
+    /// per-slice eigensystems, slice propagators, and forward/backward partial
+    /// products. Performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pulse shape does not match the workspace.
+    pub fn propagate(&mut self, pulse: &PulseSequence) {
+        self.assert_pulse_shape(pulse);
+        let dim = self.dim;
+        let dt = pulse.dt_ns();
+
+        for t in 0..self.num_slices {
+            slice_hamiltonian_into(&self.drift, &self.controls, pulse, t, &mut self.hamiltonian);
+            eigh_into(
+                &self.hamiltonian,
+                &mut self.eigh,
+                &mut self.slice_lambdas[t],
+                &mut self.slice_v[t],
+            );
+            let phases = &mut self.slice_phases[t];
+            phases.clear();
+            phases.extend(self.slice_lambdas[t].iter().map(|&l| C64::cis(-dt * l)));
+
+            // U_t = V · diag(phases) · V†: scale the columns of V, then multiply.
+            let v = &self.slice_v[t];
+            v.dagger_into(&mut self.vdag);
+            for c in 0..dim {
+                let phase = phases[c];
+                for r in 0..dim {
+                    self.scratch_a[(r, c)] = v[(r, c)] * phase;
+                }
+            }
+            self.scratch_a
+                .matmul_into(&self.vdag, &mut self.slice_unitaries[t]);
+        }
+
+        // forward[t] = U_t · forward[t-1]
+        self.forward[0].copy_from(&self.slice_unitaries[0]);
+        for t in 1..self.num_slices {
+            let (head, tail) = self.forward.split_at_mut(t);
+            self.slice_unitaries[t].matmul_into(&head[t - 1], &mut tail[0]);
+        }
+
+        // backward[t] = backward[t+1] · U_{t+1}, starting from the identity.
+        let last = self.num_slices - 1;
+        self.backward[last].as_mut_slice().fill(C64::ZERO);
+        for i in 0..dim {
+            self.backward[last][(i, i)] = C64::ONE;
+        }
+        for t in (0..last).rev() {
+            let (head, tail) = self.backward.split_at_mut(t + 1);
+            tail[0].matmul_into(&self.slice_unitaries[t + 1], &mut head[t]);
+        }
+    }
+
+    /// Computes the trace infidelity of a pulse against the configured target and
+    /// its exact gradient (via the Daleckii–Krein divided-difference formula),
+    /// storing the gradient in [`GrapeWorkspace::gradient`] and returning the
+    /// infidelity. Performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no target was set or the pulse shape does not match the workspace.
+    pub fn fidelity_gradient(&mut self, pulse: &PulseSequence) -> f64 {
+        assert!(
+            self.target_dagger.is_some(),
+            "set_target must be called before fidelity_gradient"
+        );
+        self.propagate(pulse);
+        let dim = self.dim;
+        let dim_f = self.qubit_dim;
+        let dt = pulse.dt_ns();
+        let target_dagger = self.target_dagger.as_ref().expect("target set above");
+
+        // overlap = Tr(V† U_total) / d, computed as Σ_ik V†[i,k]·U[k,i] in O(dim²).
+        let total = self.forward.last().expect("at least one slice");
+        let mut overlap = C64::ZERO;
+        for i in 0..dim {
+            for k in 0..dim {
+                overlap += target_dagger[(i, k)] * total[(k, i)];
+            }
+        }
+        overlap = overlap * (1.0 / dim_f);
+        let infidelity = 1.0 - overlap.norm_sqr();
+        let conj_overlap = overlap.conj();
+
+        // --- exact gradient via the Daleckii–Krein formula ---------------------------
+        // For slice t: U_total = backward[t] · U_t · forward[t-1], and
+        //   ∂U_t/∂u_k = V (Γ ∘ (V† H_k V)) V†,
+        // where Γ_ij is the divided difference of f(λ) = e^{-iΔtλ} at (λ_i, λ_j).
+        // Writing M' = forward[t-1] · V_target† · backward[t] and P = V† M' V,
+        //   Tr(V_target† ∂U_total/∂u_k) = Σ_ab H_k[a,b] · G[a,b]
+        // with  G = conj(V) · (Pᵀ ∘ Γ) · Vᵀ,  which is independent of k. To stay in
+        // plain matmul kernels, G is computed as conj(V · conj(Pᵀ ∘ Γ) · V†): the
+        // conjugation folds into building T = conj(Pᵀ ∘ Γ) and into the final
+        // contraction.
+        for t in 0..self.num_slices {
+            // m' = forward[t-1] · target† · backward[t]   (forward[-1] = identity)
+            if t == 0 {
+                target_dagger.matmul_into(&self.backward[0], &mut self.scratch_b);
+            } else {
+                self.forward[t - 1].matmul_into(target_dagger, &mut self.scratch_a);
+                self.scratch_a
+                    .matmul_into(&self.backward[t], &mut self.scratch_b);
+            }
+            let v = &self.slice_v[t];
+            v.dagger_into(&mut self.vdag);
+            // p = V† · m' · V
+            self.vdag.matmul_into(&self.scratch_b, &mut self.scratch_a);
+            self.scratch_a.matmul_into(v, &mut self.scratch_c);
+            let p = &self.scratch_c;
+
+            let lambdas = &self.slice_lambdas[t];
+            let phases = &self.slice_phases[t];
+            // T = conj(Pᵀ ∘ Γ), written into scratch_b.
+            for i in 0..dim {
+                for j in 0..dim {
+                    let gamma = if (lambdas[i] - lambdas[j]).abs() < 1e-10 {
+                        C64::new(0.0, -dt) * phases[i]
+                    } else {
+                        (phases[i] - phases[j]) * (1.0 / (lambdas[i] - lambdas[j]))
+                    };
+                    self.scratch_b[(j, i)] = (p[(i, j)] * gamma).conj();
+                }
+            }
+            // conj(G) = V · T · V†
+            v.matmul_into(&self.scratch_b, &mut self.scratch_a);
+            self.scratch_a.matmul_into(&self.vdag, &mut self.scratch_c);
+            let g_conj = &self.scratch_c;
+
+            for (k, control) in self.controls.iter().enumerate() {
+                let h_k = &control.operator;
+                let mut contraction = C64::ZERO;
+                for a in 0..dim {
+                    for b in 0..dim {
+                        let h_ab = h_k[(a, b)];
+                        if h_ab.re != 0.0 || h_ab.im != 0.0 {
+                            contraction += h_ab * g_conj[(a, b)].conj();
+                        }
+                    }
+                }
+                let dg = contraction / dim_f;
+                let dfidelity = 2.0 * (conj_overlap * dg).re;
+                self.gradient[k][t] = -dfidelity;
+            }
+        }
+
+        infidelity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grape::fidelity_gradient;
+    use vqc_sim::gates;
+
+    #[test]
+    fn workspace_gradient_matches_the_allocating_reference() {
+        let device = DeviceModel::qubits_line(2);
+        let target = gates::cx();
+        let pulse = PulseSequence::seeded_guess(&device, 6, 0.5, 3);
+
+        let reference = fidelity_gradient(&target, &device, &pulse);
+        let mut workspace = GrapeWorkspace::new(&device, pulse.num_slices());
+        workspace.set_target(&device, &target);
+        // Run twice through the same buffers: iteration two must not see leftovers.
+        let _ = workspace.fidelity_gradient(&pulse);
+        let infidelity = workspace.fidelity_gradient(&pulse);
+
+        assert!((infidelity - reference.infidelity).abs() < 1e-12);
+        for k in 0..device.num_controls() {
+            for t in 0..pulse.num_slices() {
+                assert!(
+                    (workspace.gradient()[k][t] - reference.gradient[k][t]).abs() < 1e-12,
+                    "control {k} slice {t}: workspace {} vs reference {}",
+                    workspace.gradient()[k][t],
+                    reference.gradient[k][t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_propagation_matches_taylor_expm() {
+        use vqc_linalg::expm::expm;
+        let device = DeviceModel::qubits_line(1);
+        let pulse = PulseSequence::seeded_guess(&device, 8, 0.5, 5);
+        let mut workspace = GrapeWorkspace::new(&device, pulse.num_slices());
+        workspace.propagate(&pulse);
+        let controls = device.control_hamiltonians();
+        let drift = device.drift();
+        for t in 0..pulse.num_slices() {
+            let h = crate::propagate::slice_hamiltonian(&drift, &controls, &pulse, t);
+            let taylor = expm(&h.scale(C64::new(0.0, -pulse.dt_ns())));
+            assert!(
+                workspace.slice_unitaries()[t].approx_eq(&taylor, 1e-12),
+                "slice {t} diverges from the Taylor reference"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "set_target")]
+    fn gradient_without_target_is_rejected() {
+        let device = DeviceModel::qubits_line(1);
+        let pulse = PulseSequence::seeded_guess(&device, 4, 0.5, 1);
+        let mut workspace = GrapeWorkspace::new(&device, 4);
+        workspace.fidelity_gradient(&pulse);
+    }
+
+    #[test]
+    #[should_panic(expected = "slices")]
+    fn mismatched_slice_count_is_rejected() {
+        let device = DeviceModel::qubits_line(1);
+        let pulse = PulseSequence::seeded_guess(&device, 4, 0.5, 1);
+        let mut workspace = GrapeWorkspace::new(&device, 5);
+        workspace.propagate(&pulse);
+    }
+}

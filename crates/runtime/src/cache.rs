@@ -13,14 +13,25 @@
 //!
 //! # Eviction
 //!
-//! Bounded shards evict by *recompute cost*: every entry carries an estimate of the
-//! GRAPE seconds it would take to reproduce (derived from its recorded iterations
-//! via [`vqc_core::LatencyModel`]), and a full shard drops the cheapest-to-recompute
-//! entry first, breaking ties by insertion order. That is the economics of the
-//! paper's pulse library made explicit — a cached 4-qubit block stands for minutes
-//! of GRAPE, a 2-qubit block for a fraction of a second, and a bounded cache should
-//! spend its capacity on the former. [`EvictionPolicy::Fifo`] retains the plain
-//! oldest-first bound for comparison.
+//! Bounded shards evict by *recompute cost*: every entry carries the GRAPE seconds
+//! it would take to reproduce — the wall time its compilation was *observed* to
+//! cost when the compiler recorded one (via
+//! [`vqc_core::PulseCache::record_observed_cost`], which it does for every real
+//! compilation), or an estimate derived from its recorded iterations via
+//! [`vqc_core::LatencyModel`] otherwise — and a full shard drops the
+//! cheapest-to-recompute entry first, breaking ties by insertion order. That is the
+//! economics of the paper's pulse library made explicit — a cached 4-qubit block
+//! stands for minutes of GRAPE, a 2-qubit block for a fraction of a second, and a
+//! bounded cache should spend its capacity on the former. [`EvictionPolicy::Fifo`]
+//! retains the plain oldest-first bound for comparison.
+//!
+//! Observed costs are *host* seconds while model estimates are paper-scale
+//! seconds; within one process every real compilation records an observation
+//! before its insert, and [`ShardedPulseCache::absorb`] seeds the feedback table
+//! from the snapshot's persisted costs, so the mixed-scale ranking regime is
+//! limited to entries that never ran anywhere (hand-inserted or pre-feedback
+//! snapshots) and ends as soon as they recompile. Calibrating the model's scale
+//! from recorded (estimate, observation) pairs is a ROADMAP follow-up.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -237,10 +248,49 @@ impl<V> BoundedMap<V> {
     }
 }
 
+/// Cap on per-shard observed-cost entries. Observed costs deliberately outlive the
+/// bounded entry maps, but they must not leak without bound under parameter churn
+/// (every new θ binding of a bound block is a distinct key), so the feedback table
+/// is itself FIFO-bounded. Losing an old observation merely falls back to the
+/// latency model — graceful, not wrong.
+const OBSERVED_CAPACITY_PER_SHARD: usize = 4096;
+
+/// FIFO-bounded key → measured-seconds map for observed compile costs.
+///
+/// Overwriting an existing key keeps its original queue position: the bound exists
+/// to cap memory, not to implement recency semantics.
+#[derive(Debug, Default)]
+struct ObservedCosts {
+    costs: HashMap<BlockKey, f64>,
+    order: std::collections::VecDeque<BlockKey>,
+}
+
+impl ObservedCosts {
+    fn record(&mut self, key: &BlockKey, seconds: f64) {
+        if self.costs.insert(key.clone(), seconds).is_none() {
+            self.order.push_back(key.clone());
+            while self.order.len() > OBSERVED_CAPACITY_PER_SHARD {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.costs.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: &BlockKey) -> Option<f64> {
+        self.costs.get(key).copied()
+    }
+}
+
 #[derive(Debug)]
 struct Shard {
     blocks: Mutex<BoundedMap<CachedBlock>>,
     tunings: Mutex<BoundedMap<CachedTuning>>,
+    /// Measured wall-clock compile seconds per key. Deliberately *outside* the
+    /// bounded entry maps: evicting a result does not un-learn what it cost to
+    /// produce, so re-compilations and LPT scheduling keep the observation (up to
+    /// the [`OBSERVED_CAPACITY_PER_SHARD`] feedback bound).
+    observed: Mutex<ObservedCosts>,
     counters: Counters,
 }
 
@@ -324,6 +374,7 @@ impl ShardedPulseCache {
                         config.max_tunings_per_shard,
                         config.eviction,
                     )),
+                    observed: Mutex::new(ObservedCosts::default()),
                     counters: Counters::default(),
                 })
                 .collect(),
@@ -397,8 +448,13 @@ impl ShardedPulseCache {
     /// `restored - evictions` reconciles with the entry count after a bounded warm
     /// start).
     pub fn absorb(&self, snapshot: CacheSnapshot) {
+        // Each entry's persisted cost doubles as its observed compile cost: a
+        // warm-started process then schedules (LPT) and evicts by what its
+        // predecessor measured, instead of silently reverting to the a-priori
+        // model for every restored key.
         for (key, value, cost) in snapshot.blocks {
             let shard = self.shard(&key);
+            shard.observed.lock().record(&key, cost);
             let evicted = shard.blocks.lock().insert(key, value, cost);
             shard.counters.restored.fetch_add(1, Ordering::Relaxed);
             shard
@@ -408,6 +464,7 @@ impl ShardedPulseCache {
         }
         for (key, value, cost) in snapshot.tunings {
             let shard = self.shard(&key);
+            shard.observed.lock().record(&key, cost);
             let evicted = shard.tunings.lock().insert(key, value, cost);
             shard.counters.restored.fetch_add(1, Ordering::Relaxed);
             shard
@@ -428,7 +485,15 @@ impl PulseCache for ShardedPulseCache {
 
     fn insert_block(&self, key: BlockKey, value: CachedBlock) {
         let shard = self.shard(&key);
-        let cost = self.latency.block_recompute_seconds(&key, &value);
+        // Once the key has a measured compile time, that observation *is* the
+        // recompute cost the cache protects; the latency model only covers
+        // never-observed entries (e.g. hand-inserted or migrated ones).
+        let cost = shard
+            .observed
+            .lock()
+            .get(&key)
+            .filter(|seconds| *seconds > 0.0)
+            .unwrap_or_else(|| self.latency.block_recompute_seconds(&key, &value));
         let evicted = shard.blocks.lock().insert(key, value, cost);
         shard.counters.insertions.fetch_add(1, Ordering::Relaxed);
         shard
@@ -446,7 +511,12 @@ impl PulseCache for ShardedPulseCache {
 
     fn insert_tuning(&self, key: BlockKey, value: CachedTuning) {
         let shard = self.shard(&key);
-        let cost = self.latency.tuning_recompute_seconds(&key, &value);
+        let cost = shard
+            .observed
+            .lock()
+            .get(&key)
+            .filter(|seconds| *seconds > 0.0)
+            .unwrap_or_else(|| self.latency.tuning_recompute_seconds(&key, &value));
         let evicted = shard.tunings.lock().insert(key, value, cost);
         shard.counters.insertions.fetch_add(1, Ordering::Relaxed);
         shard
@@ -464,10 +534,20 @@ impl PulseCache for ShardedPulseCache {
     }
 
     fn clear(&self) {
+        // Observed compile times survive on purpose: clearing stored results does
+        // not change what the work costs to redo.
         for shard in &self.shards {
             shard.blocks.lock().clear();
             shard.tunings.lock().clear();
         }
+    }
+
+    fn record_observed_cost(&self, key: &BlockKey, seconds: f64) {
+        self.shard(key).observed.lock().record(key, seconds);
+    }
+
+    fn observed_cost(&self, key: &BlockKey) -> Option<f64> {
+        self.shard(key).observed.lock().get(key)
     }
 }
 
@@ -583,6 +663,76 @@ mod tests {
         assert!(cache.block(&key(1)).is_none(), "tie evicts the oldest");
         assert!(cache.block(&key(2)).is_some());
         assert!(cache.block(&key(3)).is_some());
+    }
+
+    #[test]
+    fn observed_costs_override_the_model_in_eviction_metadata() {
+        let cache = bounded(2, EvictionPolicy::CostAware);
+        // key(1) is modeled cheap (1 iteration) but was observed to take 10 s;
+        // key(2) is modeled expensive (100 iterations) but was observed at 1 ms;
+        // key(3) has no observation and falls back to the model (~2.4 ms here).
+        cache.record_observed_cost(&key(1), 10.0);
+        cache.insert_block(key(1), entry(1));
+        cache.record_observed_cost(&key(2), 1e-3);
+        cache.insert_block(key(2), entry(100));
+        cache.insert_block(key(3), entry(50));
+        // Under the a-priori model key(1) would be the victim; with feedback the
+        // observed-cheapest entry key(2) leaves instead.
+        assert!(
+            cache.block(&key(1)).is_some(),
+            "observed-expensive survives"
+        );
+        assert!(cache.block(&key(2)).is_none(), "observed-cheap is evicted");
+        assert!(cache.block(&key(3)).is_some());
+        // The observation itself survives the eviction — a later re-insert of
+        // key(2) still ranks by what the work actually cost.
+        assert_eq!(cache.observed_cost(&key(2)), Some(1e-3));
+        // And snapshots persist the observed cost as the entry's metadata.
+        let snapshot = cache.snapshot();
+        let persisted = snapshot
+            .blocks
+            .iter()
+            .find(|(k, _, _)| *k == key(1))
+            .map(|(_, _, cost)| *cost);
+        assert_eq!(persisted, Some(10.0));
+    }
+
+    #[test]
+    fn absorb_seeds_observed_costs_from_snapshot_metadata() {
+        let source = ShardedPulseCache::default();
+        source.record_observed_cost(&key(1), 7.5);
+        source.insert_block(key(1), entry(1));
+        source.insert_block(key(2), entry(2)); // never observed: model-costed
+
+        let restored = ShardedPulseCache::default();
+        restored.absorb(source.snapshot());
+        // The persisted cost (observed where the source had an observation, model
+        // otherwise) becomes the restored process's observation, so LPT and
+        // eviction rank warm-started blocks by the predecessor's knowledge.
+        assert_eq!(restored.observed_cost(&key(1)), Some(7.5));
+        assert_eq!(
+            restored.observed_cost(&key(2)),
+            Some(LatencyModel::default().block_recompute_seconds(&key(2), &entry(2)))
+        );
+    }
+
+    #[test]
+    fn observed_cost_table_is_bounded_per_shard() {
+        let cache = ShardedPulseCache::new(CacheConfig {
+            shards: 1,
+            ..CacheConfig::default()
+        });
+        let total = super::OBSERVED_CAPACITY_PER_SHARD + 8;
+        for tag in 0..total {
+            cache.record_observed_cost(&key(tag), tag as f64 + 1.0);
+        }
+        // The earliest observations age out; the newest survive.
+        for tag in 0..8 {
+            assert_eq!(cache.observed_cost(&key(tag)), None, "tag {tag} aged out");
+        }
+        for tag in (total - 8)..total {
+            assert_eq!(cache.observed_cost(&key(tag)), Some(tag as f64 + 1.0));
+        }
     }
 
     #[test]

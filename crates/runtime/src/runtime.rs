@@ -375,10 +375,15 @@ impl CompilationRuntime {
             // sort is stable so equal-cost tasks keep plan order, and the result
             // slots below make outcome order independent of execution order.
             //
-            // Estimates are memoized per (plan, block): gate durations depend only
-            // on gate type, never on θ, so every parameter binding of one plan (the
-            // `compile_iterations` workload) shares one estimate instead of paying
-            // a per-binding circuit walk before any worker starts.
+            // Estimates are memoized per (plan, block), so every parameter binding
+            // of one plan (the `compile_iterations` workload) shares one estimate
+            // instead of paying a per-binding circuit walk before any worker
+            // starts. That sharing is sound for both estimator paths: the model
+            // fallback depends only on gate structure (durations never depend on
+            // θ), and an *observed* cost recorded for one θ binding of a block is
+            // a better processing-time proxy for its sibling bindings than the
+            // paper-scale model — different bindings of the same block do
+            // structurally identical GRAPE work.
             let mut memo: std::collections::HashMap<(usize, usize), f64> =
                 std::collections::HashMap::new();
             let mut costs: Vec<f64> = Vec::with_capacity(tasks.len());

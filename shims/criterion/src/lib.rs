@@ -6,6 +6,12 @@
 //! measurement loop (one warm-up call, then up to `sample_size` timed calls under a
 //! wall-clock budget). Recorded results are kept on the `Criterion` value so harness
 //! binaries can post-process them (e.g. emit a JSON summary).
+//!
+//! Like real criterion, passing `--test` to a bench binary (`cargo bench -- --test`)
+//! runs every benchmark routine exactly once as a smoke test without measuring —
+//! that is how CI keeps bench code compiling *and running* without paying for real
+//! measurements. Bench binaries that post-process results should skip their own
+//! report emission when [`Criterion::test_mode`] is set.
 
 use std::time::{Duration, Instant};
 
@@ -30,6 +36,7 @@ pub struct BenchResult {
 #[derive(Debug, Default)]
 pub struct Criterion {
     results: Vec<BenchResult>,
+    test_mode: bool,
 }
 
 /// Wall-clock budget one benchmark may spend on timed samples.
@@ -40,13 +47,24 @@ fn run_benchmark(
     group: &str,
     name: String,
     sample_size: usize,
+    test_mode: bool,
     mut routine: impl FnMut(&mut Bencher),
 ) {
     let mut bencher = Bencher {
         sample_size,
+        test_mode,
         samples_ns: Vec::new(),
     };
     routine(&mut bencher);
+    if test_mode {
+        let qualified = if group.is_empty() {
+            name.clone()
+        } else {
+            format!("{group}/{name}")
+        };
+        println!("bench {qualified:<52} ok (smoke test, unmeasured)");
+        return;
+    }
     let samples = bencher.samples_ns;
     let (mean_ns, min_ns) = if samples.is_empty() {
         (f64::NAN, f64::NAN)
@@ -76,6 +94,22 @@ fn run_benchmark(
 }
 
 impl Criterion {
+    /// Builds a harness configured from the binary's command-line arguments:
+    /// `--test` selects smoke-test mode (each routine runs once, unmeasured), as
+    /// with real criterion's `cargo bench -- --test`.
+    pub fn from_args() -> Self {
+        Criterion {
+            results: Vec::new(),
+            test_mode: std::env::args().any(|arg| arg == "--test"),
+        }
+    }
+
+    /// Whether the harness is running as a smoke test (`--test`): routines execute
+    /// once, nothing is measured, and report emission should be skipped.
+    pub fn test_mode(&self) -> bool {
+        self.test_mode
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -91,7 +125,8 @@ impl Criterion {
         name: impl Into<String>,
         routine: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        run_benchmark(&mut self.results, "", name.into(), 20, routine);
+        let test_mode = self.test_mode;
+        run_benchmark(&mut self.results, "", name.into(), 20, test_mode, routine);
         self
     }
 
@@ -127,6 +162,7 @@ impl BenchmarkGroup<'_> {
             &self.name,
             name.into(),
             self.sample_size,
+            self.criterion.test_mode,
             routine,
         );
         self
@@ -140,14 +176,19 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug)]
 pub struct Bencher {
     sample_size: usize,
+    test_mode: bool,
     samples_ns: Vec<f64>,
 }
 
 impl Bencher {
     /// Times `routine`: one untimed warm-up call, then up to `sample_size` timed calls
-    /// (stopping early if the wall-clock budget is exhausted).
+    /// (stopping early if the wall-clock budget is exhausted). In smoke-test mode
+    /// the routine runs exactly once and nothing is recorded.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         black_box(routine());
+        if self.test_mode {
+            return;
+        }
         let budget_start = Instant::now();
         for done in 0..self.sample_size {
             let started = Instant::now();
@@ -170,14 +211,19 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the given group runners in order.
+/// Generates `main` running the given group runners in order. `--test` on the
+/// command line switches the run into smoke-test mode.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::from_args();
             $($group(&mut criterion);)+
-            println!("{} benchmarks recorded", criterion.results().len());
+            if criterion.test_mode() {
+                println!("benchmarks smoke-tested (run without --test to measure)");
+            } else {
+                println!("{} benchmarks recorded", criterion.results().len());
+            }
         }
     };
 }
@@ -185,6 +231,19 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::Criterion;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once_and_records_nothing() {
+        let mut criterion = Criterion {
+            results: Vec::new(),
+            test_mode: true,
+        };
+        assert!(criterion.test_mode());
+        let mut calls = 0u32;
+        criterion.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "smoke mode runs the routine exactly once");
+        assert!(criterion.results().is_empty(), "nothing is measured");
+    }
 
     #[test]
     fn measurements_are_recorded_per_group() {
