@@ -3,10 +3,13 @@
 //! recur within each circuit and across requests. Compares sequential
 //! `PulseLibrary` compilation with the sharded runtime at 1/2/4/8 workers, the LPT
 //! block schedule against an unsorted drain on a heterogeneous batch, cost-aware
-//! against FIFO eviction on a bounded cache under churn, plus a raw
-//! cache-contention microbenchmark, and writes a `BENCH_runtime.json` summary next
-//! to the workspace root (including the observed-vs-estimated block-cost error the
-//! runtime's cost feedback closes once blocks have run). Interpret worker scaling against the `host_parallelism`
+//! against FIFO eviction on a bounded cache under churn, the service submission
+//! front-end (concurrent prioritized clients) against the synchronous batch
+//! wrapper, plus a raw cache-contention microbenchmark, and writes a
+//! `BENCH_runtime.json` summary next to the workspace root (including the
+//! observed-vs-estimated block-cost error the runtime's cost feedback closes once
+//! blocks have run, and the model→host scale the cache's `CostCalibration` fitted
+//! online). Interpret worker scaling against the `host_parallelism`
 //! field: on a single-CPU host all configurations legitimately tie, and the
 //! comparison degenerates to measuring scheduling overhead.
 
@@ -20,8 +23,8 @@ use vqc_core::{
     BlockKey, CachedBlock, CompilerOptions, PartialCompiler, PulseCache, PulseLibrary, Strategy,
 };
 use vqc_runtime::{
-    CacheConfig, CompilationRuntime, CompileJob, EvictionPolicy, RuntimeOptions, SchedulePolicy,
-    ShardedPulseCache,
+    CacheConfig, CompilationRuntime, CompileJob, EvictionPolicy, Priority, RuntimeOptions,
+    SchedulePolicy, ShardedPulseCache, Submission,
 };
 
 /// GRAPE effort reduced far enough that a cold compile of the workload is
@@ -190,6 +193,56 @@ fn bench_eviction_policy(c: &mut Criterion) {
     group.finish();
 }
 
+/// The service front-end under concurrent prioritized clients: each request of the
+/// QAOA workload is submitted as its own prioritized submission (two clients,
+/// interactive above background) and the handles are awaited together. Compared
+/// against the synchronous wrapper compiling the same jobs as one batch — on a
+/// single-CPU host both measure the same GRAPE work, so the gap is the service's
+/// scheduling overhead.
+fn bench_service_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_submission");
+    group.sample_size(3);
+    let jobs = workload();
+
+    group.bench_function("wrapped_batch", |b| {
+        b.iter(|| {
+            let runtime = CompilationRuntime::new(bench_options(), RuntimeOptions::with_workers(4));
+            for report in runtime.compile_batch(&jobs) {
+                black_box(report.unwrap());
+            }
+        })
+    });
+    group.bench_function("prioritized_submissions", |b| {
+        b.iter(|| {
+            let runtime = CompilationRuntime::new(bench_options(), RuntimeOptions::with_workers(4));
+            let handles: Vec<_> = jobs
+                .iter()
+                .enumerate()
+                .map(|(index, job)| {
+                    let (client, priority) = if index % 2 == 0 {
+                        (1, Priority::HIGH)
+                    } else {
+                        (2, Priority::LOW)
+                    };
+                    runtime
+                        .submit(
+                            Submission::single(job.circuit.clone(), &job.params[..], job.strategy)
+                                .with_priority(priority)
+                                .with_client(client),
+                        )
+                        .expect("queue depth exceeds the workload")
+                })
+                .collect();
+            for handle in handles {
+                for report in handle.wait().expect("not shed") {
+                    black_box(report.unwrap());
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_cache_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_contention");
     group.sample_size(10);
@@ -244,11 +297,13 @@ fn bench_cache_contention(c: &mut Criterion) {
 /// Compiles the QAOA workload once on a fresh runtime, comparing every GRAPE
 /// block's a-priori cost estimate (taken before any compilation) against the
 /// wall time the block was then observed to cost. Returns `(blocks,
-/// model_to_host_scale, mean_abs_rel_error)`: the least-squares factor aligning
-/// the model's paper-scale unit to this host, and the mean relative error of the
-/// scaled estimates — the gap the observed-cost feedback closes for recurring
-/// blocks.
-fn cost_feedback_error() -> Option<(usize, f64, f64)> {
+/// model_to_host_scale, mean_abs_rel_error, fitted_scale_in_cache)`: the
+/// least-squares factor aligning the model's paper-scale unit to this host, the
+/// mean relative error of the scaled estimates — the gap the observed-cost
+/// feedback closes for recurring blocks — and the scale the runtime's own
+/// `CostCalibration` fitted online from the same run (what unseen blocks are
+/// costed with).
+fn cost_feedback_error() -> Option<(usize, f64, f64, Option<f64>)> {
     let runtime = CompilationRuntime::new(bench_options(), RuntimeOptions::with_workers(2));
     let jobs = workload();
     let compiler = runtime.compiler();
@@ -289,7 +344,12 @@ fn cost_feedback_error() -> Option<(usize, f64, f64)> {
         .map(|(e, o)| (scale * e - o).abs() / o.max(1e-12))
         .sum::<f64>()
         / pairs.len() as f64;
-    Some((pairs.len(), scale, mean_abs_rel_error))
+    Some((
+        pairs.len(),
+        scale,
+        mean_abs_rel_error,
+        compiler.library().cost_model_scale(),
+    ))
 }
 
 /// Writes the recorded measurements as `BENCH_runtime.json` in the workspace root
@@ -322,9 +382,14 @@ fn emit_summary(c: &mut Criterion) {
     }
     json.push_str("  ],\n");
     match cost_feedback_error() {
-        Some((blocks, scale, error)) => json.push_str(&format!(
-            "  \"cost_model_feedback\": {{\"grape_blocks\": {blocks}, \"model_to_host_scale\": {scale:.3e}, \"mean_abs_rel_error_of_scaled_estimates\": {error:.3}}}\n",
-        )),
+        Some((blocks, scale, error, fitted)) => {
+            let fitted = fitted
+                .map(|f| format!("{f:.3e}"))
+                .unwrap_or_else(|| "null".to_string());
+            json.push_str(&format!(
+                "  \"cost_model_feedback\": {{\"grape_blocks\": {blocks}, \"model_to_host_scale\": {scale:.3e}, \"mean_abs_rel_error_of_scaled_estimates\": {error:.3}, \"fitted_scale_in_cache\": {fitted}}}\n",
+            ))
+        }
         None => json.push_str("  \"cost_model_feedback\": null\n"),
     }
     json.push('}');
@@ -344,6 +409,7 @@ criterion_group!(
     bench_compilation,
     bench_scheduling_order,
     bench_eviction_policy,
+    bench_service_submission,
     bench_cache_contention,
     emit_summary
 );

@@ -96,10 +96,17 @@ pub fn print_header(experiment: &str, effort: Effort) {
 /// * `VQC_WORKERS=<n>` — worker count (default: available parallelism, capped at
 ///   8), honored by `RuntimeOptions::default()` itself so tests and examples pick
 ///   it up too.
+/// * `VQC_QUEUE_DEPTH=<n>` — admission-queue depth of the service front-end
+///   (default 64): at most `n` submissions may be outstanding before backpressure
+///   applies. Honored by `ServiceOptions::default()`.
+/// * `VQC_BACKPRESSURE=block|reject|shed` — what `submit` does against a full
+///   queue (default: block the submitting thread; `reject` fails fast; `shed`
+///   drops the lowest-priority not-yet-started submission).
 /// * `VQC_CACHE_BLOCKS=<n>` — bound the block cache to `n` entries per shard
 ///   (default: unbounded); the eviction policy decides what a full shard drops.
-/// * `VQC_EVICTION=cost|fifo` — eviction policy for bounded shards (default:
-///   cost-aware, i.e. the cheapest-to-recompute entry leaves first).
+/// * `VQC_EVICTION=cost|hit|fifo` — eviction policy for bounded shards (default:
+///   cost-aware, i.e. the cheapest-to-recompute entry leaves first; `hit` weights
+///   cost by observed reuse).
 /// * `VQC_SNAPSHOT=<path>` — warm-start from (and persist to) this cache snapshot;
 ///   re-running a harness binary then skips all GRAPE work its previous run already
 ///   paid for. Pair with [`persist_if_requested`] at the end of `main`.

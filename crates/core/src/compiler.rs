@@ -471,6 +471,21 @@ impl PartialCompiler {
             return observed;
         }
         let window_ns = critical_path_ns(&bound, &self.options.gate_times);
+        let model = self.model_block_cost_seconds(block.qubits.len(), window_ns);
+        // Once enough (estimate, observation) pairs have been recorded, the fitted
+        // model→host scale converts the paper-scale estimate into calibrated host
+        // seconds, putting never-seen blocks on the same axis as observed ones.
+        model * self.cache.cost_model_scale().unwrap_or(1.0)
+    }
+
+    /// The raw (uncalibrated) latency-model estimate of compiling a
+    /// `num_qubits`-wide block whose minimum-time binary search spans `window_ns`:
+    /// the window and precision fix the probe count, each probe spends up to
+    /// `grape.max_iterations` iterations, and the width fixes the per-iteration
+    /// work. This exact value is what gets paired with observed wall times for
+    /// [`PulseCache::record_cost_sample`], so the calibration's domain and the
+    /// estimator's fallback are always the same quantity.
+    fn model_block_cost_seconds(&self, num_qubits: usize, window_ns: f64) -> f64 {
         let probes = (window_ns / self.options.search_precision_ns.max(1e-9))
             .max(1.0)
             .log2()
@@ -481,7 +496,7 @@ impl PartialCompiler {
             probes * self.options.grape.max_iterations,
             window_ns,
             self.options.grape.dt_ns,
-            block.qubits.len(),
+            num_qubits,
         )
     }
 
@@ -640,6 +655,12 @@ impl PartialCompiler {
                         });
                         // Record before inserting, as in `grape_block`: the insert's
                         // eviction metadata then reflects the measured tuning cost.
+                        // No calibration sample is recorded here: the measured time
+                        // covers a whole hyperparameter grid of GRAPE probes plus a
+                        // duration search, while `model_block_cost_seconds` models a
+                        // single block compilation — pairing the two would inflate
+                        // the fitted scale for every unseen block. The observed
+                        // cost above already ranks this key correctly.
                         self.cache.record_observed_cost(&structural_key, measured);
                         self.cache.insert_tuning(structural_key, entry.clone());
                         (entry, false, measured)
@@ -711,6 +732,10 @@ impl PartialCompiler {
             grape_iterations: result.total_iterations(),
         };
         self.cache.record_observed_cost(&key, measured);
+        self.cache.record_cost_sample(
+            self.model_block_cost_seconds(bound.num_qubits(), upper_bound_ns),
+            measured,
+        );
         self.cache.insert_block(key, entry.clone());
         Ok((entry, false, measured))
     }
@@ -1016,6 +1041,58 @@ mod tests {
             let key = plan.dedup_key(block, &params).unwrap();
             assert!(compiler.library().observed_cost(&key).unwrap() > 0.0);
         }
+    }
+
+    #[test]
+    fn unseen_block_estimates_are_scaled_by_the_fitted_calibration() {
+        let calibrated = compiler();
+        // Three distinct fixed sections → at least three real GRAPE compilations,
+        // each recording one (model estimate, observed seconds) calibration pair.
+        for i in 0..3 {
+            let mut circuit = Circuit::new(2);
+            circuit.h(0);
+            circuit.cx(0, 1);
+            circuit.rx(0, 0.3 + 0.4 * i as f64);
+            circuit.cx(0, 1);
+            calibrated
+                .compile(&circuit, &[], Strategy::StrictPartial)
+                .unwrap();
+        }
+        let scale = calibrated
+            .library()
+            .cost_model_scale()
+            .expect("three real compilations calibrate the model");
+        assert!(scale > 0.0 && scale.is_finite());
+
+        // A circuit no compiler has seen: the calibrated compiler's estimate for
+        // its GRAPE blocks must be exactly the uncalibrated estimate times the
+        // fitted scale (observed-cost feedback cannot apply — nothing ran).
+        let mut unseen = Circuit::new(3);
+        for q in 0..3 {
+            unseen.h(q);
+        }
+        unseen.cx(0, 1);
+        unseen.cx(1, 2);
+        unseen.rx(1, 1.9);
+        unseen.cx(0, 1);
+        let fresh = compiler();
+        let calibrated_plan = calibrated.plan(&unseen, &[], Strategy::FullGrape).unwrap();
+        let fresh_plan = fresh.plan(&unseen, &[], Strategy::FullGrape).unwrap();
+        assert_eq!(calibrated_plan.blocks.len(), fresh_plan.blocks.len());
+        let mut checked = 0;
+        for (block, fresh_block) in calibrated_plan.blocks.iter().zip(&fresh_plan.blocks) {
+            if block.len() <= 1 {
+                continue;
+            }
+            let raw = fresh.estimate_block_cost_seconds(&fresh_plan, fresh_block, &[]);
+            let scaled = calibrated.estimate_block_cost_seconds(&calibrated_plan, block, &[]);
+            assert!(
+                (scaled - raw * scale).abs() <= 1e-9 * raw.max(1.0),
+                "calibrated {scaled} vs raw {raw} × scale {scale}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "the unseen circuit must contain GRAPE blocks");
     }
 
     #[test]

@@ -26,6 +26,70 @@ pub const RECOMPUTE_DT_NS: f64 = 0.5;
 /// minutes" to an hour.
 pub const DEFAULT_SECONDS_PER_WORK_UNIT: f64 = 3.0e-8;
 
+/// Minimum number of (estimate, observation) pairs before a fitted scale is
+/// trusted. Below this, one anomalous block (a pathological binary search, a cache
+/// shard resize mid-measurement) could swing the factor by orders of magnitude.
+pub const MIN_CALIBRATION_SAMPLES: u64 = 3;
+
+/// Online least-squares fit of the factor mapping model-scale cost estimates onto
+/// this host's observed wall-clock seconds.
+///
+/// The [`LatencyModel`] is calibrated to the *paper's* hardware (a 4-qubit block
+/// costs minutes), while observed compile times are *host* seconds — on a fast
+/// machine with reduced GRAPE effort the two differ by orders of magnitude. Every
+/// real block compilation contributes one `(model estimate, observed seconds)`
+/// pair; the through-origin least-squares scale `Σ(e·o) / Σ(e²)` then converts the
+/// model's a-priori estimate for a *never-seen* block into calibrated host seconds,
+/// so LPT scheduling and cost-aware eviction rank unseen blocks on the same axis as
+/// observed ones instead of mixing two incomparable unit systems.
+///
+/// Estimates recorded here must always be the **raw** model values, never already
+/// scaled ones, or the fit would feed back on itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostCalibration {
+    sum_estimate_observed: f64,
+    sum_estimate_squared: f64,
+    samples: u64,
+}
+
+impl CostCalibration {
+    /// An empty calibration (no samples, no scale).
+    pub fn new() -> Self {
+        CostCalibration::default()
+    }
+
+    /// Records one (raw model estimate, observed seconds) pair. Non-finite or
+    /// non-positive pairs are ignored: a zero estimate carries no slope
+    /// information, and a zero observation is a cache hit mis-reported as work.
+    pub fn record(&mut self, estimated_seconds: f64, observed_seconds: f64) {
+        if !(estimated_seconds.is_finite() && observed_seconds.is_finite()) {
+            return;
+        }
+        if estimated_seconds <= 0.0 || observed_seconds <= 0.0 {
+            return;
+        }
+        self.sum_estimate_observed += estimated_seconds * observed_seconds;
+        self.sum_estimate_squared += estimated_seconds * estimated_seconds;
+        self.samples += 1;
+    }
+
+    /// Number of pairs recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The fitted model→host scale factor, once at least
+    /// [`MIN_CALIBRATION_SAMPLES`] pairs support it; `None` while uncalibrated
+    /// (callers fall back to the raw model estimate).
+    pub fn scale(&self) -> Option<f64> {
+        if self.samples < MIN_CALIBRATION_SAMPLES || self.sum_estimate_squared <= 0.0 {
+            return None;
+        }
+        let scale = self.sum_estimate_observed / self.sum_estimate_squared;
+        scale.is_finite().then_some(scale)
+    }
+}
+
 /// Model converting GRAPE work into estimated wall-clock compilation latency.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencyModel {
@@ -160,6 +224,40 @@ mod tests {
         let one = model.estimate_seconds(100, 50, 4, 5);
         let two = model.estimate_seconds(200, 50, 4, 5);
         assert!((two / one - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_fits_the_least_squares_scale_after_enough_samples() {
+        let mut calibration = CostCalibration::new();
+        assert_eq!(calibration.scale(), None);
+        // Observations exactly 0.05× the estimates: the fit must recover 0.05.
+        calibration.record(100.0, 5.0);
+        calibration.record(40.0, 2.0);
+        assert_eq!(calibration.scale(), None, "two samples are not enough");
+        calibration.record(200.0, 10.0);
+        let scale = calibration.scale().expect("three samples calibrate");
+        assert!((scale - 0.05).abs() < 1e-12, "fitted {scale}");
+        assert_eq!(calibration.samples(), 3);
+
+        // Degenerate pairs are ignored rather than poisoning the fit.
+        calibration.record(0.0, 1.0);
+        calibration.record(1.0, 0.0);
+        calibration.record(f64::NAN, 1.0);
+        calibration.record(1.0, f64::INFINITY);
+        assert_eq!(calibration.samples(), 3);
+        assert!((calibration.scale().unwrap() - 0.05).abs() < 1e-12);
+
+        // The fit minimizes squared error through the origin, so a mixed
+        // population lands between its extremes.
+        let mut mixed = CostCalibration::new();
+        mixed.record(10.0, 1.0);
+        mixed.record(10.0, 2.0);
+        mixed.record(10.0, 3.0);
+        let scale = mixed.scale().unwrap();
+        assert!(
+            (scale - 0.2).abs() < 1e-12,
+            "mean of 0.1/0.2/0.3 is {scale}"
+        );
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub use compiler::{
     PartialCompiler, Strategy,
 };
 pub use error::CompileError;
-pub use latency::{LatencyEstimate, LatencyModel};
+pub use latency::{CostCalibration, LatencyEstimate, LatencyModel, MIN_CALIBRATION_SAMPLES};
 pub use library::{BlockKey, CachedBlock, CachedTuning, PulseCache, PulseLibrary};

@@ -147,6 +147,21 @@ pub trait PulseCache: Send + Sync + std::fmt::Debug {
     fn observed_cost(&self, _key: &BlockKey) -> Option<f64> {
         None
     }
+
+    /// Records one (raw model estimate, observed wall seconds) pair from a real
+    /// compilation, feeding the cache's [`crate::latency::CostCalibration`]. The
+    /// estimate must be the *unscaled* model value — recording an already-calibrated
+    /// estimate would make the fit feed back on itself. The default implementation
+    /// drops the sample.
+    fn record_cost_sample(&self, _estimated_seconds: f64, _observed_seconds: f64) {}
+
+    /// The fitted model→host cost scale factor, once enough samples support it;
+    /// estimates of never-compiled blocks multiplied by this land on the same
+    /// wall-clock axis as observed costs. The default implementation is
+    /// uncalibrated.
+    fn cost_model_scale(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Cap on retained observed-cost entries. Every new θ binding of a bound block is
@@ -188,6 +203,8 @@ pub struct PulseLibrary {
     /// Measured wall-clock compile seconds per key (kept even if entries go away,
     /// up to the [`OBSERVED_CAPACITY`] feedback bound).
     observed: Mutex<ObservedCosts>,
+    /// Model→host scale fit from every real compilation's (estimate, observation).
+    calibration: Mutex<crate::latency::CostCalibration>,
 }
 
 impl PulseCache for PulseLibrary {
@@ -225,6 +242,16 @@ impl PulseCache for PulseLibrary {
 
     fn observed_cost(&self, key: &BlockKey) -> Option<f64> {
         PulseLibrary::observed_cost(self, key)
+    }
+
+    fn record_cost_sample(&self, estimated_seconds: f64, observed_seconds: f64) {
+        self.calibration
+            .lock()
+            .record(estimated_seconds, observed_seconds);
+    }
+
+    fn cost_model_scale(&self) -> Option<f64> {
+        self.calibration.lock().scale()
     }
 }
 

@@ -28,10 +28,15 @@
 //! Observed costs are *host* seconds while model estimates are paper-scale
 //! seconds; within one process every real compilation records an observation
 //! before its insert, and [`ShardedPulseCache::absorb`] seeds the feedback table
-//! from the snapshot's persisted costs, so the mixed-scale ranking regime is
-//! limited to entries that never ran anywhere (hand-inserted or pre-feedback
-//! snapshots) and ends as soon as they recompile. Calibrating the model's scale
-//! from recorded (estimate, observation) pairs is a ROADMAP follow-up.
+//! from the snapshot's persisted costs. For entries that never ran anywhere
+//! (hand-inserted or pre-feedback snapshots), the model estimate is multiplied by
+//! the [`vqc_core::CostCalibration`] scale — a least-squares fit over every real
+//! compilation's (estimate, observation) pair — so even never-observed entries
+//! rank on (approximately) the host-seconds axis once a few blocks have run.
+//!
+//! [`EvictionPolicy::HitWeighted`] additionally multiplies each entry's recompute
+//! cost by `1 + hits`: what a bounded cache really protects is cost × expected
+//! reuse, and observed hit frequency is the best available estimate of reuse.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -48,17 +53,26 @@ pub enum EvictionPolicy {
     /// equal cost leave in insertion order.
     #[default]
     CostAware,
+    /// Evict the entry with the smallest `recompute cost × (1 + observed hits)`
+    /// first. Weighting cost by reuse approximates Belady on skewed workloads: a
+    /// cheap block hit on every iteration protects more total recompute seconds
+    /// than an expensive block nobody asks for twice. Hit counters are per-process
+    /// (they are not persisted in snapshots), so a warm-started cache initially
+    /// ranks by cost alone and sharpens as traffic arrives.
+    HitWeighted,
     /// Evict the entry least recently inserted (or overwritten) first.
     Fifo,
 }
 
 impl EvictionPolicy {
-    /// Parses the `VQC_EVICTION` spelling of a policy (`"fifo"` or `"cost"` /
-    /// `"cost-aware"`, case-insensitive); anything else is `None`.
+    /// Parses the `VQC_EVICTION` spelling of a policy (`"fifo"`, `"cost"` /
+    /// `"cost-aware"`, or `"hit"` / `"hit-weighted"`, case-insensitive); anything
+    /// else is `None`.
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "fifo" => Some(EvictionPolicy::Fifo),
             "cost" | "cost-aware" | "cost_aware" => Some(EvictionPolicy::CostAware),
+            "hit" | "hits" | "hit-weighted" | "hit_weighted" => Some(EvictionPolicy::HitWeighted),
             _ => None,
         }
     }
@@ -143,6 +157,10 @@ struct Slot<V> {
     /// age reflects its latest write — the seed's FIFO queue kept the *original*
     /// position, wrongly evicting a just-refreshed entry as "oldest".
     seq: u64,
+    /// Lookups this key has answered since it first entered the shard (overwrites
+    /// keep the count — recompiling a block does not erase its popularity). Under
+    /// [`EvictionPolicy::HitWeighted`] this multiplies into the eviction rank.
+    hits: u64,
 }
 
 /// Maps a cost to a key that sorts exactly like [`f64::total_cmp`] (the standard
@@ -182,16 +200,39 @@ impl<V> BoundedMap<V> {
         }
     }
 
-    /// Where an entry sorts in the eviction order under this map's policy.
-    fn victim_order(&self, cost: f64, seq: u64) -> (u64, u64) {
-        match self.policy {
+    /// Where an entry sorts in the eviction order under a policy. An associated
+    /// function (not a method) so [`BoundedMap::get`] can reposition an entry while
+    /// it holds a mutable borrow into `entries`.
+    fn order_of(policy: EvictionPolicy, cost: f64, hits: u64, seq: u64) -> (u64, u64) {
+        match policy {
             EvictionPolicy::Fifo => (0, seq),
             EvictionPolicy::CostAware => (cost_order_bits(cost), seq),
+            EvictionPolicy::HitWeighted => (cost_order_bits(cost * (1 + hits) as f64), seq),
         }
     }
 
-    fn get(&self, key: &BlockKey) -> Option<&V> {
-        self.entries.get(key).map(|slot| &slot.value)
+    /// Looks up a key, counting the hit. Under [`EvictionPolicy::HitWeighted`] the
+    /// hit also promotes the entry in the eviction order (its protected value just
+    /// grew by one recompute), which is an O(log n) reindex.
+    fn get(&mut self, key: &BlockKey) -> Option<&V> {
+        let policy = self.policy;
+        let bounded = self.capacity.is_some();
+        let slot = self.entries.get_mut(key)?;
+        slot.hits += 1;
+        if bounded && policy == EvictionPolicy::HitWeighted {
+            self.victims
+                .remove(&Self::order_of(policy, slot.cost, slot.hits - 1, slot.seq));
+            self.victims.insert(
+                Self::order_of(policy, slot.cost, slot.hits, slot.seq),
+                key.clone(),
+            );
+        }
+        Some(&slot.value)
+    }
+
+    /// Hits the key has answered so far, if resident.
+    fn hits(&self, key: &BlockKey) -> Option<u64> {
+        self.entries.get(key).map(|slot| slot.hits)
     }
 
     fn len(&self) -> usize {
@@ -215,17 +256,27 @@ impl<V> BoundedMap<V> {
     fn insert(&mut self, key: BlockKey, value: V, cost: f64) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        // An overwrite keeps the key's accumulated hit count: recompiling a block
+        // does not erase the demand history that hit-weighted eviction ranks by.
+        let hits = self.entries.get(&key).map(|slot| slot.hits).unwrap_or(0);
+        let slot = Slot {
+            value,
+            cost,
+            seq,
+            hits,
+        };
         let Some(capacity) = self.capacity else {
             // Unbounded maps (the default config) never evict, so they skip the
             // victim index entirely rather than mirror every key into it.
-            self.entries.insert(key, Slot { value, cost, seq });
+            self.entries.insert(key, slot);
             return 0;
         };
-        if let Some(old) = self.entries.insert(key.clone(), Slot { value, cost, seq }) {
-            self.victims.remove(&self.victim_order(old.cost, old.seq));
+        if let Some(old) = self.entries.insert(key.clone(), slot) {
+            self.victims
+                .remove(&Self::order_of(self.policy, old.cost, old.hits, old.seq));
         }
         self.victims
-            .insert(self.victim_order(cost, seq), key.clone());
+            .insert(Self::order_of(self.policy, cost, hits, seq), key.clone());
         let mut evicted = 0;
         while self.entries.len() > capacity.max(1) {
             // The just-inserted key is at most one of the first two index
@@ -351,6 +402,11 @@ pub struct ShardedPulseCache {
     mask: usize,
     /// Converts an entry's recorded GRAPE iterations into its recompute cost.
     latency: LatencyModel,
+    /// Model→host scale fit from every real compilation's (estimate, observation)
+    /// pair. One global accumulator (not per-shard): it is written once per *real*
+    /// GRAPE compilation — milliseconds apart at best — so contention is nil, and a
+    /// single fit sees every sample instead of sixteen starved ones.
+    calibration: Mutex<vqc_core::CostCalibration>,
 }
 
 impl Default for ShardedPulseCache {
@@ -380,7 +436,15 @@ impl ShardedPulseCache {
                 .collect(),
             mask: shards - 1,
             latency: LatencyModel::default(),
+            calibration: Mutex::new(vqc_core::CostCalibration::new()),
         }
+    }
+
+    /// Lookups the given block key has answered since entering its shard, if it is
+    /// currently resident. Hit counters survive overwrites but not eviction (unlike
+    /// observed costs, which describe the work rather than the entry).
+    pub fn block_hit_count(&self, key: &BlockKey) -> Option<u64> {
+        self.shard(key).blocks.lock().hits(key)
     }
 
     /// Number of shards.
@@ -487,13 +551,18 @@ impl PulseCache for ShardedPulseCache {
         let shard = self.shard(&key);
         // Once the key has a measured compile time, that observation *is* the
         // recompute cost the cache protects; the latency model only covers
-        // never-observed entries (e.g. hand-inserted or migrated ones).
+        // never-observed entries (e.g. hand-inserted or migrated ones), scaled by
+        // the fitted model→host factor once enough compilations calibrated it so
+        // modeled and observed costs rank on one axis.
         let cost = shard
             .observed
             .lock()
             .get(&key)
             .filter(|seconds| *seconds > 0.0)
-            .unwrap_or_else(|| self.latency.block_recompute_seconds(&key, &value));
+            .unwrap_or_else(|| {
+                self.latency.block_recompute_seconds(&key, &value)
+                    * self.calibration.lock().scale().unwrap_or(1.0)
+            });
         let evicted = shard.blocks.lock().insert(key, value, cost);
         shard.counters.insertions.fetch_add(1, Ordering::Relaxed);
         shard
@@ -516,7 +585,10 @@ impl PulseCache for ShardedPulseCache {
             .lock()
             .get(&key)
             .filter(|seconds| *seconds > 0.0)
-            .unwrap_or_else(|| self.latency.tuning_recompute_seconds(&key, &value));
+            .unwrap_or_else(|| {
+                self.latency.tuning_recompute_seconds(&key, &value)
+                    * self.calibration.lock().scale().unwrap_or(1.0)
+            });
         let evicted = shard.tunings.lock().insert(key, value, cost);
         shard.counters.insertions.fetch_add(1, Ordering::Relaxed);
         shard
@@ -548,6 +620,16 @@ impl PulseCache for ShardedPulseCache {
 
     fn observed_cost(&self, key: &BlockKey) -> Option<f64> {
         self.shard(key).observed.lock().get(key)
+    }
+
+    fn record_cost_sample(&self, estimated_seconds: f64, observed_seconds: f64) {
+        self.calibration
+            .lock()
+            .record(estimated_seconds, observed_seconds);
+    }
+
+    fn cost_model_scale(&self) -> Option<f64> {
+        self.calibration.lock().scale()
     }
 }
 
@@ -663,6 +745,106 @@ mod tests {
         assert!(cache.block(&key(1)).is_none(), "tie evicts the oldest");
         assert!(cache.block(&key(2)).is_some());
         assert!(cache.block(&key(3)).is_some());
+    }
+
+    #[test]
+    fn hit_weighted_eviction_keeps_the_hot_cheap_entry_over_the_cold_expensive_one() {
+        // Pin exact costs through observations: key(1) costs 1 s but is hit five
+        // times; key(2) costs 4 s and is never hit. Weighted value: 1×(1+5)=6 vs
+        // 4×(1+0)=4 — the cold expensive entry is the victim.
+        let cache = bounded(2, EvictionPolicy::HitWeighted);
+        cache.record_observed_cost(&key(1), 1.0);
+        cache.insert_block(key(1), entry(1));
+        cache.record_observed_cost(&key(2), 4.0);
+        cache.insert_block(key(2), entry(2));
+        for _ in 0..5 {
+            assert!(cache.block(&key(1)).is_some());
+        }
+        assert_eq!(cache.block_hit_count(&key(1)), Some(5));
+        assert_eq!(cache.block_hit_count(&key(2)), Some(0));
+        cache.record_observed_cost(&key(3), 2.0);
+        cache.insert_block(key(3), entry(3));
+        assert!(
+            cache.block(&key(1)).is_some(),
+            "hot cheap entry survives under hit weighting"
+        );
+        assert!(
+            cache.block(&key(2)).is_none(),
+            "cold expensive entry is the victim"
+        );
+
+        // Under plain cost-aware eviction the same traffic evicts the cheap entry
+        // regardless of its popularity — the contrast hit weighting exists for.
+        let cache = bounded(2, EvictionPolicy::CostAware);
+        cache.record_observed_cost(&key(1), 1.0);
+        cache.insert_block(key(1), entry(1));
+        cache.record_observed_cost(&key(2), 4.0);
+        cache.insert_block(key(2), entry(2));
+        for _ in 0..5 {
+            assert!(cache.block(&key(1)).is_some());
+        }
+        cache.record_observed_cost(&key(3), 2.0);
+        cache.insert_block(key(3), entry(3));
+        assert!(cache.block(&key(1)).is_none(), "cost-aware ignores hits");
+        assert!(cache.block(&key(2)).is_some());
+    }
+
+    #[test]
+    fn hit_counters_survive_overwrites() {
+        let cache = bounded(4, EvictionPolicy::HitWeighted);
+        cache.insert_block(key(1), entry(1));
+        for _ in 0..3 {
+            cache.block(&key(1));
+        }
+        assert_eq!(cache.block_hit_count(&key(1)), Some(3));
+        // Recompiling (overwriting) the entry keeps its demand history.
+        cache.insert_block(key(1), entry(7));
+        assert_eq!(cache.block_hit_count(&key(1)), Some(3));
+        // Eviction drops the counter with the entry.
+        let tight = bounded(1, EvictionPolicy::Fifo);
+        tight.insert_block(key(1), entry(1));
+        tight.block(&key(1));
+        tight.insert_block(key(2), entry(2));
+        assert_eq!(tight.block_hit_count(&key(1)), None);
+    }
+
+    #[test]
+    fn calibration_scales_model_costed_inserts() {
+        let cache = ShardedPulseCache::new(CacheConfig {
+            shards: 1,
+            ..CacheConfig::default()
+        });
+        // Without samples the fallback is the raw model value.
+        cache.insert_block(key(1), entry(10));
+        let raw = cache
+            .snapshot()
+            .blocks
+            .iter()
+            .find(|(k, _, _)| *k == key(1))
+            .map(|(_, _, cost)| *cost)
+            .unwrap();
+        assert_eq!(
+            raw,
+            LatencyModel::default().block_recompute_seconds(&key(1), &entry(10))
+        );
+
+        // Three samples at a consistent 0.01 host/model ratio calibrate the scale;
+        // a later never-observed insert is costed at model × 0.01.
+        for estimate in [10.0, 20.0, 40.0] {
+            cache.record_cost_sample(estimate, estimate * 0.01);
+        }
+        let scale = cache.cost_model_scale().expect("calibrated");
+        assert!((scale - 0.01).abs() < 1e-12);
+        cache.insert_block(key(2), entry(10));
+        let calibrated = cache
+            .snapshot()
+            .blocks
+            .iter()
+            .find(|(k, _, _)| *k == key(2))
+            .map(|(_, _, cost)| *cost)
+            .unwrap();
+        let expected = LatencyModel::default().block_recompute_seconds(&key(2), &entry(10)) * scale;
+        assert!((calibrated - expected).abs() <= 1e-15 + 1e-9 * expected);
     }
 
     #[test]

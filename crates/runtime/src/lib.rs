@@ -1,32 +1,42 @@
-//! Concurrent compilation runtime for the partial compiler.
+//! Concurrent compilation service for the partial compiler.
 //!
 //! The paper amortizes GRAPE cost by caching pulses for repeated subcircuit blocks
 //! across variational iterations. This crate turns that observation into a
-//! production-shaped subsystem on top of `vqc-core`:
+//! production-shaped service core on top of `vqc-core`:
 //!
 //! * [`ShardedPulseCache`] — a lock-striped, sharded, content-addressed replacement
 //!   for the global-mutex [`vqc_core::PulseLibrary`], with hit/miss/eviction
 //!   [`CacheMetrics`] and optional per-shard capacity bounds. Bounded shards evict
 //!   by [`EvictionPolicy`]: cost-aware by default (the cheapest-to-recompute entry
-//!   leaves first, so capacity protects the most GRAPE seconds), FIFO as fallback.
-//! * [`CompilationRuntime`] — compiles the independent blocks of a circuit in
-//!   parallel on a worker pool, with [`InFlight`] deduplication so two workers never
-//!   GRAPE-optimize the same [`vqc_core::BlockKey`] twice. Block tasks drain
-//!   longest-processing-time-first ([`SchedulePolicy::Lpt`]) by estimated GRAPE
-//!   cost, shrinking the pool's makespan on heterogeneous plans.
-//! * [`CompilationRuntime::compile_batch`] / [`CompilationRuntime::compile_iterations`]
-//!   — the batch API: many circuits or many variational iterations drain one task
-//!   pool against the shared cache, making the paper's cross-iteration reuse
-//!   cross-request.
+//!   leaves first), hit-weighted (cost × observed reuse) for skewed traffic, FIFO
+//!   as fallback. Cost metadata is calibrated: observed compile times replace model
+//!   estimates, and a least-squares [`vqc_core::CostCalibration`] scales estimates
+//!   for blocks that never ran.
+//! * [`CompilationRuntime`] — the request-scheduling service: a channel-based
+//!   accept loop admits [`Submission`]s through a bounded queue
+//!   ([`Backpressure::Block`]/[`Backpressure::Reject`]/[`Backpressure::Shed`]), a
+//!   scheduler expands them into block tasks, and a persistent worker pool drains
+//!   one merged queue ordered by strict [`Priority`], weighted-fair virtual time
+//!   per client, and LPT cost ([`SchedulePolicy::Lpt`]). Block tasks are
+//!   deduplicated *across requests*: one compiled block fans out to every waiting
+//!   job, with priority inheritance so shared work is never scheduled at the
+//!   slowest waiter's class.
+//! * [`CompilationRuntime::submit`] / [`JobHandle`] — the asynchronous front door;
+//!   [`CompilationRuntime::compile_batch`] /
+//!   [`CompilationRuntime::compile_iterations`] are thin synchronous wrappers over
+//!   a submitted job, making the paper's cross-iteration reuse cross-request.
 //! * [`persist`] — bincode snapshots of the cache for warm-start across runs
 //!   ([`CompilationRuntime::save_snapshot`], [`CompilationRuntime::with_warm_start`]).
+//! * [`InFlight`] — the singleflight primitive the pre-service runtime deduplicated
+//!   with; the scheduler's cross-request dedup table subsumes it on the hot path,
+//!   but it remains available for embedders building their own pools.
 //!
 //! # Example
 //!
 //! ```
 //! use vqc_circuit::{Circuit, ParamExpr};
 //! use vqc_core::{CompilerOptions, Strategy};
-//! use vqc_runtime::{CompilationRuntime, RuntimeOptions};
+//! use vqc_runtime::{CompilationRuntime, Priority, RuntimeOptions, Submission};
 //!
 //! let mut circuit = Circuit::new(2);
 //! circuit.h(0);
@@ -35,13 +45,19 @@
 //! circuit.cx(0, 1);
 //!
 //! let runtime = CompilationRuntime::new(CompilerOptions::fast(), RuntimeOptions::with_workers(2));
-//! // Three variational iterations compiled as one batch: the Fixed entangling block
-//! // is GRAPE-compiled once and reused by all three.
-//! let reports = runtime.compile_iterations(
-//!     &circuit,
-//!     &[vec![0.3], vec![1.4], vec![2.2]],
-//!     Strategy::StrictPartial,
-//! );
+//! // Three variational iterations submitted as one request: the Fixed entangling
+//! // block is GRAPE-compiled once and fans out to all three.
+//! let handle = runtime
+//!     .submit(
+//!         Submission::iterations(
+//!             circuit,
+//!             vec![vec![0.3], vec![1.4], vec![2.2]],
+//!             Strategy::StrictPartial,
+//!         )
+//!         .with_priority(Priority::HIGH),
+//!     )
+//!     .expect("the queue is empty");
+//! let reports = handle.wait().expect("not shed");
 //! assert!(reports.iter().all(|r| r.is_ok()));
 //! assert!(runtime.metrics().cache.hits > 0);
 //! ```
@@ -54,6 +70,7 @@ mod inflight;
 pub mod persist;
 #[allow(clippy::module_inception)]
 mod runtime;
+mod service;
 
 pub use cache::{
     CacheConfig, CacheMetrics, CacheSnapshot, CompactionPolicy, EvictionPolicy, ShardedPulseCache,
@@ -61,3 +78,6 @@ pub use cache::{
 pub use inflight::{InFlight, Ticket};
 pub use persist::PersistError;
 pub use runtime::{CompilationRuntime, CompileJob, RuntimeMetrics, RuntimeOptions, SchedulePolicy};
+pub use service::{
+    Backpressure, JobHandle, JobStatus, Priority, ServiceOptions, Submission, SubmitError,
+};

@@ -1,36 +1,43 @@
-//! The concurrent compilation runtime: a worker pool over a shared sharded cache.
+//! The compilation runtime: a request-scheduling service behind a synchronous API.
 //!
 //! [`CompilationRuntime`] owns a [`PartialCompiler`] whose [`vqc_core::PulseCache`]
-//! is a [`ShardedPulseCache`], and compiles the independent blocks of one or many
-//! circuits on a pool of worker threads. Identical blocks are deduplicated at two
-//! levels: completed work through the content-addressed cache, and concurrent work
-//! through the [`InFlight`] table, so each unique [`vqc_core::BlockKey`] is
-//! GRAPE-optimized at most once per process no matter how many circuits, parameter
-//! bindings, or worker threads are involved.
+//! is a [`ShardedPulseCache`], plus the [`crate::service`] machinery built around
+//! them: a channel-based accept loop, a scheduler that expands every admitted
+//! [`Submission`] into block tasks via [`PartialCompiler::plan`], and a persistent
+//! worker pool that drains one merged, priority-ordered task queue for all
+//! outstanding requests. Identical blocks are deduplicated across requests — each
+//! unique [`vqc_core::BlockKey`] is GRAPE-optimized at most once per process and its
+//! result fans out to every waiting job, no matter how many circuits, parameter
+//! bindings, clients, or worker threads are involved.
 //!
-//! The batch API is the paper's cross-iteration reuse turned cross-request: a
-//! variational optimizer (or many concurrent clients) submits whole iterations of
-//! circuits, and every Fixed block compiled for any of them is reused by all.
+//! [`CompilationRuntime::submit`] is the service front door ([`Submission`] in,
+//! [`JobHandle`] out). [`CompilationRuntime::compile`],
+//! [`CompilationRuntime::compile_batch`], and
+//! [`CompilationRuntime::compile_iterations`] are thin synchronous wrappers — they
+//! submit with blocking admission and wait on the handle, which is the paper's
+//! cross-iteration reuse turned cross-request: a variational optimizer (or many
+//! concurrent clients) submits whole iterations of circuits, and every Fixed block
+//! compiled for any of them is reused by all.
 
 use crate::cache::{CacheConfig, CacheMetrics, CompactionPolicy, ShardedPulseCache};
-use crate::inflight::{InFlight, Ticket};
 use crate::persist::{self, PersistError};
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use vqc_circuit::Circuit;
-use vqc_core::{
-    BlockOutcome, CompilationPlan, CompilationReport, CompileError, CompilerOptions,
-    PartialCompiler, Strategy,
+use crate::service::{
+    Backpressure, CompileService, JobHandle, ServiceOptions, Submission, SubmitError,
 };
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use vqc_circuit::Circuit;
+use vqc_core::{CompilationReport, CompileError, CompilerOptions, PartialCompiler, Strategy};
 
-/// In which order the worker pool drains a batch's flattened block-task list.
+/// In which order the worker pool drains ready block tasks of equal priority and
+/// fair-share stamp.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SchedulePolicy {
-    /// Longest-processing-time-first: tasks are sorted by estimated GRAPE cost
-    /// (descending) before the pool drains them. The classic LPT bound keeps the
-    /// makespan within 4/3 of optimal on heterogeneous plans, where submission order
-    /// can strand one worker on a minutes-scale block while the rest sit idle.
+    /// Longest-processing-time-first: tasks are ordered by estimated GRAPE cost
+    /// (descending). The classic LPT bound keeps the makespan within 4/3 of optimal
+    /// on heterogeneous plans, where submission order can strand one worker on a
+    /// minutes-scale block while the rest sit idle.
     #[default]
     Lpt,
     /// Plan/submission order, as the seed runtime drained tasks. Kept for
@@ -47,12 +54,15 @@ pub struct RuntimeOptions {
     pub cache: CacheConfig,
     /// Order in which the worker pool drains block tasks.
     pub schedule: SchedulePolicy,
+    /// Admission-queue depth and backpressure policy of the service front-end.
+    pub service: ServiceOptions,
 }
 
 impl Default for RuntimeOptions {
     /// Defaults to one worker per available core (capped at 8); the `VQC_WORKERS`
     /// environment variable overrides the worker count (garbage values are ignored,
-    /// `0` clamps to 1).
+    /// `0` clamps to 1). The service front-end honors `VQC_QUEUE_DEPTH` and
+    /// `VQC_BACKPRESSURE` the same way (see [`ServiceOptions::default`]).
     fn default() -> Self {
         let workers = std::env::var("VQC_WORKERS")
             .ok()
@@ -67,6 +77,7 @@ impl Default for RuntimeOptions {
             workers: workers.max(1),
             cache: CacheConfig::default(),
             schedule: SchedulePolicy::default(),
+            service: ServiceOptions::default(),
         }
     }
 }
@@ -83,6 +94,12 @@ impl RuntimeOptions {
     /// Replaces the schedule policy.
     pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Replaces the service (admission) options.
+    pub fn with_service(mut self, service: ServiceOptions) -> Self {
+        self.service = service;
         self
     }
 }
@@ -116,41 +133,44 @@ pub struct RuntimeMetrics {
     /// Shared-cache counters (hits/misses/insertions/evictions).
     pub cache: CacheMetrics,
     /// Block compilations whose pulse-level work this runtime actually performed —
-    /// any path (led flight *or* a follower whose leader failed or whose entry was
-    /// already evicted) that missed the cache and ran GRAPE / tuning. Cache hits and
-    /// cleanly coalesced followers do not count.
+    /// any path (a scheduled task *or* a fan-out waiter whose leader failed or
+    /// whose entry was already evicted) that missed the cache and ran GRAPE /
+    /// tuning. Cache hits and cleanly fanned-out waiters do not count.
     pub unique_compilations: u64,
-    /// Block compilations coalesced onto an in-flight leader.
+    /// Block requests coalesced onto an already-scheduled task of another request
+    /// (served by fan-out when that task completes).
     pub coalesced_waits: u64,
+    /// Submissions admitted by the service (wrappers included).
+    pub submissions: u64,
+    /// Submissions dropped by [`Backpressure::Shed`].
+    pub shed_submissions: u64,
+    /// Submissions refused by [`Backpressure::Reject`].
+    pub rejected_submissions: u64,
     /// Worker threads the runtime schedules onto.
     pub workers: usize,
 }
 
-/// Per-plan result slots a worker pool fills in as block tasks complete.
-type OutcomeSlots = Mutex<Vec<Option<Result<BlockOutcome, CompileError>>>>;
-
-/// The concurrent compilation runtime.
+/// The concurrent compilation runtime — a request-scheduling service core.
 #[derive(Debug)]
 pub struct CompilationRuntime {
-    compiler: PartialCompiler,
-    cache: Arc<ShardedPulseCache>,
-    inflight: InFlight,
-    workers: usize,
-    schedule: SchedulePolicy,
-    compilations: AtomicU64,
+    service: CompileService,
 }
 
 impl CompilationRuntime {
-    /// Creates a runtime with a fresh empty cache.
+    /// Creates a runtime with a fresh empty cache and starts its accept loop and
+    /// worker pool.
     pub fn new(options: CompilerOptions, runtime_options: RuntimeOptions) -> Self {
         let cache = Arc::new(ShardedPulseCache::new(runtime_options.cache));
+        let compiler =
+            PartialCompiler::with_cache(options, Arc::<ShardedPulseCache>::clone(&cache));
         CompilationRuntime {
-            compiler: PartialCompiler::with_cache(options, Arc::<ShardedPulseCache>::clone(&cache)),
-            cache,
-            inflight: InFlight::new(),
-            workers: runtime_options.workers.max(1),
-            schedule: runtime_options.schedule,
-            compilations: AtomicU64::new(0),
+            service: CompileService::start(
+                compiler,
+                cache,
+                runtime_options.workers,
+                runtime_options.schedule,
+                runtime_options.service,
+            ),
         }
     }
 
@@ -164,33 +184,38 @@ impl CompilationRuntime {
         runtime_options: RuntimeOptions,
         snapshot_path: impl AsRef<Path>,
     ) -> Result<Self, PersistError> {
+        let snapshot = persist::load_snapshot(snapshot_path)?;
         let runtime = CompilationRuntime::new(options, runtime_options);
-        runtime.cache.absorb(persist::load_snapshot(snapshot_path)?);
+        runtime.service.core.cache.absorb(snapshot);
         Ok(runtime)
     }
 
     /// The underlying compiler (shared cache included).
     pub fn compiler(&self) -> &PartialCompiler {
-        &self.compiler
+        &self.service.core.compiler
     }
 
     /// The shared sharded cache.
     pub fn cache(&self) -> &ShardedPulseCache {
-        &self.cache
+        &self.service.core.cache
     }
 
     /// Number of worker threads used for block compilation.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.service.workers
     }
 
     /// Current runtime counters.
     pub fn metrics(&self) -> RuntimeMetrics {
+        let core = &self.service.core;
         RuntimeMetrics {
-            cache: self.cache.metrics(),
-            unique_compilations: self.compilations.load(Ordering::Relaxed),
-            coalesced_waits: self.inflight.coalesced(),
-            workers: self.workers,
+            cache: core.cache.metrics(),
+            unique_compilations: core.compilations.load(Ordering::Relaxed),
+            coalesced_waits: core.coalesced.load(Ordering::Relaxed),
+            submissions: core.submissions.load(Ordering::Relaxed),
+            shed_submissions: core.shed_submissions.load(Ordering::Relaxed),
+            rejected_submissions: core.rejected_submissions.load(Ordering::Relaxed),
+            workers: self.service.workers,
         }
     }
 
@@ -216,16 +241,54 @@ impl CompilationRuntime {
         path: impl AsRef<Path>,
         policy: &CompactionPolicy,
     ) -> Result<(), PersistError> {
-        let mut snapshot = self.cache.snapshot();
+        let mut snapshot = self.cache().snapshot();
         snapshot.compact(policy);
         persist::save_snapshot(path, &snapshot)
+    }
+
+    /// Submits a request to the service under its configured backpressure policy
+    /// and returns immediately with a handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] under [`Backpressure::Reject`] when the
+    /// admission queue is at depth, [`SubmitError::Shed`] under
+    /// [`Backpressure::Shed`] when everything queued outranks the submission, and
+    /// [`SubmitError::ShuttingDown`] once the runtime is being dropped.
+    pub fn submit(&self, submission: Submission) -> Result<JobHandle, SubmitError> {
+        self.service.submit(submission)
+    }
+
+    /// Stops dispatching new block tasks (tasks already running finish). Queued
+    /// work and new submissions accumulate until [`CompilationRuntime::resume`] —
+    /// a quiesce switch for maintenance windows and deterministic tests.
+    pub fn pause(&self) {
+        self.service.pause();
+    }
+
+    /// Resumes dispatching after [`CompilationRuntime::pause`].
+    pub fn resume(&self) {
+        self.service.resume();
+    }
+
+    /// Submits synchronously: blocking admission, not sheddable (the caller's
+    /// blocked thread is already backpressure), wait for the result.
+    fn submit_and_wait(
+        &self,
+        submission: Submission,
+    ) -> Vec<Result<CompilationReport, CompileError>> {
+        self.service
+            .submit_with(submission, Backpressure::Block, false)
+            .and_then(|handle| handle.wait())
+            .expect("synchronous submissions block admission and are never shed")
     }
 
     /// Compiles one circuit, running its independent blocks on the worker pool.
     ///
     /// Produces the same [`CompilationReport`] as [`PartialCompiler::compile`]
     /// (block order, durations, and latency accounting included); only the wall-clock
-    /// schedule differs.
+    /// schedule differs. This is a synchronous wrapper over
+    /// [`CompilationRuntime::submit`].
     ///
     /// # Errors
     ///
@@ -236,12 +299,10 @@ impl CompilationRuntime {
         params: &[f64],
         strategy: Strategy,
     ) -> Result<CompilationReport, CompileError> {
-        let plan = self.compiler.plan(circuit, params, strategy)?;
-        let outcomes = self
-            .compile_blocks(&[(&plan, params)])?
-            .pop()
-            .expect("one plan in, one out");
-        Ok(self.compiler.assemble(&plan, outcomes))
+        self.submit_and_wait(Submission::single(circuit.clone(), params, strategy))
+            .into_iter()
+            .next()
+            .expect("one job in, one result out")
     }
 
     /// Compiles a batch of jobs against the shared cache.
@@ -250,42 +311,12 @@ impl CompilationRuntime {
     /// across job boundaries and identical blocks appearing in different jobs (the
     /// common case across variational iterations) are compiled once. Each job's
     /// result is reported independently: one failing job does not poison the rest.
+    /// This is a synchronous wrapper over [`CompilationRuntime::submit`].
     pub fn compile_batch(
         &self,
         jobs: &[CompileJob],
     ) -> Vec<Result<CompilationReport, CompileError>> {
-        let plans: Vec<Result<CompilationPlan, CompileError>> = jobs
-            .iter()
-            .map(|job| self.compiler.plan(&job.circuit, &job.params, job.strategy))
-            .collect();
-
-        let planned: Vec<(&CompilationPlan, &[f64])> = plans
-            .iter()
-            .zip(jobs)
-            .filter_map(|(plan, job)| plan.as_ref().ok().map(|p| (p, job.params.as_slice())))
-            .collect();
-        let mut compiled = match self.compile_blocks(&planned) {
-            Ok(outcomes) => outcomes.into_iter(),
-            Err(error) => {
-                // A block failure fails every job that was scheduled with it; per-job
-                // attribution is not worth tracking because block errors are
-                // deterministic per circuit and re-submitting individually recovers.
-                return plans
-                    .into_iter()
-                    .map(|plan| plan.and(Err(error.clone())))
-                    .collect();
-            }
-        };
-
-        plans
-            .into_iter()
-            .map(|plan| {
-                plan.map(|plan| {
-                    let outcomes = compiled.next().expect("one outcome set per planned job");
-                    self.compiler.assemble(&plan, outcomes)
-                })
-            })
-            .collect()
+        self.submit_and_wait(Submission::batch(jobs.to_vec()))
     }
 
     /// Compiles one circuit at many parameter bindings (a sequence of variational
@@ -293,187 +324,19 @@ impl CompilationRuntime {
     ///
     /// The circuit is prepared and blocked once; the resulting plan is shared by all
     /// bindings (blocking is structural and does not depend on parameter values), so
-    /// N iterations pay one transpiler pass rather than N.
+    /// N iterations pay one transpiler pass rather than N. This is a synchronous
+    /// wrapper over [`CompilationRuntime::submit`].
     pub fn compile_iterations(
         &self,
         circuit: &Circuit,
         parameter_sets: &[Vec<f64>],
         strategy: Strategy,
     ) -> Vec<Result<CompilationReport, CompileError>> {
-        let required = circuit
-            .parameter_indices()
-            .into_iter()
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(0);
-        // Planning only consults params for the length check, which is re-done per
-        // binding below; a zero vector of the required length stands in here.
-        let plan = match self.compiler.plan(circuit, &vec![0.0; required], strategy) {
-            Ok(plan) => plan,
-            Err(error) => return parameter_sets.iter().map(|_| Err(error.clone())).collect(),
-        };
-
-        let valid: Vec<(&CompilationPlan, &[f64])> = parameter_sets
-            .iter()
-            .filter(|params| params.len() >= required)
-            .map(|params| (&plan, params.as_slice()))
-            .collect();
-        let mut compiled = match self.compile_blocks(&valid) {
-            Ok(outcomes) => outcomes.into_iter(),
-            Err(error) => {
-                return parameter_sets
-                    .iter()
-                    .map(|params| {
-                        if params.len() < required {
-                            Err(CompileError::MissingParameters {
-                                supplied: params.len(),
-                                required,
-                            })
-                        } else {
-                            Err(error.clone())
-                        }
-                    })
-                    .collect();
-            }
-        };
-
-        parameter_sets
-            .iter()
-            .map(|params| {
-                if params.len() < required {
-                    Err(CompileError::MissingParameters {
-                        supplied: params.len(),
-                        required,
-                    })
-                } else {
-                    let outcomes = compiled.next().expect("one outcome set per valid binding");
-                    Ok(self.compiler.assemble(&plan, outcomes))
-                }
-            })
-            .collect()
-    }
-
-    /// Runs every block of every plan on the worker pool; returns per-plan outcome
-    /// vectors in plan order, or the first error encountered.
-    fn compile_blocks(
-        &self,
-        plans: &[(&CompilationPlan, &[f64])],
-    ) -> Result<Vec<Vec<BlockOutcome>>, CompileError> {
-        // Flatten all blocks into one task list so workers drain jobs collectively.
-        let mut tasks: Vec<(usize, usize)> = plans
-            .iter()
-            .enumerate()
-            .flat_map(|(plan_index, (plan, _))| {
-                (0..plan.blocks.len()).map(move |block_index| (plan_index, block_index))
-            })
-            .collect();
-        if self.schedule == SchedulePolicy::Lpt && tasks.len() > 1 {
-            // Longest-processing-time-first: start the most expensive GRAPE blocks
-            // before the cheap ones so no worker is left finishing a minutes-scale
-            // block alone after its peers drained the rest. Costs are estimates
-            // (width, search window, iteration budget), which is all LPT needs; the
-            // sort is stable so equal-cost tasks keep plan order, and the result
-            // slots below make outcome order independent of execution order.
-            //
-            // Estimates are memoized per (plan, block), so every parameter binding
-            // of one plan (the `compile_iterations` workload) shares one estimate
-            // instead of paying a per-binding circuit walk before any worker
-            // starts. That sharing is sound for both estimator paths: the model
-            // fallback depends only on gate structure (durations never depend on
-            // θ), and an *observed* cost recorded for one θ binding of a block is
-            // a better processing-time proxy for its sibling bindings than the
-            // paper-scale model — different bindings of the same block do
-            // structurally identical GRAPE work.
-            let mut memo: std::collections::HashMap<(usize, usize), f64> =
-                std::collections::HashMap::new();
-            let mut costs: Vec<f64> = Vec::with_capacity(tasks.len());
-            for &(plan_index, block_index) in &tasks {
-                let (plan, params) = plans[plan_index];
-                let plan_addr = std::ptr::from_ref(plan) as usize;
-                let cost = *memo.entry((plan_addr, block_index)).or_insert_with(|| {
-                    self.compiler.estimate_block_cost_seconds(
-                        plan,
-                        &plan.blocks[block_index],
-                        params,
-                    )
-                });
-                costs.push(cost);
-            }
-            let mut order: Vec<usize> = (0..tasks.len()).collect();
-            order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]));
-            tasks = order.into_iter().map(|index| tasks[index]).collect();
-        }
-
-        let slots: Vec<OutcomeSlots> = plans
-            .iter()
-            .map(|(plan, _)| Mutex::new((0..plan.blocks.len()).map(|_| None).collect()))
-            .collect();
-        let next_task = AtomicUsize::new(0);
-        let worker_count = self.workers.min(tasks.len().max(1));
-
-        std::thread::scope(|scope| {
-            for _ in 0..worker_count {
-                scope.spawn(|| loop {
-                    let index = next_task.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(plan_index, block_index)) = tasks.get(index) else {
-                        break;
-                    };
-                    let (plan, params) = plans[plan_index];
-                    let outcome = self.compile_block_deduped(plan, block_index, params);
-                    slots[plan_index].lock().unwrap_or_else(|e| e.into_inner())[block_index] =
-                        Some(outcome);
-                });
-            }
-        });
-
-        let mut results = Vec::with_capacity(plans.len());
-        for slot in slots {
-            let outcomes = slot.into_inner().unwrap_or_else(|e| e.into_inner());
-            let mut plan_outcomes = Vec::with_capacity(outcomes.len());
-            for outcome in outcomes {
-                plan_outcomes.push(outcome.expect("every task ran")?);
-            }
-            results.push(plan_outcomes);
-        }
-        Ok(results)
-    }
-
-    /// Compiles one block with in-flight deduplication on its cache key.
-    fn compile_block_deduped(
-        &self,
-        plan: &CompilationPlan,
-        block_index: usize,
-        params: &[f64],
-    ) -> Result<BlockOutcome, CompileError> {
-        let block = &plan.blocks[block_index];
-        let Some(key) = plan.dedup_key(block, params) else {
-            // Lookup-table blocks do no pulse-level work; nothing to deduplicate.
-            return self.compiler.compile_block_outcome(plan, block, params);
-        };
-        let outcome = match self.inflight.begin(key.clone()) {
-            Ticket::Leader(flight) => {
-                // The guard completes the flight even if the compile panics, so
-                // followers wake instead of deadlocking inside the thread scope.
-                let _guard = self.inflight.complete_on_drop(key, flight);
-                self.compiler.compile_block_outcome(plan, block, params)
-            }
-            Ticket::Follower(flight) => {
-                self.inflight.wait(&flight);
-                // The leader populated the shared cache (or failed); compiling now is
-                // a cache lookup in the success case and an honest retry otherwise.
-                self.compiler.compile_block_outcome(plan, block, params)
-            }
-        };
-        // Count every compilation that actually ran GRAPE / tuning, whichever ticket
-        // held it. A follower is not automatically free: when its leader failed, or
-        // when a bounded cache already evicted the leader's entry, the follower's
-        // "lookup" misses and performs the real work.
-        if let Ok(outcome) = &outcome {
-            if !outcome.report.cached {
-                self.compilations.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        outcome
+        self.submit_and_wait(Submission::iterations(
+            circuit.clone(),
+            parameter_sets.to_vec(),
+            strategy,
+        ))
     }
 }
 
@@ -500,57 +363,6 @@ mod tests {
         circuit.h(0);
         circuit.h(1);
         circuit
-    }
-
-    /// Deterministic regression for the follower-path `unique_compilations`
-    /// undercount: a follower that wakes to find no cache entry (its leader failed,
-    /// or a bounded cache evicted the entry before the follower looked) performs
-    /// the real compilation and must be counted. The leader here is simulated by
-    /// claiming the in-flight key directly and completing the flight *without*
-    /// populating the cache — exactly the state a real follower observes after
-    /// leader failure or eviction, with no races.
-    #[test]
-    fn follower_compiling_after_a_vanished_leader_entry_is_counted() {
-        let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(2));
-        let params = [0.7];
-        let plan = runtime
-            .compiler
-            .plan(&variational_circuit(), &params, Strategy::StrictPartial)
-            .unwrap();
-        let block_index = (0..plan.blocks.len())
-            .find(|&i| plan.dedup_key(&plan.blocks[i], &params).is_some())
-            .expect("plan has a GRAPE block");
-        let key = plan
-            .dedup_key(&plan.blocks[block_index], &params)
-            .expect("chosen block has a dedup key");
-
-        let Ticket::Leader(flight) = runtime.inflight.begin(key.clone()) else {
-            panic!("fresh key must lead");
-        };
-        std::thread::scope(|scope| {
-            let worker = scope.spawn(|| {
-                runtime
-                    .compile_block_deduped(&plan, block_index, &params)
-                    .unwrap()
-            });
-            // The worker is a follower of our flight; wait for it to register
-            // (coalesced is incremented inside `begin`, before it blocks).
-            while runtime.inflight.coalesced() == 0 {
-                std::thread::yield_now();
-            }
-            assert_eq!(runtime.metrics().unique_compilations, 0);
-            // Complete the flight without inserting anything into the cache: the
-            // woken follower's lookup misses and it compiles for real.
-            runtime.inflight.complete(&key, flight);
-            let outcome = worker.join().unwrap();
-            assert!(!outcome.report.cached, "follower did the real work");
-        });
-        let metrics = runtime.metrics();
-        assert_eq!(
-            metrics.unique_compilations, 1,
-            "the follower's real compilation must be counted"
-        );
-        assert_eq!(metrics.coalesced_waits, 1);
     }
 
     #[test]
@@ -630,5 +442,14 @@ mod tests {
                 required: 1
             })
         ));
+    }
+
+    #[test]
+    fn empty_batches_and_empty_iterations_complete_immediately() {
+        let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(2));
+        assert!(runtime.compile_batch(&[]).is_empty());
+        assert!(runtime
+            .compile_iterations(&variational_circuit(), &[], Strategy::StrictPartial)
+            .is_empty());
     }
 }

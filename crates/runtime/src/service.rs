@@ -1,0 +1,1183 @@
+//! The request-scheduling service core: submissions, priorities, backpressure.
+//!
+//! This module turns the compilation runtime from a library function into a
+//! service. Clients [`Submission::batch`]/[`Submission::iterations`] work through a
+//! bounded admission queue ([`Backpressure`] decides what happens when it is full),
+//! a channel-based accept loop hands each admitted submission to a scheduler thread
+//! that expands it into block tasks via [`PartialCompiler::plan`], and a persistent
+//! worker pool drains one merged task queue for *all* outstanding requests.
+//!
+//! Ordering is per-client priority with weighted fair queuing underneath:
+//!
+//! 1. **Priority classes are strict** — a ready task of a higher [`Priority`]
+//!    always dispatches before any lower one. Sustained high-priority load can
+//!    therefore starve lower classes; the bounded admission queue is the pressure
+//!    valve that keeps that starvation visible at submit time instead of silent.
+//! 2. **Within a class, clients share the pool by weighted virtual time** — each
+//!    submission is stamped with its client's virtual start time, and the client's
+//!    clock advances by `estimated cost / weight` per submission, so a client
+//!    submitting many requests interleaves fairly with its peers instead of
+//!    draining its whole backlog first (start-time fair queuing).
+//! 3. **Within a submission, blocks drain longest-processing-time-first** (the
+//!    runtime's existing LPT schedule), using the same calibrated cost estimates.
+//!
+//! Block tasks from different requests are merged and deduplicated: if a submission
+//! needs a block another request has already queued or started, no second task is
+//! created — the submission is registered as a *waiter* and the one compiled result
+//! fans out to every waiting job on completion. A waiter of higher priority than
+//! the task's owner re-posts the task at its own priority (priority inheritance),
+//! so a low-priority request can never make a high-priority one late by having
+//! asked for a shared block first.
+
+use crate::cache::ShardedPulseCache;
+use crate::runtime::{CompileJob, SchedulePolicy};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use vqc_circuit::Circuit;
+use vqc_core::{
+    BlockKey, BlockOutcome, CompilationPlan, CompilationReport, CompileError, PartialCompiler,
+    Strategy,
+};
+
+/// Scheduling priority of a submission. Higher values dispatch strictly first.
+///
+/// Priorities order *classes* of traffic (interactive vs. batch); fairness between
+/// clients of the same class is handled by weighted virtual time, not by inventing
+/// fine-grained priority values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Background traffic: speculative pre-compilation, cache warming.
+    pub const LOW: Priority = Priority(0);
+    /// The default class for ordinary requests.
+    pub const NORMAL: Priority = Priority(8);
+    /// Latency-sensitive traffic: an interactive client blocked on the result.
+    pub const HIGH: Priority = Priority(16);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
+/// What `submit` does when the admission queue is at its configured depth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Block the submitting thread until capacity frees up. The caller's thread
+    /// becomes the pressure valve — this is what the synchronous wrapper API uses.
+    #[default]
+    Block,
+    /// Fail fast with [`SubmitError::QueueFull`]; the client decides whether to
+    /// retry, degrade, or route elsewhere.
+    Reject,
+    /// Make room by dropping the lowest-priority submission that has not *started*
+    /// (still queued, or expanded with no block task dispatched yet) and whose
+    /// priority is strictly below the incoming one; its handle resolves to
+    /// [`SubmitError::Shed`]. If everything outstanding outranks the incoming
+    /// submission or already started, the incoming submission is the one shed.
+    ///
+    /// "Started" means a block task of its own dispatched: a submission whose
+    /// every block coalesced onto *other* requests' tasks stays sheddable even
+    /// while that shared work is compiling — shedding it wastes nothing (the
+    /// shared results land in the cache regardless), but the client receives
+    /// [`SubmitError::Shed`] rather than the nearly-free result.
+    Shed,
+}
+
+impl Backpressure {
+    /// Parses the `VQC_BACKPRESSURE` spelling of a policy (`"block"`, `"reject"`,
+    /// or `"shed"`, case-insensitive); anything else is `None`.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "block" | "wait" => Some(Backpressure::Block),
+            "reject" | "fail" => Some(Backpressure::Reject),
+            "shed" | "drop" => Some(Backpressure::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// Admission-control configuration of the service front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceOptions {
+    /// Maximum number of submissions admitted but not yet completed (minimum 1).
+    /// When reached, [`ServiceOptions::backpressure`] decides what happens next.
+    pub queue_depth: usize,
+    /// Behavior of `submit` against a full queue.
+    pub backpressure: Backpressure,
+}
+
+impl Default for ServiceOptions {
+    /// Defaults to a 64-deep queue with blocking backpressure; the
+    /// `VQC_QUEUE_DEPTH` and `VQC_BACKPRESSURE` environment variables override
+    /// (garbage values are ignored, `0` clamps to 1).
+    fn default() -> Self {
+        let queue_depth = std::env::var("VQC_QUEUE_DEPTH")
+            .ok()
+            .and_then(|raw| raw.parse::<usize>().ok())
+            .unwrap_or(64)
+            .max(1);
+        let backpressure = std::env::var("VQC_BACKPRESSURE")
+            .ok()
+            .and_then(|raw| Backpressure::parse(&raw))
+            .unwrap_or_default();
+        ServiceOptions {
+            queue_depth,
+            backpressure,
+        }
+    }
+}
+
+impl ServiceOptions {
+    /// Replaces the queue depth (clamped to at least 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Replaces the backpressure policy.
+    pub fn with_backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.backpressure = backpressure;
+        self
+    }
+}
+
+/// Why a submission did not produce compilation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue was full under [`Backpressure::Reject`].
+    QueueFull {
+        /// The configured queue depth that was exhausted.
+        depth: usize,
+    },
+    /// The submission was load-shed under [`Backpressure::Shed`] — either dropped
+    /// from the queue to admit higher-priority work, or refused at the door
+    /// because everything queued outranked it.
+    Shed,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "admission queue is at its configured depth of {depth}")
+            }
+            SubmitError::Shed => write!(f, "submission was load-shed for higher-priority work"),
+            SubmitError::ShuttingDown => write!(f, "the compilation service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Life-cycle stage of a submission, as reported by [`JobHandle::try_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for the scheduler to expand it into block tasks.
+    Queued,
+    /// Expanded; its block tasks are queued on or running on the worker pool.
+    Running,
+    /// All jobs have results; [`JobHandle::wait`] returns without blocking.
+    Done,
+    /// Load-shed before it started; [`JobHandle::wait`] returns
+    /// [`SubmitError::Shed`].
+    Shed,
+}
+
+/// What a submission asks the service to compile.
+#[derive(Debug, Clone)]
+enum SubmissionKind {
+    /// Independent jobs (each its own circuit, binding, and strategy).
+    Batch(Vec<CompileJob>),
+    /// One circuit at many parameter bindings under one strategy — planned once,
+    /// the paper's variational-loop workload.
+    Iterations {
+        circuit: Circuit,
+        parameter_sets: Vec<Vec<f64>>,
+        strategy: Strategy,
+    },
+}
+
+/// One request to the compilation service: what to compile, at which priority, on
+/// behalf of which client.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    kind: SubmissionKind,
+    priority: Priority,
+    weight: f64,
+    client: Option<u64>,
+}
+
+impl Submission {
+    /// A batch of independent compile jobs (one result per job, in order).
+    pub fn batch(jobs: Vec<CompileJob>) -> Self {
+        Submission {
+            kind: SubmissionKind::Batch(jobs),
+            priority: Priority::default(),
+            weight: 1.0,
+            client: None,
+        }
+    }
+
+    /// A single circuit at a single binding (one result).
+    pub fn single(circuit: Circuit, params: impl Into<Vec<f64>>, strategy: Strategy) -> Self {
+        Submission::batch(vec![CompileJob::new(circuit, params, strategy)])
+    }
+
+    /// One circuit at many parameter bindings under one strategy. The circuit is
+    /// planned once and the plan shared by every binding (blocking is structural),
+    /// exactly as [`crate::CompilationRuntime::compile_iterations`] behaves.
+    pub fn iterations(circuit: Circuit, parameter_sets: Vec<Vec<f64>>, strategy: Strategy) -> Self {
+        Submission {
+            kind: SubmissionKind::Iterations {
+                circuit,
+                parameter_sets,
+                strategy,
+            },
+            priority: Priority::default(),
+            weight: 1.0,
+            client: None,
+        }
+    }
+
+    /// Sets the scheduling priority (default [`Priority::NORMAL`]).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the client's fair-share weight within its priority class (default 1.0;
+    /// a weight-2 client gets twice the share of a weight-1 peer). Clamped to a
+    /// small positive minimum.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = if weight.is_finite() {
+            weight.max(1e-6)
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Attributes the submission to a stable client identity for fair-share
+    /// accounting. Submissions without a client are scheduled at the current
+    /// virtual clock with no accrued history.
+    pub fn with_client(mut self, client: u64) -> Self {
+        self.client = Some(client);
+        self
+    }
+}
+
+/// Shared state of one admitted submission.
+#[derive(Debug)]
+struct SubmissionState {
+    id: u64,
+    kind: SubmissionKind,
+    priority: Priority,
+    weight: f64,
+    client: Option<u64>,
+    inner: Mutex<SubmissionInner>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct SubmissionInner {
+    status: JobStatus,
+    /// One-shot completion claim: exactly one thread performs the Done transition
+    /// (admission release, then status publish), however deliveries race.
+    finishing: bool,
+    jobs: Vec<JobSlot>,
+    /// Jobs without a result yet.
+    jobs_remaining: usize,
+    /// Global dispatch sequence numbers of the block tasks dispatched for this
+    /// submission, in dispatch order — the observable scheduling order.
+    dispatched: Vec<u64>,
+}
+
+/// Result assembly state of one job of a submission.
+#[derive(Debug)]
+struct JobSlot {
+    plan: Option<Arc<CompilationPlan>>,
+    outcomes: Vec<Option<BlockOutcome>>,
+    remaining: usize,
+    result: Option<Result<CompilationReport, CompileError>>,
+}
+
+/// A client's handle to one submission: poll with
+/// [`JobHandle::try_status`], block with [`JobHandle::wait`].
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    state: Arc<SubmissionState>,
+}
+
+impl JobHandle {
+    /// Blocks until the submission completes (or was shed) and returns one result
+    /// per job, in submission order. Cloned handles may wait repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Shed`] if the submission was load-shed before it
+    /// started.
+    #[allow(clippy::type_complexity)]
+    pub fn wait(&self) -> Result<Vec<Result<CompilationReport, CompileError>>, SubmitError> {
+        let mut inner = lock(&self.state.inner);
+        while !matches!(inner.status, JobStatus::Done | JobStatus::Shed) {
+            inner = wait(&self.state.done, inner);
+        }
+        match inner.status {
+            JobStatus::Shed => Err(SubmitError::Shed),
+            _ => Ok(inner
+                .jobs
+                .iter()
+                .map(|job| job.result.clone().expect("done submissions have results"))
+                .collect()),
+        }
+    }
+
+    /// The submission's current life-cycle stage, without blocking.
+    pub fn try_status(&self) -> JobStatus {
+        lock(&self.state.inner).status
+    }
+
+    /// The priority the submission was admitted at.
+    pub fn priority(&self) -> Priority {
+        self.state.priority
+    }
+
+    /// Global dispatch sequence numbers of the block tasks dispatched for this
+    /// submission so far, in dispatch order. Two handles' sequences interleave
+    /// exactly as the scheduler ordered their work — the observable ground truth
+    /// for priority and fairness tests (and for latency debugging).
+    pub fn dispatch_sequence(&self) -> Vec<u64> {
+        lock(&self.state.inner).dispatched.clone()
+    }
+}
+
+/// Everything a worker needs to run one block task (identity plus inputs).
+#[derive(Debug, Clone)]
+struct TaskBody {
+    submission: Arc<SubmissionState>,
+    job: usize,
+    block: usize,
+    plan: Arc<CompilationPlan>,
+    params: Arc<Vec<f64>>,
+    key: Option<BlockKey>,
+    cost: f64,
+}
+
+/// A queued block task. Ordering (via `Ord`) is the scheduling policy: strict
+/// priority, then weighted-fair virtual start time, then LPT cost, then FIFO.
+#[derive(Debug)]
+struct ReadyTask {
+    priority: Priority,
+    vstart: f64,
+    seq: u64,
+    /// Generation of the [`KeyInterest`] this task was posted for (0 and unused
+    /// for keyless tasks).
+    generation: u64,
+    body: TaskBody,
+}
+
+impl PartialEq for ReadyTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for ReadyTask {}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the greatest element, so "greater" must mean "dispatch
+        // sooner": higher priority, then earlier virtual start, then larger
+        // estimated cost (LPT), then earlier enqueue.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.vstart.total_cmp(&self.vstart))
+            .then_with(|| self.body.cost.total_cmp(&other.body.cost))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A job waiting for a block task owned by another request.
+#[derive(Debug)]
+struct Waiter {
+    submission: Arc<SubmissionState>,
+    job: usize,
+    block: usize,
+    plan: Arc<CompilationPlan>,
+    params: Arc<Vec<f64>>,
+}
+
+/// Cross-request interest in one block key: the task template (for priority
+/// inheritance re-posts), whether some worker already took the task, and every job
+/// waiting for the result to fan out.
+#[derive(Debug)]
+struct KeyInterest {
+    /// Which incarnation of interest in this key the entry represents. A key can
+    /// be compiled, completed, and become interesting again later; ready tasks
+    /// carry the generation they were posted for, so a stale task (its interest
+    /// already completed) can never hijack — or drop — a successor interest.
+    generation: u64,
+    taken: bool,
+    /// Highest priority this key has been posted at so far.
+    priority: Priority,
+    template: TaskBody,
+    waiters: Vec<Waiter>,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    ready: BinaryHeap<ReadyTask>,
+    /// Keyed block work that is queued or running: the cross-request dedup table.
+    pending: HashMap<BlockKey, KeyInterest>,
+    /// Per-client virtual time (seconds of estimated cost / weight).
+    clients: HashMap<u64, f64>,
+    /// Virtual start time of the most recently dispatched task; late-joining
+    /// clients start here rather than at zero, so idleness earns no credit.
+    vclock: f64,
+    /// While `true`, workers do not dispatch (quiesce for tests or maintenance).
+    paused: bool,
+    /// Set once the accept loop has drained its channel during shutdown.
+    scheduler_done: bool,
+    next_task_seq: u64,
+    /// Generation stamps for [`KeyInterest`] entries.
+    next_generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct Admission {
+    /// Submissions admitted but not yet completed or shed.
+    outstanding: usize,
+    /// Sheddable submissions that may still be in the Queued stage, scanned for
+    /// victims by [`Backpressure::Shed`]; pruned lazily.
+    queued: Vec<Arc<SubmissionState>>,
+}
+
+/// Shared heart of the service: compiler, caches, scheduler state, counters.
+#[derive(Debug)]
+pub(crate) struct ServiceCore {
+    pub(crate) compiler: PartialCompiler,
+    pub(crate) cache: Arc<ShardedPulseCache>,
+    schedule: SchedulePolicy,
+    queue_depth: usize,
+    backpressure: Backpressure,
+    sched: Mutex<SchedState>,
+    work: Condvar,
+    admission: Mutex<Admission>,
+    admitted: Condvar,
+    shutdown: AtomicBool,
+    pub(crate) compilations: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) submissions: AtomicU64,
+    pub(crate) shed_submissions: AtomicU64,
+    pub(crate) rejected_submissions: AtomicU64,
+    next_submission_id: AtomicU64,
+    dispatch_seq: AtomicU64,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+impl ServiceCore {
+    /// Transitions the submission to `Done` once all jobs have results. The
+    /// admission slot is released *before* `Done` becomes observable, so a client
+    /// that returns from [`JobHandle::wait`] can immediately re-submit without
+    /// racing the bookkeeping. Must be called with fresh (unheld) locks.
+    fn try_complete(&self, state: &Arc<SubmissionState>) {
+        {
+            let mut inner = lock(&state.inner);
+            if inner.jobs_remaining > 0 || inner.status != JobStatus::Running || inner.finishing {
+                return;
+            }
+            inner.finishing = true;
+        }
+        self.release_admission();
+        lock(&state.inner).status = JobStatus::Done;
+        state.done.notify_all();
+    }
+
+    fn release_admission(&self) {
+        {
+            let mut admission = lock(&self.admission);
+            admission.outstanding = admission.outstanding.saturating_sub(1);
+        }
+        self.admitted.notify_all();
+    }
+
+    /// Expands one admitted submission into block tasks (the scheduler layer).
+    fn expand(self: &Arc<Self>, state: Arc<SubmissionState>) {
+        // Shed while waiting in the accept channel: nothing to do. The transition
+        // to `Running` is deliberately NOT made here — it is published together
+        // with the task enqueue at the end, so `Running` always means "every block
+        // task this submission will ever have is in the ready queue". (The accept
+        // loop is the only expander, so there is no claim to take.)
+        if lock(&state.inner).status != JobStatus::Queued {
+            return;
+        }
+
+        // Plan every job. Planning is the expensive prefix (transpile passes and
+        // blocking); it runs here on the scheduler thread, off the submit path and
+        // outside every lock.
+        /// One planned job: its shared plan (absent on error), its parameter
+        /// binding, and its planning error if any.
+        type PlannedJob = (
+            Option<Arc<CompilationPlan>>,
+            Arc<Vec<f64>>,
+            Option<CompileError>,
+        );
+        let planned: Vec<PlannedJob> = match &state.kind {
+            SubmissionKind::Batch(jobs) => jobs
+                .iter()
+                .map(
+                    |job| match self.compiler.plan(&job.circuit, &job.params, job.strategy) {
+                        Ok(plan) => (Some(Arc::new(plan)), Arc::new(job.params.clone()), None),
+                        Err(error) => (None, Arc::new(job.params.clone()), Some(error)),
+                    },
+                )
+                .collect(),
+            SubmissionKind::Iterations {
+                circuit,
+                parameter_sets,
+                strategy,
+            } => {
+                let required = circuit
+                    .parameter_indices()
+                    .into_iter()
+                    .max()
+                    .map(|m| m + 1)
+                    .unwrap_or(0);
+                // Planning only consults params for the length check, which is
+                // re-done per binding below; zeros of the required length stand in.
+                let shared = self
+                    .compiler
+                    .plan(circuit, &vec![0.0; required], *strategy)
+                    .map(Arc::new);
+                parameter_sets
+                    .iter()
+                    .map(|params| {
+                        let params = Arc::new(params.clone());
+                        match &shared {
+                            Err(error) => (None, params, Some(error.clone())),
+                            Ok(_) if params.len() < required => (
+                                None,
+                                Arc::clone(&params),
+                                Some(CompileError::MissingParameters {
+                                    supplied: params.len(),
+                                    required,
+                                }),
+                            ),
+                            Ok(plan) => (Some(Arc::clone(plan)), params, None),
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        // Estimate block costs before taking the scheduler lock (each estimate may
+        // walk the block's subcircuit). Estimates are memoized per (plan, block):
+        // every binding of an iterations submission shares one estimate.
+        let lpt = self.schedule == SchedulePolicy::Lpt;
+        let mut memo: HashMap<(usize, usize), f64> = HashMap::new();
+        struct PlannedTask {
+            job: usize,
+            block: usize,
+            key: Option<BlockKey>,
+            cost: f64,
+        }
+        let mut tasks: Vec<PlannedTask> = Vec::new();
+        for (job_index, (plan, params, error)) in planned.iter().enumerate() {
+            if error.is_some() {
+                continue;
+            }
+            let plan = plan.as_ref().expect("non-error jobs have plans");
+            for block_index in 0..plan.blocks.len() {
+                let block = &plan.blocks[block_index];
+                let key = plan.dedup_key(block, params);
+                let cost = if lpt {
+                    let memo_key = (Arc::as_ptr(plan) as usize, block_index);
+                    *memo.entry(memo_key).or_insert_with(|| {
+                        self.compiler
+                            .estimate_block_cost_seconds(plan, block, params)
+                    })
+                } else {
+                    0.0
+                };
+                tasks.push(PlannedTask {
+                    job: job_index,
+                    block: block_index,
+                    key,
+                    cost,
+                });
+            }
+        }
+
+        // Install the job slots (results skeleton).
+        {
+            let mut inner = lock(&state.inner);
+            inner.jobs = planned
+                .iter()
+                .map(|(plan, _, error)| {
+                    let blocks = plan.as_ref().map(|p| p.blocks.len()).unwrap_or(0);
+                    let mut slot = JobSlot {
+                        plan: plan.clone(),
+                        outcomes: (0..blocks).map(|_| None).collect(),
+                        remaining: blocks,
+                        result: error.clone().map(Err),
+                    };
+                    if slot.result.is_none() && blocks == 0 {
+                        // Zero-block plans (the gate-based strategy) need no pulse
+                        // work: assemble immediately.
+                        let plan = slot.plan.as_ref().expect("planned");
+                        slot.result = Some(Ok(self.compiler.assemble(plan, Vec::new())));
+                    }
+                    slot
+                })
+                .collect();
+            inner.jobs_remaining = inner
+                .jobs
+                .iter()
+                .filter(|slot| slot.result.is_none())
+                .count();
+        }
+
+        // Merge the tasks into the shared ready queue under one scheduler lock:
+        // cross-request dedup registers waiters instead of duplicate tasks, and the
+        // whole submission receives one fair-share virtual start stamp. `Running`
+        // is published inside the same critical section, so a submission observed
+        // as Running by anyone already has every task it will ever have in the
+        // queue — there is no window where it looks started but is undispatched.
+        {
+            let mut sched = lock(&self.sched);
+            {
+                let mut inner = lock(&state.inner);
+                if inner.status != JobStatus::Queued {
+                    // Load-shed while this expansion was planning: discard the
+                    // tasks before anything becomes visible to the workers.
+                    return;
+                }
+                inner.status = JobStatus::Running;
+            }
+            let vstart = match state.client {
+                Some(client) => sched
+                    .clients
+                    .get(&client)
+                    .copied()
+                    .unwrap_or(sched.vclock)
+                    .max(sched.vclock),
+                None => sched.vclock,
+            };
+            let mut charged = 0.0;
+            for task in tasks {
+                let (plan, params, _) = &planned[task.job];
+                let body = TaskBody {
+                    submission: Arc::clone(&state),
+                    job: task.job,
+                    block: task.block,
+                    plan: Arc::clone(plan.as_ref().expect("tasks come from planned jobs")),
+                    params: Arc::clone(params),
+                    key: task.key.clone(),
+                    cost: task.cost,
+                };
+                if let Some(key) = &task.key {
+                    // Another request already owns this block's task: register as a
+                    // waiter, and inherit priority upward if we outrank the owner
+                    // so shared work is never scheduled late.
+                    let repost = if let Some(interest) = sched.pending.get_mut(key) {
+                        interest.waiters.push(Waiter {
+                            submission: Arc::clone(&state),
+                            job: task.job,
+                            block: task.block,
+                            plan: Arc::clone(&body.plan),
+                            params: Arc::clone(&body.params),
+                        });
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        if !interest.taken && state.priority > interest.priority {
+                            interest.priority = state.priority;
+                            Some((interest.template.clone(), interest.generation))
+                        } else {
+                            None
+                        }
+                    } else {
+                        let generation = sched.next_generation;
+                        sched.next_generation += 1;
+                        sched.pending.insert(
+                            key.clone(),
+                            KeyInterest {
+                                generation,
+                                taken: false,
+                                priority: state.priority,
+                                template: body.clone(),
+                                waiters: Vec::new(),
+                            },
+                        );
+                        charged += task.cost;
+                        let seq = sched.next_task_seq;
+                        sched.next_task_seq += 1;
+                        sched.ready.push(ReadyTask {
+                            priority: state.priority,
+                            vstart,
+                            seq,
+                            generation,
+                            body,
+                        });
+                        continue;
+                    };
+                    if let Some((template, generation)) = repost {
+                        let seq = sched.next_task_seq;
+                        sched.next_task_seq += 1;
+                        sched.ready.push(ReadyTask {
+                            priority: state.priority,
+                            vstart,
+                            seq,
+                            generation,
+                            body: template,
+                        });
+                    }
+                    continue;
+                }
+                charged += task.cost;
+                let seq = sched.next_task_seq;
+                sched.next_task_seq += 1;
+                sched.ready.push(ReadyTask {
+                    priority: state.priority,
+                    vstart,
+                    seq,
+                    generation: 0,
+                    body,
+                });
+            }
+            if let Some(client) = state.client {
+                sched
+                    .clients
+                    .insert(client, vstart + charged / state.weight);
+            }
+        }
+        self.work.notify_all();
+
+        // A submission whose every job already has a result (all planning errors,
+        // or all gate-based) completes without touching the worker pool.
+        self.try_complete(&state);
+    }
+
+    /// Delivers one block outcome to a job, assembling the job's report when it was
+    /// the last missing block.
+    fn deliver(
+        &self,
+        submission: &Arc<SubmissionState>,
+        job: usize,
+        block: usize,
+        outcome: Result<BlockOutcome, CompileError>,
+    ) {
+        {
+            let mut inner = lock(&submission.inner);
+            if inner.status != JobStatus::Running {
+                return;
+            }
+            let resolved = {
+                let slot = &mut inner.jobs[job];
+                if slot.result.is_some() {
+                    // The job already failed on another block; this outcome only
+                    // contributed to the shared cache.
+                    false
+                } else {
+                    match outcome {
+                        Err(error) => {
+                            slot.result = Some(Err(error));
+                            true
+                        }
+                        Ok(outcome) => {
+                            debug_assert!(slot.outcomes[block].is_none());
+                            slot.outcomes[block] = Some(outcome);
+                            slot.remaining -= 1;
+                            slot.remaining == 0
+                        }
+                    }
+                }
+            };
+            if resolved {
+                let slot = &mut inner.jobs[job];
+                if slot.result.is_none() {
+                    let plan = slot.plan.clone().expect("completed jobs have plans");
+                    let outcomes = slot
+                        .outcomes
+                        .iter_mut()
+                        .map(|outcome| outcome.take().expect("job completed all blocks"))
+                        .collect();
+                    slot.result = Some(Ok(self.compiler.assemble(&plan, outcomes)));
+                }
+                inner.jobs_remaining -= 1;
+            }
+        }
+        self.try_complete(submission);
+    }
+
+    /// Runs one block task and fans its result out to every waiting job.
+    fn execute(&self, body: TaskBody) {
+        let outcome = self.compiler.compile_block_outcome(
+            &body.plan,
+            &body.plan.blocks[body.block],
+            &body.params,
+        );
+        // Count every compilation that actually ran GRAPE / tuning. Keyless blocks
+        // (single-gate lookups, gate-based plans) do no pulse-level work even
+        // though they report `cached: false`.
+        if let Ok(outcome) = &outcome {
+            if body.key.is_some() && !outcome.report.cached {
+                self.compilations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Take the waiter list; the dedup entry disappears with it, so later
+        // requests for this key become fresh tasks (and hit the cache).
+        let waiters = match &body.key {
+            Some(key) => lock(&self.sched)
+                .pending
+                .remove(key)
+                .map(|interest| interest.waiters)
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
+        self.deliver(&body.submission, body.job, body.block, outcome.clone());
+        for waiter in waiters {
+            let shared = match &outcome {
+                // The leader populated the cache, so this is a lookup in the
+                // success case — and an honest (counted) recompile if a bounded
+                // cache already evicted the entry.
+                Ok(_) => {
+                    let outcome = self.compiler.compile_block_outcome(
+                        &waiter.plan,
+                        &waiter.plan.blocks[waiter.block],
+                        &waiter.params,
+                    );
+                    if let Ok(outcome) = &outcome {
+                        if !outcome.report.cached {
+                            self.compilations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    outcome
+                }
+                // Block errors are deterministic per circuit; recompiling for each
+                // waiter would fail identically.
+                Err(error) => Err(error.clone()),
+            };
+            self.deliver(&waiter.submission, waiter.job, waiter.block, shared);
+        }
+    }
+
+    /// The worker loop: pop the best ready task, skip stale priority-inheritance
+    /// duplicates, execute, repeat; park when idle, exit on shutdown.
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let task = {
+                let mut sched = lock(&self.sched);
+                loop {
+                    let draining = self.shutdown.load(Ordering::SeqCst);
+                    if !sched.paused || draining {
+                        if let Some(task) = sched.ready.pop() {
+                            let owner_shed =
+                                lock(&task.body.submission.inner).status == JobStatus::Shed;
+                            if let Some(key) = &task.body.key {
+                                let current = sched
+                                    .pending
+                                    .get(key)
+                                    .map(|i| (i.generation, i.taken, !i.waiters.is_empty()));
+                                match current {
+                                    // The interest this task was posted for is
+                                    // live and undispatched: take it.
+                                    Some((generation, false, has_waiters))
+                                        if generation == task.generation =>
+                                    {
+                                        if owner_shed && !has_waiters {
+                                            // The owning submission was load-shed
+                                            // and nobody else wants the block:
+                                            // drop the work.
+                                            sched.pending.remove(key);
+                                            continue;
+                                        }
+                                        // Either a live owner or live waiters: the
+                                        // block compiles (a shed owner's delivery
+                                        // is a no-op).
+                                        sched.pending.get_mut(key).expect("present").taken = true;
+                                    }
+                                    // Already dispatched (a higher-priority
+                                    // re-post beat us), completed (entry gone),
+                                    // or superseded (a *later* interest in the
+                                    // same key now owns the entry — this task
+                                    // must not hijack or drop it): stale, skip.
+                                    _ => continue,
+                                }
+                            } else if owner_shed {
+                                continue;
+                            }
+                            sched.vclock = sched.vclock.max(task.vstart);
+                            let seq = self.dispatch_seq.fetch_add(1, Ordering::SeqCst);
+                            lock(&task.body.submission.inner).dispatched.push(seq);
+                            break Some(task);
+                        }
+                    }
+                    if draining && sched.scheduler_done && sched.ready.is_empty() {
+                        break None;
+                    }
+                    sched = wait(&self.work, sched);
+                }
+            };
+            match task {
+                Some(task) => self.execute(task.body),
+                None => return,
+            }
+        }
+    }
+
+    /// The accept loop: receive admitted submissions in admission order and expand
+    /// each into scheduled tasks.
+    fn accept_loop(self: Arc<Self>, receiver: Receiver<Arc<SubmissionState>>) {
+        while let Ok(state) = receiver.recv() {
+            self.expand(state);
+        }
+        lock(&self.sched).scheduler_done = true;
+        self.work.notify_all();
+    }
+}
+
+/// The running service: core state plus its accept-loop and worker threads.
+#[derive(Debug)]
+pub(crate) struct CompileService {
+    pub(crate) core: Arc<ServiceCore>,
+    sender: Mutex<Option<Sender<Arc<SubmissionState>>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+    pub(crate) workers: usize,
+}
+
+impl CompileService {
+    pub(crate) fn start(
+        compiler: PartialCompiler,
+        cache: Arc<ShardedPulseCache>,
+        workers: usize,
+        schedule: SchedulePolicy,
+        service_options: ServiceOptions,
+    ) -> Self {
+        let workers = workers.max(1);
+        let core = Arc::new(ServiceCore {
+            compiler,
+            cache,
+            schedule,
+            queue_depth: service_options.queue_depth.max(1),
+            backpressure: service_options.backpressure,
+            sched: Mutex::new(SchedState {
+                ready: BinaryHeap::new(),
+                pending: HashMap::new(),
+                clients: HashMap::new(),
+                vclock: 0.0,
+                paused: false,
+                scheduler_done: false,
+                next_task_seq: 0,
+                next_generation: 1,
+            }),
+            work: Condvar::new(),
+            admission: Mutex::new(Admission::default()),
+            admitted: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            compilations: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            submissions: AtomicU64::new(0),
+            shed_submissions: AtomicU64::new(0),
+            rejected_submissions: AtomicU64::new(0),
+            next_submission_id: AtomicU64::new(0),
+            dispatch_seq: AtomicU64::new(0),
+        });
+        let (sender, receiver) = std::sync::mpsc::channel();
+        let accept_core = Arc::clone(&core);
+        let accept_thread = std::thread::spawn(move || accept_core.accept_loop(receiver));
+        let worker_threads = (0..workers)
+            .map(|_| {
+                let worker_core = Arc::clone(&core);
+                std::thread::spawn(move || worker_core.worker_loop())
+            })
+            .collect();
+        CompileService {
+            core,
+            sender: Mutex::new(Some(sender)),
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            workers,
+        }
+    }
+
+    /// Admits a submission under the given backpressure mode. `sheddable` marks
+    /// whether a later [`Backpressure::Shed`] submit may drop it while queued.
+    pub(crate) fn submit_with(
+        &self,
+        submission: Submission,
+        mode: Backpressure,
+        sheddable: bool,
+    ) -> Result<JobHandle, SubmitError> {
+        let core = &self.core;
+        if core.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = core.next_submission_id.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(SubmissionState {
+            id,
+            kind: submission.kind,
+            priority: submission.priority,
+            weight: submission.weight,
+            client: submission.client,
+            inner: Mutex::new(SubmissionInner {
+                status: JobStatus::Queued,
+                finishing: false,
+                jobs: Vec::new(),
+                jobs_remaining: 0,
+                dispatched: Vec::new(),
+            }),
+            done: Condvar::new(),
+        });
+
+        // A submission is sheddable (and worth keeping in the victim registry)
+        // until its first block task dispatches or its completion begins; dispatch,
+        // completion, and shed are all serialized by the submission's own lock, so
+        // "started" is unambiguous.
+        let is_sheddable = |s: &SubmissionState| {
+            let inner = lock(&s.inner);
+            matches!(inner.status, JobStatus::Queued)
+                || (matches!(inner.status, JobStatus::Running)
+                    && inner.dispatched.is_empty()
+                    && !inner.finishing)
+        };
+        {
+            let mut admission = lock(&core.admission);
+            // Prune on every admission, whatever the mode: without this, the
+            // registry would retain an Arc per completed submission for the
+            // process lifetime under Block/Reject (which never scan it).
+            admission.queued.retain(|s| is_sheddable(s));
+            loop {
+                if core.shutdown.load(Ordering::SeqCst) {
+                    return Err(SubmitError::ShuttingDown);
+                }
+                if admission.outstanding < core.queue_depth {
+                    break;
+                }
+                match mode {
+                    Backpressure::Reject => {
+                        core.rejected_submissions.fetch_add(1, Ordering::Relaxed);
+                        return Err(SubmitError::QueueFull {
+                            depth: core.queue_depth,
+                        });
+                    }
+                    Backpressure::Block => {
+                        admission = wait(&core.admitted, admission);
+                    }
+                    Backpressure::Shed => {
+                        // Prune entries that started or finished, then pick the
+                        // lowest-priority victim (oldest on ties) strictly below us.
+                        admission.queued.retain(|s| is_sheddable(s));
+                        let victim_index = admission
+                            .queued
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.priority < state.priority)
+                            .min_by_key(|(_, s)| (s.priority, s.id))
+                            .map(|(index, _)| index);
+                        let Some(victim_index) = victim_index else {
+                            core.shed_submissions.fetch_add(1, Ordering::Relaxed);
+                            return Err(SubmitError::Shed);
+                        };
+                        let victim = admission.queued.remove(victim_index);
+                        let mut inner = lock(&victim.inner);
+                        // Re-check under the victim's lock: it may have started
+                        // dispatching — or entered its completion window
+                        // (`finishing`) — since the scan; shedding then would
+                        // double-release its admission slot.
+                        let still_sheddable = matches!(inner.status, JobStatus::Queued)
+                            || (matches!(inner.status, JobStatus::Running)
+                                && inner.dispatched.is_empty()
+                                && !inner.finishing);
+                        if still_sheddable {
+                            inner.status = JobStatus::Shed;
+                            drop(inner);
+                            victim.done.notify_all();
+                            admission.outstanding = admission.outstanding.saturating_sub(1);
+                            core.shed_submissions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Re-check the depth; the victim's slot is now free (or the
+                        // victim raced into dispatch and we scan again).
+                    }
+                }
+            }
+            admission.outstanding += 1;
+            // Membership in the victim registry is what makes a submission
+            // sheddable; the synchronous wrappers stay out of it — a blocked
+            // caller thread is already applying backpressure upstream.
+            if sheddable {
+                admission.queued.push(Arc::clone(&state));
+            }
+        }
+
+        let sender = lock(&self.sender);
+        match sender.as_ref().map(|s| s.send(Arc::clone(&state))) {
+            Some(Ok(())) => {
+                core.submissions.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { state })
+            }
+            _ => {
+                drop(sender);
+                core.release_admission();
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Admits a submission under the service's configured backpressure policy.
+    pub(crate) fn submit(&self, submission: Submission) -> Result<JobHandle, SubmitError> {
+        self.submit_with(submission, self.core.backpressure, true)
+    }
+
+    /// Stops dispatching new block tasks (running ones finish).
+    pub(crate) fn pause(&self) {
+        lock(&self.core.sched).paused = true;
+    }
+
+    /// Resumes dispatching.
+    pub(crate) fn resume(&self) {
+        lock(&self.core.sched).paused = false;
+        self.core.work.notify_all();
+    }
+}
+
+impl Drop for CompileService {
+    /// Shuts the service down: no new submissions are accepted, but everything
+    /// already admitted is drained to completion before the threads exit, so
+    /// outstanding [`JobHandle`]s still resolve.
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        // Closing the channel ends the accept loop once it has drained.
+        *lock(&self.sender) = None;
+        self.core.admitted.notify_all();
+        self.core.work.notify_all();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // The accept loop marked itself done and woke the workers; they drain the
+        // remaining ready tasks and exit.
+        self.core.work.notify_all();
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! Integration tests of the request-scheduling service layer: strict priority
+//! ordering with fair-share interleaving, cross-request block dedup with fan-out,
+//! and the three admission backpressure policies.
+//!
+//! Determinism notes: the tests pause the runtime (workers stop dispatching, the
+//! accept loop keeps expanding) to build a known ready-queue state, then resume and
+//! read each handle's `dispatch_sequence()` — the global dispatch order the
+//! scheduler actually chose.
+
+use vqc_circuit::Circuit;
+use vqc_core::{CompilerOptions, Strategy};
+use vqc_runtime::{
+    Backpressure, CompilationRuntime, JobStatus, Priority, RuntimeOptions, ServiceOptions,
+    Submission, SubmitError,
+};
+
+fn fast_options() -> CompilerOptions {
+    let mut options = CompilerOptions::fast();
+    options.grape.max_iterations = 80;
+    options.grape.target_infidelity = 5e-2;
+    options.search_precision_ns = 2.0;
+    options
+}
+
+/// A circuit that aggregates into exactly one Fixed 2-qubit GRAPE block (no
+/// parameterized gates), distinct per `phase`.
+fn one_block_circuit(phase: f64) -> Circuit {
+    let mut circuit = Circuit::new(2);
+    circuit.h(0);
+    circuit.h(1);
+    circuit.cx(0, 1);
+    circuit.rx(0, phase);
+    circuit.cx(0, 1);
+    circuit
+}
+
+/// A 4-qubit circuit whose prepared form aggregates (at `max_block_width = 2`) into
+/// two Fixed blocks: a *shared* section on qubits (0, 1) that is identical for
+/// every client, and a *private* section on qubits (2, 3) distinct per phase.
+fn shared_plus_private(private_phase: f64) -> Circuit {
+    let mut circuit = Circuit::new(4);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.rx(0, 0.7);
+    circuit.cx(0, 1);
+    circuit.h(2);
+    circuit.cx(2, 3);
+    circuit.rx(2, private_phase);
+    circuit.cx(2, 3);
+    circuit
+}
+
+fn wait_until_running(handles: &[&vqc_runtime::JobHandle]) {
+    while handles
+        .iter()
+        .any(|handle| handle.try_status() == JobStatus::Queued)
+    {
+        std::thread::yield_now();
+    }
+}
+
+/// The acceptance scenario: two concurrent clients at different priorities share a
+/// block. The high-priority client's work — its private block *and* the shared
+/// block, via priority inheritance — is scheduled before the low-priority client's
+/// private block, and the shared block is compiled exactly once.
+#[test]
+fn high_priority_work_dispatches_first_and_shared_blocks_compile_once() {
+    let mut options = fast_options();
+    // Cap the block width so the shared (0,1) and private (2,3) sections cannot
+    // merge into one 4-qubit block.
+    options.max_block_width = 2;
+    let runtime = CompilationRuntime::new(options, RuntimeOptions::with_workers(1));
+    runtime.pause();
+
+    let low = runtime
+        .submit(
+            Submission::single(shared_plus_private(0.3), [], Strategy::StrictPartial)
+                .with_priority(Priority::LOW)
+                .with_client(1),
+        )
+        .unwrap();
+    let high = runtime
+        .submit(
+            Submission::single(shared_plus_private(1.9), [], Strategy::StrictPartial)
+                .with_priority(Priority::HIGH)
+                .with_client(2),
+        )
+        .unwrap();
+    // Both are expanded into the (paused) ready queue before any dispatch.
+    wait_until_running(&[&low, &high]);
+    runtime.resume();
+
+    let low_reports = low.wait().expect("not shed");
+    let high_reports = high.wait().expect("not shed");
+    let low_report = low_reports[0].as_ref().unwrap();
+    let high_report = high_reports[0].as_ref().unwrap();
+    assert_eq!(low_report.num_blocks, 2);
+    assert_eq!(high_report.num_blocks, 2);
+
+    // Dispatch order: the shared block (posted first by the low client, re-posted
+    // at high priority when the high client coalesced onto it) dispatches first,
+    // then the high client's private block, then — only then — the low client's
+    // private block. The high client's whole working set precedes low's private
+    // work even though low submitted first.
+    assert_eq!(
+        high.dispatch_sequence(),
+        vec![1],
+        "high's own block runs right after the (inherited) shared block"
+    );
+    assert_eq!(
+        low.dispatch_sequence(),
+        vec![0, 2],
+        "the shared block task is owned by low (seq 0); low's private block is last"
+    );
+
+    // The shared block was GRAPE-compiled exactly once: three unique compilations
+    // for four GRAPE block requests, one coalesced fan-out.
+    let metrics = runtime.metrics();
+    assert_eq!(metrics.unique_compilations, 3);
+    assert_eq!(metrics.cache.misses, 3);
+    assert_eq!(metrics.coalesced_waits, 1);
+    // The fanned-out copy of the shared block reports as served from cache, and
+    // both clients agree on its pulse.
+    let cached_blocks =
+        |report: &vqc_core::CompilationReport| report.blocks.iter().filter(|b| b.cached).count();
+    assert_eq!(cached_blocks(high_report), 1);
+    assert_eq!(cached_blocks(low_report), 0);
+    let shared_duration = |report: &vqc_core::CompilationReport| {
+        report
+            .blocks
+            .iter()
+            .find(|b| b.qubits == vec![0, 1])
+            .map(|b| b.duration_ns)
+            .expect("both plans contain the shared (0,1) block")
+    };
+    assert_eq!(shared_duration(high_report), shared_duration(low_report));
+}
+
+/// Clients of equal priority interleave by fair share instead of draining the
+/// first client's backlog: A's second submission yields to B's first.
+#[test]
+fn equal_priority_clients_interleave_fairly() {
+    let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(1));
+    runtime.pause();
+    let submit = |client: u64, phase: f64| {
+        runtime
+            .submit(
+                Submission::single(one_block_circuit(phase), [], Strategy::StrictPartial)
+                    .with_client(client),
+            )
+            .unwrap()
+    };
+    let a1 = submit(1, 0.2);
+    let a2 = submit(1, 0.9);
+    let b1 = submit(2, 1.6);
+    wait_until_running(&[&a1, &a2, &b1]);
+    runtime.resume();
+    for handle in [&a1, &a2, &b1] {
+        assert!(handle.wait().unwrap()[0].is_ok());
+    }
+    // A's first submission starts at virtual time 0 and advances A's clock; B
+    // joined at virtual time 0 too, so B's first block outranks A's second.
+    assert_eq!(a1.dispatch_sequence(), vec![0]);
+    assert_eq!(b1.dispatch_sequence(), vec![1]);
+    assert_eq!(a2.dispatch_sequence(), vec![2]);
+}
+
+/// A heavier fair-share weight buys a proportionally larger slice: the weight-4
+/// client drains four submissions before the weight-1 client's second.
+#[test]
+fn fair_share_weights_scale_a_clients_slice() {
+    let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(1));
+    runtime.pause();
+    let submit = |client: u64, weight: f64, phase: f64| {
+        runtime
+            .submit(
+                Submission::single(one_block_circuit(phase), [], Strategy::StrictPartial)
+                    .with_client(client)
+                    .with_weight(weight),
+            )
+            .unwrap()
+    };
+    let a1 = submit(1, 1.0, 0.1);
+    let b: Vec<_> = (0..4)
+        .map(|i| submit(2, 4.0, 1.0 + 0.3 * i as f64))
+        .collect();
+    let a2 = submit(1, 1.0, 0.5);
+    let handles: Vec<_> = std::iter::once(&a1)
+        .chain(b.iter())
+        .chain(std::iter::once(&a2))
+        .collect();
+    wait_until_running(&handles);
+    runtime.resume();
+    for handle in &handles {
+        assert!(handle.wait().unwrap()[0].is_ok());
+    }
+    // a1 leads (earliest at virtual time 0), then all four of B's submissions
+    // (each advancing B's clock by cost/4) land before a2 (at cost/1).
+    assert_eq!(a1.dispatch_sequence(), vec![0]);
+    let b_seqs: Vec<u64> = b.iter().flat_map(|h| h.dispatch_sequence()).collect();
+    assert_eq!(b_seqs, vec![1, 2, 3, 4]);
+    assert_eq!(a2.dispatch_sequence(), vec![5]);
+}
+
+/// `Backpressure::Reject` fails fast at depth and recovers as soon as an
+/// outstanding submission completes.
+#[test]
+fn reject_backpressure_fails_fast_and_recovers() {
+    let runtime = CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1).with_service(
+            ServiceOptions::default()
+                .with_queue_depth(1)
+                .with_backpressure(Backpressure::Reject),
+        ),
+    );
+    runtime.pause();
+    let first = runtime
+        .submit(Submission::single(
+            one_block_circuit(0.4),
+            [],
+            Strategy::StrictPartial,
+        ))
+        .unwrap();
+    let second = runtime.submit(Submission::single(
+        one_block_circuit(0.9),
+        [],
+        Strategy::StrictPartial,
+    ));
+    assert!(matches!(second, Err(SubmitError::QueueFull { depth: 1 })));
+    runtime.resume();
+    assert!(first.wait().unwrap()[0].is_ok());
+
+    // Capacity freed: the next submission is admitted and completes.
+    let third = runtime
+        .submit(Submission::single(
+            one_block_circuit(1.4),
+            [],
+            Strategy::StrictPartial,
+        ))
+        .unwrap();
+    assert!(third.wait().unwrap()[0].is_ok());
+    let metrics = runtime.metrics();
+    assert_eq!(metrics.rejected_submissions, 1);
+    assert_eq!(metrics.submissions, 2);
+}
+
+/// `Backpressure::Block` parks the submitting thread until capacity frees, then
+/// admits — nothing is lost, nothing is refused.
+#[test]
+fn block_backpressure_waits_for_capacity() {
+    let runtime = std::sync::Arc::new(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1).with_service(
+            ServiceOptions::default()
+                .with_queue_depth(1)
+                .with_backpressure(Backpressure::Block),
+        ),
+    ));
+    runtime.pause();
+    let first = runtime
+        .submit(Submission::single(
+            one_block_circuit(0.4),
+            [],
+            Strategy::StrictPartial,
+        ))
+        .unwrap();
+    let second = {
+        let runtime = std::sync::Arc::clone(&runtime);
+        std::thread::spawn(move || {
+            // Blocks until `first` completes, then compiles.
+            runtime
+                .submit(Submission::single(
+                    one_block_circuit(0.9),
+                    [],
+                    Strategy::StrictPartial,
+                ))
+                .unwrap()
+                .wait()
+        })
+    };
+    // The queue stays at depth while the worker pool is paused; the spawned
+    // submit cannot have been admitted.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    assert_eq!(runtime.metrics().submissions, 1);
+    runtime.resume();
+    assert!(first.wait().unwrap()[0].is_ok());
+    let second = second.join().unwrap().expect("admitted after capacity");
+    assert!(second[0].is_ok());
+    assert_eq!(runtime.metrics().submissions, 2);
+    assert_eq!(runtime.metrics().rejected_submissions, 0);
+}
+
+/// `Backpressure::Shed` drops the lowest-priority not-yet-started submission for
+/// a higher-priority arrival, and sheds the arrival itself when everything
+/// outstanding outranks it.
+#[test]
+fn shed_backpressure_drops_the_lowest_priority_pending_submission() {
+    let runtime = CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1).with_service(
+            ServiceOptions::default()
+                .with_queue_depth(2)
+                .with_backpressure(Backpressure::Shed),
+        ),
+    );
+    runtime.pause();
+    let low = runtime
+        .submit(
+            Submission::single(one_block_circuit(0.1), [], Strategy::StrictPartial)
+                .with_priority(Priority::LOW),
+        )
+        .unwrap();
+    let normal = runtime
+        .submit(
+            Submission::single(one_block_circuit(0.6), [], Strategy::StrictPartial)
+                .with_priority(Priority::NORMAL),
+        )
+        .unwrap();
+    // Queue full (paused workers dispatch nothing). A high-priority arrival sheds
+    // the lowest-priority pending submission.
+    let high = runtime
+        .submit(
+            Submission::single(one_block_circuit(1.1), [], Strategy::StrictPartial)
+                .with_priority(Priority::HIGH),
+        )
+        .unwrap();
+    assert_eq!(low.try_status(), JobStatus::Shed);
+    assert!(matches!(low.wait(), Err(SubmitError::Shed)));
+
+    // Full again with NORMAL and HIGH: an incoming LOW submission outranks nothing
+    // and is itself shed at the door.
+    let hopeless = runtime.submit(
+        Submission::single(one_block_circuit(1.6), [], Strategy::StrictPartial)
+            .with_priority(Priority::LOW),
+    );
+    assert!(matches!(hopeless, Err(SubmitError::Shed)));
+
+    runtime.resume();
+    assert!(normal.wait().unwrap()[0].is_ok());
+    assert!(high.wait().unwrap()[0].is_ok());
+    let metrics = runtime.metrics();
+    assert_eq!(metrics.shed_submissions, 2);
+    // The shed submission's block never compiled: only the three survivors'
+    // distinct blocks ran.
+    assert_eq!(metrics.unique_compilations, 2);
+}
+
+/// Many submissions of the same circuit at different θ bindings: the shared Fixed
+/// block is GRAPE-compiled exactly once across all requests, whichever request's
+/// task ran it, and every other request is served by fan-out or cache hit.
+///
+/// Uses `RuntimeOptions::default()` so the CI stress job can drive worker count
+/// and queue depth through `VQC_WORKERS` / `VQC_QUEUE_DEPTH` / `VQC_BACKPRESSURE`.
+#[test]
+fn cross_request_dedup_compiles_each_unique_block_exactly_once() {
+    let runtime = std::sync::Arc::new(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::default(),
+    ));
+    let mut circuit = one_block_circuit(0.8);
+    circuit.rz_expr(1, vqc_circuit::ParamExpr::theta(0));
+
+    // Submit from several OS threads at once (competing clients), each a batch of
+    // bindings — every request's plan contains the same Fixed block.
+    let handles: Vec<_> = (0..4)
+        .map(|client| {
+            let runtime = std::sync::Arc::clone(&runtime);
+            let circuit = circuit.clone();
+            std::thread::spawn(move || {
+                let bindings: Vec<Vec<f64>> = (0..3)
+                    .map(|i| vec![0.2 * client as f64 + i as f64])
+                    .collect();
+                runtime
+                    .submit(
+                        Submission::iterations(circuit, bindings, Strategy::StrictPartial)
+                            .with_client(client),
+                    )
+                    .unwrap()
+                    .wait()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let reports = handle.join().unwrap().expect("not shed");
+        assert_eq!(reports.len(), 3);
+        for report in reports {
+            assert!(report.is_ok());
+        }
+    }
+    let metrics = runtime.metrics();
+    assert_eq!(
+        metrics.unique_compilations, 1,
+        "one Fixed block exists across all 12 jobs and compiles exactly once"
+    );
+    assert_eq!(metrics.cache.insertions, 1);
+    assert_eq!(metrics.cache.misses, 1);
+    // Every other job was served without GRAPE: a coalesced fan-out if it arrived
+    // while the block was pending, a cache hit otherwise.
+    assert!(metrics.coalesced_waits + metrics.cache.hits >= 11);
+    assert_eq!(metrics.submissions, 4);
+}
+
+/// Regression for interest-generation confusion: when a high-priority client
+/// coalesces onto a shared block, the task is re-posted at high priority and the
+/// *original* posting becomes a stale duplicate that can outlive its interest in
+/// the ready queue (it is only discarded when popped). A later submission
+/// re-creating interest in the same `BlockKey` must not have that interest
+/// hijacked — or dropped — by the leftover; without generation stamps the stale
+/// task consumed the successor's pending entry and the successor's handle hung
+/// forever. Several rounds of (low + high) then (low alone) on one shared key
+/// walk straight through that window; the observable failure is a hang.
+#[test]
+fn stale_priority_inheritance_duplicates_cannot_consume_later_interests() {
+    let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(1));
+    for round in 0..3 {
+        // A low owner posts the shared key; a high waiter re-posts it.
+        runtime.pause();
+        let low = runtime
+            .submit(
+                Submission::single(one_block_circuit(0.7), [], Strategy::StrictPartial)
+                    .with_priority(Priority::LOW)
+                    .with_client(1),
+            )
+            .unwrap();
+        let high = runtime
+            .submit(
+                Submission::single(one_block_circuit(0.7), [], Strategy::StrictPartial)
+                    .with_priority(Priority::HIGH)
+                    .with_client(2),
+            )
+            .unwrap();
+        wait_until_running(&[&low, &high]);
+        runtime.resume();
+        assert!(low.wait().expect("not shed")[0].is_ok(), "round {round}");
+        assert!(high.wait().expect("not shed")[0].is_ok(), "round {round}");
+
+        // A lone low-priority successor re-creates interest in the same key. Its
+        // fresh task carries the (small) observed cost while a leftover stale
+        // task carries the (large) model estimate, so the stale one pops first —
+        // exactly the hijack window.
+        runtime.pause();
+        let successor = runtime
+            .submit(
+                Submission::single(one_block_circuit(0.7), [], Strategy::StrictPartial)
+                    .with_priority(Priority::LOW)
+                    .with_client(3),
+            )
+            .unwrap();
+        wait_until_running(&[&successor]);
+        runtime.resume();
+        assert!(
+            successor.wait().expect("not shed")[0].is_ok(),
+            "round {round}: the successor's interest must survive stale duplicates"
+        );
+    }
+    let metrics = runtime.metrics();
+    assert_eq!(
+        metrics.unique_compilations, 1,
+        "one shared block exists and compiled exactly once across all rounds"
+    );
+    assert!(metrics.coalesced_waits >= 3);
+}
+
+/// The handle lifecycle is observable: Queued (paused) → Running → Done, and
+/// `wait` is idempotent on a cloned handle.
+#[test]
+fn handle_status_progresses_and_wait_is_repeatable() {
+    let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(1));
+    runtime.pause();
+    let handle = runtime
+        .submit(Submission::single(
+            one_block_circuit(0.3),
+            [],
+            Strategy::StrictPartial,
+        ))
+        .unwrap();
+    // While paused, the submission never reaches Done (it may be Queued or, once
+    // the accept loop expands it, Running).
+    assert_ne!(handle.try_status(), JobStatus::Done);
+    runtime.resume();
+    let clone = handle.clone();
+    assert!(handle.wait().unwrap()[0].is_ok());
+    assert_eq!(handle.try_status(), JobStatus::Done);
+    assert!(clone.wait().unwrap()[0].is_ok(), "wait repeats on clones");
+    assert_eq!(handle.priority(), Priority::NORMAL);
+}

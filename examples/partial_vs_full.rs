@@ -60,7 +60,7 @@ fn main() {
     }
     let metrics = runtime.metrics();
     println!(
-        "\nShared cache after all batches: {} hits, {} misses, {} in-flight coalesced waits on {} workers.",
+        "\nShared cache after all batches: {} hits, {} misses, {} block requests coalesced onto another request's task (fan-out) on {} workers.",
         metrics.cache.hits, metrics.cache.misses, metrics.coalesced_waits, metrics.workers
     );
     println!("Full GRAPE pays its entire compilation cost again at every variational iteration;");

@@ -13,9 +13,11 @@
 //!   optimizer closing the variational loop.
 //! * [`core`] — the paper's contribution: gate-based, strict partial, flexible partial,
 //!   and full-GRAPE compilation behind one [`core::PartialCompiler`] API.
-//! * [`runtime`] — the concurrent compilation runtime: a sharded pulse cache, parallel
-//!   block compilation with in-flight deduplication, a batch API over many circuits /
-//!   variational iterations, and persistent cache warm-start.
+//! * [`runtime`] — the request-scheduling compilation service: a sharded pulse cache,
+//!   a bounded-admission submission front-end with per-client priorities and
+//!   backpressure, a scheduler that merges and deduplicates block tasks across
+//!   requests onto a persistent worker pool, a synchronous batch API over many
+//!   circuits / variational iterations, and persistent cache warm-start.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction of every table and figure.
