@@ -1,0 +1,181 @@
+//! `vqc-submit` — submit a compilation workload to a running `vqc-serve`.
+//!
+//! ```text
+//! vqc-submit [ADDRESS] [--iterations=N] [--priority=low|normal|high]
+//!            [--seed=S] [--stats] [--shutdown]
+//! ```
+//!
+//! Connects to `ADDRESS` (or `VQC_LISTEN`, default `127.0.0.1:7878`), submits
+//! a QAOA MAXCUT variational workload — one 3-regular-graph circuit at
+//! `--iterations` parameter bindings, the paper's repeated-block shape — and
+//! streams completion events as the server's workers finish each iteration.
+//! `--stats` additionally prints the server's global metrics and this client's
+//! slice; `--shutdown` asks the server to drain and stop after the workload.
+
+use vqc_apps::graphs::Graph;
+use vqc_apps::qaoa::qaoa_circuit;
+use vqc_core::Strategy;
+use vqc_runtime::Priority;
+use vqc_transport::{
+    Client, ClientOptions, JobEvent, JobUpdate, RemoteError, SubmitPayload, DEFAULT_LISTEN,
+};
+
+struct Args {
+    addr: String,
+    iterations: usize,
+    priority: Priority,
+    seed: u64,
+    stats: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: std::env::var("VQC_LISTEN").unwrap_or_else(|_| DEFAULT_LISTEN.to_string()),
+        iterations: 3,
+        priority: Priority::NORMAL,
+        seed: 20,
+        stats: false,
+        shutdown: false,
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(value) = arg.strip_prefix("--iterations=") {
+            args.iterations = value
+                .parse()
+                .map_err(|_| format!("bad --iterations value `{value}`"))?;
+        } else if let Some(value) = arg.strip_prefix("--priority=") {
+            args.priority = match value {
+                "low" => Priority::LOW,
+                "normal" => Priority::NORMAL,
+                "high" => Priority::HIGH,
+                other => return Err(format!("bad --priority value `{other}`")),
+            };
+        } else if let Some(value) = arg.strip_prefix("--seed=") {
+            args.seed = value
+                .parse()
+                .map_err(|_| format!("bad --seed value `{value}`"))?;
+        } else if arg == "--stats" {
+            args.stats = true;
+        } else if arg == "--shutdown" {
+            args.shutdown = true;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            args.addr = arg;
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), RemoteError> {
+    let client = Client::connect(
+        &args.addr as &str,
+        ClientOptions::default()
+            .with_name("vqc-submit")
+            .with_priority(args.priority),
+    )?;
+    eprintln!(
+        "vqc-submit: connected to {} as client {}",
+        args.addr,
+        client.client_id()
+    );
+
+    if args.iterations > 0 {
+        let graph = Graph::three_regular(6, args.seed)
+            .map_err(|e| RemoteError::Protocol(format!("graph generation failed: {e}")))?;
+        let circuit = qaoa_circuit(&graph, 1);
+        let parameter_sets: Vec<Vec<f64>> = (0..args.iterations)
+            .map(|i| vec![0.35 + 0.11 * i as f64, 0.80 - 0.07 * i as f64])
+            .collect();
+        let job = client.submit(SubmitPayload::Iterations {
+            circuit,
+            parameter_sets,
+            strategy: Strategy::StrictPartial,
+        })?;
+        loop {
+            match job.next_update()? {
+                JobUpdate::Event(JobEvent::Queued) => eprintln!("vqc-submit: queued"),
+                JobUpdate::Event(JobEvent::Running { jobs }) => {
+                    eprintln!("vqc-submit: running ({jobs} iterations)")
+                }
+                JobUpdate::Event(JobEvent::JobDone {
+                    job,
+                    ok,
+                    pulse_duration_ns,
+                }) => {
+                    if ok {
+                        eprintln!(
+                            "vqc-submit: iteration {job} done, pulse {pulse_duration_ns:.1} ns"
+                        );
+                    } else {
+                        eprintln!("vqc-submit: iteration {job} failed");
+                    }
+                }
+                JobUpdate::Event(event) => eprintln!("vqc-submit: event {event:?}"),
+                JobUpdate::Report(results) => {
+                    let ok = results.iter().filter(|r| r.is_ok()).count();
+                    eprintln!(
+                        "vqc-submit: report — {ok}/{} iterations compiled",
+                        results.len()
+                    );
+                    if let Some(Ok(report)) = results.first() {
+                        eprintln!(
+                            "vqc-submit: pulse {:.1} ns vs gate-based {:.1} ns ({:.2}x speedup), {} blocks",
+                            report.pulse_duration_ns,
+                            report.gate_based_duration_ns,
+                            report.pulse_speedup(),
+                            report.num_blocks,
+                        );
+                    }
+                    break;
+                }
+                JobUpdate::Rejected(reason) => {
+                    eprintln!("vqc-submit: rejected — {reason}");
+                    break;
+                }
+            }
+        }
+    }
+
+    if args.stats {
+        let stats = client.stats()?;
+        eprintln!(
+            "vqc-submit: server totals — {} submissions, {} unique compilations, {} hits / {} misses, {} coalesced",
+            stats.runtime.submissions,
+            stats.runtime.unique_compilations,
+            stats.runtime.cache.hits,
+            stats.runtime.cache.misses,
+            stats.runtime.coalesced_waits,
+        );
+        eprintln!(
+            "vqc-submit: this client — {} submitted, {} compiled, {} hits, {} coalesced, {:.3}s queued",
+            stats.client.submissions,
+            stats.client.compilations,
+            stats.client.cache_hits,
+            stats.client.coalesced_waits,
+            stats.client.queue_seconds,
+        );
+    }
+    if args.shutdown {
+        eprintln!("vqc-submit: requesting server shutdown");
+        client.shutdown_server()?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("vqc-submit: {message}");
+            eprintln!(
+                "usage: vqc-submit [ADDRESS] [--iterations=N] [--priority=low|normal|high] [--seed=S] [--stats] [--shutdown]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(error) = run(&args) {
+        eprintln!("vqc-submit: {error}");
+        std::process::exit(1);
+    }
+}

@@ -26,6 +26,7 @@ use vqc_runtime::{
     CacheConfig, CompilationRuntime, CompileJob, EvictionPolicy, Priority, RuntimeOptions,
     SchedulePolicy, ShardedPulseCache, Submission,
 };
+use vqc_transport::{Client, ClientOptions, Server, ServerOptions, SubmitPayload, WireJob};
 
 /// GRAPE effort reduced far enough that a cold compile of the workload is
 /// benchmark-sized; the cache/parallelism behavior under study is unaffected.
@@ -243,6 +244,75 @@ fn bench_service_submission(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wire overhead of the TCP transport: submit→report latency of a warm-cache
+/// job through a loopback `vqc_transport::Server` against the same submission
+/// in-process. Both paths plan the circuit and wait for the (cached) block
+/// lookup on the worker pool; the wire path adds two frame serializations, the
+/// TCP round trips, and the server/client thread handoffs. The acceptance
+/// target is wire ≤ 2x in-process on warm jobs.
+fn bench_transport_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_roundtrip");
+    group.sample_size(10);
+    let runtime = std::sync::Arc::new(CompilationRuntime::new(
+        bench_options(),
+        RuntimeOptions::with_workers(2),
+    ));
+    // A representative request: the QAOA workload circuit (tens of blocks, a
+    // real transpile pass per plan), strict-partial at a fixed binding.
+    let graph = Graph::three_regular(6, 20).expect("3-regular graph on 6 nodes");
+    let circuit = qaoa_circuit(&graph, 1);
+    let params: Vec<f64> = reference_parameters(2);
+    // Warm the cache so both paths measure submission overhead, not GRAPE.
+    runtime
+        .compile(&circuit, &params, Strategy::StrictPartial)
+        .expect("the warmup compiles");
+
+    group.bench_function("in_process_submit", |b| {
+        b.iter(|| {
+            let handle = runtime
+                .submit(Submission::single(
+                    circuit.clone(),
+                    &params[..],
+                    Strategy::StrictPartial,
+                ))
+                .expect("queue empty");
+            black_box(
+                handle.wait().expect("not shed")[0]
+                    .as_ref()
+                    .unwrap()
+                    .pulse_duration_ns,
+            );
+        })
+    });
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        std::sync::Arc::clone(&runtime),
+        ServerOptions::default(),
+    )
+    .expect("bind loopback");
+    let client =
+        Client::connect(server.local_addr(), ClientOptions::default()).expect("connect loopback");
+    group.bench_function("wire_submit", |b| {
+        b.iter(|| {
+            let job = client
+                .submit(SubmitPayload::Batch(vec![WireJob {
+                    circuit: circuit.clone(),
+                    params: params.clone(),
+                    strategy: Strategy::StrictPartial,
+                }]))
+                .expect("connected");
+            black_box(
+                job.wait().expect("accepted")[0]
+                    .as_ref()
+                    .unwrap()
+                    .pulse_duration_ns,
+            );
+        })
+    });
+    group.finish();
+}
+
 fn bench_cache_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_contention");
     group.sample_size(10);
@@ -410,6 +480,7 @@ criterion_group!(
     bench_scheduling_order,
     bench_eviction_policy,
     bench_service_submission,
+    bench_transport_roundtrip,
     bench_cache_contention,
     emit_summary
 );

@@ -79,5 +79,6 @@ pub use inflight::{InFlight, Ticket};
 pub use persist::PersistError;
 pub use runtime::{CompilationRuntime, CompileJob, RuntimeMetrics, RuntimeOptions, SchedulePolicy};
 pub use service::{
-    Backpressure, JobHandle, JobStatus, Priority, ServiceOptions, Submission, SubmitError,
+    Backpressure, ClientMetrics, JobHandle, JobStatus, Priority, ServiceOptions, Submission,
+    SubmitError,
 };

@@ -22,7 +22,7 @@
 use crate::cache::{CacheConfig, CacheMetrics, CompactionPolicy, ShardedPulseCache};
 use crate::persist::{self, PersistError};
 use crate::service::{
-    Backpressure, CompileService, JobHandle, ServiceOptions, Submission, SubmitError,
+    Backpressure, ClientMetrics, CompileService, JobHandle, ServiceOptions, Submission, SubmitError,
 };
 use std::path::Path;
 use std::sync::atomic::Ordering;
@@ -146,6 +146,9 @@ pub struct RuntimeMetrics {
     pub shed_submissions: u64,
     /// Submissions refused by [`Backpressure::Reject`].
     pub rejected_submissions: u64,
+    /// Submissions canceled via [`JobHandle`]`::cancel` (client request or a
+    /// transport front-end canceling on disconnect).
+    pub canceled_submissions: u64,
     /// Worker threads the runtime schedules onto.
     pub workers: usize,
 }
@@ -215,8 +218,31 @@ impl CompilationRuntime {
             submissions: core.submissions.load(Ordering::Relaxed),
             shed_submissions: core.shed_submissions.load(Ordering::Relaxed),
             rejected_submissions: core.rejected_submissions.load(Ordering::Relaxed),
+            canceled_submissions: core.canceled_submissions.load(Ordering::Relaxed),
             workers: self.service.workers,
         }
+    }
+
+    /// This client's slice of the runtime counters (zeroes for an unseen id) —
+    /// the fairness-observability counterpart of the global
+    /// [`CompilationRuntime::metrics`]. Only submissions attributed via
+    /// [`Submission::with_client`] are sliced.
+    pub fn client_metrics(&self, client: u64) -> ClientMetrics {
+        self.service.core.client_metrics(client)
+    }
+
+    /// Every client id seen so far with its metrics slice, sorted by id.
+    pub fn client_metrics_snapshot(&self) -> Vec<(u64, ClientMetrics)> {
+        self.service.core.client_metrics_snapshot()
+    }
+
+    /// Forgets a client id: drops its metrics slice and its fair-share virtual
+    /// clock. Call when the id is retired for good (the network transport does
+    /// this as connections close — client ids are never reused), so per-client
+    /// state stays proportional to *live* clients, not to every client ever
+    /// seen.
+    pub fn release_client(&self, client: u64) {
+        self.service.core.release_client(client);
     }
 
     /// Writes the cache contents to disk for a later warm start.
@@ -269,6 +295,21 @@ impl CompilationRuntime {
     /// Resumes dispatching after [`CompilationRuntime::pause`].
     pub fn resume(&self) {
         self.service.resume();
+    }
+
+    /// Stops the accept loop from expanding admitted submissions; they buffer in
+    /// the priority-ordered intake heap until
+    /// [`CompilationRuntime::resume_intake`]. Unlike [`CompilationRuntime::pause`]
+    /// (which stops the *workers* while expansion continues), this holds
+    /// submissions in the `Queued` stage — a quiesce switch for the planning
+    /// layer, and the deterministic way to observe priority-ordered expansion.
+    pub fn pause_intake(&self) {
+        self.service.pause_intake();
+    }
+
+    /// Resumes expansion of buffered submissions, highest priority first.
+    pub fn resume_intake(&self) {
+        self.service.resume_intake();
     }
 
     /// Submits synchronously: blocking admission, not sheddable (the caller's

@@ -33,8 +33,8 @@ use crate::cache::ShardedPulseCache;
 use crate::runtime::{CompileJob, SchedulePolicy};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::time::Instant;
 use vqc_circuit::Circuit;
 use vqc_core::{
     BlockKey, BlockOutcome, CompilationPlan, CompilationReport, CompileError, PartialCompiler,
@@ -158,6 +158,9 @@ pub enum SubmitError {
     /// from the queue to admit higher-priority work, or refused at the door
     /// because everything queued outranked it.
     Shed,
+    /// The submission was canceled via [`JobHandle::cancel`] (directly, or by a
+    /// transport front-end on behalf of a disconnected client).
+    Canceled,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
 }
@@ -169,6 +172,7 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "admission queue is at its configured depth of {depth}")
             }
             SubmitError::Shed => write!(f, "submission was load-shed for higher-priority work"),
+            SubmitError::Canceled => write!(f, "submission was canceled"),
             SubmitError::ShuttingDown => write!(f, "the compilation service is shutting down"),
         }
     }
@@ -188,6 +192,38 @@ pub enum JobStatus {
     /// Load-shed before it started; [`JobHandle::wait`] returns
     /// [`SubmitError::Shed`].
     Shed,
+    /// Canceled via [`JobHandle::cancel`]; [`JobHandle::wait`] returns
+    /// [`SubmitError::Canceled`]. Block tasks the submission owned are
+    /// garbage-collected from the ready queue unless another request is waiting
+    /// on them; tasks already running finish and populate the shared cache.
+    Canceled,
+}
+
+/// Per-client slice of the runtime's counters, keyed by the client id a
+/// [`Submission::with_client`] carried. Submissions without a client id are
+/// counted only in the global [`crate::RuntimeMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClientMetrics {
+    /// Submissions admitted on behalf of this client.
+    pub submissions: u64,
+    /// Submissions that completed (successfully or with per-job errors).
+    pub completed: u64,
+    /// Submissions dropped by [`Backpressure::Shed`].
+    pub shed: u64,
+    /// Submissions canceled via [`JobHandle::cancel`].
+    pub canceled: u64,
+    /// Keyed block requests served from the shared pulse cache.
+    pub cache_hits: u64,
+    /// Keyed block compilations whose pulse-level work ran on behalf of this
+    /// client (as task owner or as a fan-out waiter whose entry was evicted).
+    pub compilations: u64,
+    /// Block requests coalesced onto an already-scheduled task of another request.
+    pub coalesced_waits: u64,
+    /// Block tasks dispatched with this client's submissions as owner.
+    pub dispatched_tasks: u64,
+    /// Total seconds this client's submissions spent between admission and
+    /// expansion (queue time before any block task could be scheduled).
+    pub queue_seconds: f64,
 }
 
 /// What a submission asks the service to compile.
@@ -281,6 +317,9 @@ struct SubmissionState {
     priority: Priority,
     weight: f64,
     client: Option<u64>,
+    /// When the submission was admitted; the interval to its `Running` transition
+    /// is the queue time charged to its client's [`ClientMetrics`].
+    admitted_at: Instant,
     inner: Mutex<SubmissionInner>,
     done: Condvar,
 }
@@ -294,6 +333,9 @@ struct SubmissionInner {
     jobs: Vec<JobSlot>,
     /// Jobs without a result yet.
     jobs_remaining: usize,
+    /// Job indices in the order their results landed — the stream a transport
+    /// front-end forwards to a remote client as completion events.
+    completed_order: Vec<usize>,
     /// Global dispatch sequence numbers of the block tasks dispatched for this
     /// submission, in dispatch order — the observable scheduling order.
     dispatched: Vec<u64>,
@@ -309,28 +351,34 @@ struct JobSlot {
 }
 
 /// A client's handle to one submission: poll with
-/// [`JobHandle::try_status`], block with [`JobHandle::wait`].
+/// [`JobHandle::try_status`], block with [`JobHandle::wait`], stream per-job
+/// completions with [`JobHandle::wait_job`], abort with [`JobHandle::cancel`].
 #[derive(Debug, Clone)]
 pub struct JobHandle {
     state: Arc<SubmissionState>,
+    core: Weak<ServiceCore>,
 }
 
 impl JobHandle {
-    /// Blocks until the submission completes (or was shed) and returns one result
-    /// per job, in submission order. Cloned handles may wait repeatedly.
+    /// Blocks until the submission completes (or was shed or canceled) and returns
+    /// one result per job, in submission order. Cloned handles may wait repeatedly.
     ///
     /// # Errors
     ///
     /// Returns [`SubmitError::Shed`] if the submission was load-shed before it
-    /// started.
+    /// started, [`SubmitError::Canceled`] if it was canceled.
     #[allow(clippy::type_complexity)]
     pub fn wait(&self) -> Result<Vec<Result<CompilationReport, CompileError>>, SubmitError> {
         let mut inner = lock(&self.state.inner);
-        while !matches!(inner.status, JobStatus::Done | JobStatus::Shed) {
+        while !matches!(
+            inner.status,
+            JobStatus::Done | JobStatus::Shed | JobStatus::Canceled
+        ) {
             inner = wait(&self.state.done, inner);
         }
         match inner.status {
             JobStatus::Shed => Err(SubmitError::Shed),
+            JobStatus::Canceled => Err(SubmitError::Canceled),
             _ => Ok(inner
                 .jobs
                 .iter()
@@ -342,6 +390,98 @@ impl JobHandle {
     /// The submission's current life-cycle stage, without blocking.
     pub fn try_status(&self) -> JobStatus {
         lock(&self.state.inner).status
+    }
+
+    /// Blocks until the submission leaves [`JobStatus::Queued`] and returns the
+    /// first non-queued status observed.
+    pub fn wait_started(&self) -> JobStatus {
+        let mut inner = lock(&self.state.inner);
+        while matches!(inner.status, JobStatus::Queued) {
+            inner = wait(&self.state.done, inner);
+        }
+        inner.status
+    }
+
+    /// Blocks until the `seen`-th job (counting in completion order, starting at
+    /// 0) has a result, and returns its submission-order index together with that
+    /// result. Returns `Ok(None)` once the submission is done and fewer than
+    /// `seen + 1` jobs exist — the stream is exhausted. Calling with `seen` equal
+    /// to the number of events already consumed turns the handle into a blocking
+    /// iterator of completion events, which is exactly how the network transport
+    /// streams per-job results to a remote client as blocks finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Shed`] / [`SubmitError::Canceled`] once the
+    /// submission reaches that terminal state (events observed before
+    /// cancellation remain observable *before* the error: the stream fails only
+    /// at its tail).
+    #[allow(clippy::type_complexity)]
+    pub fn wait_job(
+        &self,
+        seen: usize,
+    ) -> Result<Option<(usize, Result<CompilationReport, CompileError>)>, SubmitError> {
+        let mut inner = lock(&self.state.inner);
+        loop {
+            if inner.completed_order.len() > seen {
+                let job = inner.completed_order[seen];
+                let result = inner.jobs[job]
+                    .result
+                    .clone()
+                    .expect("completed jobs have results");
+                return Ok(Some((job, result)));
+            }
+            match inner.status {
+                JobStatus::Done => return Ok(None),
+                JobStatus::Shed => return Err(SubmitError::Shed),
+                JobStatus::Canceled => return Err(SubmitError::Canceled),
+                _ => inner = wait(&self.state.done, inner),
+            }
+        }
+    }
+
+    /// Number of jobs whose results have landed so far.
+    pub fn completed_jobs(&self) -> usize {
+        lock(&self.state.inner).completed_order.len()
+    }
+
+    /// Number of jobs the submission expands to. Zero until expansion installs
+    /// the job slots (i.e. while [`JobStatus::Queued`]); fixed thereafter.
+    pub fn job_count(&self) -> usize {
+        lock(&self.state.inner).jobs.len()
+    }
+
+    /// Cancels the submission: queued work never dispatches, and a running
+    /// submission's not-yet-started block tasks are garbage-collected from the
+    /// ready queue (tasks other requests wait on survive and fan out to them;
+    /// tasks already executing finish and populate the shared cache). The
+    /// admission slot is released immediately, so cancellation frees queue
+    /// capacity even under [`Backpressure::Block`] pressure. Returns `true` if
+    /// this call canceled the submission, `false` if it had already completed,
+    /// been shed, been canceled, or entered its completion window.
+    pub fn cancel(&self) -> bool {
+        {
+            let mut inner = lock(&self.state.inner);
+            if inner.finishing
+                || matches!(
+                    inner.status,
+                    JobStatus::Done | JobStatus::Shed | JobStatus::Canceled
+                )
+            {
+                return false;
+            }
+            inner.status = JobStatus::Canceled;
+        }
+        self.state.done.notify_all();
+        if let Some(core) = self.core.upgrade() {
+            core.canceled_submissions.fetch_add(1, Ordering::Relaxed);
+            core.record_client(self.state.client, |m| m.canceled += 1);
+            core.release_admission();
+            // Wake the workers so an otherwise idle pool garbage-collects the
+            // canceled owner's queued tasks promptly.
+            core.work.notify_all();
+        }
+        true
     }
 
     /// The priority the submission was admitted at.
@@ -465,6 +605,52 @@ struct Admission {
     queued: Vec<Arc<SubmissionState>>,
 }
 
+/// An admitted submission waiting for the accept loop to expand it. The heap
+/// ordering is what makes *expansion* priority-ordered: a huge low-priority
+/// submission admitted first no longer delays a later high-priority one's
+/// planning — the accept loop always drains the highest class first, FIFO within
+/// a class.
+#[derive(Debug)]
+struct IntakeEntry(Arc<SubmissionState>);
+
+impl PartialEq for IntakeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+
+impl Eq for IntakeEntry {}
+
+impl PartialOrd for IntakeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IntakeEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the greatest: higher priority first, then lower
+        // submission id (admission order) within a class.
+        self.0
+            .priority
+            .cmp(&other.0.priority)
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+#[derive(Debug)]
+struct IntakeState {
+    /// Admitted, not-yet-expanded submissions, drained best-first.
+    heap: BinaryHeap<IntakeEntry>,
+    /// While `true`, the accept loop buffers admissions without expanding them —
+    /// the intake analogue of the dispatch [`SchedState::paused`] switch, used to
+    /// stage deterministic expansion-order scenarios.
+    paused: bool,
+    /// Set at shutdown; admissions still buffered are drained (expanded) so their
+    /// handles resolve, but nothing new is accepted.
+    closed: bool,
+}
+
 /// Shared heart of the service: compiler, caches, scheduler state, counters.
 #[derive(Debug)]
 pub(crate) struct ServiceCore {
@@ -475,6 +661,8 @@ pub(crate) struct ServiceCore {
     backpressure: Backpressure,
     sched: Mutex<SchedState>,
     work: Condvar,
+    intake: Mutex<IntakeState>,
+    intake_cv: Condvar,
     admission: Mutex<Admission>,
     admitted: Condvar,
     shutdown: AtomicBool,
@@ -483,6 +671,8 @@ pub(crate) struct ServiceCore {
     pub(crate) submissions: AtomicU64,
     pub(crate) shed_submissions: AtomicU64,
     pub(crate) rejected_submissions: AtomicU64,
+    pub(crate) canceled_submissions: AtomicU64,
+    client_metrics: Mutex<HashMap<u64, ClientMetrics>>,
     next_submission_id: AtomicU64,
     dispatch_seq: AtomicU64,
 }
@@ -509,8 +699,45 @@ impl ServiceCore {
             inner.finishing = true;
         }
         self.release_admission();
+        self.record_client(state.client, |m| m.completed += 1);
         lock(&state.inner).status = JobStatus::Done;
         state.done.notify_all();
+    }
+
+    /// Applies `update` to the client's metrics slice (no-op for anonymous
+    /// submissions).
+    fn record_client(&self, client: Option<u64>, update: impl FnOnce(&mut ClientMetrics)) {
+        if let Some(client) = client {
+            update(lock(&self.client_metrics).entry(client).or_default());
+        }
+    }
+
+    /// The client's current metrics slice (zeroes for an unseen client id).
+    pub(crate) fn client_metrics(&self, client: u64) -> ClientMetrics {
+        lock(&self.client_metrics)
+            .get(&client)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Drops a client id's metrics slice and fair-share clock. Transports call
+    /// this when a connection closes and its id will never submit again, so a
+    /// long-lived service does not grow state per short-lived client. A
+    /// straggling fan-out delivery may recreate a (near-empty) slice; that is
+    /// benign and the next release reaps it.
+    pub(crate) fn release_client(&self, client: u64) {
+        lock(&self.client_metrics).remove(&client);
+        lock(&self.sched).clients.remove(&client);
+    }
+
+    /// Every client id seen so far with its metrics slice, sorted by id.
+    pub(crate) fn client_metrics_snapshot(&self) -> Vec<(u64, ClientMetrics)> {
+        let mut all: Vec<(u64, ClientMetrics)> = lock(&self.client_metrics)
+            .iter()
+            .map(|(id, metrics)| (*id, *metrics))
+            .collect();
+        all.sort_by_key(|(id, _)| *id);
+        all
     }
 
     fn release_admission(&self) {
@@ -655,6 +882,15 @@ impl ServiceCore {
                 .iter()
                 .filter(|slot| slot.result.is_none())
                 .count();
+            // Jobs resolved at planning time (errors, zero-block assembles) open
+            // the completion stream before any block task runs.
+            inner.completed_order = inner
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.result.is_some())
+                .map(|(index, _)| index)
+                .collect();
         }
 
         // Merge the tasks into the shared ready queue under one scheduler lock:
@@ -668,12 +904,16 @@ impl ServiceCore {
             {
                 let mut inner = lock(&state.inner);
                 if inner.status != JobStatus::Queued {
-                    // Load-shed while this expansion was planning: discard the
-                    // tasks before anything becomes visible to the workers.
+                    // Load-shed or canceled while this expansion was planning:
+                    // discard the tasks before anything becomes visible to the
+                    // workers.
                     return;
                 }
                 inner.status = JobStatus::Running;
             }
+            self.record_client(state.client, |m| {
+                m.queue_seconds += state.admitted_at.elapsed().as_secs_f64();
+            });
             let vstart = match state.client {
                 Some(client) => sched
                     .clients
@@ -708,6 +948,7 @@ impl ServiceCore {
                             params: Arc::clone(&body.params),
                         });
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        self.record_client(state.client, |m| m.coalesced_waits += 1);
                         if !interest.taken && state.priority > interest.priority {
                             interest.priority = state.priority;
                             Some((interest.template.clone(), interest.generation))
@@ -770,6 +1011,9 @@ impl ServiceCore {
             }
         }
         self.work.notify_all();
+        // Wake status observers ([`JobHandle::wait_started`]) and completion
+        // streamers ([`JobHandle::wait_job`] of already-resolved jobs).
+        state.done.notify_all();
 
         // A submission whose every job already has a result (all planning errors,
         // or all gate-based) completes without touching the worker pool.
@@ -822,9 +1066,13 @@ impl ServiceCore {
                         .collect();
                     slot.result = Some(Ok(self.compiler.assemble(&plan, outcomes)));
                 }
+                inner.completed_order.push(job);
                 inner.jobs_remaining -= 1;
             }
         }
+        // Every job completion is an event: wake per-job streamers even though the
+        // submission as a whole may not be done yet.
+        submission.done.notify_all();
         self.try_complete(submission);
     }
 
@@ -839,8 +1087,13 @@ impl ServiceCore {
         // (single-gate lookups, gate-based plans) do no pulse-level work even
         // though they report `cached: false`.
         if let Ok(outcome) = &outcome {
-            if body.key.is_some() && !outcome.report.cached {
-                self.compilations.fetch_add(1, Ordering::Relaxed);
+            if body.key.is_some() {
+                if outcome.report.cached {
+                    self.record_client(body.submission.client, |m| m.cache_hits += 1);
+                } else {
+                    self.compilations.fetch_add(1, Ordering::Relaxed);
+                    self.record_client(body.submission.client, |m| m.compilations += 1);
+                }
             }
         }
         // Take the waiter list; the dedup entry disappears with it, so later
@@ -866,8 +1119,11 @@ impl ServiceCore {
                         &waiter.params,
                     );
                     if let Ok(outcome) = &outcome {
-                        if !outcome.report.cached {
+                        if outcome.report.cached {
+                            self.record_client(waiter.submission.client, |m| m.cache_hits += 1);
+                        } else {
                             self.compilations.fetch_add(1, Ordering::Relaxed);
+                            self.record_client(waiter.submission.client, |m| m.compilations += 1);
                         }
                     }
                     outcome
@@ -890,30 +1146,40 @@ impl ServiceCore {
                     let draining = self.shutdown.load(Ordering::SeqCst);
                     if !sched.paused || draining {
                         if let Some(task) = sched.ready.pop() {
-                            let owner_shed =
-                                lock(&task.body.submission.inner).status == JobStatus::Shed;
+                            // A shed or canceled owner no longer needs its work.
+                            let owner_dead = matches!(
+                                lock(&task.body.submission.inner).status,
+                                JobStatus::Shed | JobStatus::Canceled
+                            );
                             if let Some(key) = &task.body.key {
-                                let current = sched
-                                    .pending
-                                    .get(key)
-                                    .map(|i| (i.generation, i.taken, !i.waiters.is_empty()));
-                                match current {
+                                match sched.pending.get_mut(key) {
                                     // The interest this task was posted for is
                                     // live and undispatched: take it.
-                                    Some((generation, false, has_waiters))
-                                        if generation == task.generation =>
+                                    Some(interest)
+                                        if interest.generation == task.generation
+                                            && !interest.taken =>
                                     {
-                                        if owner_shed && !has_waiters {
-                                            // The owning submission was load-shed
-                                            // and nobody else wants the block:
-                                            // drop the work.
+                                        // Prune waiters whose submissions died
+                                        // since they registered, so a canceled
+                                        // waiter cannot keep a dead owner's task
+                                        // alive (task GC).
+                                        interest.waiters.retain(|waiter| {
+                                            !matches!(
+                                                lock(&waiter.submission.inner).status,
+                                                JobStatus::Shed | JobStatus::Canceled
+                                            )
+                                        });
+                                        if owner_dead && interest.waiters.is_empty() {
+                                            // The owning submission was shed or
+                                            // canceled and nobody else wants the
+                                            // block: drop the work.
                                             sched.pending.remove(key);
                                             continue;
                                         }
                                         // Either a live owner or live waiters: the
-                                        // block compiles (a shed owner's delivery
+                                        // block compiles (a dead owner's delivery
                                         // is a no-op).
-                                        sched.pending.get_mut(key).expect("present").taken = true;
+                                        interest.taken = true;
                                     }
                                     // Already dispatched (a higher-priority
                                     // re-post beat us), completed (entry gone),
@@ -922,12 +1188,15 @@ impl ServiceCore {
                                     // must not hijack or drop it): stale, skip.
                                     _ => continue,
                                 }
-                            } else if owner_shed {
+                            } else if owner_dead {
                                 continue;
                             }
                             sched.vclock = sched.vclock.max(task.vstart);
                             let seq = self.dispatch_seq.fetch_add(1, Ordering::SeqCst);
                             lock(&task.body.submission.inner).dispatched.push(seq);
+                            self.record_client(task.body.submission.client, |m| {
+                                m.dispatched_tasks += 1;
+                            });
                             break Some(task);
                         }
                     }
@@ -944,11 +1213,33 @@ impl ServiceCore {
         }
     }
 
-    /// The accept loop: receive admitted submissions in admission order and expand
-    /// each into scheduled tasks.
-    fn accept_loop(self: Arc<Self>, receiver: Receiver<Arc<SubmissionState>>) {
-        while let Ok(state) = receiver.recv() {
-            self.expand(state);
+    /// The accept loop: drain admitted submissions from the intake heap —
+    /// highest priority first, admission order within a class — and expand each
+    /// into scheduled tasks. Because the heap (not arrival order) chooses what to
+    /// plan next, a huge low-priority submission cannot delay a later
+    /// high-priority submission's expansion by more than one in-progress plan.
+    fn accept_loop(self: Arc<Self>) {
+        loop {
+            let state = {
+                let mut intake = lock(&self.intake);
+                loop {
+                    if intake.closed {
+                        // Shutdown drains buffered admissions (paused or not) so
+                        // outstanding handles still resolve.
+                        break intake.heap.pop().map(|entry| entry.0);
+                    }
+                    if !intake.paused {
+                        if let Some(entry) = intake.heap.pop() {
+                            break Some(entry.0);
+                        }
+                    }
+                    intake = wait(&self.intake_cv, intake);
+                }
+            };
+            match state {
+                Some(state) => self.expand(state),
+                None => break,
+            }
         }
         lock(&self.sched).scheduler_done = true;
         self.work.notify_all();
@@ -959,7 +1250,6 @@ impl ServiceCore {
 #[derive(Debug)]
 pub(crate) struct CompileService {
     pub(crate) core: Arc<ServiceCore>,
-    sender: Mutex<Option<Sender<Arc<SubmissionState>>>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
     pub(crate) workers: usize,
@@ -991,6 +1281,12 @@ impl CompileService {
                 next_generation: 1,
             }),
             work: Condvar::new(),
+            intake: Mutex::new(IntakeState {
+                heap: BinaryHeap::new(),
+                paused: false,
+                closed: false,
+            }),
+            intake_cv: Condvar::new(),
             admission: Mutex::new(Admission::default()),
             admitted: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -999,12 +1295,13 @@ impl CompileService {
             submissions: AtomicU64::new(0),
             shed_submissions: AtomicU64::new(0),
             rejected_submissions: AtomicU64::new(0),
+            canceled_submissions: AtomicU64::new(0),
+            client_metrics: Mutex::new(HashMap::new()),
             next_submission_id: AtomicU64::new(0),
             dispatch_seq: AtomicU64::new(0),
         });
-        let (sender, receiver) = std::sync::mpsc::channel();
         let accept_core = Arc::clone(&core);
-        let accept_thread = std::thread::spawn(move || accept_core.accept_loop(receiver));
+        let accept_thread = std::thread::spawn(move || accept_core.accept_loop());
         let worker_threads = (0..workers)
             .map(|_| {
                 let worker_core = Arc::clone(&core);
@@ -1013,7 +1310,6 @@ impl CompileService {
             .collect();
         CompileService {
             core,
-            sender: Mutex::new(Some(sender)),
             accept_thread: Some(accept_thread),
             worker_threads,
             workers,
@@ -1039,11 +1335,13 @@ impl CompileService {
             priority: submission.priority,
             weight: submission.weight,
             client: submission.client,
+            admitted_at: Instant::now(),
             inner: Mutex::new(SubmissionInner {
                 status: JobStatus::Queued,
                 finishing: false,
                 jobs: Vec::new(),
                 jobs_remaining: 0,
+                completed_order: Vec::new(),
                 dispatched: Vec::new(),
             }),
             done: Condvar::new(),
@@ -1114,6 +1412,7 @@ impl CompileService {
                             victim.done.notify_all();
                             admission.outstanding = admission.outstanding.saturating_sub(1);
                             core.shed_submissions.fetch_add(1, Ordering::Relaxed);
+                            core.record_client(victim.client, |m| m.shed += 1);
                         }
                         // Re-check the depth; the victim's slot is now free (or the
                         // victim raced into dispatch and we scan again).
@@ -1129,18 +1428,22 @@ impl CompileService {
             }
         }
 
-        let sender = lock(&self.sender);
-        match sender.as_ref().map(|s| s.send(Arc::clone(&state))) {
-            Some(Ok(())) => {
-                core.submissions.fetch_add(1, Ordering::Relaxed);
-                Ok(JobHandle { state })
-            }
-            _ => {
-                drop(sender);
+        {
+            let mut intake = lock(&core.intake);
+            if intake.closed {
+                drop(intake);
                 core.release_admission();
-                Err(SubmitError::ShuttingDown)
+                return Err(SubmitError::ShuttingDown);
             }
+            intake.heap.push(IntakeEntry(Arc::clone(&state)));
         }
+        core.intake_cv.notify_all();
+        core.submissions.fetch_add(1, Ordering::Relaxed);
+        core.record_client(state.client, |m| m.submissions += 1);
+        Ok(JobHandle {
+            state,
+            core: Arc::downgrade(core),
+        })
     }
 
     /// Admits a submission under the service's configured backpressure policy.
@@ -1158,6 +1461,18 @@ impl CompileService {
         lock(&self.core.sched).paused = false;
         self.core.work.notify_all();
     }
+
+    /// Stops the accept loop from expanding admitted submissions (they buffer in
+    /// the intake heap).
+    pub(crate) fn pause_intake(&self) {
+        lock(&self.core.intake).paused = true;
+    }
+
+    /// Resumes expansion of buffered submissions, best-priority first.
+    pub(crate) fn resume_intake(&self) {
+        lock(&self.core.intake).paused = false;
+        self.core.intake_cv.notify_all();
+    }
 }
 
 impl Drop for CompileService {
@@ -1166,8 +1481,9 @@ impl Drop for CompileService {
     /// outstanding [`JobHandle`]s still resolve.
     fn drop(&mut self) {
         self.core.shutdown.store(true, Ordering::SeqCst);
-        // Closing the channel ends the accept loop once it has drained.
-        *lock(&self.sender) = None;
+        // Closing the intake ends the accept loop once it has drained the heap.
+        lock(&self.core.intake).closed = true;
+        self.core.intake_cv.notify_all();
         self.core.admitted.notify_all();
         self.core.work.notify_all();
         if let Some(handle) = self.accept_thread.take() {

@@ -79,6 +79,10 @@ fn high_priority_work_dispatches_first_and_shared_blocks_compile_once() {
                 .with_client(1),
         )
         .unwrap();
+    // Expansion is priority-ordered: wait for the low submission to expand (and
+    // post the shared task as owner) before the high one is admitted, so the
+    // inheritance scenario — high coalescing onto low's task — is what happens.
+    wait_until_running(&[&low]);
     let high = runtime
         .submit(
             Submission::single(shared_plus_private(1.9), [], Strategy::StrictPartial)
@@ -423,6 +427,9 @@ fn stale_priority_inheritance_duplicates_cannot_consume_later_interests() {
                     .with_client(1),
             )
             .unwrap();
+        // Priority-ordered expansion would otherwise plan the high submission
+        // first; the hijack window needs low to own the shared key's task.
+        wait_until_running(&[&low]);
         let high = runtime
             .submit(
                 Submission::single(one_block_circuit(0.7), [], Strategy::StrictPartial)
@@ -460,6 +467,243 @@ fn stale_priority_inheritance_duplicates_cannot_consume_later_interests() {
         "one shared block exists and compiled exactly once across all rounds"
     );
     assert!(metrics.coalesced_waits >= 3);
+}
+
+/// Canceling a queued submission resolves its handle with `Canceled` and frees
+/// its admission slot immediately, without waiting for workers.
+#[test]
+fn cancel_releases_queue_capacity_for_queued_and_running_submissions() {
+    let runtime = CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1).with_service(
+            ServiceOptions::default()
+                .with_queue_depth(1)
+                .with_backpressure(Backpressure::Reject),
+        ),
+    );
+    runtime.pause();
+    let first = runtime
+        .submit(Submission::single(
+            one_block_circuit(0.4),
+            [],
+            Strategy::StrictPartial,
+        ))
+        .unwrap();
+    // Queue is at depth; a second submission is rejected.
+    assert!(matches!(
+        runtime.submit(Submission::single(
+            one_block_circuit(0.9),
+            [],
+            Strategy::StrictPartial,
+        )),
+        Err(SubmitError::QueueFull { depth: 1 })
+    ));
+    // Cancel (whether still Queued or already expanded) frees the slot without
+    // a single block having compiled.
+    assert!(first.cancel());
+    assert!(!first.cancel(), "cancel is idempotent");
+    assert_eq!(first.try_status(), JobStatus::Canceled);
+    assert!(matches!(first.wait(), Err(SubmitError::Canceled)));
+    let second = runtime
+        .submit(Submission::single(
+            one_block_circuit(0.9),
+            [],
+            Strategy::StrictPartial,
+        ))
+        .expect("the canceled submission's slot is free");
+    runtime.resume();
+    assert!(second.wait().unwrap()[0].is_ok());
+    let metrics = runtime.metrics();
+    assert_eq!(metrics.canceled_submissions, 1);
+    // The canceled submission's block task was garbage-collected, not compiled.
+    assert_eq!(metrics.unique_compilations, 1);
+}
+
+/// Canceling an owner whose task other requests wait on keeps the task alive
+/// for the waiters (task GC only drops work nobody wants): the canceled
+/// client's private block never compiles, the shared block fans out.
+#[test]
+fn canceled_owner_with_live_waiters_keeps_shared_work_but_drops_private_work() {
+    let mut options = fast_options();
+    options.max_block_width = 2;
+    let runtime = CompilationRuntime::new(options, RuntimeOptions::with_workers(1));
+    runtime.pause();
+    let owner = runtime
+        .submit(
+            Submission::single(shared_plus_private(0.3), [], Strategy::StrictPartial)
+                .with_client(1),
+        )
+        .unwrap();
+    // The owner must expand first so it owns the shared (0,1) block's task.
+    wait_until_running(&[&owner]);
+    let waiter = runtime
+        .submit(
+            Submission::single(shared_plus_private(1.9), [], Strategy::StrictPartial)
+                .with_client(2),
+        )
+        .unwrap();
+    wait_until_running(&[&waiter]);
+    assert!(owner.cancel());
+    runtime.resume();
+
+    // The waiter still gets a full report: the shared block compiled (on the
+    // canceled owner's task, kept alive by the waiter) and fanned out.
+    let report = waiter.wait().expect("not canceled")[0].clone().unwrap();
+    assert_eq!(report.num_blocks, 2);
+    assert!(matches!(owner.wait(), Err(SubmitError::Canceled)));
+    let metrics = runtime.metrics();
+    // Shared block + the waiter's private block; the canceled owner's private
+    // block was garbage-collected from the ready queue.
+    assert_eq!(metrics.unique_compilations, 2);
+    assert_eq!(metrics.canceled_submissions, 1);
+    assert_eq!(runtime.client_metrics(1).canceled, 1);
+}
+
+/// Expansion is priority-ordered: with the intake held, a later high-priority
+/// submission is planned before an earlier low-priority one.
+#[test]
+fn expansion_drains_the_intake_heap_in_priority_order() {
+    let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(1));
+    runtime.pause(); // workers quiesced; only expansion order is under test
+    runtime.pause_intake();
+    // A big low-priority batch (many distinct circuits, planned one by one)...
+    let low = runtime
+        .submit(
+            Submission::batch(
+                (0..40)
+                    .map(|i| {
+                        vqc_runtime::CompileJob::new(
+                            one_block_circuit(0.05 * i as f64),
+                            vec![],
+                            Strategy::StrictPartial,
+                        )
+                    })
+                    .collect(),
+            )
+            .with_priority(Priority::LOW)
+            .with_client(1),
+        )
+        .unwrap();
+    // ...admitted before a small high-priority request.
+    let high = runtime
+        .submit(
+            Submission::single(one_block_circuit(3.1), [], Strategy::StrictPartial)
+                .with_priority(Priority::HIGH)
+                .with_client(2),
+        )
+        .unwrap();
+    assert_eq!(low.try_status(), JobStatus::Queued);
+    assert_eq!(high.try_status(), JobStatus::Queued);
+    runtime.resume_intake();
+    assert_eq!(high.wait_started(), JobStatus::Running);
+    runtime.resume();
+    assert!(high.wait().unwrap()[0].is_ok());
+    assert!(low.wait().unwrap().iter().all(|r| r.is_ok()));
+    // Queue time is stamped at each submission's Running transition, so the
+    // per-client slices record the expansion order race-free: the high
+    // submission expanded first (small queue time), the low batch only after
+    // it — its queue time includes the high expansion *and* its own 40-circuit
+    // planning. Admission-ordered expansion would invert this (the low batch,
+    // admitted first, would go Running first and the high submission would
+    // wait behind its 40 plans).
+    let low_queue = runtime.client_metrics(1).queue_seconds;
+    let high_queue = runtime.client_metrics(2).queue_seconds;
+    assert!(
+        high_queue < low_queue,
+        "high expanded after the low batch (high queued {high_queue:.6}s, low {low_queue:.6}s)"
+    );
+}
+
+/// `RuntimeMetrics` slices per client: hits, compilations, coalesced waits,
+/// queue time, and life-cycle counts are attributed to the client id that
+/// caused them.
+#[test]
+fn metrics_slice_per_client() {
+    let mut options = fast_options();
+    options.max_block_width = 2;
+    let runtime = CompilationRuntime::new(options, RuntimeOptions::with_workers(1));
+    runtime.pause();
+    let a = runtime
+        .submit(
+            Submission::single(shared_plus_private(0.3), [], Strategy::StrictPartial)
+                .with_client(10),
+        )
+        .unwrap();
+    wait_until_running(&[&a]); // a owns the shared block's task
+    let b = runtime
+        .submit(
+            Submission::single(shared_plus_private(1.9), [], Strategy::StrictPartial)
+                .with_client(20),
+        )
+        .unwrap();
+    wait_until_running(&[&b]);
+    runtime.resume();
+    assert!(a.wait().unwrap()[0].is_ok());
+    assert!(b.wait().unwrap()[0].is_ok());
+
+    let a_metrics = runtime.client_metrics(10);
+    let b_metrics = runtime.client_metrics(20);
+    // A led both of its blocks; B compiled its private block and coalesced onto
+    // A's shared task (served as a fan-out cache hit).
+    assert_eq!(a_metrics.submissions, 1);
+    assert_eq!(b_metrics.submissions, 1);
+    assert_eq!(a_metrics.completed, 1);
+    assert_eq!(b_metrics.completed, 1);
+    assert_eq!(a_metrics.compilations, 2);
+    assert_eq!(b_metrics.compilations, 1);
+    assert_eq!(b_metrics.coalesced_waits, 1);
+    assert_eq!(b_metrics.cache_hits, 1);
+    assert_eq!(a_metrics.dispatched_tasks, 2);
+    assert_eq!(b_metrics.dispatched_tasks, 1);
+    assert!(a_metrics.queue_seconds >= 0.0);
+    // The global view is the sum of the slices (plus nothing else here).
+    let metrics = runtime.metrics();
+    assert_eq!(
+        metrics.unique_compilations,
+        a_metrics.compilations + b_metrics.compilations
+    );
+    let snapshot = runtime.client_metrics_snapshot();
+    assert_eq!(
+        snapshot.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        vec![10, 20]
+    );
+    // An unseen client id reads as zeroes rather than an error.
+    assert_eq!(runtime.client_metrics(99).submissions, 0);
+}
+
+/// `wait_job` streams per-job completions in completion order and then reports
+/// exhaustion; the stream agrees with the final `wait` result set.
+#[test]
+fn wait_job_streams_completions_in_order() {
+    let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(2));
+    let mut circuit = one_block_circuit(0.8);
+    circuit.rz_expr(1, vqc_circuit::ParamExpr::theta(0));
+    let handle = runtime
+        .submit(Submission::iterations(
+            circuit,
+            vec![vec![0.1], vec![0.7], vec![2.2]],
+            Strategy::StrictPartial,
+        ))
+        .unwrap();
+    let mut streamed = Vec::new();
+    let mut seen = 0;
+    while let Some((job, result)) = handle.wait_job(seen).expect("not canceled") {
+        streamed.push((job, result));
+        seen += 1;
+    }
+    assert_eq!(streamed.len(), 3);
+    assert_eq!(handle.completed_jobs(), 3);
+    assert_eq!(handle.job_count(), 3);
+    let mut job_indices: Vec<usize> = streamed.iter().map(|(job, _)| *job).collect();
+    job_indices.sort_unstable();
+    assert_eq!(job_indices, vec![0, 1, 2]);
+    let final_results = handle.wait().expect("not shed");
+    for (job, result) in &streamed {
+        assert_eq!(
+            result.as_ref().unwrap().pulse_duration_ns,
+            final_results[*job].as_ref().unwrap().pulse_duration_ns
+        );
+    }
 }
 
 /// The handle lifecycle is observable: Queued (paused) → Running → Done, and

@@ -1,0 +1,420 @@
+//! Blocking client library for the compilation service's TCP protocol.
+//!
+//! [`Client::connect`] performs the [`Request::Hello`] handshake and spawns a
+//! demultiplexing reader thread: every [`Response`] frame is routed by its
+//! correlation id to the [`RemoteJob`] that owns it, so any number of
+//! submissions can be in flight on one connection while their events interleave
+//! arbitrarily. [`RemoteJob::wait`] consumes the event stream down to the
+//! terminal frame; [`RemoteJob::next_update`] exposes the stream itself
+//! (`Queued` → `Running` → one `JobDone` per job → `Report`).
+
+use crate::wire::{
+    read_frame, write_frame, FrameError, JobEvent, RejectReason, Request, Response, ServerStats,
+    SubmitPayload, WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use vqc_core::CompilationReport;
+use vqc_runtime::Priority;
+
+/// Why a remote operation failed.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// The framing layer failed (socket error, oversized frame, undecodable
+    /// payload).
+    Frame(FrameError),
+    /// The server refused the request.
+    Rejected(RejectReason),
+    /// The submission was canceled (locally via [`RemoteJob::cancel`] or by
+    /// the server).
+    Canceled,
+    /// The connection died before the operation completed.
+    Disconnected,
+    /// The server broke the protocol (e.g. answered the handshake with an
+    /// unexpected frame), or reported a protocol-level error.
+    Protocol(String),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Frame(e) => write!(f, "{e}"),
+            RemoteError::Rejected(reason) => write!(f, "rejected: {reason}"),
+            RemoteError::Canceled => write!(f, "submission was canceled"),
+            RemoteError::Disconnected => write!(f, "connection to the server was lost"),
+            RemoteError::Protocol(message) => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<FrameError> for RemoteError {
+    fn from(e: FrameError) -> Self {
+        RemoteError::Frame(e)
+    }
+}
+
+/// Connection parameters negotiated in the handshake.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Name reported to the server (logs/dashboards only).
+    pub name: String,
+    /// Default priority class for this connection's submissions.
+    pub priority: Priority,
+    /// Fair-share weight within the class.
+    pub weight: f64,
+    /// Frame size bound (must be at least the server's to receive big reports).
+    pub max_frame: usize,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            name: String::from("vqc-client"),
+            priority: Priority::NORMAL,
+            weight: 1.0,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+impl ClientOptions {
+    /// Replaces the reported client name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Replaces the default priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Replaces the fair-share weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// A progress update for one remote submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobUpdate {
+    /// An intermediate event (`Queued`, `Running`, `JobDone`, `Status`, …).
+    Event(JobEvent),
+    /// The terminal result set, one entry per job in submission order.
+    Report(Vec<Result<CompilationReport, WireError>>),
+    /// The server refused or dropped the submission.
+    Rejected(RejectReason),
+}
+
+enum Routed {
+    Update(JobUpdate),
+    /// The reader thread is tearing down; no more updates will arrive.
+    Lost,
+}
+
+#[derive(Default)]
+struct RouteTable {
+    /// Live per-submission channels, keyed by correlation id.
+    routes: HashMap<u64, Sender<Routed>>,
+    /// Waiters for id-less responses (`Stats`, protocol `Error`s), FIFO.
+    control: Vec<Sender<Result<ServerStats, RemoteError>>>,
+}
+
+struct ClientShared {
+    table: Mutex<RouteTable>,
+    lost: AtomicBool,
+}
+
+impl ClientShared {
+    fn tear_down(&self) {
+        self.lost.store(true, Ordering::SeqCst);
+        let mut table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        for (_, route) in table.routes.drain() {
+            let _ = route.send(Routed::Lost);
+        }
+        for waiter in table.control.drain(..) {
+            let _ = waiter.send(Err(RemoteError::Disconnected));
+        }
+    }
+}
+
+/// A blocking connection to a compilation server.
+#[derive(Debug)]
+pub struct Client {
+    writer: Arc<Mutex<TcpStream>>,
+    shared: Arc<ClientShared>,
+    reader_thread: Option<std::thread::JoinHandle<()>>,
+    client_id: u64,
+    max_frame: usize,
+    next_submission: AtomicU64,
+}
+
+impl std::fmt::Debug for ClientShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientShared")
+            .field("lost", &self.lost.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects, performs the handshake, and starts the demux reader.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors, a version-mismatch rejection, or a
+    /// malformed handshake reply.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        options: ClientOptions,
+    ) -> Result<Client, RemoteError> {
+        let mut stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
+        // Latency over throughput: requests are single small frames.
+        let _ = stream.set_nodelay(true);
+        let max_frame = options.max_frame;
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                protocol: PROTOCOL_VERSION,
+                client_name: options.name,
+                priority: options.priority.0,
+                weight: options.weight,
+            },
+            max_frame,
+        )?;
+        let client_id = match read_frame::<_, Response>(&mut stream, max_frame)? {
+            Response::Accepted { client_id, .. } => client_id,
+            Response::Rejected { reason, .. } => return Err(RemoteError::Rejected(reason)),
+            other => {
+                return Err(RemoteError::Protocol(format!(
+                    "unexpected handshake reply: {other:?}"
+                )))
+            }
+        };
+        let shared = Arc::new(ClientShared {
+            table: Mutex::new(RouteTable::default()),
+            lost: AtomicBool::new(false),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let mut reader = stream.try_clone().map_err(FrameError::Io)?;
+        let reader_thread = std::thread::spawn(move || {
+            while let Ok(response) = read_frame::<_, Response>(&mut reader, max_frame) {
+                route_response(&reader_shared, response);
+            }
+            reader_shared.tear_down();
+        });
+        Ok(Client {
+            writer: Arc::new(Mutex::new(stream)),
+            shared,
+            reader_thread: Some(reader_thread),
+            client_id,
+            max_frame,
+            next_submission: AtomicU64::new(1),
+        })
+    }
+
+    /// The service client id the server assigned to this connection.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    fn send(&self, request: &Request) -> Result<(), RemoteError> {
+        if self.shared.lost.load(Ordering::SeqCst) {
+            return Err(RemoteError::Disconnected);
+        }
+        let mut stream = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        write_frame(&mut *stream, request, self.max_frame)?;
+        Ok(())
+    }
+
+    /// Submits work at the connection's negotiated priority.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is lost. Admission-level refusals (queue full,
+    /// shed) surface on the returned job's stream, not here.
+    pub fn submit(&self, payload: SubmitPayload) -> Result<RemoteJob, RemoteError> {
+        self.submit_with(payload, None)
+    }
+
+    /// Submits work, optionally overriding the negotiated priority.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is lost.
+    pub fn submit_with(
+        &self,
+        payload: SubmitPayload,
+        priority: Option<Priority>,
+    ) -> Result<RemoteJob, RemoteError> {
+        let id = self.next_submission.fetch_add(1, Ordering::Relaxed);
+        let (sender, receiver) = std::sync::mpsc::channel();
+        {
+            let mut table = self.shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            table.routes.insert(id, sender);
+        }
+        if let Err(error) = self.send(&Request::Submit {
+            id,
+            payload,
+            priority: priority.map(|p| p.0),
+        }) {
+            self.shared
+                .table
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .routes
+                .remove(&id);
+            return Err(error);
+        }
+        Ok(RemoteJob {
+            id,
+            updates: receiver,
+            writer: Arc::clone(&self.writer),
+            max_frame: self.max_frame,
+        })
+    }
+
+    /// Fetches the server's global metrics plus this client's slice.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is lost or the server reports an error.
+    pub fn stats(&self) -> Result<ServerStats, RemoteError> {
+        let (sender, receiver) = std::sync::mpsc::channel();
+        {
+            let mut table = self.shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            table.control.push(sender);
+        }
+        self.send(&Request::Stats)?;
+        receiver.recv().map_err(|_| RemoteError::Disconnected)?
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is already lost.
+    pub fn shutdown_server(&self) -> Result<(), RemoteError> {
+        self.send(&Request::Shutdown)
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Closing the socket ends the reader thread; dropping the connection
+        // server-side cancels whatever this client still had in flight.
+        {
+            let stream = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.reader_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn route_response(shared: &ClientShared, response: Response) {
+    let (id, update) = match response {
+        Response::Event { id, event } => (id, JobUpdate::Event(event)),
+        Response::Report { id, results } => (id, JobUpdate::Report(results)),
+        Response::Rejected { id, reason } => (id, JobUpdate::Rejected(reason)),
+        Response::Stats { stats } => {
+            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            if !table.control.is_empty() {
+                let _ = table.control.remove(0).send(Ok(stats));
+            }
+            return;
+        }
+        Response::Error { message } => {
+            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            if !table.control.is_empty() {
+                let _ = table
+                    .control
+                    .remove(0)
+                    .send(Err(RemoteError::Protocol(message)));
+            }
+            return;
+        }
+        Response::Accepted { .. } => return,
+    };
+    let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+    let terminal = matches!(update, JobUpdate::Report(_) | JobUpdate::Rejected(_))
+        || matches!(update, JobUpdate::Event(JobEvent::Canceled));
+    if terminal {
+        if let Some(route) = table.routes.remove(&id) {
+            let _ = route.send(Routed::Update(update));
+        }
+    } else if let Some(route) = table.routes.get(&id) {
+        let _ = route.send(Routed::Update(update));
+    }
+}
+
+/// A submission in flight on a remote server.
+#[derive(Debug)]
+pub struct RemoteJob {
+    id: u64,
+    updates: Receiver<Routed>,
+    writer: Arc<Mutex<TcpStream>>,
+    max_frame: usize,
+}
+
+impl RemoteJob {
+    /// The correlation id this submission travels under.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks for the next progress update.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Disconnected`] once the connection is lost.
+    pub fn next_update(&self) -> Result<JobUpdate, RemoteError> {
+        match self.updates.recv() {
+            Ok(Routed::Update(update)) => Ok(update),
+            Ok(Routed::Lost) | Err(_) => Err(RemoteError::Disconnected),
+        }
+    }
+
+    /// Blocks until the terminal frame and returns the per-job results.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Rejected`] if the server refused or shed the submission,
+    /// [`RemoteError::Canceled`] if it was canceled,
+    /// [`RemoteError::Disconnected`] if the connection died first.
+    #[allow(clippy::type_complexity)]
+    pub fn wait(&self) -> Result<Vec<Result<CompilationReport, WireError>>, RemoteError> {
+        loop {
+            match self.next_update()? {
+                JobUpdate::Event(JobEvent::Canceled) => return Err(RemoteError::Canceled),
+                JobUpdate::Event(_) => continue,
+                JobUpdate::Report(results) => return Ok(results),
+                JobUpdate::Rejected(reason) => return Err(RemoteError::Rejected(reason)),
+            }
+        }
+    }
+
+    /// Asks the server to cancel this submission. The cancellation is
+    /// confirmed by a terminal `Canceled` event on the stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the request cannot be written.
+    pub fn cancel(&self) -> Result<(), RemoteError> {
+        let mut stream = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        write_frame(
+            &mut *stream,
+            &Request::Cancel { id: self.id },
+            self.max_frame,
+        )?;
+        Ok(())
+    }
+}

@@ -1,0 +1,71 @@
+//! Network transport for the compilation service: the runtime's submission
+//! front-end served over TCP.
+//!
+//! The `vqc-runtime` request scheduler is in-process; this crate is the
+//! "Transport" seam on top of it — remote clients submit work, observe
+//! progress, and read fairness metrics over a socket:
+//!
+//! * [`wire`] — the typed protocol: length-prefixed, size-bounded, versioned
+//!   frames carrying bincode-encoded [`Request`] / [`Response`] messages
+//!   (`Hello`/`Submit`/`Status`/`Cancel`/`Stats`/`Shutdown` in,
+//!   `Accepted`/`Event`/`Report`/`Rejected`/`Stats`/`Error` out).
+//! * [`Server`] — a multi-threaded `std::net` listener fronting a shared
+//!   [`vqc_runtime::CompilationRuntime`]. Each connection handshakes via
+//!   `Hello` (protocol-version check) and is mapped to a service client id at
+//!   its negotiated priority and fair-share weight; submissions stream
+//!   per-job completion events as blocks finish, and a dropped connection
+//!   cancels its in-flight submissions so remote failures cannot pin queue
+//!   capacity. Graceful shutdown drains everything admitted.
+//! * [`Client`] / [`RemoteJob`] — the blocking client: one demux reader
+//!   thread routes interleaved responses to any number of in-flight
+//!   submissions ([`RemoteJob::wait`] for results, [`RemoteJob::next_update`]
+//!   for the event stream, [`RemoteJob::cancel`] to abort).
+//!
+//! The `vqc-serve` / `vqc-submit` binaries in `crates/apps` wrap the two ends
+//! for the command line; `VQC_LISTEN`, `VQC_MAX_FRAME`, and `VQC_MAX_CONNS`
+//! configure the server side.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vqc_circuit::Circuit;
+//! use vqc_core::{CompilerOptions, Strategy};
+//! use vqc_runtime::{CompilationRuntime, RuntimeOptions};
+//! use vqc_transport::{Client, ClientOptions, Server, ServerOptions, SubmitPayload};
+//!
+//! let runtime = Arc::new(CompilationRuntime::new(
+//!     CompilerOptions::fast(),
+//!     RuntimeOptions::with_workers(2),
+//! ));
+//! let server = Server::bind("127.0.0.1:0", runtime, ServerOptions::default()).unwrap();
+//!
+//! let client = Client::connect(server.local_addr(), ClientOptions::default()).unwrap();
+//! let mut circuit = Circuit::new(2);
+//! circuit.h(0);
+//! circuit.cx(0, 1);
+//! let job = client
+//!     .submit(SubmitPayload::Iterations {
+//!         circuit,
+//!         parameter_sets: vec![vec![], vec![]],
+//!         strategy: Strategy::GateBased,
+//!     })
+//!     .unwrap();
+//! let results = job.wait().unwrap();
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod server;
+pub mod wire;
+
+pub use client::{Client, ClientOptions, JobUpdate, RemoteError, RemoteJob};
+pub use server::{Server, ServerOptions, DEFAULT_LISTEN};
+pub use wire::{
+    JobEvent, RejectReason, Request, Response, ServerStats, SubmitPayload, WireError, WireJob,
+    WireStatus, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};

@@ -1,0 +1,482 @@
+//! Loopback integration tests of the TCP transport: concurrent remote clients
+//! share the scheduler (exactly-once compilation, priority ordering, per-client
+//! stats), disconnects cancel in-flight work and free queue capacity, and
+//! protocol faults (malformed frames, oversized frames, version mismatches)
+//! are contained to the offending connection.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use vqc_circuit::Circuit;
+use vqc_core::{CompilerOptions, Strategy};
+use vqc_runtime::{Backpressure, CompilationRuntime, Priority, RuntimeOptions, ServiceOptions};
+use vqc_transport::{
+    wire, Client, ClientOptions, JobEvent, JobUpdate, RejectReason, RemoteError, Request, Response,
+    Server, ServerOptions, SubmitPayload, PROTOCOL_VERSION,
+};
+
+fn fast_options() -> CompilerOptions {
+    let mut options = CompilerOptions::fast();
+    options.grape.max_iterations = 80;
+    options.grape.target_infidelity = 5e-2;
+    options.search_precision_ns = 2.0;
+    options
+}
+
+/// A circuit that aggregates into exactly one Fixed 2-qubit GRAPE block.
+fn one_block_circuit(phase: f64) -> Circuit {
+    let mut circuit = Circuit::new(2);
+    circuit.h(0);
+    circuit.h(1);
+    circuit.cx(0, 1);
+    circuit.rx(0, phase);
+    circuit.cx(0, 1);
+    circuit
+}
+
+/// A 4-qubit circuit aggregating (at `max_block_width = 2`) into a shared
+/// (0, 1) block identical for every phase and a private (2, 3) block.
+fn shared_plus_private(private_phase: f64) -> Circuit {
+    let mut circuit = Circuit::new(4);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.rx(0, 0.7);
+    circuit.cx(0, 1);
+    circuit.h(2);
+    circuit.cx(2, 3);
+    circuit.rx(2, private_phase);
+    circuit.cx(2, 3);
+    circuit
+}
+
+fn serve(runtime: CompilationRuntime) -> (Server, Arc<CompilationRuntime>) {
+    let runtime = Arc::new(runtime);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&runtime),
+        ServerOptions::default(),
+    )
+    .expect("bind loopback");
+    (server, runtime)
+}
+
+/// The acceptance scenario over real sockets: two TCP clients at different
+/// priorities submit overlapping batches; the shared block compiles exactly
+/// once, both get complete reports with identical shared-block pulses, and the
+/// per-client `Stats` slices attribute the work correctly.
+#[test]
+fn two_remote_clients_share_blocks_exactly_once_with_priority_ordering() {
+    let mut options = fast_options();
+    options.max_block_width = 2;
+    let (server, runtime) = serve(CompilationRuntime::new(
+        options,
+        RuntimeOptions::with_workers(1),
+    ));
+    runtime.pause();
+
+    let low_client = Client::connect(
+        server.local_addr(),
+        ClientOptions::default()
+            .with_name("low")
+            .with_priority(Priority::LOW),
+    )
+    .unwrap();
+    let high_client = Client::connect(
+        server.local_addr(),
+        ClientOptions::default()
+            .with_name("high")
+            .with_priority(Priority::HIGH),
+    )
+    .unwrap();
+    assert_ne!(low_client.client_id(), high_client.client_id());
+
+    let low_job = low_client
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: shared_plus_private(0.3),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    // Let the low submission expand first so it owns the shared block's task
+    // (the high client then coalesces and re-posts it at its own class).
+    loop {
+        match low_job.next_update().unwrap() {
+            JobUpdate::Event(JobEvent::Running { jobs }) => {
+                assert_eq!(jobs, 1);
+                break;
+            }
+            JobUpdate::Event(_) => continue,
+            other => panic!("unexpected update before Running: {other:?}"),
+        }
+    }
+    let high_job = high_client
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: shared_plus_private(1.9),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    // Both expanded into the paused ready queue, then dispatch.
+    loop {
+        match high_job.next_update().unwrap() {
+            JobUpdate::Event(JobEvent::Running { .. }) => break,
+            JobUpdate::Event(_) => continue,
+            other => panic!("unexpected update before Running: {other:?}"),
+        }
+    }
+    runtime.resume();
+
+    let low_reports = low_job.wait().unwrap();
+    let high_reports = high_job.wait().unwrap();
+    let low_report = low_reports[0].as_ref().unwrap();
+    let high_report = high_reports[0].as_ref().unwrap();
+    assert_eq!(low_report.num_blocks, 2);
+    assert_eq!(high_report.num_blocks, 2);
+    let shared_duration = |report: &vqc_core::CompilationReport| {
+        report
+            .blocks
+            .iter()
+            .find(|b| b.qubits == vec![0, 1])
+            .map(|b| b.duration_ns)
+            .expect("both plans contain the shared (0,1) block")
+    };
+    assert_eq!(shared_duration(low_report), shared_duration(high_report));
+
+    // Exactly-once: three unique GRAPE compilations for four block requests.
+    let metrics = runtime.metrics();
+    assert_eq!(metrics.unique_compilations, 3);
+    assert_eq!(metrics.coalesced_waits, 1);
+
+    // Per-client observability over the wire: the low client led the shared
+    // block and its own private block; the high client compiled only its
+    // private block and was served the shared one by fan-out.
+    let low_stats = low_client.stats().unwrap();
+    let high_stats = high_client.stats().unwrap();
+    assert_eq!(low_stats.client_id, low_client.client_id());
+    assert_eq!(low_stats.client.submissions, 1);
+    assert_eq!(low_stats.client.compilations, 2);
+    assert_eq!(high_stats.client.compilations, 1);
+    assert_eq!(high_stats.client.coalesced_waits, 1);
+    assert_eq!(high_stats.client.cache_hits, 1);
+    assert_eq!(low_stats.runtime.unique_compilations, 3);
+}
+
+/// A client that disconnects mid-job has its submission canceled, which frees
+/// admission-queue capacity for other clients.
+#[test]
+fn disconnect_mid_job_cancels_and_frees_queue_capacity() {
+    let (server, runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1).with_service(
+            ServiceOptions::default()
+                .with_queue_depth(1)
+                .with_backpressure(Backpressure::Reject),
+        ),
+    ));
+    runtime.pause(); // hold the first submission in flight
+
+    let doomed = Client::connect(server.local_addr(), ClientOptions::default()).unwrap();
+    let doomed_job = doomed
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: one_block_circuit(0.4),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    // Ensure the submission was admitted before the disconnect.
+    match doomed_job.next_update().unwrap() {
+        JobUpdate::Event(JobEvent::Queued) => {}
+        other => panic!("expected Queued, got {other:?}"),
+    }
+
+    // The queue is at depth: a second client is rejected.
+    let survivor = Client::connect(server.local_addr(), ClientOptions::default()).unwrap();
+    let rejected = survivor
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: one_block_circuit(0.9),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    match rejected.wait() {
+        Err(RemoteError::Rejected(RejectReason::QueueFull { depth: 1 })) => {}
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    // Drop the first client's connection mid-job: the server cancels its
+    // submission and releases the admission slot.
+    drop(doomed);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while runtime.metrics().canceled_submissions == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnect did not cancel the in-flight submission"
+        );
+        std::thread::yield_now();
+    }
+
+    let retried = survivor
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: one_block_circuit(0.9),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    runtime.resume();
+    let results = retried.wait().expect("the freed slot admits the survivor");
+    assert!(results[0].is_ok());
+    // The canceled client's block was garbage-collected, never compiled.
+    assert_eq!(runtime.metrics().unique_compilations, 1);
+}
+
+/// Remote cancellation: the client sends `Cancel`, the stream terminates with
+/// a `Canceled` event, and `wait` surfaces it as an error.
+#[test]
+fn remote_cancel_terminates_the_stream() {
+    let (server, runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1),
+    ));
+    runtime.pause();
+    let client = Client::connect(server.local_addr(), ClientOptions::default()).unwrap();
+    let job = client
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: one_block_circuit(0.4),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    job.cancel().unwrap();
+    match job.wait() {
+        Err(RemoteError::Canceled) => {}
+        other => panic!("expected Canceled, got {other:?}"),
+    }
+    runtime.resume();
+
+    // Canceling an unknown id is a rejection, not a hang or a crash.
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    wire::write_frame(
+        &mut raw,
+        &Request::Hello {
+            protocol: PROTOCOL_VERSION,
+            client_name: "canceler".into(),
+            priority: 8,
+            weight: 1.0,
+        },
+        wire::DEFAULT_MAX_FRAME,
+    )
+    .unwrap();
+    match wire::read_frame::<_, Response>(&mut raw, wire::DEFAULT_MAX_FRAME).unwrap() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+    wire::write_frame(
+        &mut raw,
+        &Request::Cancel { id: 99 },
+        wire::DEFAULT_MAX_FRAME,
+    )
+    .unwrap();
+    match wire::read_frame::<_, Response>(&mut raw, wire::DEFAULT_MAX_FRAME).unwrap() {
+        Response::Rejected {
+            id: 99,
+            reason: RejectReason::UnknownSubmission,
+        } => {}
+        other => panic!("expected UnknownSubmission, got {other:?}"),
+    }
+}
+
+/// Malformed and oversized frames are contained: the offending connection gets
+/// an error (and, for oversized, is closed), while the server keeps serving
+/// other clients.
+#[test]
+fn protocol_faults_do_not_kill_the_server() {
+    let (server, runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1),
+    ));
+    let addr = server.local_addr();
+
+    // A well-framed but undecodable payload after a valid handshake: the
+    // server answers Error and keeps the connection alive.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    wire::write_frame(
+        &mut raw,
+        &Request::Hello {
+            protocol: PROTOCOL_VERSION,
+            client_name: "fault-injector".into(),
+            priority: 8,
+            weight: 1.0,
+        },
+        wire::DEFAULT_MAX_FRAME,
+    )
+    .unwrap();
+    match wire::read_frame::<_, Response>(&mut raw, wire::DEFAULT_MAX_FRAME).unwrap() {
+        Response::Accepted { .. } => {}
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+    let garbage = [0xffu8; 8];
+    raw.write_all(&(garbage.len() as u32).to_le_bytes())
+        .unwrap();
+    raw.write_all(&garbage).unwrap();
+    match wire::read_frame::<_, Response>(&mut raw, wire::DEFAULT_MAX_FRAME).unwrap() {
+        Response::Error { .. } => {}
+        other => panic!("expected Error for a malformed frame, got {other:?}"),
+    }
+    // The connection survived the malformed frame: Stats still answers.
+    wire::write_frame(&mut raw, &Request::Stats, wire::DEFAULT_MAX_FRAME).unwrap();
+    match wire::read_frame::<_, Response>(&mut raw, wire::DEFAULT_MAX_FRAME).unwrap() {
+        Response::Stats { .. } => {}
+        other => panic!("expected Stats after recovery, got {other:?}"),
+    }
+
+    // An oversized length prefix poisons the stream: Error, then close.
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    match wire::read_frame::<_, Response>(&mut raw, wire::DEFAULT_MAX_FRAME) {
+        Ok(Response::Error { .. }) => {}
+        Err(_) => {} // the server may close before the error frame is read
+        other => panic!("expected Error/close for an oversized frame, got {other:?}"),
+    }
+
+    // The server is still alive for well-behaved clients.
+    let client = Client::connect(addr, ClientOptions::default()).unwrap();
+    let job = client
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: one_block_circuit(0.4),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    assert!(job.wait().unwrap()[0].is_ok());
+    assert!(runtime.metrics().unique_compilations >= 1);
+}
+
+/// A Hello with the wrong protocol version is rejected with both versions in
+/// the reply, and the connection is closed.
+#[test]
+fn protocol_version_mismatch_is_rejected_in_hello() {
+    let (server, _runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1),
+    ));
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    wire::write_frame(
+        &mut raw,
+        &Request::Hello {
+            protocol: PROTOCOL_VERSION + 41,
+            client_name: "time-traveler".into(),
+            priority: 8,
+            weight: 1.0,
+        },
+        wire::DEFAULT_MAX_FRAME,
+    )
+    .unwrap();
+    match wire::read_frame::<_, Response>(&mut raw, wire::DEFAULT_MAX_FRAME).unwrap() {
+        Response::Rejected {
+            id: 0,
+            reason: RejectReason::VersionMismatch { server, client },
+        } => {
+            assert_eq!(server, PROTOCOL_VERSION);
+            assert_eq!(client, PROTOCOL_VERSION + 41);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    // The server hangs up after the rejection.
+    assert!(matches!(
+        wire::read_frame::<_, Response>(&mut raw, wire::DEFAULT_MAX_FRAME),
+        Err(wire::FrameError::Closed) | Err(wire::FrameError::Io(_))
+    ));
+    // A frame that is not Hello first is likewise rejected.
+    let mut eager = TcpStream::connect(server.local_addr()).unwrap();
+    wire::write_frame(&mut eager, &Request::Stats, wire::DEFAULT_MAX_FRAME).unwrap();
+    match wire::read_frame::<_, Response>(&mut eager, wire::DEFAULT_MAX_FRAME).unwrap() {
+        Response::Rejected {
+            reason: RejectReason::HelloRequired,
+            ..
+        } => {}
+        other => panic!("expected HelloRequired, got {other:?}"),
+    }
+}
+
+/// Submissions stream `Queued` → `Running` → one `JobDone` per job → `Report`,
+/// with job completions observable before the terminal frame.
+#[test]
+fn events_stream_per_job_completions_before_the_report() {
+    let (server, _runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(2),
+    ));
+    let client = Client::connect(server.local_addr(), ClientOptions::default()).unwrap();
+    let mut circuit = one_block_circuit(0.8);
+    circuit.rz_expr(1, vqc_circuit::ParamExpr::theta(0));
+    let job = client
+        .submit(SubmitPayload::Iterations {
+            circuit,
+            parameter_sets: vec![vec![0.1], vec![0.7], vec![2.2]],
+            strategy: Strategy::StrictPartial,
+        })
+        .unwrap();
+    let mut done_jobs = Vec::new();
+    let report = loop {
+        match job.next_update().unwrap() {
+            JobUpdate::Event(JobEvent::Queued) | JobUpdate::Event(JobEvent::Running { .. }) => {}
+            JobUpdate::Event(JobEvent::JobDone {
+                job: index,
+                ok,
+                pulse_duration_ns,
+            }) => {
+                assert!(ok);
+                assert!(pulse_duration_ns > 0.0);
+                done_jobs.push(index);
+            }
+            JobUpdate::Report(results) => break results,
+            other => panic!("unexpected update: {other:?}"),
+        }
+    };
+    assert_eq!(report.len(), 3);
+    assert!(report.iter().all(|r| r.is_ok()));
+    done_jobs.sort_unstable();
+    assert_eq!(
+        done_jobs,
+        vec![0, 1, 2],
+        "every job completion was streamed"
+    );
+
+    // Status polls answer out-of-band of the event stream.
+    let idle = client.submit(SubmitPayload::Batch(vec![])).unwrap();
+    match idle.wait() {
+        Ok(results) => assert!(results.is_empty()),
+        other => panic!("empty batch should succeed, got {other:?}"),
+    }
+}
+
+/// Graceful shutdown over the wire: `Shutdown` *drains* — a job still in
+/// flight when the request arrives is compiled to completion and its `Report`
+/// delivered (shutdown is not a cancel) — then `wait()` returns.
+#[test]
+fn remote_shutdown_drains_and_stops_the_server() {
+    let (server, runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1),
+    ));
+    let addr = server.local_addr();
+    let client = Client::connect(addr, ClientOptions::default()).unwrap();
+    // Hold the job in flight (paused workers), then ask for shutdown while it
+    // has not compiled yet.
+    runtime.pause();
+    let job = client
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: one_block_circuit(0.4),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    client.shutdown_server().unwrap();
+    runtime.resume();
+    assert!(
+        job.wait().expect("drained, not canceled")[0].is_ok(),
+        "a shutdown must drain in-flight submissions to their reports"
+    );
+    client.shutdown_server().unwrap();
+    server.wait(); // returns once the listener thread exits
+    assert_eq!(runtime.metrics().unique_compilations, 1);
+}

@@ -239,6 +239,31 @@ impl<T: de::Deserialize> de::Deserialize for Option<T> {
     }
 }
 
+impl<T: ser::Serialize, E: ser::Serialize> ser::Serialize for Result<T, E> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            Ok(value) => {
+                out.push(0);
+                value.serialize(out);
+            }
+            Err(error) => {
+                out.push(1);
+                error.serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: de::Deserialize, E: de::Deserialize> de::Deserialize for Result<T, E> {
+    fn deserialize(reader: &mut Reader<'_>) -> Result<Self, Error> {
+        match reader.take(1)?[0] {
+            0 => Ok(Ok(T::deserialize(reader)?)),
+            1 => Ok(Err(E::deserialize(reader)?)),
+            other => Err(Error::custom(format!("invalid result tag {other}"))),
+        }
+    }
+}
+
 fn serialize_seq<'a, T: ser::Serialize + 'a>(
     items: impl ExactSizeIterator<Item = &'a T>,
     out: &mut Vec<u8>,
@@ -447,6 +472,21 @@ mod tests {
         round_trip(BTreeSet::from([(0usize, 1usize), (1, 2)]));
         round_trip(BTreeMap::from([(String::from("a"), 1u32)]));
         round_trip(HashMap::from([(String::from("k"), vec![1u8, 2])]));
+    }
+
+    #[test]
+    fn results_round_trip() {
+        round_trip(Result::<u32, String>::Ok(7));
+        round_trip(Result::<u32, String>::Err(String::from("queue full")));
+        round_trip(vec![
+            Result::<f64, u8>::Ok(1.5),
+            Result::<f64, u8>::Err(3),
+            Result::<f64, u8>::Ok(-0.25),
+        ]);
+        let mut bytes = Vec::new();
+        2u8.serialize(&mut bytes); // neither the Ok nor the Err tag
+        let mut reader = Reader::new(&bytes);
+        assert!(Result::<u32, u32>::deserialize(&mut reader).is_err());
     }
 
     #[test]

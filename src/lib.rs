@@ -18,6 +18,11 @@
 //!   backpressure, a scheduler that merges and deduplicates block tasks across
 //!   requests onto a persistent worker pool, a synchronous batch API over many
 //!   circuits / variational iterations, and persistent cache warm-start.
+//! * [`transport`] — the service served over TCP: a length-prefixed, versioned,
+//!   bincode-encoded wire protocol, a multi-threaded server that maps authenticated
+//!   connections to service client ids (streaming per-job completion events and
+//!   canceling on disconnect), and a blocking client library. The `vqc-serve` /
+//!   `vqc-submit` binaries in `crates/apps` wrap the two ends.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction of every table and figure.
@@ -29,3 +34,4 @@ pub use vqc_linalg as linalg;
 pub use vqc_pulse as pulse;
 pub use vqc_runtime as runtime;
 pub use vqc_sim as sim;
+pub use vqc_transport as transport;
