@@ -1,0 +1,235 @@
+//! `vqc-top` — live dashboard over a running `vqc-serve`.
+//!
+//! ```text
+//! vqc-top [ADDRESS] [--once] [--json] [--dump-trace[=PATH]]
+//! ```
+//!
+//! Connects to `ADDRESS` (or `VQC_LISTEN`, default `127.0.0.1:7878`), issues
+//! the `Watch` request, and redraws a plain-ANSI dashboard on every server
+//! metrics tick: worker utilization, queue depths by priority class, cache hit
+//! ratio, per-class latency percentiles, and the most recent lifecycle events.
+//! Refresh cadence is the server's `VQC_METRICS_INTERVAL`, not a client-side
+//! timer.
+//!
+//! `--once` renders a single snapshot and exits (CI smoke tests); `--json`
+//! prints each snapshot as one JSON line instead of the dashboard;
+//! `--dump-trace[=PATH]` skips the dashboard entirely, fetches the server's
+//! lifecycle trace ring, and writes it as Chrome `trace_event` JSON (load it
+//! at `chrome://tracing` or <https://ui.perfetto.dev>) — default path
+//! `vqc-trace.json`.
+
+use vqc_runtime::{chrome_trace_json, MetricsSnapshot, TraceEvent, PRIORITY_CLASS_NAMES};
+use vqc_transport::{Client, ClientOptions, RemoteError, DEFAULT_LISTEN};
+
+struct Args {
+    addr: String,
+    once: bool,
+    json: bool,
+    dump_trace: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: std::env::var("VQC_LISTEN").unwrap_or_else(|_| DEFAULT_LISTEN.to_string()),
+        once: false,
+        json: false,
+        dump_trace: None,
+    };
+    for arg in std::env::args().skip(1) {
+        if arg == "--once" {
+            args.once = true;
+        } else if arg == "--json" {
+            args.json = true;
+        } else if arg == "--dump-trace" {
+            args.dump_trace = Some(String::from("vqc-trace.json"));
+        } else if let Some(path) = arg.strip_prefix("--dump-trace=") {
+            args.dump_trace = Some(path.to_string());
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            args.addr = arg;
+        }
+    }
+    Ok(args)
+}
+
+/// Renders a duration in the most readable unit for its magnitude.
+fn fmt_duration(seconds: f64) -> String {
+    if seconds <= 0.0 {
+        String::from("-")
+    } else if seconds < 1e-3 {
+        format!("{:.0}µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2}s")
+    }
+}
+
+fn utilization_bar(ratio: f64, width: usize) -> String {
+    let filled = ((ratio.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut bar = String::with_capacity(width);
+    for i in 0..width {
+        bar.push(if i < filled { '#' } else { '.' });
+    }
+    bar
+}
+
+fn render(addr: &str, snapshot: &MetricsSnapshot, events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "vqc-top — {addr}   uptime {:.1}s   snapshot #{}\n\n",
+        snapshot.uptime_seconds, snapshot.seq
+    ));
+    out.push_str(&format!(
+        "workers   {:>2}/{:<2} busy [{}] {:>5.1}%\n",
+        snapshot.busy_workers,
+        snapshot.workers,
+        utilization_bar(snapshot.worker_utilization(), 24),
+        snapshot.worker_utilization() * 100.0,
+    ));
+    let queued: u64 = snapshot.queued_by_class.iter().sum();
+    out.push_str(&format!(
+        "queue     {queued} queued (low {} / normal {} / high {})   {} outstanding   {} ready tasks\n",
+        snapshot.queued_by_class[0],
+        snapshot.queued_by_class[1],
+        snapshot.queued_by_class[2],
+        snapshot.outstanding,
+        snapshot.ready_tasks,
+    ));
+    out.push_str(&format!(
+        "submits   {} total   {} completed   {} shed   {} rejected   {} canceled\n",
+        snapshot.submissions,
+        snapshot.completed,
+        snapshot.shed,
+        snapshot.rejected,
+        snapshot.canceled,
+    ));
+    out.push_str(&format!(
+        "cache     {:.1}% hits ({}/{})   {} entries   {} evictions   {} unique compiles   {} coalesced\n\n",
+        snapshot.cache_hit_ratio() * 100.0,
+        snapshot.cache_hits,
+        snapshot.cache_hits + snapshot.cache_misses,
+        snapshot.cache_entries,
+        snapshot.cache_evictions,
+        snapshot.unique_compilations,
+        snapshot.coalesced_waits,
+    ));
+
+    out.push_str("latency              count      p50      p95      p99\n");
+    for class in &snapshot.classes {
+        let name = PRIORITY_CLASS_NAMES
+            .get(class.class as usize)
+            .copied()
+            .unwrap_or("?");
+        if class.queue_wait.count > 0 {
+            out.push_str(&format!(
+                "  {name:<7} queue     {:>6} {:>8} {:>8} {:>8}\n",
+                class.queue_wait.count,
+                fmt_duration(class.queue_wait.p50()),
+                fmt_duration(class.queue_wait.p95()),
+                fmt_duration(class.queue_wait.p99()),
+            ));
+        }
+        if class.submit_to_report.count > 0 {
+            out.push_str(&format!(
+                "  {name:<7} e2e       {:>6} {:>8} {:>8} {:>8}\n",
+                class.submit_to_report.count,
+                fmt_duration(class.submit_to_report.p50()),
+                fmt_duration(class.submit_to_report.p95()),
+                fmt_duration(class.submit_to_report.p99()),
+            ));
+        }
+    }
+    if snapshot.classes.iter().all(|c| c.queue_wait.count == 0)
+        && snapshot
+            .classes
+            .iter()
+            .all(|c| c.submit_to_report.count == 0)
+    {
+        out.push_str("  (no completed submissions yet)\n");
+    }
+
+    if !events.is_empty() {
+        out.push_str("\nrecent events");
+        if snapshot.trace_dropped > 0 {
+            out.push_str(&format!("   ({} older dropped)", snapshot.trace_dropped));
+        }
+        out.push('\n');
+        for event in events.iter().rev().take(8).rev() {
+            out.push_str(&format!(
+                "  {:>12.3}ms  sub {:<4} {:<13} {}\n",
+                event.micros as f64 / 1e3,
+                event.submission,
+                event.stage.name(),
+                match event.client {
+                    Some(client) => format!("client {client}"),
+                    None => String::new(),
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn dump_trace(client: &Client, path: &str) -> Result<(), RemoteError> {
+    let events = client.trace()?;
+    let json = chrome_trace_json(&events);
+    std::fs::write(path, &json)
+        .map_err(|e| RemoteError::Protocol(format!("cannot write trace file {path}: {e}")))?;
+    eprintln!("vqc-top: wrote {} trace events to {path}", events.len());
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), RemoteError> {
+    let client = Client::connect(
+        &args.addr as &str,
+        ClientOptions::default().with_name("vqc-top"),
+    )?;
+
+    if let Some(path) = &args.dump_trace {
+        return dump_trace(&client, path);
+    }
+
+    let ticks = client.watch()?;
+    loop {
+        let snapshot = match ticks.recv() {
+            Ok(snapshot) => snapshot,
+            // Server drained or the connection closed: the stream is over.
+            Err(_) => return Ok(()),
+        };
+        if args.json {
+            println!("{}", snapshot.to_json_line());
+        } else {
+            // Lifecycle tail for the dashboard; best-effort (an empty list is
+            // rendered as no section, and a server without telemetry returns
+            // an empty ring anyway).
+            let events = client.trace().unwrap_or_default();
+            if !args.once {
+                // Home the cursor and clear: a plain-ANSI refresh, no TUI.
+                print!("\x1b[H\x1b[2J");
+            }
+            print!("{}", render(&args.addr, &snapshot, &events));
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        if args.once {
+            return Ok(());
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("vqc-top: {message}");
+            eprintln!("usage: vqc-top [ADDRESS] [--once] [--json] [--dump-trace[=PATH]]");
+            std::process::exit(2);
+        }
+    };
+    if let Err(error) = run(&args) {
+        eprintln!("vqc-top: {error}");
+        std::process::exit(1);
+    }
+}

@@ -24,7 +24,7 @@ use vqc_core::{
 };
 use vqc_runtime::{
     CacheConfig, CompilationRuntime, CompileJob, EvictionPolicy, Priority, RuntimeOptions,
-    SchedulePolicy, ShardedPulseCache, Submission,
+    SchedulePolicy, ShardedPulseCache, Submission, TelemetryOptions,
 };
 use vqc_transport::{Client, ClientOptions, Server, ServerOptions, SubmitPayload, WireJob};
 
@@ -313,6 +313,48 @@ fn bench_transport_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
+/// Instrumentation cost on the hot path: the same warm-cache submit→report
+/// loop with telemetry recording enabled (the default) and disabled. Each
+/// lifecycle stage costs a handful of relaxed atomic increments plus one
+/// ring-buffer write; the acceptance budget is <5% on warm submissions, and
+/// `emit_summary` enforces it on the noise-robust per-iteration minima.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(30);
+    let graph = Graph::three_regular(6, 20).expect("3-regular graph on 6 nodes");
+    let circuit = qaoa_circuit(&graph, 1);
+    let params: Vec<f64> = reference_parameters(2);
+    for (name, enabled) in [("telemetry_enabled", true), ("telemetry_disabled", false)] {
+        let runtime = CompilationRuntime::new(
+            bench_options(),
+            RuntimeOptions::with_workers(2)
+                .with_telemetry(TelemetryOptions::default().with_enabled(enabled)),
+        );
+        // Warm the cache so the loop measures submission overhead, not GRAPE.
+        runtime
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .expect("the warmup compiles");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let handle = runtime
+                    .submit(Submission::single(
+                        circuit.clone(),
+                        &params[..],
+                        Strategy::StrictPartial,
+                    ))
+                    .expect("queue empty");
+                black_box(
+                    handle.wait().expect("not shed")[0]
+                        .as_ref()
+                        .unwrap()
+                        .pulse_duration_ns,
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_cache_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_contention");
     group.sample_size(10);
@@ -451,6 +493,30 @@ fn emit_summary(c: &mut Criterion) {
         ));
     }
     json.push_str("  ],\n");
+    // The telemetry budget: instrumentation must cost <5% on warm submissions.
+    // The comparison uses per-iteration minima (robust against scheduler
+    // noise), with a 10µs absolute floor so a sub-noise difference on a fast
+    // host cannot fail the ratio check.
+    let bench = |group: &str, name: &str| {
+        results
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .map(|r| (r.mean_ns, r.min_ns))
+    };
+    if let (Some((enabled_mean, enabled_min)), Some((disabled_mean, disabled_min))) = (
+        bench("telemetry_overhead", "telemetry_enabled"),
+        bench("telemetry_overhead", "telemetry_disabled"),
+    ) {
+        let ratio = enabled_min / disabled_min;
+        json.push_str(&format!(
+            "  \"telemetry_overhead\": {{\"enabled_mean_ns\": {enabled_mean:.1}, \"disabled_mean_ns\": {disabled_mean:.1}, \"enabled_min_ns\": {enabled_min:.1}, \"disabled_min_ns\": {disabled_min:.1}, \"overhead_ratio\": {ratio:.4}, \"budget_ratio\": 1.05}},\n"
+        ));
+        assert!(
+            ratio < 1.05 || enabled_min - disabled_min < 10_000.0,
+            "telemetry instrumentation costs {:.1}% on warm submissions, over the 5% budget",
+            (ratio - 1.0) * 100.0
+        );
+    }
     match cost_feedback_error() {
         Some((blocks, scale, error, fitted)) => {
             let fitted = fitted
@@ -481,6 +547,7 @@ criterion_group!(
     bench_eviction_policy,
     bench_service_submission,
     bench_transport_roundtrip,
+    bench_telemetry_overhead,
     bench_cache_contention,
     emit_summary
 );

@@ -1,0 +1,101 @@
+//! Interleaved A/B measurement of warm-submit latency with telemetry enabled
+//! vs disabled.
+//!
+//! The `telemetry_overhead` criterion group in `vqc-bench` runs the two
+//! configurations back to back, so on a busy (or single-CPU) host the *mean*
+//! of whichever group runs during a noisy window can be inflated by scheduler
+//! interference — that is why `BENCH_runtime.json` asserts its <5% budget on
+//! `min_ns`. This example cross-checks that number free of ordering effects:
+//! it alternates enabled/disabled batches (A/B then B/A per round) so drift
+//! hits both sides equally, and reports min/median/p90/mean per side.
+//!
+//! Run with: `cargo run --release -p vqc-runtime --example telemetry_probe`
+
+use vqc_circuit::Circuit;
+use vqc_core::{CompilerOptions, Strategy};
+use vqc_runtime::{CompilationRuntime, RuntimeOptions, Submission, TelemetryOptions};
+
+fn fast_options() -> CompilerOptions {
+    let mut options = CompilerOptions::fast();
+    options.grape.max_iterations = 40;
+    options.grape.target_infidelity = 1e-1;
+    options.search_precision_ns = 2.0;
+    options
+}
+
+fn circuit() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.h(0);
+    c.h(1);
+    c.cx(0, 1);
+    c.rx(0, 0.4);
+    c.cx(0, 1);
+    c
+}
+
+fn measure(runtime: &CompilationRuntime, circuit: &Circuit, iters: usize) -> Vec<f64> {
+    (0..iters)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            let handle = runtime
+                .submit(Submission::single(
+                    circuit.clone(),
+                    [],
+                    Strategy::StrictPartial,
+                ))
+                .unwrap();
+            let _ = handle.wait().unwrap();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect()
+}
+
+fn stats(mut xs: Vec<f64>) -> (f64, f64, f64, f64) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    (xs[0], xs[n / 2], xs[n * 9 / 10], mean)
+}
+
+fn main() {
+    let circuit = circuit();
+    let enabled = CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(2)
+            .with_telemetry(TelemetryOptions::default().with_enabled(true)),
+    );
+    let disabled = CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(2)
+            .with_telemetry(TelemetryOptions::default().with_enabled(false)),
+    );
+    enabled
+        .compile(&circuit, &[], Strategy::StrictPartial)
+        .unwrap();
+    disabled
+        .compile(&circuit, &[], Strategy::StrictPartial)
+        .unwrap();
+
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    for round in 0..10 {
+        if round % 2 == 0 {
+            on.extend(measure(&enabled, &circuit, 50));
+            off.extend(measure(&disabled, &circuit, 50));
+        } else {
+            off.extend(measure(&disabled, &circuit, 50));
+            on.extend(measure(&enabled, &circuit, 50));
+        }
+    }
+    let (min_on, med_on, p90_on, mean_on) = stats(on);
+    let (min_off, med_off, p90_off, mean_off) = stats(off);
+    println!(
+        "enabled : min {min_on:.1}µs  med {med_on:.1}µs  p90 {p90_on:.1}µs  mean {mean_on:.1}µs"
+    );
+    println!("disabled: min {min_off:.1}µs  med {med_off:.1}µs  p90 {p90_off:.1}µs  mean {mean_off:.1}µs");
+    println!(
+        "median ratio {:.4}  min ratio {:.4}",
+        med_on / med_off,
+        min_on / min_off
+    );
+}

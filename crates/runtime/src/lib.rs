@@ -25,6 +25,12 @@
 //!   [`CompilationRuntime::compile_batch`] /
 //!   [`CompilationRuntime::compile_iterations`] are thin synchronous wrappers over
 //!   a submitted job, making the paper's cross-iteration reuse cross-request.
+//! * Telemetry — log-bucketed per-priority-class [`HistogramSnapshot`] latency
+//!   distributions, a bounded [`TraceStage`] lifecycle trace ring exportable as
+//!   Chrome `trace_event` JSON ([`chrome_trace_json`]), and a background
+//!   aggregator publishing periodic [`MetricsSnapshot`]s to
+//!   [`CompilationRuntime::watch_metrics`] subscribers (configured by
+//!   [`TelemetryOptions`], optionally dumped as JSON lines).
 //! * [`persist`] — bincode snapshots of the cache for warm-start across runs
 //!   ([`CompilationRuntime::save_snapshot`], [`CompilationRuntime::with_warm_start`]).
 //! * [`InFlight`] — the singleflight primitive the pre-service runtime deduplicated
@@ -71,6 +77,7 @@ pub mod persist;
 #[allow(clippy::module_inception)]
 mod runtime;
 mod service;
+mod telemetry;
 
 pub use cache::{
     CacheConfig, CacheMetrics, CacheSnapshot, CompactionPolicy, EvictionPolicy, ShardedPulseCache,
@@ -81,4 +88,9 @@ pub use runtime::{CompilationRuntime, CompileJob, RuntimeMetrics, RuntimeOptions
 pub use service::{
     Backpressure, ClientMetrics, JobHandle, JobStatus, Priority, ServiceOptions, Submission,
     SubmitError,
+};
+pub use telemetry::{
+    chrome_trace_json, priority_class, ClassLatency, HistogramSnapshot, LatencyHistogram,
+    MetricsSnapshot, TelemetryOptions, TraceEvent, TraceRing, TraceStage, PRIORITY_CLASSES,
+    PRIORITY_CLASS_NAMES,
 };

@@ -24,6 +24,7 @@ use crate::persist::{self, PersistError};
 use crate::service::{
     Backpressure, ClientMetrics, CompileService, JobHandle, ServiceOptions, Submission, SubmitError,
 };
+use crate::telemetry::{MetricsSnapshot, TelemetryOptions, TraceEvent};
 use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -56,6 +57,9 @@ pub struct RuntimeOptions {
     pub schedule: SchedulePolicy,
     /// Admission-queue depth and backpressure policy of the service front-end.
     pub service: ServiceOptions,
+    /// Telemetry configuration: latency histograms, lifecycle tracing, and the
+    /// periodic metrics-snapshot aggregator.
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for RuntimeOptions {
@@ -78,6 +82,7 @@ impl Default for RuntimeOptions {
             cache: CacheConfig::default(),
             schedule: SchedulePolicy::default(),
             service: ServiceOptions::default(),
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -100,6 +105,12 @@ impl RuntimeOptions {
     /// Replaces the service (admission) options.
     pub fn with_service(mut self, service: ServiceOptions) -> Self {
         self.service = service;
+        self
+    }
+
+    /// Replaces the telemetry options.
+    pub fn with_telemetry(mut self, telemetry: TelemetryOptions) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -142,6 +153,8 @@ pub struct RuntimeMetrics {
     pub coalesced_waits: u64,
     /// Submissions admitted by the service (wrappers included).
     pub submissions: u64,
+    /// Submissions that completed (their reports are available).
+    pub completed_submissions: u64,
     /// Submissions dropped by [`Backpressure::Shed`].
     pub shed_submissions: u64,
     /// Submissions refused by [`Backpressure::Reject`].
@@ -173,6 +186,7 @@ impl CompilationRuntime {
                 runtime_options.workers,
                 runtime_options.schedule,
                 runtime_options.service,
+                runtime_options.telemetry,
             ),
         }
     }
@@ -216,6 +230,7 @@ impl CompilationRuntime {
             unique_compilations: core.compilations.load(Ordering::Relaxed),
             coalesced_waits: core.coalesced.load(Ordering::Relaxed),
             submissions: core.submissions.load(Ordering::Relaxed),
+            completed_submissions: core.completed_submissions.load(Ordering::Relaxed),
             shed_submissions: core.shed_submissions.load(Ordering::Relaxed),
             rejected_submissions: core.rejected_submissions.load(Ordering::Relaxed),
             canceled_submissions: core.canceled_submissions.load(Ordering::Relaxed),
@@ -234,6 +249,43 @@ impl CompilationRuntime {
     /// Every client id seen so far with its metrics slice, sorted by id.
     pub fn client_metrics_snapshot(&self) -> Vec<(u64, ClientMetrics)> {
         self.service.core.client_metrics_snapshot()
+    }
+
+    /// Assembles a [`MetricsSnapshot`] of the whole service right now (queue
+    /// depths, worker utilization, rates, cache economics, per-class latency
+    /// histograms), allocating the next snapshot sequence number. On-demand
+    /// snapshots and the periodic aggregator draw from the same sequence, so
+    /// `seq` is globally monotonic however snapshots are produced.
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        self.service.core.build_snapshot()
+    }
+
+    /// Subscribes to the periodic metrics-snapshot stream. Every aggregator tick
+    /// sends one [`MetricsSnapshot`] until the runtime shuts down; after the
+    /// graceful-shutdown drain the subscriber receives one final snapshot
+    /// reflecting the drained state, then the channel disconnects. With
+    /// telemetry disabled the returned receiver is already disconnected.
+    pub fn watch_metrics(&self) -> std::sync::mpsc::Receiver<MetricsSnapshot> {
+        self.service.core.telemetry.subscribe()
+    }
+
+    /// The buffered lifecycle trace events, oldest first (the ring keeps the
+    /// most recent [`TelemetryOptions::trace_capacity`] events). Render with
+    /// [`crate::chrome_trace_json`] for `chrome://tracing` / Perfetto.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.service.core.telemetry.trace_events()
+    }
+
+    /// Seconds since the runtime's service core started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.service.core.telemetry.uptime_seconds()
+    }
+
+    /// `(seq, uptime_seconds)` of the most recently assembled metrics snapshot
+    /// (zeros before the first) — what the wire `Stats` response reports so
+    /// pollers can detect restarts and stale reads without subscribing.
+    pub fn last_snapshot_meta(&self) -> (u64, f64) {
+        self.service.core.telemetry.last_snapshot()
     }
 
     /// Forgets a client id: drops its metrics slice and its fair-share virtual

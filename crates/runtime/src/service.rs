@@ -31,6 +31,9 @@
 
 use crate::cache::ShardedPulseCache;
 use crate::runtime::{CompileJob, SchedulePolicy};
+use crate::telemetry::{
+    MetricsSnapshot, Telemetry, TelemetryOptions, TraceStage, PRIORITY_CLASSES,
+};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
@@ -460,7 +463,7 @@ impl JobHandle {
     /// this call canceled the submission, `false` if it had already completed,
     /// been shed, been canceled, or entered its completion window.
     pub fn cancel(&self) -> bool {
-        {
+        let was_queued = {
             let mut inner = lock(&self.state.inner);
             if inner.finishing
                 || matches!(
@@ -470,12 +473,28 @@ impl JobHandle {
             {
                 return false;
             }
+            let was_queued = matches!(inner.status, JobStatus::Queued);
             inner.status = JobStatus::Canceled;
-        }
+            was_queued
+        };
         self.state.done.notify_all();
         if let Some(core) = self.core.upgrade() {
             core.canceled_submissions.fetch_add(1, Ordering::Relaxed);
-            core.record_client(self.state.client, |m| m.canceled += 1);
+            // A submission canceled while still Queued never reached `expand`,
+            // so its queue time is charged here (exactly once: a Running
+            // submission was already charged at the Running transition).
+            let queue_wait = was_queued.then(|| self.state.admitted_at.elapsed().as_secs_f64());
+            core.record_client(self.state.client, |m| {
+                m.canceled += 1;
+                if let Some(wait) = queue_wait {
+                    m.queue_seconds += wait;
+                }
+            });
+            if let Some(wait) = queue_wait {
+                core.telemetry.record_queue_wait(self.state.priority, wait);
+            }
+            core.telemetry
+                .trace(TraceStage::Canceled, self.state.id, self.state.client, 0);
             core.release_admission();
             // Wake the workers so an otherwise idle pool garbage-collects the
             // canceled owner's queued tasks promptly.
@@ -669,12 +688,17 @@ pub(crate) struct ServiceCore {
     pub(crate) compilations: AtomicU64,
     pub(crate) coalesced: AtomicU64,
     pub(crate) submissions: AtomicU64,
+    pub(crate) completed_submissions: AtomicU64,
     pub(crate) shed_submissions: AtomicU64,
     pub(crate) rejected_submissions: AtomicU64,
     pub(crate) canceled_submissions: AtomicU64,
     client_metrics: Mutex<HashMap<u64, ClientMetrics>>,
     next_submission_id: AtomicU64,
     dispatch_seq: AtomicU64,
+    /// Size of the worker pool (for utilization in snapshots).
+    pub(crate) workers: usize,
+    /// The live instrumentation layer (histograms, trace ring, subscribers).
+    pub(crate) telemetry: Arc<Telemetry>,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -700,8 +724,51 @@ impl ServiceCore {
         }
         self.release_admission();
         self.record_client(state.client, |m| m.completed += 1);
+        self.completed_submissions.fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .record_submit_to_report(state.priority, state.admitted_at.elapsed().as_secs_f64());
+        self.telemetry
+            .trace(TraceStage::Report, state.id, state.client, 0);
         lock(&state.inner).status = JobStatus::Done;
         state.done.notify_all();
+    }
+
+    /// Assembles one [`MetricsSnapshot`] from the live counters, allocating the
+    /// next snapshot sequence number. Each queue's lock is taken briefly and
+    /// independently, so the snapshot is a consistent-enough observation without
+    /// ever stalling the submit or dispatch paths behind a global freeze.
+    pub(crate) fn build_snapshot(&self) -> MetricsSnapshot {
+        let (seq, uptime_seconds) = self.telemetry.next_seq();
+        let ready_tasks = lock(&self.sched).ready.len() as u64;
+        let mut queued_by_class = [0u64; PRIORITY_CLASSES];
+        for entry in lock(&self.intake).heap.iter() {
+            queued_by_class[crate::telemetry::priority_class(entry.0.priority)] += 1;
+        }
+        let outstanding = lock(&self.admission).outstanding as u64;
+        let cache = self.cache.metrics();
+        MetricsSnapshot {
+            seq,
+            uptime_seconds,
+            workers: self.workers as u64,
+            busy_workers: self.telemetry.busy_workers(),
+            queued_by_class,
+            outstanding,
+            ready_tasks,
+            submissions: self.submissions.load(Ordering::Relaxed),
+            completed: self.completed_submissions.load(Ordering::Relaxed),
+            shed: self.shed_submissions.load(Ordering::Relaxed),
+            rejected: self.rejected_submissions.load(Ordering::Relaxed),
+            canceled: self.canceled_submissions.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_insertions: cache.insertions,
+            cache_evictions: cache.evictions,
+            cache_entries: vqc_core::PulseCache::num_blocks(&*self.cache) as u64,
+            unique_compilations: self.compilations.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced.load(Ordering::Relaxed),
+            trace_dropped: self.telemetry.trace_dropped(),
+            classes: self.telemetry.class_latencies(),
+        }
     }
 
     /// Applies `update` to the client's metrics slice (no-op for anonymous
@@ -911,9 +978,11 @@ impl ServiceCore {
                 }
                 inner.status = JobStatus::Running;
             }
+            let queue_wait = state.admitted_at.elapsed().as_secs_f64();
             self.record_client(state.client, |m| {
-                m.queue_seconds += state.admitted_at.elapsed().as_secs_f64();
+                m.queue_seconds += queue_wait;
             });
+            self.telemetry.record_queue_wait(state.priority, queue_wait);
             let vstart = match state.client {
                 Some(client) => sched
                     .clients
@@ -1029,6 +1098,7 @@ impl ServiceCore {
         block: usize,
         outcome: Result<BlockOutcome, CompileError>,
     ) {
+        let mut job_done = false;
         {
             let mut inner = lock(&submission.inner);
             if inner.status != JobStatus::Running {
@@ -1068,7 +1138,16 @@ impl ServiceCore {
                 }
                 inner.completed_order.push(job);
                 inner.jobs_remaining -= 1;
+                job_done = true;
             }
+        }
+        if job_done {
+            self.telemetry.trace(
+                TraceStage::JobDone,
+                submission.id,
+                submission.client,
+                job as u64,
+            );
         }
         // Every job completion is an event: wake per-job streamers even though the
         // submission as a whole may not be done yet.
@@ -1078,6 +1157,12 @@ impl ServiceCore {
 
     /// Runs one block task and fans its result out to every waiting job.
     fn execute(&self, body: TaskBody) {
+        self.telemetry.trace(
+            TraceStage::CompileStart,
+            body.submission.id,
+            body.submission.client,
+            body.block as u64,
+        );
         let outcome = self.compiler.compile_block_outcome(
             &body.plan,
             &body.plan.blocks[body.block],
@@ -1087,6 +1172,17 @@ impl ServiceCore {
         // (single-gate lookups, gate-based plans) do no pulse-level work even
         // though they report `cached: false`.
         if let Ok(outcome) = &outcome {
+            let resolution = if outcome.report.cached {
+                TraceStage::CacheHit
+            } else {
+                TraceStage::Compiled
+            };
+            self.telemetry.trace(
+                resolution,
+                body.submission.id,
+                body.submission.client,
+                body.block as u64,
+            );
             if body.key.is_some() {
                 if outcome.report.cached {
                     self.record_client(body.submission.client, |m| m.cache_hits += 1);
@@ -1197,6 +1293,12 @@ impl ServiceCore {
                             self.record_client(task.body.submission.client, |m| {
                                 m.dispatched_tasks += 1;
                             });
+                            self.telemetry.trace(
+                                TraceStage::Dispatched,
+                                task.body.submission.id,
+                                task.body.submission.client,
+                                seq,
+                            );
                             break Some(task);
                         }
                     }
@@ -1207,7 +1309,11 @@ impl ServiceCore {
                 }
             };
             match task {
-                Some(task) => self.execute(task.body),
+                Some(task) => {
+                    self.telemetry.worker_busy();
+                    self.execute(task.body);
+                    self.telemetry.worker_idle();
+                }
                 None => return,
             }
         }
@@ -1246,12 +1352,61 @@ impl ServiceCore {
     }
 }
 
-/// The running service: core state plus its accept-loop and worker threads.
+/// The telemetry aggregator loop: every `interval`, assemble a snapshot,
+/// publish it to watch subscribers, and append it to the dump file. The stop
+/// signal is raised only after the worker pool has drained, so the final
+/// snapshot each subscriber receives reflects the drained state; subscribers
+/// are disconnected after it.
+fn aggregator_loop(
+    core: Arc<ServiceCore>,
+    interval: std::time::Duration,
+    dump_path: Option<std::path::PathBuf>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+) {
+    use std::io::Write;
+    let mut dump = dump_path.and_then(|path| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok()
+    });
+    loop {
+        let stopped = {
+            let (flag, cv) = &*stop;
+            let guard = lock(flag);
+            if *guard {
+                true
+            } else {
+                let (guard, _) = cv
+                    .wait_timeout(guard, interval)
+                    .unwrap_or_else(|e| e.into_inner());
+                *guard
+            }
+        };
+        let snapshot = core.build_snapshot();
+        core.telemetry.publish(&snapshot);
+        if let Some(file) = dump.as_mut() {
+            let _ = writeln!(file, "{}", snapshot.to_json_line());
+        }
+        if stopped {
+            core.telemetry.close_subscribers();
+            return;
+        }
+    }
+}
+
+/// The running service: core state plus its accept-loop, worker, and telemetry
+/// aggregator threads.
 #[derive(Debug)]
 pub(crate) struct CompileService {
     pub(crate) core: Arc<ServiceCore>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
+    aggregator_thread: Option<std::thread::JoinHandle<()>>,
+    /// Tells the aggregator to emit one final snapshot and exit; raised only
+    /// after the worker pool has been joined, so that snapshot is post-drain.
+    aggregator_stop: Arc<(Mutex<bool>, Condvar)>,
     pub(crate) workers: usize,
 }
 
@@ -1262,6 +1417,7 @@ impl CompileService {
         workers: usize,
         schedule: SchedulePolicy,
         service_options: ServiceOptions,
+        telemetry_options: TelemetryOptions,
     ) -> Self {
         let workers = workers.max(1);
         let core = Arc::new(ServiceCore {
@@ -1293,12 +1449,15 @@ impl CompileService {
             compilations: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             submissions: AtomicU64::new(0),
+            completed_submissions: AtomicU64::new(0),
             shed_submissions: AtomicU64::new(0),
             rejected_submissions: AtomicU64::new(0),
             canceled_submissions: AtomicU64::new(0),
             client_metrics: Mutex::new(HashMap::new()),
             next_submission_id: AtomicU64::new(0),
             dispatch_seq: AtomicU64::new(0),
+            workers,
+            telemetry: Arc::new(Telemetry::new(&telemetry_options)),
         });
         let accept_core = Arc::clone(&core);
         let accept_thread = std::thread::spawn(move || accept_core.accept_loop());
@@ -1308,10 +1467,20 @@ impl CompileService {
                 std::thread::spawn(move || worker_core.worker_loop())
             })
             .collect();
+        let aggregator_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let aggregator_thread = telemetry_options.enabled.then(|| {
+            let aggregator_core = Arc::clone(&core);
+            let stop = Arc::clone(&aggregator_stop);
+            let interval = telemetry_options.interval;
+            let dump_path = telemetry_options.dump_path.clone();
+            std::thread::spawn(move || aggregator_loop(aggregator_core, interval, dump_path, stop))
+        });
         CompileService {
             core,
             accept_thread: Some(accept_thread),
             worker_threads,
+            aggregator_thread,
+            aggregator_stop,
             workers,
         }
     }
@@ -1346,6 +1515,8 @@ impl CompileService {
             }),
             done: Condvar::new(),
         });
+        core.telemetry
+            .trace(TraceStage::Submitted, id, state.client, 0);
 
         // A submission is sheddable (and worth keeping in the victim registry)
         // until its first block task dispatches or its completion begins; dispatch,
@@ -1394,6 +1565,8 @@ impl CompileService {
                             .map(|(index, _)| index);
                         let Some(victim_index) = victim_index else {
                             core.shed_submissions.fetch_add(1, Ordering::Relaxed);
+                            core.telemetry
+                                .trace(TraceStage::Shed, state.id, state.client, 0);
                             return Err(SubmitError::Shed);
                         };
                         let victim = admission.queued.remove(victim_index);
@@ -1407,12 +1580,28 @@ impl CompileService {
                                 && inner.dispatched.is_empty()
                                 && !inner.finishing);
                         if still_sheddable {
+                            let was_queued = matches!(inner.status, JobStatus::Queued);
                             inner.status = JobStatus::Shed;
                             drop(inner);
                             victim.done.notify_all();
                             admission.outstanding = admission.outstanding.saturating_sub(1);
                             core.shed_submissions.fetch_add(1, Ordering::Relaxed);
-                            core.record_client(victim.client, |m| m.shed += 1);
+                            // Shed-while-Queued never reached `expand`: charge its
+                            // queue time here (a Running victim was charged at its
+                            // Running transition already).
+                            let queue_wait =
+                                was_queued.then(|| victim.admitted_at.elapsed().as_secs_f64());
+                            core.record_client(victim.client, |m| {
+                                m.shed += 1;
+                                if let Some(wait) = queue_wait {
+                                    m.queue_seconds += wait;
+                                }
+                            });
+                            if let Some(wait) = queue_wait {
+                                core.telemetry.record_queue_wait(victim.priority, wait);
+                            }
+                            core.telemetry
+                                .trace(TraceStage::Shed, victim.id, victim.client, 0);
                         }
                         // Re-check the depth; the victim's slot is now free (or the
                         // victim raced into dispatch and we scan again).
@@ -1440,6 +1629,8 @@ impl CompileService {
         core.intake_cv.notify_all();
         core.submissions.fetch_add(1, Ordering::Relaxed);
         core.record_client(state.client, |m| m.submissions += 1);
+        core.telemetry
+            .trace(TraceStage::Admitted, state.id, state.client, 0);
         Ok(JobHandle {
             state,
             core: Arc::downgrade(core),
@@ -1495,5 +1686,17 @@ impl Drop for CompileService {
         for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
         }
+        // Workers are drained: stop the aggregator, which emits one final
+        // snapshot reflecting the drained state before disconnecting
+        // subscribers.
+        {
+            let (flag, cv) = &*self.aggregator_stop;
+            *lock(flag) = true;
+            cv.notify_all();
+        }
+        if let Some(handle) = self.aggregator_thread.take() {
+            let _ = handle.join();
+        }
+        self.core.telemetry.close_subscribers();
     }
 }

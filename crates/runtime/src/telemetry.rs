@@ -1,0 +1,845 @@
+//! Live telemetry for the compilation service: latency histograms, lifecycle
+//! tracing, and periodic metrics snapshots.
+//!
+//! The service core is instrumented at three altitudes, all cheap enough for the
+//! scheduler hot path:
+//!
+//! * **Latency histograms** — [`LatencyHistogram`] is a hand-rolled log-bucketed
+//!   histogram (one power-of-two bucket per latency octave, preallocated atomic
+//!   counters, no allocation and no lock on record). The service keeps one pair
+//!   per priority class: queue wait (admission → expansion) and end-to-end
+//!   latency (submit → report). Percentiles come out of a [`HistogramSnapshot`].
+//! * **Lifecycle tracing** — [`TraceRing`] is a bounded ring buffer of
+//!   [`TraceEvent`]s (submitted → admitted → dispatched → compile-start →
+//!   cache-hit/compiled → job-done → report, plus canceled/shed), each stamped
+//!   with microseconds since the service started. [`chrome_trace_json`] renders
+//!   the ring as Chrome `trace_event` JSON loadable in `chrome://tracing` or
+//!   Perfetto, so "where did this slow job spend its time" is one dump away.
+//! * **Metrics snapshots** — a background aggregator assembles a
+//!   [`MetricsSnapshot`] (queue depths, worker utilization, rates, cache
+//!   economics, per-class histograms) every [`TelemetryOptions::interval`],
+//!   publishes it to every [`crate::CompilationRuntime::watch_metrics`]
+//!   subscriber, and optionally appends it as a JSON line to
+//!   [`TelemetryOptions::dump_path`] — the stream `vqc-top` renders and the
+//!   `Watch` wire request forwards to remote operators.
+//!
+//! Instrumentation is gated on [`TelemetryOptions::enabled`]: a disabled
+//! telemetry reduces every record call to one branch, which is what the
+//! `telemetry_overhead` bench group compares against.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use crate::service::Priority;
+
+/// Number of priority classes telemetry aggregates over ([`Priority::LOW`],
+/// [`Priority::NORMAL`], [`Priority::HIGH`] — finer-grained priority values fold
+/// into the class they schedule with).
+pub const PRIORITY_CLASSES: usize = 3;
+
+/// Display names of the priority classes, indexed by [`priority_class`].
+pub const PRIORITY_CLASS_NAMES: [&str; PRIORITY_CLASSES] = ["low", "normal", "high"];
+
+/// Folds a priority value into its telemetry class index: `0` below
+/// [`Priority::NORMAL`], `1` below [`Priority::HIGH`], `2` otherwise.
+pub fn priority_class(priority: Priority) -> usize {
+    if priority >= Priority::HIGH {
+        2
+    } else if priority >= Priority::NORMAL {
+        1
+    } else {
+        0
+    }
+}
+
+/// Number of buckets in a [`LatencyHistogram`]: bucket 0 holds sub-microsecond
+/// samples, bucket `i` holds `[2^(i-1), 2^i)` microseconds, and the last bucket
+/// overflows (≈ 2^42 µs ≈ 51 days — nothing the service measures gets there).
+pub const HISTOGRAM_BUCKETS: usize = 44;
+
+/// A log-bucketed latency histogram with preallocated atomic buckets.
+///
+/// Recording is wait-free: compute the bucket index from the sample's
+/// leading-zero count and `fetch_add` two counters. There is no allocation, no
+/// lock, and no floating-point loop on the hot path, so the scheduler can stamp
+/// every submission without measurable overhead. Buckets are one latency octave
+/// wide (powers of two of a microsecond), which bounds any quantile estimate's
+/// relative error at √2 — plenty for p50/p95/p99 dashboards.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Bucket index of a sample (public so snapshot consumers can label axes).
+    pub fn bucket_index(seconds: f64) -> usize {
+        let micros = (seconds * 1e6) as u64;
+        if micros == 0 {
+            0
+        } else {
+            // floor(log2(micros)) + 1, clamped into the overflow bucket.
+            (64 - micros.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Representative latency (seconds) of a bucket: the geometric midpoint of
+    /// its bounds (0.5 µs for the sub-microsecond bucket).
+    pub fn bucket_value_seconds(index: usize) -> f64 {
+        if index == 0 {
+            0.5e-6
+        } else {
+            // Geometric mean of [2^(i-1), 2^i) µs: 2^(i-1) * √2 µs.
+            (1u64 << (index - 1)) as f64 * std::f64::consts::SQRT_2 * 1e-6
+        }
+    }
+
+    /// Records one latency sample. Negative samples clamp to zero.
+    pub fn record(&self, seconds: f64) {
+        let seconds = if seconds.is_finite() {
+            seconds.max(0.0)
+        } else {
+            0.0
+        };
+        self.buckets[Self::bucket_index(seconds)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos
+            .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the counters into an immutable, serializable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_seconds: self.total_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`]'s counters, with quantile
+/// extraction. Serializable, so it travels inside a [`MetricsSnapshot`] over
+/// the wire.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples, in seconds (for mean extraction).
+    pub total_seconds: f64,
+    /// Per-bucket sample counts (see [`LatencyHistogram::bucket_value_seconds`]
+    /// for the latency each index represents).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) in seconds, estimated as the matching
+    /// bucket's geometric midpoint; `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return LatencyHistogram::bucket_value_seconds(index);
+            }
+        }
+        LatencyHistogram::bucket_value_seconds(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Median latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency in seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean latency in seconds (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.count as f64
+        }
+    }
+}
+
+/// A life-cycle stage of one submission, as recorded in the trace ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceStage {
+    /// `submit` was called (before admission control).
+    Submitted,
+    /// The submission was admitted into the bounded queue.
+    Admitted,
+    /// A block task of the submission was dispatched to a worker
+    /// (`detail` = global dispatch sequence number).
+    Dispatched,
+    /// A worker began compiling a block (`detail` = block index).
+    CompileStart,
+    /// The block was served from the pulse cache (`detail` = block index).
+    CacheHit,
+    /// The block was compiled (GRAPE / tuning ran; `detail` = block index).
+    Compiled,
+    /// One job of the submission resolved (`detail` = job index).
+    JobDone,
+    /// The submission completed; its report is available.
+    Report,
+    /// The submission was canceled.
+    Canceled,
+    /// The submission was load-shed.
+    Shed,
+}
+
+impl TraceStage {
+    /// Stable lowercase name (used as the Chrome trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStage::Submitted => "submitted",
+            TraceStage::Admitted => "admitted",
+            TraceStage::Dispatched => "dispatched",
+            TraceStage::CompileStart => "compile-start",
+            TraceStage::CacheHit => "cache-hit",
+            TraceStage::Compiled => "compiled",
+            TraceStage::JobDone => "job-done",
+            TraceStage::Report => "report",
+            TraceStage::Canceled => "canceled",
+            TraceStage::Shed => "shed",
+        }
+    }
+}
+
+/// One entry of the lifecycle trace ring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Service-assigned submission id the event belongs to.
+    pub submission: u64,
+    /// Client id the submission was attributed to, if any.
+    pub client: Option<u64>,
+    /// Which life-cycle stage.
+    pub stage: TraceStage,
+    /// Monotonic microseconds since the service started.
+    pub micros: u64,
+    /// Stage-specific detail (block index, job index, or dispatch sequence).
+    pub detail: u64,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s. When full, the oldest event is
+/// overwritten — the ring always holds the most recent window of lifecycle
+/// activity, sized by [`TelemetryOptions::trace_capacity`].
+#[derive(Debug)]
+pub struct TraceRing {
+    inner: Mutex<TraceRingInner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct TraceRingInner {
+    /// Storage; grows to `capacity` then recycles slots through `head`.
+    events: Vec<TraceEvent>,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+    /// Events overwritten so far (how much history the ring has shed).
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates an empty ring holding at most `capacity` events (minimum 16).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        TraceRing {
+            inner: Mutex::new(TraceRingInner {
+                events: Vec::with_capacity(capacity.min(4096)),
+                head: 0,
+                dropped: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Appends one event, overwriting the oldest once at capacity.
+    pub fn push(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock();
+        if inner.events.len() < self.capacity {
+            inner.events.push(event);
+        } else {
+            let head = inner.head;
+            inner.events[head] = event;
+            inner.head = (head + 1) % self.capacity;
+            inner.dropped += 1;
+        }
+    }
+
+    /// The buffered events in chronological order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(inner.events.len());
+        out.extend_from_slice(&inner.events[inner.head..]);
+        out.extend_from_slice(&inner.events[..inner.head]);
+        out
+    }
+
+    /// How many events have been overwritten since the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+}
+
+/// Renders trace events as Chrome `trace_event` JSON (the "JSON Array Format"
+/// with a `traceEvents` envelope), loadable in `chrome://tracing` and Perfetto.
+/// Each lifecycle stage becomes a thread-scoped instant event on the virtual
+/// thread of its submission, so one submission reads as one timeline row.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut json = String::with_capacity(events.len() * 96 + 64);
+    json.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (index, event) in events.iter().enumerate() {
+        if index > 0 {
+            json.push(',');
+        }
+        let client = event
+            .client
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"detail\":{},\"client\":{}}}}}",
+            event.stage.name(),
+            event.submission,
+            event.micros,
+            event.detail,
+            client,
+        ));
+    }
+    json.push_str("]}\n");
+    json
+}
+
+/// Configuration of the telemetry layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryOptions {
+    /// Master switch. Disabled telemetry records nothing (histograms, trace,
+    /// snapshots) and starts no aggregator thread; every instrumentation site
+    /// reduces to one branch. On by default.
+    pub enabled: bool,
+    /// Period of the background [`MetricsSnapshot`] aggregator (clamped to at
+    /// least 10 ms).
+    pub interval: Duration,
+    /// If set, every periodic snapshot is appended to this file as one JSON
+    /// line (the schema `vqc-top --json` prints and the README documents).
+    pub dump_path: Option<PathBuf>,
+    /// Capacity of the lifecycle trace ring, in events.
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryOptions {
+    /// Defaults to enabled, a 1 s interval, no dump file, and a 4096-event
+    /// trace ring; the `VQC_TELEMETRY` (`0`/`off`/`false` disable),
+    /// `VQC_METRICS_INTERVAL` (seconds, fractional allowed),
+    /// `VQC_METRICS_DUMP` (path), and `VQC_TRACE_CAPACITY` (events)
+    /// environment variables override.
+    fn default() -> Self {
+        let enabled = !matches!(
+            std::env::var("VQC_TELEMETRY")
+                .unwrap_or_default()
+                .to_ascii_lowercase()
+                .as_str(),
+            "0" | "off" | "false" | "no"
+        );
+        let interval = std::env::var("VQC_METRICS_INTERVAL")
+            .ok()
+            .and_then(|raw| raw.parse::<f64>().ok())
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .map(Duration::from_secs_f64)
+            .unwrap_or(Duration::from_secs(1));
+        let dump_path = std::env::var("VQC_METRICS_DUMP")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from);
+        let trace_capacity = std::env::var("VQC_TRACE_CAPACITY")
+            .ok()
+            .and_then(|raw| raw.parse::<usize>().ok())
+            .unwrap_or(4096);
+        TelemetryOptions {
+            enabled,
+            interval: interval.max(Duration::from_millis(10)),
+            dump_path,
+            trace_capacity,
+        }
+    }
+}
+
+impl TelemetryOptions {
+    /// Enables or disables the whole layer.
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Replaces the aggregator interval (clamped to at least 10 ms).
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Replaces the JSON-lines dump path.
+    pub fn with_dump_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.dump_path = Some(path.into());
+        self
+    }
+
+    /// Replaces the trace-ring capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+/// Per-priority-class latency distributions inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassLatency {
+    /// Class index (see [`PRIORITY_CLASS_NAMES`]).
+    pub class: u8,
+    /// Admission → expansion wait of every submission that left the queue
+    /// (dispatched, canceled, or shed).
+    pub queue_wait: HistogramSnapshot,
+    /// Submit → report latency of completed submissions.
+    pub submit_to_report: HistogramSnapshot,
+}
+
+/// One periodic observation of the whole service, assembled by the telemetry
+/// aggregator (or on demand via
+/// [`crate::CompilationRuntime::telemetry_snapshot`]). Serializable both over
+/// the wire (`Response::MetricsTick`) and as a JSON line
+/// ([`MetricsSnapshot::to_json_line`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonically increasing snapshot number (process-wide). A pollster
+    /// seeing this decrease knows the server restarted.
+    pub seq: u64,
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Workers executing a block task at snapshot time (utilization numerator).
+    pub busy_workers: u64,
+    /// Admitted submissions not yet expanded, per priority class.
+    pub queued_by_class: [u64; PRIORITY_CLASSES],
+    /// Submissions admitted but not yet completed (queue depth incl. running).
+    pub outstanding: u64,
+    /// Block tasks in the ready queue (stale priority-inheritance duplicates
+    /// included — an upper bound on schedulable work).
+    pub ready_tasks: u64,
+    /// Submissions admitted so far.
+    pub submissions: u64,
+    /// Submissions completed so far.
+    pub completed: u64,
+    /// Submissions load-shed so far.
+    pub shed: u64,
+    /// Submissions rejected at admission so far.
+    pub rejected: u64,
+    /// Submissions canceled so far.
+    pub canceled: u64,
+    /// Pulse-cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Pulse-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Pulse-cache entries written by compilation.
+    pub cache_insertions: u64,
+    /// Pulse-cache entries displaced by capacity bounds.
+    pub cache_evictions: u64,
+    /// Block entries currently resident in the cache.
+    pub cache_entries: u64,
+    /// Block compilations that actually ran GRAPE / tuning.
+    pub unique_compilations: u64,
+    /// Block requests coalesced onto another request's task.
+    pub coalesced_waits: u64,
+    /// Lifecycle events overwritten in the trace ring so far.
+    pub trace_dropped: u64,
+    /// Per-class latency distributions (index == class).
+    pub classes: Vec<ClassLatency>,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit ratio over all lookups so far (`0.0` before any lookup).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Fraction of the worker pool busy at snapshot time.
+    pub fn worker_utilization(&self) -> f64 {
+        if self.workers == 0 {
+            0.0
+        } else {
+            self.busy_workers as f64 / self.workers as f64
+        }
+    }
+
+    /// Renders the snapshot as one JSON line (no trailing newline): the
+    /// `VQC_METRICS_DUMP` / `vqc-top --json` schema. Histograms are summarized
+    /// as count/mean/p50/p95/p99 (seconds); raw buckets stay wire-only.
+    pub fn to_json_line(&self) -> String {
+        let classes = self
+            .classes
+            .iter()
+            .map(|class| {
+                let name = PRIORITY_CLASS_NAMES
+                    .get(class.class as usize)
+                    .copied()
+                    .unwrap_or("unknown");
+                format!(
+                    "{{\"class\":\"{}\",\"queue_wait\":{},\"submit_to_report\":{}}}",
+                    name,
+                    histogram_json(&class.queue_wait),
+                    histogram_json(&class.submit_to_report),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"seq\":{},\"uptime_seconds\":{:.6},\"workers\":{},\"busy_workers\":{},\
+             \"queued_by_class\":[{},{},{}],\"outstanding\":{},\"ready_tasks\":{},\
+             \"submissions\":{},\"completed\":{},\"shed\":{},\"rejected\":{},\"canceled\":{},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+             \"entries\":{},\"hit_ratio\":{:.4}}},\"unique_compilations\":{},\
+             \"coalesced_waits\":{},\"trace_dropped\":{},\"classes\":[{}]}}",
+            self.seq,
+            self.uptime_seconds,
+            self.workers,
+            self.busy_workers,
+            self.queued_by_class[0],
+            self.queued_by_class[1],
+            self.queued_by_class[2],
+            self.outstanding,
+            self.ready_tasks,
+            self.submissions,
+            self.completed,
+            self.shed,
+            self.rejected,
+            self.canceled,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+            self.cache_evictions,
+            self.cache_entries,
+            self.cache_hit_ratio(),
+            self.unique_compilations,
+            self.coalesced_waits,
+            self.trace_dropped,
+            classes,
+        )
+    }
+}
+
+fn histogram_json(histogram: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"mean_seconds\":{:.9},\"p50_seconds\":{:.9},\"p95_seconds\":{:.9},\"p99_seconds\":{:.9}}}",
+        histogram.count,
+        histogram.mean(),
+        histogram.p50(),
+        histogram.p95(),
+        histogram.p99(),
+    )
+}
+
+/// The shared instrumentation state the service core records into.
+#[derive(Debug)]
+pub(crate) struct Telemetry {
+    enabled: bool,
+    epoch: Instant,
+    queue_wait: [LatencyHistogram; PRIORITY_CLASSES],
+    submit_to_report: [LatencyHistogram; PRIORITY_CLASSES],
+    trace: TraceRing,
+    busy_workers: AtomicU64,
+    seq: AtomicU64,
+    /// `(seq, uptime_seconds)` of the most recently assembled snapshot, for
+    /// enriching `Stats` responses without rebuilding one.
+    last: Mutex<(u64, f64)>,
+    subscribers: Mutex<Vec<Sender<MetricsSnapshot>>>,
+    /// Set once the aggregator has emitted its final (post-drain) snapshot;
+    /// subscribers registered afterwards are disconnected immediately.
+    closed: Mutex<bool>,
+}
+
+impl Telemetry {
+    pub(crate) fn new(options: &TelemetryOptions) -> Self {
+        Telemetry {
+            enabled: options.enabled,
+            epoch: Instant::now(),
+            queue_wait: std::array::from_fn(|_| LatencyHistogram::new()),
+            submit_to_report: std::array::from_fn(|_| LatencyHistogram::new()),
+            trace: TraceRing::new(options.trace_capacity),
+            busy_workers: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            last: Mutex::new((0, 0.0)),
+            subscribers: Mutex::new(Vec::new()),
+            // Disabled telemetry never ticks: subscribers would block forever,
+            // so report disconnection immediately instead.
+            closed: Mutex::new(!options.enabled),
+        }
+    }
+
+    /// Seconds since the service started.
+    pub(crate) fn uptime_seconds(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds since the service started.
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records one lifecycle event (no-op when disabled).
+    pub(crate) fn trace(
+        &self,
+        stage: TraceStage,
+        submission: u64,
+        client: Option<u64>,
+        detail: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.trace.push(TraceEvent {
+            submission,
+            client,
+            stage,
+            micros: self.now_micros(),
+            detail,
+        });
+    }
+
+    pub(crate) fn record_queue_wait(&self, priority: Priority, seconds: f64) {
+        if self.enabled {
+            self.queue_wait[priority_class(priority)].record(seconds);
+        }
+    }
+
+    pub(crate) fn record_submit_to_report(&self, priority: Priority, seconds: f64) {
+        if self.enabled {
+            self.submit_to_report[priority_class(priority)].record(seconds);
+        }
+    }
+
+    pub(crate) fn worker_busy(&self) {
+        if self.enabled {
+            self.busy_workers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn worker_idle(&self) {
+        if self.enabled {
+            self.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn busy_workers(&self) -> u64 {
+        self.busy_workers.load(Ordering::Relaxed)
+    }
+
+    /// Allocates the next snapshot sequence number and stamps `last`.
+    pub(crate) fn next_seq(&self) -> (u64, f64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let uptime = self.uptime_seconds();
+        *self.last.lock() = (seq, uptime);
+        (seq, uptime)
+    }
+
+    /// `(seq, uptime_seconds)` of the most recent snapshot (zeros before any).
+    pub(crate) fn last_snapshot(&self) -> (u64, f64) {
+        *self.last.lock()
+    }
+
+    pub(crate) fn class_latencies(&self) -> Vec<ClassLatency> {
+        (0..PRIORITY_CLASSES)
+            .map(|class| ClassLatency {
+                class: class as u8,
+                queue_wait: self.queue_wait[class].snapshot(),
+                submit_to_report: self.submit_to_report[class].snapshot(),
+            })
+            .collect()
+    }
+
+    pub(crate) fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events()
+    }
+
+    pub(crate) fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// Registers a snapshot subscriber. A closed telemetry returns a receiver
+    /// that reports disconnection immediately.
+    pub(crate) fn subscribe(&self) -> Receiver<MetricsSnapshot> {
+        let (sender, receiver) = std::sync::mpsc::channel();
+        if !*self.closed.lock() {
+            self.subscribers.lock().push(sender);
+        }
+        receiver
+    }
+
+    /// Fans a snapshot out to every live subscriber, pruning dead ones.
+    pub(crate) fn publish(&self, snapshot: &MetricsSnapshot) {
+        self.subscribers
+            .lock()
+            .retain(|subscriber| subscriber.send(snapshot.clone()).is_ok());
+    }
+
+    /// Drops every subscriber (their receivers disconnect) and refuses new
+    /// ones. Called after the aggregator's final post-drain snapshot.
+    pub(crate) fn close_subscribers(&self) {
+        *self.closed.lock() = true;
+        self.subscribers.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_of_micros() {
+        assert_eq!(LatencyHistogram::bucket_index(0.0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(0.9e-6), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1.0e-6), 1);
+        assert_eq!(LatencyHistogram::bucket_index(1.9e-6), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2.0e-6), 2);
+        assert_eq!(LatencyHistogram::bucket_index(1.0e-3), 10);
+        assert_eq!(LatencyHistogram::bucket_index(1.0), 20);
+        assert_eq!(LatencyHistogram::bucket_index(1.0e9), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_come_from_the_right_octave() {
+        let histogram = LatencyHistogram::new();
+        // 90 samples at ~1 ms, 10 at ~1 s.
+        for _ in 0..90 {
+            histogram.record(1.1e-3);
+        }
+        for _ in 0..10 {
+            histogram.record(1.3);
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 100);
+        let p50 = snapshot.p50();
+        assert!((0.5e-3..4e-3).contains(&p50), "p50 {p50}");
+        let p99 = snapshot.p99();
+        assert!((0.5..4.0).contains(&p99), "p99 {p99}");
+        assert!(snapshot.mean() > 0.1 && snapshot.mean() < 0.2);
+        // An empty histogram is all zeros, not NaN.
+        let empty = LatencyHistogram::new().snapshot();
+        assert_eq!(empty.p50(), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn trace_ring_overwrites_oldest_and_reports_drops() {
+        let ring = TraceRing::new(16);
+        for i in 0..20u64 {
+            ring.push(TraceEvent {
+                submission: i,
+                client: None,
+                stage: TraceStage::Submitted,
+                micros: i,
+                detail: 0,
+            });
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 16);
+        assert_eq!(events.first().unwrap().submission, 4);
+        assert_eq!(events.last().unwrap().submission, 19);
+        assert_eq!(ring.dropped(), 4);
+        // Chronological order is preserved across the wrap point.
+        assert!(events.windows(2).all(|w| w[0].micros <= w[1].micros));
+    }
+
+    #[test]
+    fn chrome_trace_json_renders_every_event() {
+        let events = vec![
+            TraceEvent {
+                submission: 3,
+                client: Some(7),
+                stage: TraceStage::Submitted,
+                micros: 10,
+                detail: 0,
+            },
+            TraceEvent {
+                submission: 3,
+                client: Some(7),
+                stage: TraceStage::Report,
+                micros: 450,
+                detail: 0,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"submitted\""));
+        assert!(json.contains("\"name\":\"report\""));
+        assert!(json.contains("\"ts\":450"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let snapshot = MetricsSnapshot {
+            seq: 2,
+            uptime_seconds: 1.5,
+            workers: 4,
+            busy_workers: 1,
+            cache_hits: 3,
+            cache_misses: 1,
+            classes: vec![ClassLatency {
+                class: 1,
+                ..ClassLatency::default()
+            }],
+            ..MetricsSnapshot::default()
+        };
+        let line = snapshot.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"seq\":2"));
+        assert!(line.contains("\"hit_ratio\":0.7500"));
+        assert!(line.contains("\"class\":\"normal\""));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -671,6 +671,82 @@ fn metrics_slice_per_client() {
     assert_eq!(runtime.client_metrics(99).submissions, 0);
 }
 
+/// Submissions that end while still Queued — canceled or load-shed — charge
+/// their queued time to the owner's `queue_seconds` slice exactly once;
+/// door-shed submissions (never admitted) are never charged.
+#[test]
+fn queue_seconds_charged_for_canceled_and_shed_submissions() {
+    let runtime = CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1).with_service(
+            ServiceOptions::default()
+                .with_queue_depth(2)
+                .with_backpressure(Backpressure::Shed),
+        ),
+    );
+    // Pausing intake (not dispatch) keeps admitted submissions in Queued: they
+    // never reach `expand`, so the Running-transition charge cannot fire and
+    // the terminal-state paths are the only ones that can account their time.
+    runtime.pause_intake();
+    let canceled = runtime
+        .submit(
+            Submission::single(one_block_circuit(0.2), [], Strategy::StrictPartial).with_client(40),
+        )
+        .unwrap();
+    let victim = runtime
+        .submit(
+            Submission::single(one_block_circuit(0.7), [], Strategy::StrictPartial)
+                .with_client(50)
+                .with_priority(Priority::LOW),
+        )
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+
+    // Queue full, and a LOW arrival outranks nothing pending: shed at the
+    // door. It was never admitted, so it accrues no queue time.
+    let door = runtime.submit(
+        Submission::single(one_block_circuit(1.6), [], Strategy::StrictPartial)
+            .with_client(70)
+            .with_priority(Priority::LOW),
+    );
+    assert!(matches!(door, Err(SubmitError::Shed)));
+    assert_eq!(runtime.client_metrics(70).queue_seconds, 0.0);
+
+    // A HIGH arrival sheds the queued LOW victim, which is charged the time it
+    // spent admitted-but-unexpanded.
+    let high = runtime
+        .submit(
+            Submission::single(one_block_circuit(1.1), [], Strategy::StrictPartial)
+                .with_client(60)
+                .with_priority(Priority::HIGH),
+        )
+        .unwrap();
+    assert_eq!(victim.try_status(), JobStatus::Shed);
+    let shed_seconds = runtime.client_metrics(50).queue_seconds;
+    assert!(
+        shed_seconds >= 0.015,
+        "shed-while-queued must be charged its ~20ms queue time, got {shed_seconds:.6}s"
+    );
+
+    // Cancel-while-Queued is charged the same way...
+    canceled.cancel();
+    assert_eq!(canceled.try_status(), JobStatus::Canceled);
+    let cancel_seconds = runtime.client_metrics(40).queue_seconds;
+    assert!(
+        cancel_seconds >= 0.015,
+        "cancel-while-queued must be charged its ~20ms queue time, got {cancel_seconds:.6}s"
+    );
+    // ...and exactly once: a second cancel is a no-op on an already-terminal
+    // submission.
+    canceled.cancel();
+    assert_eq!(runtime.client_metrics(40).queue_seconds, cancel_seconds);
+
+    runtime.resume_intake();
+    assert!(high.wait().unwrap()[0].is_ok());
+    // The survivor is charged at its Running transition as before.
+    assert!(runtime.client_metrics(60).queue_seconds > 0.0);
+}
+
 /// `wait_job` streams per-job completions in completion order and then reports
 /// exhaustion; the stream agrees with the final `wait` result set.
 #[test]

@@ -1,0 +1,350 @@
+//! Integration tests of the telemetry subsystem: per-client counter slices
+//! summing to the global view under concurrent load, latency histograms
+//! agreeing with completion counts, the metrics watch stream, and the
+//! lifecycle trace ring's stage ordering.
+
+use std::sync::Arc;
+use std::time::Duration;
+use vqc_circuit::Circuit;
+use vqc_core::{CompilerOptions, Strategy};
+use vqc_runtime::{
+    chrome_trace_json, priority_class, CompilationRuntime, Priority, RuntimeOptions, Submission,
+    TelemetryOptions, TraceStage, PRIORITY_CLASSES,
+};
+
+fn fast_options() -> CompilerOptions {
+    let mut options = CompilerOptions::fast();
+    options.grape.max_iterations = 80;
+    options.grape.target_infidelity = 5e-2;
+    options.search_precision_ns = 2.0;
+    options
+}
+
+/// A circuit that aggregates into exactly one Fixed 2-qubit GRAPE block,
+/// distinct per `phase`.
+fn one_block_circuit(phase: f64) -> Circuit {
+    let mut circuit = Circuit::new(2);
+    circuit.h(0);
+    circuit.h(1);
+    circuit.cx(0, 1);
+    circuit.rx(0, phase);
+    circuit.cx(0, 1);
+    circuit
+}
+
+/// Under concurrent multi-client load, the per-client metric slices sum to the
+/// global `RuntimeMetrics` / `MetricsSnapshot` view — no event is dropped or
+/// double-counted by the sharded accounting.
+#[test]
+fn client_slices_sum_to_global_metrics_under_concurrent_load() {
+    let runtime = Arc::new(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(4),
+    ));
+    let clients = 4u64;
+    let per_client = 3u64;
+    let threads: Vec<_> = (0..clients)
+        .map(|client| {
+            let runtime = Arc::clone(&runtime);
+            std::thread::spawn(move || {
+                for i in 0..per_client {
+                    // Distinct phases per client, one shared phase across all
+                    // clients so cross-request dedup and fan-out fire too.
+                    let phase = if i == 0 {
+                        0.42
+                    } else {
+                        client as f64 + 0.1 * i as f64
+                    };
+                    let priority = match client % 3 {
+                        0 => Priority::LOW,
+                        1 => Priority::NORMAL,
+                        _ => Priority::HIGH,
+                    };
+                    let handle = runtime
+                        .submit(
+                            Submission::single(
+                                one_block_circuit(phase),
+                                [],
+                                Strategy::StrictPartial,
+                            )
+                            .with_client(client)
+                            .with_priority(priority),
+                        )
+                        .expect("default queue depth admits this load");
+                    assert!(handle.wait().expect("not shed")[0].is_ok());
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().unwrap();
+    }
+
+    let global = runtime.metrics();
+    let slices = runtime.client_metrics_snapshot();
+    assert_eq!(slices.len(), clients as usize);
+    let sum = |f: fn(&vqc_runtime::ClientMetrics) -> u64| -> u64 {
+        slices.iter().map(|(_, m)| f(m)).sum()
+    };
+    assert_eq!(sum(|m| m.submissions), global.submissions);
+    assert_eq!(sum(|m| m.submissions), clients * per_client);
+    assert_eq!(sum(|m| m.completed), global.completed_submissions);
+    assert_eq!(sum(|m| m.compilations), global.unique_compilations);
+    assert_eq!(sum(|m| m.coalesced_waits), global.coalesced_waits);
+    assert_eq!(sum(|m| m.shed), global.shed_submissions);
+    assert_eq!(sum(|m| m.canceled), global.canceled_submissions);
+
+    // The telemetry snapshot reports the same totals.
+    let snapshot = runtime.telemetry_snapshot();
+    assert_eq!(snapshot.submissions, global.submissions);
+    assert_eq!(snapshot.completed, global.completed_submissions);
+    assert_eq!(snapshot.unique_compilations, global.unique_compilations);
+    assert_eq!(snapshot.coalesced_waits, global.coalesced_waits);
+    assert_eq!(snapshot.workers, 4);
+}
+
+/// Every completed submission is recorded in exactly one priority class's
+/// latency histograms: the queue-wait and submit-to-report counts each sum to
+/// the completed-submission count, in the class the submission ran at.
+#[test]
+fn histogram_counts_equal_completed_submissions() {
+    let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(2));
+    let priorities = [
+        Priority::LOW,
+        Priority::NORMAL,
+        Priority::HIGH,
+        Priority::NORMAL,
+        Priority(20),
+    ];
+    let mut expected = [0u64; PRIORITY_CLASSES];
+    let handles: Vec<_> = priorities
+        .iter()
+        .enumerate()
+        .map(|(i, &priority)| {
+            expected[priority_class(priority)] += 1;
+            runtime
+                .submit(
+                    Submission::single(
+                        one_block_circuit(0.2 + 0.3 * i as f64),
+                        [],
+                        Strategy::StrictPartial,
+                    )
+                    .with_priority(priority),
+                )
+                .unwrap()
+        })
+        .collect();
+    for handle in &handles {
+        assert!(handle.wait().expect("not shed")[0].is_ok());
+    }
+
+    let snapshot = runtime.telemetry_snapshot();
+    assert_eq!(snapshot.completed, priorities.len() as u64);
+    assert_eq!(snapshot.classes.len(), PRIORITY_CLASSES);
+    for (class, latency) in snapshot.classes.iter().enumerate() {
+        assert_eq!(latency.class as usize, class);
+        assert_eq!(
+            latency.submit_to_report.count, expected[class],
+            "class {class} submit-to-report count"
+        );
+        assert_eq!(
+            latency.queue_wait.count, expected[class],
+            "class {class} queue-wait count"
+        );
+        if latency.submit_to_report.count > 0 {
+            // Quantiles are positive and ordered on a log-bucketed histogram.
+            let p50 = latency.submit_to_report.p50();
+            let p99 = latency.submit_to_report.p99();
+            assert!(p50 > 0.0 && p99 >= p50);
+            assert!(latency.submit_to_report.mean() > 0.0);
+        }
+    }
+}
+
+/// A `watch_metrics` subscriber sees snapshots with strictly increasing `seq`,
+/// and — because the aggregator publishes one final snapshot after the worker
+/// pool drains — the last tick reflects the fully-drained runtime.
+#[test]
+fn watch_subscriber_receives_monotonic_ticks_including_post_drain() {
+    let runtime = CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(2)
+            .with_telemetry(TelemetryOptions::default().with_interval(Duration::from_millis(20))),
+    );
+    let ticks = runtime.watch_metrics();
+    let total = 4u64;
+    let handles: Vec<_> = (0..total)
+        .map(|i| {
+            runtime
+                .submit(Submission::single(
+                    one_block_circuit(0.3 + 0.4 * i as f64),
+                    [],
+                    Strategy::StrictPartial,
+                ))
+                .unwrap()
+        })
+        .collect();
+    for handle in &handles {
+        assert!(handle.wait().expect("not shed")[0].is_ok());
+    }
+    // Let at least one tick observe the drained state before teardown, then
+    // drop the runtime: the aggregator publishes a final snapshot and closes
+    // the channel.
+    std::thread::sleep(Duration::from_millis(50));
+    drop(runtime);
+
+    let mut snapshots = Vec::new();
+    while let Ok(snapshot) = ticks.recv() {
+        snapshots.push(snapshot);
+    }
+    assert!(
+        snapshots.len() >= 2,
+        "a 20ms aggregator must tick at least twice, got {}",
+        snapshots.len()
+    );
+    for pair in snapshots.windows(2) {
+        assert!(
+            pair[1].seq > pair[0].seq,
+            "seq must be strictly increasing: {} then {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+        assert!(pair[1].uptime_seconds >= pair[0].uptime_seconds);
+    }
+    let last = snapshots.last().unwrap();
+    assert_eq!(last.submissions, total);
+    assert_eq!(last.completed, total, "the final tick reflects the drain");
+    assert_eq!(last.queued_by_class.iter().sum::<u64>(), 0);
+    assert_eq!(last.outstanding, 0);
+    assert_eq!(last.busy_workers, 0);
+}
+
+/// With telemetry disabled, a watch subscriber disconnects immediately instead
+/// of blocking forever, the trace ring stays empty, and on-demand snapshots
+/// still work.
+#[test]
+fn disabled_telemetry_disconnects_watchers_and_records_nothing() {
+    let runtime = CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1)
+            .with_telemetry(TelemetryOptions::default().with_enabled(false)),
+    );
+    let ticks = runtime.watch_metrics();
+    assert!(ticks.recv().is_err(), "no aggregator will ever publish");
+    let handle = runtime
+        .submit(Submission::single(
+            one_block_circuit(0.9),
+            [],
+            Strategy::StrictPartial,
+        ))
+        .unwrap();
+    assert!(handle.wait().expect("not shed")[0].is_ok());
+    assert!(runtime.trace_events().is_empty());
+    let snapshot = runtime.telemetry_snapshot();
+    assert_eq!(snapshot.completed, 1);
+    assert_eq!(
+        snapshot
+            .classes
+            .iter()
+            .map(|c| c.queue_wait.count)
+            .sum::<u64>(),
+        0
+    );
+}
+
+/// One submission's lifecycle appears in the trace ring as the full chain
+/// submitted → admitted → dispatched → compile-start → compiled → job-done →
+/// report, with non-decreasing timestamps, and renders to Chrome trace JSON.
+#[test]
+fn trace_ring_records_the_full_lifecycle_chain() {
+    let runtime = CompilationRuntime::new(fast_options(), RuntimeOptions::with_workers(1));
+    let handle = runtime
+        .submit(
+            Submission::single(one_block_circuit(0.5), [], Strategy::StrictPartial).with_client(7),
+        )
+        .unwrap();
+    assert!(handle.wait().expect("not shed")[0].is_ok());
+
+    let events = runtime.trace_events();
+    let expected = [
+        TraceStage::Submitted,
+        TraceStage::Admitted,
+        TraceStage::Dispatched,
+        TraceStage::CompileStart,
+        TraceStage::Compiled,
+        TraceStage::JobDone,
+        TraceStage::Report,
+    ];
+    let mut last_index = None;
+    for stage in expected {
+        let index = events
+            .iter()
+            .position(|e| e.stage == stage)
+            .unwrap_or_else(|| panic!("stage {} missing from trace", stage.name()));
+        if let Some(last) = last_index {
+            assert!(
+                index > last,
+                "stage {} out of order in the lifecycle chain",
+                stage.name()
+            );
+            assert!(
+                events[index].micros >= events[last].micros,
+                "timestamps must be non-decreasing along the chain"
+            );
+        }
+        last_index = Some(index);
+    }
+    // Every event belongs to the one submission and carries its client id
+    // where the stage has one.
+    assert!(events
+        .iter()
+        .all(|e| e.client.is_none() || e.client == Some(7)));
+
+    let json = chrome_trace_json(&events);
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    for stage in expected {
+        assert!(
+            json.contains(&format!("\"name\":\"{}\"", stage.name())),
+            "chrome trace must name stage {}",
+            stage.name()
+        );
+    }
+}
+
+/// The metrics dump file gains one well-formed JSON line per aggregator tick,
+/// including the final post-drain snapshot.
+#[test]
+fn metrics_dump_appends_json_lines() {
+    let dir = std::env::temp_dir().join(format!("vqc-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("metrics.jsonl");
+    let _ = std::fs::remove_file(&dump);
+    {
+        let runtime = CompilationRuntime::new(
+            fast_options(),
+            RuntimeOptions::with_workers(1).with_telemetry(
+                TelemetryOptions::default()
+                    .with_interval(Duration::from_millis(20))
+                    .with_dump_path(&dump),
+            ),
+        );
+        let handle = runtime
+            .submit(Submission::single(
+                one_block_circuit(1.2),
+                [],
+                Strategy::StrictPartial,
+            ))
+            .unwrap();
+        assert!(handle.wait().expect("not shed")[0].is_ok());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let contents = std::fs::read_to_string(&dump).unwrap();
+    let lines: Vec<&str> = contents.lines().collect();
+    assert!(lines.len() >= 2, "expected multiple ticks, got {lines:?}");
+    for line in &lines {
+        assert!(line.starts_with("{\"seq\":") && line.ends_with('}'));
+    }
+    // The final line is the post-drain snapshot.
+    assert!(lines.last().unwrap().contains("\"completed\":1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

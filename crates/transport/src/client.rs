@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use vqc_core::CompilationReport;
-use vqc_runtime::Priority;
+use vqc_runtime::{MetricsSnapshot, Priority, TraceEvent};
 
 /// Why a remote operation failed.
 #[derive(Debug)]
@@ -125,6 +125,11 @@ struct RouteTable {
     routes: HashMap<u64, Sender<Routed>>,
     /// Waiters for id-less responses (`Stats`, protocol `Error`s), FIFO.
     control: Vec<Sender<Result<ServerStats, RemoteError>>>,
+    /// Subscribers to the server's metrics stream; every `MetricsTick` is
+    /// broadcast to all of them (dead receivers are pruned on send).
+    watchers: Vec<Sender<MetricsSnapshot>>,
+    /// Waiters for `Trace` responses, FIFO like `control`.
+    trace: Vec<Sender<Result<Vec<TraceEvent>, RemoteError>>>,
 }
 
 struct ClientShared {
@@ -140,6 +145,12 @@ impl ClientShared {
             let _ = route.send(Routed::Lost);
         }
         for waiter in table.control.drain(..) {
+            let _ = waiter.send(Err(RemoteError::Disconnected));
+        }
+        // Dropping the senders disconnects every watcher's receiver, which is
+        // how subscribers learn the stream ended.
+        table.watchers.clear();
+        for waiter in table.trace.drain(..) {
             let _ = waiter.send(Err(RemoteError::Disconnected));
         }
     }
@@ -296,6 +307,42 @@ impl Client {
         receiver.recv().map_err(|_| RemoteError::Disconnected)?
     }
 
+    /// Subscribes to the server's metrics stream: the returned receiver yields
+    /// one [`MetricsSnapshot`] immediately, then one per server aggregator
+    /// tick, with strictly increasing `seq`. The receiver disconnects when the
+    /// connection is lost or the server drains. Repeated calls share the
+    /// single per-connection server stream — every returned receiver sees
+    /// every tick.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is lost.
+    pub fn watch(&self) -> Result<Receiver<MetricsSnapshot>, RemoteError> {
+        let (sender, receiver) = std::sync::mpsc::channel();
+        {
+            let mut table = self.shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            table.watchers.push(sender);
+        }
+        self.send(&Request::Watch)?;
+        Ok(receiver)
+    }
+
+    /// Fetches the server's lifecycle trace ring (most recent events, oldest
+    /// first). Render it with [`vqc_runtime::chrome_trace_json`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is lost or the server reports an error.
+    pub fn trace(&self) -> Result<Vec<TraceEvent>, RemoteError> {
+        let (sender, receiver) = std::sync::mpsc::channel();
+        {
+            let mut table = self.shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            table.trace.push(sender);
+        }
+        self.send(&Request::Trace)?;
+        receiver.recv().map_err(|_| RemoteError::Disconnected)?
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors
@@ -339,6 +386,22 @@ fn route_response(shared: &ClientShared, response: Response) {
                     .control
                     .remove(0)
                     .send(Err(RemoteError::Protocol(message)));
+            }
+            return;
+        }
+        Response::MetricsTick { snapshot } => {
+            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            // Broadcast; a failed send means that subscriber's receiver was
+            // dropped, so prune it.
+            table
+                .watchers
+                .retain(|watcher| watcher.send(snapshot.clone()).is_ok());
+            return;
+        }
+        Response::Trace { events } => {
+            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            if !table.trace.is_empty() {
+                let _ = table.trace.remove(0).send(Ok(events));
             }
             return;
         }

@@ -28,9 +28,12 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use vqc_runtime::{
-    CompilationRuntime, CompileJob, JobHandle, JobStatus, Priority, Submission, SubmitError,
+    CompilationRuntime, CompileJob, JobHandle, JobStatus, MetricsSnapshot, Priority, Submission,
+    SubmitError,
 };
 
 /// Address the server (and the `vqc-submit` client) use when `VQC_LISTEN` is
@@ -361,6 +364,9 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
     // at disconnect is canceled.
     let jobs: Arc<Mutex<HashMap<u64, JobHandle>>> = Arc::new(Mutex::new(HashMap::new()));
     let mut streamers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    // At most one metrics watcher per connection; the stop flag ends it at
+    // teardown (after a final snapshot) even if the aggregator is long-lived.
+    let mut watcher: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)> = None;
     let outcome = loop {
         match read_frame::<_, Request>(&mut reader, max_frame) {
             Ok(Request::Submit {
@@ -484,12 +490,34 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
                 }
             }
             Ok(Request::Stats) => {
+                let (snapshot_seq, snapshot_uptime_seconds) = shared.runtime.last_snapshot_meta();
                 let stats = ServerStats {
                     runtime: shared.runtime.metrics(),
                     client_id,
                     client: shared.runtime.client_metrics(client_id),
+                    uptime_seconds: shared.runtime.uptime_seconds(),
+                    snapshot_seq,
+                    snapshot_uptime_seconds,
                 };
                 let _ = send(&writer, &Response::Stats { stats }, max_frame);
+            }
+            Ok(Request::Watch) => {
+                // One stream per connection: a repeated Watch is a no-op so the
+                // per-connection MetricsTick seq stays strictly increasing.
+                if watcher.is_none() {
+                    let stop = Arc::new(AtomicBool::new(false));
+                    let thread_stop = Arc::clone(&stop);
+                    let runtime = Arc::clone(&shared.runtime);
+                    let writer = Arc::clone(&writer);
+                    let handle = std::thread::spawn(move || {
+                        watch_connection(&runtime, &writer, &thread_stop, max_frame);
+                    });
+                    watcher = Some((stop, handle));
+                }
+            }
+            Ok(Request::Trace) => {
+                let events = shared.runtime.trace_events();
+                let _ = send(&writer, &Response::Trace { events }, max_frame);
             }
             Ok(Request::Shutdown) => break ConnectionOutcome::ShutdownRequested,
             Ok(Request::Hello { .. }) => {
@@ -538,6 +566,12 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
     for streamer in streamers {
         let _ = streamer.join();
     }
+    // The watcher stops *after* the streamers have drained, so its final
+    // MetricsTick reflects the connection's completed work.
+    if let Some((stop, handle)) = watcher {
+        stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
     if !draining {
         // The id is never handed out again: reap its fair-share clock and
         // metrics slice so a long-lived server does not grow state per
@@ -546,6 +580,50 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
         shared.runtime.release_client(client_id);
     }
     outcome
+}
+
+/// Streams [`Response::MetricsTick`] frames to one connection: an immediate
+/// snapshot on subscription (so the client need not wait out an aggregator
+/// interval), then every aggregator tick, deduplicated by `seq` so the stream
+/// is strictly increasing. Exits when the connection dies mid-send, when the
+/// aggregator closes the channel (runtime teardown), or when `stop` is raised
+/// at connection teardown — after sending one final fresh snapshot so the last
+/// tick reflects the drained state.
+fn watch_connection(
+    runtime: &CompilationRuntime,
+    writer: &Arc<Mutex<TcpStream>>,
+    stop: &AtomicBool,
+    max_frame: usize,
+) {
+    let ticks = runtime.watch_metrics();
+    let mut last_sent = 0u64;
+    let forward = |snapshot: MetricsSnapshot, last_sent: &mut u64| -> bool {
+        if snapshot.seq <= *last_sent {
+            return true;
+        }
+        *last_sent = snapshot.seq;
+        send(writer, &Response::MetricsTick { snapshot }, max_frame).is_ok()
+    };
+    if !forward(runtime.telemetry_snapshot(), &mut last_sent) {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            let _ = forward(runtime.telemetry_snapshot(), &mut last_sent);
+            return;
+        }
+        match ticks.recv_timeout(Duration::from_millis(50)) {
+            Ok(snapshot) => {
+                if !forward(snapshot, &mut last_sent) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            // The aggregator published its final snapshot before closing; it
+            // was drained from the channel above, so nothing is lost.
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
 }
 
 fn build_submission(payload: SubmitPayload) -> Submission {

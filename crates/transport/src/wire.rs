@@ -19,11 +19,13 @@ use serde::{Deserialize, Serialize};
 use std::io::{ErrorKind, Read, Write};
 use vqc_circuit::Circuit;
 use vqc_core::{CompilationReport, CompileError, Strategy};
-use vqc_runtime::{ClientMetrics, JobStatus, RuntimeMetrics};
+use vqc_runtime::{ClientMetrics, JobStatus, MetricsSnapshot, RuntimeMetrics, TraceEvent};
 
 /// Version of the wire protocol spoken by this build. Bumped on any change to
-/// the frame layout or the message enums below.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// the frame layout or the message enums below. Version 2 added
+/// [`Request::Watch`] / [`Response::MetricsTick`], [`Request::Trace`] /
+/// [`Response::Trace`], and the uptime/snapshot fields of [`ServerStats`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default cap on one frame's payload size (8 MiB), server- and client-side.
 pub const DEFAULT_MAX_FRAME: usize = 8 * 1024 * 1024;
@@ -212,6 +214,16 @@ pub enum Request {
     },
     /// Request the server's global metrics plus this client's slice.
     Stats,
+    /// Subscribe this connection to the periodic metrics-snapshot stream: the
+    /// server immediately sends one [`Response::MetricsTick`], then one per
+    /// telemetry aggregator tick (strictly increasing `seq`), until the
+    /// connection closes or the server drains. Idempotent — a second Watch on
+    /// the same connection is ignored (one stream per connection).
+    Watch,
+    /// Fetch the server's buffered lifecycle trace ring (oldest event first),
+    /// answered with [`Response::Trace`] — render it with
+    /// `vqc_runtime::chrome_trace_json` for `chrome://tracing` / Perfetto.
+    Trace,
     /// Ask the server to shut down gracefully (drains in-flight work).
     Shutdown,
 }
@@ -399,6 +411,17 @@ pub struct ServerStats {
     pub client_id: u64,
     /// The requesting client's slice of the counters.
     pub client: ClientMetrics,
+    /// Seconds since the server's service core started. A poller seeing this
+    /// decrease knows the server restarted between reads.
+    pub uptime_seconds: f64,
+    /// Sequence number of the most recent telemetry snapshot (0 before the
+    /// first). Strictly monotonic per server process: a repeated value means
+    /// the read is stale (no new snapshot since), a smaller value means a
+    /// restart.
+    pub snapshot_seq: u64,
+    /// Server uptime at which that snapshot was assembled (0.0 before the
+    /// first).
+    pub snapshot_uptime_seconds: f64,
 }
 
 /// A server-to-client message.
@@ -439,6 +462,19 @@ pub enum Response {
     Stats {
         /// The counters.
         stats: ServerStats,
+    },
+    /// One telemetry snapshot of the [`Request::Watch`] stream (also sent once
+    /// immediately on subscription). `snapshot.seq` increases strictly within a
+    /// connection's stream.
+    MetricsTick {
+        /// The snapshot.
+        snapshot: MetricsSnapshot,
+    },
+    /// Answer to [`Request::Trace`]: the server's buffered lifecycle events,
+    /// oldest first.
+    Trace {
+        /// The buffered trace events.
+        events: Vec<TraceEvent>,
     },
     /// A protocol-level failure (malformed frame, internal error). The
     /// connection survives when the stream is still frame-aligned.
@@ -493,6 +529,8 @@ mod tests {
         round_trip_request(Request::Status { id: 7 });
         round_trip_request(Request::Cancel { id: 7 });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Watch);
+        round_trip_request(Request::Trace);
         round_trip_request(Request::Shutdown);
     }
 
@@ -520,6 +558,34 @@ mod tests {
             },
             Response::Error {
                 message: "undecodable frame".into(),
+            },
+            Response::MetricsTick {
+                snapshot: MetricsSnapshot {
+                    seq: 5,
+                    uptime_seconds: 12.25,
+                    workers: 4,
+                    busy_workers: 2,
+                    queued_by_class: [1, 2, 3],
+                    classes: vec![vqc_runtime::ClassLatency {
+                        class: 2,
+                        queue_wait: vqc_runtime::HistogramSnapshot {
+                            count: 3,
+                            total_seconds: 0.5,
+                            buckets: vec![0, 1, 2],
+                        },
+                        ..vqc_runtime::ClassLatency::default()
+                    }],
+                    ..MetricsSnapshot::default()
+                },
+            },
+            Response::Trace {
+                events: vec![TraceEvent {
+                    submission: 9,
+                    client: Some(4),
+                    stage: vqc_runtime::TraceStage::Dispatched,
+                    micros: 1234,
+                    detail: 7,
+                }],
             },
         ] {
             let mut buffer = Vec::new();

@@ -7,9 +7,13 @@
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use vqc_circuit::Circuit;
 use vqc_core::{CompilerOptions, Strategy};
-use vqc_runtime::{Backpressure, CompilationRuntime, Priority, RuntimeOptions, ServiceOptions};
+use vqc_runtime::{
+    chrome_trace_json, Backpressure, CompilationRuntime, Priority, RuntimeOptions, ServiceOptions,
+    TelemetryOptions, TraceStage,
+};
 use vqc_transport::{
     wire, Client, ClientOptions, JobEvent, JobUpdate, RejectReason, RemoteError, Request, Response,
     Server, ServerOptions, SubmitPayload, PROTOCOL_VERSION,
@@ -446,6 +450,155 @@ fn events_stream_per_job_completions_before_the_report() {
     match idle.wait() {
         Ok(results) => assert!(results.is_empty()),
         other => panic!("empty batch should succeed, got {other:?}"),
+    }
+}
+
+/// The acceptance scenario for the metrics stream: a `Watch` subscriber on a
+/// loopback server receives an immediate snapshot plus aggregator ticks with
+/// strictly increasing `seq` while a second connection runs a concurrent
+/// workload, and the stream converges on counters reflecting that workload.
+/// `Stats` is enriched with server uptime and the aggregator's snapshot
+/// cursor.
+#[test]
+fn watch_streams_monotonic_ticks_reflecting_a_concurrent_workload() {
+    let (server, _runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(2)
+            .with_telemetry(TelemetryOptions::default().with_interval(Duration::from_millis(20))),
+    ));
+    let watcher = Client::connect(
+        server.local_addr(),
+        ClientOptions::default().with_name("watcher"),
+    )
+    .unwrap();
+    let ticks = watcher.watch().unwrap();
+    // Subscribing answers immediately with the current snapshot — no need to
+    // wait out an aggregator interval.
+    let first = ticks.recv_timeout(Duration::from_secs(5)).unwrap();
+
+    // Concurrent workload on a second connection while the stream is live.
+    let submitter = Client::connect(
+        server.local_addr(),
+        ClientOptions::default().with_name("submitter"),
+    )
+    .unwrap();
+    let total = 3u64;
+    let jobs: Vec<_> = (0..total)
+        .map(|i| {
+            submitter
+                .submit(SubmitPayload::Batch(vec![wire::WireJob {
+                    circuit: one_block_circuit(0.3 + 0.5 * i as f64),
+                    params: vec![],
+                    strategy: Strategy::StrictPartial,
+                }]))
+                .unwrap()
+        })
+        .collect();
+    for job in &jobs {
+        assert!(job.wait().unwrap()[0].is_ok());
+    }
+
+    // Keep reading ticks until one reflects the completed workload.
+    let mut snapshots = vec![first];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while snapshots.last().unwrap().completed < total {
+        assert!(
+            Instant::now() < deadline,
+            "no tick converged on the completed workload"
+        );
+        snapshots.push(ticks.recv_timeout(Duration::from_secs(5)).unwrap());
+    }
+    assert!(
+        snapshots.len() >= 2,
+        "expected the immediate tick plus at least one aggregator tick"
+    );
+    for pair in snapshots.windows(2) {
+        assert!(
+            pair[1].seq > pair[0].seq,
+            "per-connection tick seq must be strictly increasing: {} then {}",
+            pair[0].seq,
+            pair[1].seq
+        );
+        assert!(pair[1].uptime_seconds >= pair[0].uptime_seconds);
+    }
+    let last = snapshots.last().unwrap();
+    assert_eq!(last.submissions, total);
+    assert_eq!(last.completed, total);
+    assert_eq!(last.workers, 2);
+
+    // A repeated Watch is ignored server-side (one stream per connection), but
+    // every locally registered receiver shares the stream.
+    let second = watcher.watch().unwrap();
+    let shared = second.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert!(shared.seq > last.seq);
+
+    // Stats now carries uptime and the aggregator's last-snapshot cursor.
+    let stats = submitter.stats().unwrap();
+    assert!(stats.uptime_seconds > 0.0);
+    assert!(stats.snapshot_seq > 0, "the aggregator has ticked");
+    assert!(stats.snapshot_uptime_seconds > 0.0);
+    assert!(stats.snapshot_uptime_seconds <= stats.uptime_seconds);
+    assert_eq!(stats.runtime.completed_submissions, total);
+}
+
+/// The acceptance scenario for the lifecycle trace: after one remote job, the
+/// `Trace` request returns the full submitted → admitted → dispatched →
+/// compile-start → compiled → job-done → report chain with non-decreasing
+/// timestamps, attributed to the TCP client id, and it renders as Chrome
+/// `trace_event` JSON.
+#[test]
+fn trace_request_exports_the_chrome_lifecycle_chain() {
+    let (server, _runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1),
+    ));
+    let client = Client::connect(server.local_addr(), ClientOptions::default()).unwrap();
+    let job = client
+        .submit(SubmitPayload::Batch(vec![wire::WireJob {
+            circuit: one_block_circuit(0.6),
+            params: vec![],
+            strategy: Strategy::StrictPartial,
+        }]))
+        .unwrap();
+    assert!(job.wait().unwrap()[0].is_ok());
+
+    let events = client.trace().unwrap();
+    let expected = [
+        TraceStage::Submitted,
+        TraceStage::Admitted,
+        TraceStage::Dispatched,
+        TraceStage::CompileStart,
+        TraceStage::Compiled,
+        TraceStage::JobDone,
+        TraceStage::Report,
+    ];
+    let mut last_index = None;
+    for stage in expected {
+        let index = events
+            .iter()
+            .position(|e| e.stage == stage)
+            .unwrap_or_else(|| panic!("stage {} missing from the remote trace", stage.name()));
+        if let Some(last) = last_index {
+            assert!(index > last, "stage {} out of order", stage.name());
+            assert!(
+                events[index].micros >= events[last].micros,
+                "timestamps must be non-decreasing along the chain"
+            );
+        }
+        last_index = Some(index);
+    }
+    // Lifecycle events are attributed to the transport-assigned client id.
+    assert!(events.iter().any(|e| e.client == Some(client.client_id())));
+
+    let json = chrome_trace_json(&events);
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"i\""));
+    for stage in expected {
+        assert!(
+            json.contains(&format!("\"name\":\"{}\"", stage.name())),
+            "chrome trace must name stage {}",
+            stage.name()
+        );
     }
 }
 
