@@ -78,6 +78,7 @@ impl NelderMead {
         }
 
         while evaluations < self.max_evaluations {
+            // audit:allow(unwrap): Nelder-Mead objective values are finite (non-finite energies are rejected at evaluation)
             simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective values are finite"));
             history.push(simplex[0].1);
 
@@ -149,6 +150,7 @@ impl NelderMead {
             }
         }
 
+        // audit:allow(unwrap): Nelder-Mead objective values are finite (non-finite energies are rejected at evaluation)
         simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective values are finite"));
         history.push(simplex[0].1);
         OptimizationResult {

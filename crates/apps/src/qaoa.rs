@@ -92,6 +92,7 @@ impl QaoaBenchmark {
     pub fn graph(&self) -> Graph {
         if self.three_regular {
             Graph::three_regular(self.num_nodes, self.seed)
+                // audit:allow(unwrap): 3-regular graphs exist for every benchmarked (even) node count
                 .expect("3-regular graphs exist for the benchmarked sizes")
         } else {
             Graph::erdos_renyi(self.num_nodes, 0.5, self.seed)

@@ -119,6 +119,7 @@ fn append_pauli_evolution(
         circuit.cx(pair[0], pair[1]);
     }
     // The single parameterized rotation of this string.
+    // audit:allow(unwrap): ansatz Pauli strings are built non-empty
     circuit.rz_expr(*qubits.last().expect("non-empty string"), angle);
     // Inverse ladder.
     for pair in qubits.windows(2).rev() {

@@ -1,0 +1,57 @@
+//! `vqc-audit` — run the workspace lints and exit non-zero on any finding.
+//!
+//! Usage: `cargo run -p vqc-audit [--root <workspace-root>]`. With no `--root`,
+//! the workspace root is discovered by walking up from the current directory to
+//! the first `Cargo.toml` containing a `[workspace]` section.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: vqc-audit [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("vqc-audit: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(discover_root) else {
+        eprintln!("vqc-audit: could not locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let findings = vqc_audit::scan_workspace(&root);
+    if findings.is_empty() {
+        println!("vqc-audit: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        println!("vqc-audit: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -355,6 +355,51 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the lock-order checker on the same warm-cache submit→report loop.
+/// Disabled (the default), each lock site adds two relaxed atomic loads;
+/// enabled, every acquisition updates the held stack and order graph. Only the
+/// disabled case is production, so the <5% budget in `emit_summary` binds the
+/// checked run loosely — it exists to catch the checker becoming pathological,
+/// not to make it free.
+fn bench_lock_check_overhead(c: &mut Criterion) {
+    use parking_lot::lock_check;
+    let mut group = c.benchmark_group("lock_check_overhead");
+    group.sample_size(30);
+    let graph = Graph::three_regular(6, 20).expect("3-regular graph on 6 nodes");
+    let circuit = qaoa_circuit(&graph, 1);
+    let params: Vec<f64> = reference_parameters(2);
+    for (name, enabled) in [("check_enabled", true), ("check_disabled", false)] {
+        lock_check::force(enabled);
+        let runtime = CompilationRuntime::new(bench_options(), RuntimeOptions::with_workers(2));
+        runtime
+            .compile(&circuit, &params, Strategy::StrictPartial)
+            .expect("the warmup compiles");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let handle = runtime
+                    .submit(Submission::single(
+                        circuit.clone(),
+                        &params[..],
+                        Strategy::StrictPartial,
+                    ))
+                    .expect("queue empty");
+                black_box(
+                    handle.wait().expect("not shed")[0]
+                        .as_ref()
+                        .unwrap()
+                        .pulse_duration_ns,
+                );
+            })
+        });
+        // Drain the runtime before flipping the global switch: a guard taken
+        // with tracking must release with tracking.
+        drop(runtime);
+    }
+    lock_check::force(false);
+    lock_check::set_long_hold_reporter(None);
+    group.finish();
+}
+
 fn bench_cache_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_contention");
     group.sample_size(10);
@@ -517,6 +562,24 @@ fn emit_summary(c: &mut Criterion) {
             (ratio - 1.0) * 100.0
         );
     }
+    // The lock-checker budget: the disabled (production) configuration must
+    // not regress, so the enabled/disabled ratio is held to the same loose
+    // <5%-or-10µs bound as telemetry — a tripwire for the checker's graph
+    // update becoming pathological, not a claim that checking is free.
+    if let (Some((enabled_mean, enabled_min)), Some((disabled_mean, disabled_min))) = (
+        bench("lock_check_overhead", "check_enabled"),
+        bench("lock_check_overhead", "check_disabled"),
+    ) {
+        let ratio = enabled_min / disabled_min;
+        json.push_str(&format!(
+            "  \"lock_check_overhead\": {{\"enabled_mean_ns\": {enabled_mean:.1}, \"disabled_mean_ns\": {disabled_mean:.1}, \"enabled_min_ns\": {enabled_min:.1}, \"disabled_min_ns\": {disabled_min:.1}, \"overhead_ratio\": {ratio:.4}, \"budget_ratio\": 1.05}},\n"
+        ));
+        assert!(
+            ratio < 1.05 || enabled_min - disabled_min < 10_000.0,
+            "the lock-order checker costs {:.1}% on warm submissions, over the 5% budget",
+            (ratio - 1.0) * 100.0
+        );
+    }
     match cost_feedback_error() {
         Some((blocks, scale, error, fitted)) => {
             let fitted = fitted
@@ -548,6 +611,7 @@ criterion_group!(
     bench_service_submission,
     bench_transport_roundtrip,
     bench_telemetry_overhead,
+    bench_lock_check_overhead,
     bench_cache_contention,
     emit_summary
 );

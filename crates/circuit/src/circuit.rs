@@ -279,6 +279,7 @@ impl Circuit {
                     qubits
                         .iter()
                         .position(|&x| x == *q)
+                        // audit:allow(unwrap): the extraction set was collected from these operations' qubits
                         .expect("operation touches a qubit outside the extraction set")
                 })
                 .collect();

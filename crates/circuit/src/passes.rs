@@ -84,6 +84,7 @@ pub fn merge_rotations(circuit: &Circuit) -> Circuit {
             let live: Vec<usize> = (i + 1..ops.len()).filter(|&j| ops[j].is_some()).collect();
             let mut next = None;
             for j in live {
+                // audit:allow(unwrap): the index list was just filtered to live ops
                 let other = ops[j].as_ref().expect("filtered to live ops");
                 if op.overlaps(other) {
                     next = Some(j);
@@ -91,6 +92,7 @@ pub fn merge_rotations(circuit: &Circuit) -> Circuit {
                 }
             }
             let Some(j) = next else { continue };
+            // audit:allow(unwrap): next is only set to an index that held Some above
             let other = ops[j].clone().expect("index points at a live op");
             if other.qubits == op.qubits && same_rotation_axis(&op.gate, &other.gate) {
                 let (Some(a), Some(b)) = (op.gate.angle(), other.gate.angle()) else {
@@ -130,6 +132,7 @@ pub fn cancel_adjacent_pairs(circuit: &Circuit) -> Circuit {
             let mut blocked = false;
             let mut partner = None;
             for j in live {
+                // audit:allow(unwrap): the index list was just filtered to live ops
                 let other = ops[j].as_ref().expect("filtered to live ops");
                 if !op.overlaps(other) {
                     continue;

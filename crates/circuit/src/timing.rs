@@ -137,6 +137,7 @@ pub fn schedule_asap(circuit: &Circuit, times: &GateTimes) -> Result<Schedule, C
 /// variant.
 pub fn critical_path_ns(circuit: &Circuit, times: &GateTimes) -> f64 {
     schedule_asap(circuit, times)
+        // audit:allow(unwrap): documented panicking variant; schedule_asap is the fallible API
         .expect("circuit must be decomposed to the compilation basis before timing")
         .total_ns()
 }

@@ -116,6 +116,7 @@ pub fn aggregate_blocks_with_cap(
         let mut target: Option<usize> = None;
         if !force_isolated && !owners.is_empty() {
             if owners.len() == 1 {
+                // audit:allow(unwrap): guarded by owners.len() == 1
                 let block_index = *owners.iter().next().expect("one owner");
                 let block = &blocks[block_index];
                 let mut union: BTreeSet<usize> = block.qubits.iter().copied().collect();
@@ -163,6 +164,7 @@ pub fn aggregate_blocks_with_cap(
                         ParameterPolicy::AtMostOne => params.len() <= 1,
                     };
                     if width_ok && param_ok {
+                        // audit:allow(unwrap): guarded by the surrounding !owners.is_empty() branch
                         let fused = *owners.iter().min().expect("non-empty owner set");
                         let others: Vec<usize> =
                             owners.iter().copied().filter(|&b| b != fused).collect();

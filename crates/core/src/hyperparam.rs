@@ -157,6 +157,7 @@ pub fn tune_hyperparameters(
                         .unwrap_or(std::cmp::Ordering::Equal),
                 )
         })
+        // audit:allow(unwrap): the tuning grid is a non-empty compile-time constant
         .expect("grid is non-empty")
         .clone();
 

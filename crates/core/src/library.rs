@@ -30,6 +30,7 @@ impl BlockKey {
             }
             if let Some(angle) = op.gate.angle() {
                 if angle.is_parameterized() {
+                    // audit:allow(unwrap): guarded by angle.is_parameterized() on the line above
                     key.push_str(&format!("[θ{}]", angle.parameter().expect("parameterized")));
                 } else {
                     key.push_str(&format!("[{:.9}]", angle.evaluate(&[])));

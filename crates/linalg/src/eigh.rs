@@ -169,6 +169,7 @@ pub fn eigh_into(
     let pairs = &mut workspace.order;
     pairs.clear();
     pairs.extend((0..n).map(|i| (work[(i, i)].re, i)));
+    // audit:allow(unwrap): Hermitian eigenvalues are real and finite by construction
     pairs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("eigenvalues are finite"));
     eigenvalues.clear();
     eigenvalues.extend(pairs.iter().map(|(value, _)| *value));

@@ -146,6 +146,7 @@ impl Matrix {
     /// Panics if the inner dimensions do not agree; use [`Matrix::try_matmul`] for a
     /// fallible variant.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        // audit:allow(unwrap): documented panicking variant; try_matmul is the fallible API
         self.try_matmul(rhs).expect("matmul dimension mismatch")
     }
 

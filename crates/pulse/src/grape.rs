@@ -179,6 +179,7 @@ pub fn optimize_pulse(
     duration_ns: f64,
     options: &GrapeOptions,
 ) -> GrapeResult {
+    // audit:allow(unwrap): documented panicking variant; try_optimize_pulse is the fallible API
     try_optimize_pulse(target, device, duration_ns, options).expect("invalid GRAPE inputs")
 }
 

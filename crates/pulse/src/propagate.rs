@@ -27,6 +27,7 @@ pub struct Propagation {
 impl Propagation {
     /// The total evolution operator of the pulse.
     pub fn total(&self) -> &Matrix {
+        // audit:allow(unwrap): pulses are validated non-empty before propagation
         self.forward.last().expect("propagation of an empty pulse")
     }
 }

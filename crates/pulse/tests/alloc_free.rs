@@ -8,22 +8,36 @@
 //! allocation fails this test deterministically.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::hint::black_box;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use vqc_pulse::{DeviceModel, GrapeWorkspace, PulseSequence};
 use vqc_sim::gates;
 
-/// Counts every allocation (and reallocation) made while `COUNTING` is set.
+/// Counts every allocation (and reallocation) the *current thread* makes while
+/// its `COUNTING` flag is set. The counters are thread-local (const-initialized
+/// `Cell`s, so touching them from the allocator neither allocates nor registers
+/// a TLS destructor): the kernel under test is single-threaded, and a
+/// process-global flag would also count incidental allocations from libtest's
+/// harness threads during the counting window — a spurious failure mode on a
+/// loaded machine.
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-static COUNTING: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_one() {
+    let _ = COUNTING.try_with(|counting| {
+        if counting.get() {
+            let _ = ALLOCATIONS.try_with(|allocations| allocations.set(allocations.get() + 1));
+        }
+    });
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        count_one();
         System.alloc(layout)
     }
 
@@ -32,9 +46,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -57,14 +69,14 @@ fn fidelity_gradient_is_allocation_free_after_workspace_construction() {
     let warmup = workspace.fidelity_gradient(&pulse);
     assert!(warmup.is_finite());
 
-    COUNTING.store(true, Ordering::SeqCst);
+    COUNTING.with(|counting| counting.set(true));
     for _ in 0..10 {
         black_box(workspace.fidelity_gradient(black_box(&pulse)));
     }
-    COUNTING.store(false, Ordering::SeqCst);
+    COUNTING.with(|counting| counting.set(false));
 
     assert_eq!(
-        ALLOCATIONS.load(Ordering::SeqCst),
+        ALLOCATIONS.with(Cell::get),
         0,
         "fidelity_gradient allocated on the heap after workspace construction"
     );

@@ -6,9 +6,10 @@
 //! pulse cache holds the result, so the follower's own compile call degenerates to a
 //! lookup). This is the runtime's "singleflight" primitive.
 
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use vqc_core::BlockKey;
 
 /// Completion signal for one in-flight compilation (opaque; carried by [`Ticket`]).
@@ -44,7 +45,7 @@ impl InFlight {
     /// Registers interest in a key: the first caller becomes the leader, later
     /// callers (until the leader completes) become followers.
     pub fn begin(&self, key: BlockKey) -> Ticket {
-        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        let mut flights = self.flights.lock();
         if let Some(flight) = flights.get(&key) {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
             Ticket::Follower(Arc::clone(flight))
@@ -60,21 +61,18 @@ impl InFlight {
     /// when the compilation failed, or followers would wait forever.
     pub fn complete(&self, key: &BlockKey, flight: Arc<Flight>) {
         {
-            let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            let mut flights = self.flights.lock();
             flights.remove(key);
         }
-        *flight.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        *flight.done.lock() = true;
         flight.finished.notify_all();
     }
 
     /// Blocks a follower until its leader calls [`InFlight::complete`].
     pub fn wait(&self, flight: &Arc<Flight>) {
-        let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+        let mut done = flight.done.lock();
         while !*done {
-            done = flight
-                .finished
-                .wait(done)
-                .unwrap_or_else(|e| e.into_inner());
+            flight.finished.wait(&mut done);
         }
     }
 

@@ -139,11 +139,10 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<CacheSnapshot, PersistErr
     if bytes.len() < header_len || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
         return Err(PersistError::Corrupt("missing snapshot magic".into()));
     }
-    let version = u32::from_le_bytes(
-        bytes[SNAPSHOT_MAGIC.len()..header_len]
-            .try_into()
-            .expect("four version bytes"),
-    );
+    let version = match bytes[SNAPSHOT_MAGIC.len()..header_len].try_into() {
+        Ok(raw) => u32::from_le_bytes(raw),
+        Err(_) => return Err(PersistError::Corrupt("truncated version field".into())),
+    };
     let payload = &bytes[header_len..];
     match version {
         // Guarded by the same constant the rejection message advertises, so

@@ -373,6 +373,7 @@ impl CompilationRuntime {
         self.service
             .submit_with(submission, Backpressure::Block, false)
             .and_then(|handle| handle.wait())
+            // audit:allow(unwrap): Block-mode admission cannot reject, shed, or cancel
             .expect("synchronous submissions block admission and are never shed")
     }
 
@@ -395,6 +396,7 @@ impl CompilationRuntime {
         self.submit_and_wait(Submission::single(circuit.clone(), params, strategy))
             .into_iter()
             .next()
+            // audit:allow(unwrap): a single-job submission yields exactly one result
             .expect("one job in, one result out")
     }
 

@@ -34,9 +34,10 @@ use crate::runtime::{CompileJob, SchedulePolicy};
 use crate::telemetry::{
     MetricsSnapshot, Telemetry, TelemetryOptions, TraceStage, PRIORITY_CLASSES,
 };
+use parking_lot::{lock_check, Condvar, Mutex};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 use vqc_circuit::Circuit;
 use vqc_core::{
@@ -372,12 +373,12 @@ impl JobHandle {
     /// started, [`SubmitError::Canceled`] if it was canceled.
     #[allow(clippy::type_complexity)]
     pub fn wait(&self) -> Result<Vec<Result<CompilationReport, CompileError>>, SubmitError> {
-        let mut inner = lock(&self.state.inner);
+        let mut inner = self.state.inner.lock();
         while !matches!(
             inner.status,
             JobStatus::Done | JobStatus::Shed | JobStatus::Canceled
         ) {
-            inner = wait(&self.state.done, inner);
+            self.state.done.wait(&mut inner);
         }
         match inner.status {
             JobStatus::Shed => Err(SubmitError::Shed),
@@ -385,6 +386,7 @@ impl JobHandle {
             _ => Ok(inner
                 .jobs
                 .iter()
+                // audit:allow(unwrap): status == Done guarantees every job slot carries a result
                 .map(|job| job.result.clone().expect("done submissions have results"))
                 .collect()),
         }
@@ -392,15 +394,15 @@ impl JobHandle {
 
     /// The submission's current life-cycle stage, without blocking.
     pub fn try_status(&self) -> JobStatus {
-        lock(&self.state.inner).status
+        self.state.inner.lock().status
     }
 
     /// Blocks until the submission leaves [`JobStatus::Queued`] and returns the
     /// first non-queued status observed.
     pub fn wait_started(&self) -> JobStatus {
-        let mut inner = lock(&self.state.inner);
+        let mut inner = self.state.inner.lock();
         while matches!(inner.status, JobStatus::Queued) {
-            inner = wait(&self.state.done, inner);
+            self.state.done.wait(&mut inner);
         }
         inner.status
     }
@@ -424,13 +426,14 @@ impl JobHandle {
         &self,
         seen: usize,
     ) -> Result<Option<(usize, Result<CompilationReport, CompileError>)>, SubmitError> {
-        let mut inner = lock(&self.state.inner);
+        let mut inner = self.state.inner.lock();
         loop {
             if inner.completed_order.len() > seen {
                 let job = inner.completed_order[seen];
                 let result = inner.jobs[job]
                     .result
                     .clone()
+                    // audit:allow(unwrap): completed_order only holds jobs whose result was set
                     .expect("completed jobs have results");
                 return Ok(Some((job, result)));
             }
@@ -438,20 +441,20 @@ impl JobHandle {
                 JobStatus::Done => return Ok(None),
                 JobStatus::Shed => return Err(SubmitError::Shed),
                 JobStatus::Canceled => return Err(SubmitError::Canceled),
-                _ => inner = wait(&self.state.done, inner),
+                _ => self.state.done.wait(&mut inner),
             }
         }
     }
 
     /// Number of jobs whose results have landed so far.
     pub fn completed_jobs(&self) -> usize {
-        lock(&self.state.inner).completed_order.len()
+        self.state.inner.lock().completed_order.len()
     }
 
     /// Number of jobs the submission expands to. Zero until expansion installs
     /// the job slots (i.e. while [`JobStatus::Queued`]); fixed thereafter.
     pub fn job_count(&self) -> usize {
-        lock(&self.state.inner).jobs.len()
+        self.state.inner.lock().jobs.len()
     }
 
     /// Cancels the submission: queued work never dispatches, and a running
@@ -464,7 +467,7 @@ impl JobHandle {
     /// been shed, been canceled, or entered its completion window.
     pub fn cancel(&self) -> bool {
         let was_queued = {
-            let mut inner = lock(&self.state.inner);
+            let mut inner = self.state.inner.lock();
             if inner.finishing
                 || matches!(
                     inner.status,
@@ -513,7 +516,7 @@ impl JobHandle {
     /// exactly as the scheduler ordered their work — the observable ground truth
     /// for priority and fairness tests (and for latency debugging).
     pub fn dispatch_sequence(&self) -> Vec<u64> {
-        lock(&self.state.inner).dispatched.clone()
+        self.state.inner.lock().dispatched.clone()
     }
 }
 
@@ -701,12 +704,17 @@ pub(crate) struct ServiceCore {
     pub(crate) telemetry: Arc<Telemetry>,
 }
 
-fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
-    mutex.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    condvar.wait(guard).unwrap_or_else(|e| e.into_inner())
+/// Spawns a named thread. Thread names surface in lock-checker panics, long-hold
+/// reports, and Chrome trace exports, so every service thread gets one.
+fn spawn_named<F>(name: &str, body: F) -> std::thread::JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(body)
+        // audit:allow(unwrap): thread spawn fails only on OS resource exhaustion at startup
+        .expect("failed to spawn service thread")
 }
 
 impl ServiceCore {
@@ -716,7 +724,7 @@ impl ServiceCore {
     /// racing the bookkeeping. Must be called with fresh (unheld) locks.
     fn try_complete(&self, state: &Arc<SubmissionState>) {
         {
-            let mut inner = lock(&state.inner);
+            let mut inner = state.inner.lock();
             if inner.jobs_remaining > 0 || inner.status != JobStatus::Running || inner.finishing {
                 return;
             }
@@ -729,7 +737,7 @@ impl ServiceCore {
             .record_submit_to_report(state.priority, state.admitted_at.elapsed().as_secs_f64());
         self.telemetry
             .trace(TraceStage::Report, state.id, state.client, 0);
-        lock(&state.inner).status = JobStatus::Done;
+        state.inner.lock().status = JobStatus::Done;
         state.done.notify_all();
     }
 
@@ -739,12 +747,12 @@ impl ServiceCore {
     /// ever stalling the submit or dispatch paths behind a global freeze.
     pub(crate) fn build_snapshot(&self) -> MetricsSnapshot {
         let (seq, uptime_seconds) = self.telemetry.next_seq();
-        let ready_tasks = lock(&self.sched).ready.len() as u64;
+        let ready_tasks = self.sched.lock().ready.len() as u64;
         let mut queued_by_class = [0u64; PRIORITY_CLASSES];
-        for entry in lock(&self.intake).heap.iter() {
+        for entry in self.intake.lock().heap.iter() {
             queued_by_class[crate::telemetry::priority_class(entry.0.priority)] += 1;
         }
-        let outstanding = lock(&self.admission).outstanding as u64;
+        let outstanding = self.admission.lock().outstanding as u64;
         let cache = self.cache.metrics();
         MetricsSnapshot {
             seq,
@@ -775,13 +783,14 @@ impl ServiceCore {
     /// submissions).
     fn record_client(&self, client: Option<u64>, update: impl FnOnce(&mut ClientMetrics)) {
         if let Some(client) = client {
-            update(lock(&self.client_metrics).entry(client).or_default());
+            update(self.client_metrics.lock().entry(client).or_default());
         }
     }
 
     /// The client's current metrics slice (zeroes for an unseen client id).
     pub(crate) fn client_metrics(&self, client: u64) -> ClientMetrics {
-        lock(&self.client_metrics)
+        self.client_metrics
+            .lock()
             .get(&client)
             .copied()
             .unwrap_or_default()
@@ -793,13 +802,15 @@ impl ServiceCore {
     /// straggling fan-out delivery may recreate a (near-empty) slice; that is
     /// benign and the next release reaps it.
     pub(crate) fn release_client(&self, client: u64) {
-        lock(&self.client_metrics).remove(&client);
-        lock(&self.sched).clients.remove(&client);
+        self.client_metrics.lock().remove(&client);
+        self.sched.lock().clients.remove(&client);
     }
 
     /// Every client id seen so far with its metrics slice, sorted by id.
     pub(crate) fn client_metrics_snapshot(&self) -> Vec<(u64, ClientMetrics)> {
-        let mut all: Vec<(u64, ClientMetrics)> = lock(&self.client_metrics)
+        let mut all: Vec<(u64, ClientMetrics)> = self
+            .client_metrics
+            .lock()
             .iter()
             .map(|(id, metrics)| (*id, *metrics))
             .collect();
@@ -809,7 +820,7 @@ impl ServiceCore {
 
     fn release_admission(&self) {
         {
-            let mut admission = lock(&self.admission);
+            let mut admission = self.admission.lock();
             admission.outstanding = admission.outstanding.saturating_sub(1);
         }
         self.admitted.notify_all();
@@ -822,7 +833,7 @@ impl ServiceCore {
         // with the task enqueue at the end, so `Running` always means "every block
         // task this submission will ever have is in the ready queue". (The accept
         // loop is the only expander, so there is no claim to take.)
-        if lock(&state.inner).status != JobStatus::Queued {
+        if state.inner.lock().status != JobStatus::Queued {
             return;
         }
 
@@ -900,6 +911,7 @@ impl ServiceCore {
             if error.is_some() {
                 continue;
             }
+            // audit:allow(unwrap): error jobs are filtered out on the line above
             let plan = plan.as_ref().expect("non-error jobs have plans");
             for block_index in 0..plan.blocks.len() {
                 let block = &plan.blocks[block_index];
@@ -924,7 +936,7 @@ impl ServiceCore {
 
         // Install the job slots (results skeleton).
         {
-            let mut inner = lock(&state.inner);
+            let mut inner = state.inner.lock();
             inner.jobs = planned
                 .iter()
                 .map(|(plan, _, error)| {
@@ -938,6 +950,7 @@ impl ServiceCore {
                     if slot.result.is_none() && blocks == 0 {
                         // Zero-block plans (the gate-based strategy) need no pulse
                         // work: assemble immediately.
+                        // audit:allow(unwrap): waiters register only against planned jobs
                         let plan = slot.plan.as_ref().expect("planned");
                         slot.result = Some(Ok(self.compiler.assemble(plan, Vec::new())));
                     }
@@ -967,9 +980,9 @@ impl ServiceCore {
         // as Running by anyone already has every task it will ever have in the
         // queue — there is no window where it looks started but is undispatched.
         {
-            let mut sched = lock(&self.sched);
+            let mut sched = self.sched.lock();
             {
-                let mut inner = lock(&state.inner);
+                let mut inner = state.inner.lock();
                 if inner.status != JobStatus::Queued {
                     // Load-shed or canceled while this expansion was planning:
                     // discard the tasks before anything becomes visible to the
@@ -999,6 +1012,7 @@ impl ServiceCore {
                     submission: Arc::clone(&state),
                     job: task.job,
                     block: task.block,
+                    // audit:allow(unwrap): tasks are created during plan expansion, after the plan is set
                     plan: Arc::clone(plan.as_ref().expect("tasks come from planned jobs")),
                     params: Arc::clone(params),
                     key: task.key.clone(),
@@ -1100,7 +1114,7 @@ impl ServiceCore {
     ) {
         let mut job_done = false;
         {
-            let mut inner = lock(&submission.inner);
+            let mut inner = submission.inner.lock();
             if inner.status != JobStatus::Running {
                 return;
             }
@@ -1128,10 +1142,12 @@ impl ServiceCore {
             if resolved {
                 let slot = &mut inner.jobs[job];
                 if slot.result.is_none() {
+                    // audit:allow(unwrap): jobs complete only after their plan was recorded
                     let plan = slot.plan.clone().expect("completed jobs have plans");
                     let outcomes = slot
                         .outcomes
                         .iter_mut()
+                        // audit:allow(unwrap): blocks_remaining == 0 means every outcome slot was filled
                         .map(|outcome| outcome.take().expect("job completed all blocks"))
                         .collect();
                     slot.result = Some(Ok(self.compiler.assemble(&plan, outcomes)));
@@ -1195,7 +1211,9 @@ impl ServiceCore {
         // Take the waiter list; the dedup entry disappears with it, so later
         // requests for this key become fresh tasks (and hit the cache).
         let waiters = match &body.key {
-            Some(key) => lock(&self.sched)
+            Some(key) => self
+                .sched
+                .lock()
                 .pending
                 .remove(key)
                 .map(|interest| interest.waiters)
@@ -1237,14 +1255,14 @@ impl ServiceCore {
     fn worker_loop(self: Arc<Self>) {
         loop {
             let task = {
-                let mut sched = lock(&self.sched);
+                let mut sched = self.sched.lock();
                 loop {
                     let draining = self.shutdown.load(Ordering::SeqCst);
                     if !sched.paused || draining {
                         if let Some(task) = sched.ready.pop() {
                             // A shed or canceled owner no longer needs its work.
                             let owner_dead = matches!(
-                                lock(&task.body.submission.inner).status,
+                                task.body.submission.inner.lock().status,
                                 JobStatus::Shed | JobStatus::Canceled
                             );
                             if let Some(key) = &task.body.key {
@@ -1261,7 +1279,7 @@ impl ServiceCore {
                                         // alive (task GC).
                                         interest.waiters.retain(|waiter| {
                                             !matches!(
-                                                lock(&waiter.submission.inner).status,
+                                                waiter.submission.inner.lock().status,
                                                 JobStatus::Shed | JobStatus::Canceled
                                             )
                                         });
@@ -1289,7 +1307,7 @@ impl ServiceCore {
                             }
                             sched.vclock = sched.vclock.max(task.vstart);
                             let seq = self.dispatch_seq.fetch_add(1, Ordering::SeqCst);
-                            lock(&task.body.submission.inner).dispatched.push(seq);
+                            task.body.submission.inner.lock().dispatched.push(seq);
                             self.record_client(task.body.submission.client, |m| {
                                 m.dispatched_tasks += 1;
                             });
@@ -1305,7 +1323,7 @@ impl ServiceCore {
                     if draining && sched.scheduler_done && sched.ready.is_empty() {
                         break None;
                     }
-                    sched = wait(&self.work, sched);
+                    self.work.wait(&mut sched);
                 }
             };
             match task {
@@ -1327,7 +1345,7 @@ impl ServiceCore {
     fn accept_loop(self: Arc<Self>) {
         loop {
             let state = {
-                let mut intake = lock(&self.intake);
+                let mut intake = self.intake.lock();
                 loop {
                     if intake.closed {
                         // Shutdown drains buffered admissions (paused or not) so
@@ -1339,7 +1357,7 @@ impl ServiceCore {
                             break Some(entry.0);
                         }
                     }
-                    intake = wait(&self.intake_cv, intake);
+                    self.intake_cv.wait(&mut intake);
                 }
             };
             match state {
@@ -1347,7 +1365,7 @@ impl ServiceCore {
                 None => break,
             }
         }
-        lock(&self.sched).scheduler_done = true;
+        self.sched.lock().scheduler_done = true;
         self.work.notify_all();
     }
 }
@@ -1374,13 +1392,11 @@ fn aggregator_loop(
     loop {
         let stopped = {
             let (flag, cv) = &*stop;
-            let guard = lock(flag);
+            let mut guard = flag.lock();
             if *guard {
                 true
             } else {
-                let (guard, _) = cv
-                    .wait_timeout(guard, interval)
-                    .unwrap_or_else(|e| e.into_inner());
+                cv.wait_timeout(&mut guard, interval);
                 *guard
             }
         };
@@ -1459,12 +1475,26 @@ impl CompileService {
             workers,
             telemetry: Arc::new(Telemetry::new(&telemetry_options)),
         });
+        if lock_check::enabled() {
+            // Route long-hold reports from the lock checker into the trace
+            // ring. The hook is process-global (last runtime wins), so it
+            // holds only a weak reference and goes quiet once this service's
+            // telemetry is dropped.
+            let telemetry = Arc::downgrade(&core.telemetry);
+            lock_check::set_long_hold_reporter(Some(Arc::new(move |event| {
+                if let Some(telemetry) = telemetry.upgrade() {
+                    telemetry.trace_lock_hold(event.held.as_millis() as u64);
+                }
+            })));
+        }
         let accept_core = Arc::clone(&core);
-        let accept_thread = std::thread::spawn(move || accept_core.accept_loop());
+        let accept_thread = spawn_named("vqc-accept", move || accept_core.accept_loop());
         let worker_threads = (0..workers)
-            .map(|_| {
+            .map(|index| {
                 let worker_core = Arc::clone(&core);
-                std::thread::spawn(move || worker_core.worker_loop())
+                spawn_named(&format!("vqc-worker-{index}"), move || {
+                    worker_core.worker_loop()
+                })
             })
             .collect();
         let aggregator_stop = Arc::new((Mutex::new(false), Condvar::new()));
@@ -1473,7 +1503,9 @@ impl CompileService {
             let stop = Arc::clone(&aggregator_stop);
             let interval = telemetry_options.interval;
             let dump_path = telemetry_options.dump_path.clone();
-            std::thread::spawn(move || aggregator_loop(aggregator_core, interval, dump_path, stop))
+            spawn_named("vqc-aggregator", move || {
+                aggregator_loop(aggregator_core, interval, dump_path, stop)
+            })
         });
         CompileService {
             core,
@@ -1523,14 +1555,14 @@ impl CompileService {
         // completion, and shed are all serialized by the submission's own lock, so
         // "started" is unambiguous.
         let is_sheddable = |s: &SubmissionState| {
-            let inner = lock(&s.inner);
+            let inner = s.inner.lock();
             matches!(inner.status, JobStatus::Queued)
                 || (matches!(inner.status, JobStatus::Running)
                     && inner.dispatched.is_empty()
                     && !inner.finishing)
         };
         {
-            let mut admission = lock(&core.admission);
+            let mut admission = core.admission.lock();
             // Prune on every admission, whatever the mode: without this, the
             // registry would retain an Arc per completed submission for the
             // process lifetime under Block/Reject (which never scan it).
@@ -1550,7 +1582,7 @@ impl CompileService {
                         });
                     }
                     Backpressure::Block => {
-                        admission = wait(&core.admitted, admission);
+                        core.admitted.wait(&mut admission);
                     }
                     Backpressure::Shed => {
                         // Prune entries that started or finished, then pick the
@@ -1570,7 +1602,7 @@ impl CompileService {
                             return Err(SubmitError::Shed);
                         };
                         let victim = admission.queued.remove(victim_index);
-                        let mut inner = lock(&victim.inner);
+                        let mut inner = victim.inner.lock();
                         // Re-check under the victim's lock: it may have started
                         // dispatching — or entered its completion window
                         // (`finishing`) — since the scan; shedding then would
@@ -1618,7 +1650,7 @@ impl CompileService {
         }
 
         {
-            let mut intake = lock(&core.intake);
+            let mut intake = core.intake.lock();
             if intake.closed {
                 drop(intake);
                 core.release_admission();
@@ -1644,24 +1676,24 @@ impl CompileService {
 
     /// Stops dispatching new block tasks (running ones finish).
     pub(crate) fn pause(&self) {
-        lock(&self.core.sched).paused = true;
+        self.core.sched.lock().paused = true;
     }
 
     /// Resumes dispatching.
     pub(crate) fn resume(&self) {
-        lock(&self.core.sched).paused = false;
+        self.core.sched.lock().paused = false;
         self.core.work.notify_all();
     }
 
     /// Stops the accept loop from expanding admitted submissions (they buffer in
     /// the intake heap).
     pub(crate) fn pause_intake(&self) {
-        lock(&self.core.intake).paused = true;
+        self.core.intake.lock().paused = true;
     }
 
     /// Resumes expansion of buffered submissions, best-priority first.
     pub(crate) fn resume_intake(&self) {
-        lock(&self.core.intake).paused = false;
+        self.core.intake.lock().paused = false;
         self.core.intake_cv.notify_all();
     }
 }
@@ -1673,7 +1705,7 @@ impl Drop for CompileService {
     fn drop(&mut self) {
         self.core.shutdown.store(true, Ordering::SeqCst);
         // Closing the intake ends the accept loop once it has drained the heap.
-        lock(&self.core.intake).closed = true;
+        self.core.intake.lock().closed = true;
         self.core.intake_cv.notify_all();
         self.core.admitted.notify_all();
         self.core.work.notify_all();
@@ -1691,7 +1723,7 @@ impl Drop for CompileService {
         // subscribers.
         {
             let (flag, cv) = &*self.aggregator_stop;
-            *lock(flag) = true;
+            *flag.lock() = true;
             cv.notify_all();
         }
         if let Some(handle) = self.aggregator_thread.take() {

@@ -227,6 +227,10 @@ pub enum TraceStage {
     Canceled,
     /// The submission was load-shed.
     Shed,
+    /// A lock guard was held past `VQC_LOCK_HOLD_MS` while the lock-order
+    /// checker was active (`detail` = milliseconds held; `submission` = 0 —
+    /// the event attributes to a lock site, not a submission).
+    LockHold,
 }
 
 impl TraceStage {
@@ -243,6 +247,7 @@ impl TraceStage {
             TraceStage::Report => "report",
             TraceStage::Canceled => "canceled",
             TraceStage::Shed => "shed",
+            TraceStage::LockHold => "lock-hold",
         }
     }
 }
@@ -648,6 +653,12 @@ impl Telemetry {
             micros: self.now_micros(),
             detail,
         });
+    }
+
+    /// Records a long lock hold reported by the `parking_lot` lock-order
+    /// checker (`VQC_LOCK_CHECK=1`); `held_ms` lands in the event's `detail`.
+    pub(crate) fn trace_lock_hold(&self, held_ms: u64) {
+        self.trace(TraceStage::LockHold, 0, None, held_ms);
     }
 
     pub(crate) fn record_queue_wait(&self, priority: Priority, seconds: f64) {

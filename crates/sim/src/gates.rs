@@ -88,6 +88,7 @@ pub fn rzz(theta: f64) -> Matrix {
 /// [`vqc_circuit::Circuit::bind`] first.
 pub fn gate_matrix(gate: &Gate) -> Matrix {
     let angle = |g: &Gate| -> f64 {
+        // audit:allow(unwrap): documented panic; callers must bind symbolic parameters first
         let expr = g.angle().expect("rotation gate must carry an angle");
         assert!(
             !expr.is_parameterized(),

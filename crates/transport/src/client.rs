@@ -12,11 +12,12 @@ use crate::wire::{
     read_frame, write_frame, FrameError, JobEvent, RejectReason, Request, Response, ServerStats,
     SubmitPayload, WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use vqc_core::CompilationReport;
 use vqc_runtime::{MetricsSnapshot, Priority, TraceEvent};
 
@@ -140,7 +141,7 @@ struct ClientShared {
 impl ClientShared {
     fn tear_down(&self) {
         self.lost.store(true, Ordering::SeqCst);
-        let mut table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let mut table = self.table.lock();
         for (_, route) in table.routes.drain() {
             let _ = route.send(Routed::Lost);
         }
@@ -215,7 +216,7 @@ impl Client {
         });
         let reader_shared = Arc::clone(&shared);
         let mut reader = stream.try_clone().map_err(FrameError::Io)?;
-        let reader_thread = std::thread::spawn(move || {
+        let reader_thread = crate::server::spawn_named("vqc-demux", move || {
             while let Ok(response) = read_frame::<_, Response>(&mut reader, max_frame) {
                 route_response(&reader_shared, response);
             }
@@ -240,7 +241,9 @@ impl Client {
         if self.shared.lost.load(Ordering::SeqCst) {
             return Err(RemoteError::Disconnected);
         }
-        let mut stream = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // audit:allow(guard_blocking): the writer lock IS the frame serializer —
+        // holding it across write_frame keeps request frames whole.
+        let mut stream = self.writer.lock();
         write_frame(&mut *stream, request, self.max_frame)?;
         Ok(())
     }
@@ -268,7 +271,7 @@ impl Client {
         let id = self.next_submission.fetch_add(1, Ordering::Relaxed);
         let (sender, receiver) = std::sync::mpsc::channel();
         {
-            let mut table = self.shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let mut table = self.shared.table.lock();
             table.routes.insert(id, sender);
         }
         if let Err(error) = self.send(&Request::Submit {
@@ -276,12 +279,7 @@ impl Client {
             payload,
             priority: priority.map(|p| p.0),
         }) {
-            self.shared
-                .table
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .routes
-                .remove(&id);
+            self.shared.table.lock().routes.remove(&id);
             return Err(error);
         }
         Ok(RemoteJob {
@@ -300,7 +298,7 @@ impl Client {
     pub fn stats(&self) -> Result<ServerStats, RemoteError> {
         let (sender, receiver) = std::sync::mpsc::channel();
         {
-            let mut table = self.shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let mut table = self.shared.table.lock();
             table.control.push(sender);
         }
         self.send(&Request::Stats)?;
@@ -320,7 +318,7 @@ impl Client {
     pub fn watch(&self) -> Result<Receiver<MetricsSnapshot>, RemoteError> {
         let (sender, receiver) = std::sync::mpsc::channel();
         {
-            let mut table = self.shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let mut table = self.shared.table.lock();
             table.watchers.push(sender);
         }
         self.send(&Request::Watch)?;
@@ -336,7 +334,7 @@ impl Client {
     pub fn trace(&self) -> Result<Vec<TraceEvent>, RemoteError> {
         let (sender, receiver) = std::sync::mpsc::channel();
         {
-            let mut table = self.shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let mut table = self.shared.table.lock();
             table.trace.push(sender);
         }
         self.send(&Request::Trace)?;
@@ -358,7 +356,7 @@ impl Drop for Client {
         // Closing the socket ends the reader thread; dropping the connection
         // server-side cancels whatever this client still had in flight.
         {
-            let stream = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            let stream = self.writer.lock();
             let _ = stream.shutdown(Shutdown::Both);
         }
         if let Some(handle) = self.reader_thread.take() {
@@ -373,14 +371,14 @@ fn route_response(shared: &ClientShared, response: Response) {
         Response::Report { id, results } => (id, JobUpdate::Report(results)),
         Response::Rejected { id, reason } => (id, JobUpdate::Rejected(reason)),
         Response::Stats { stats } => {
-            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let mut table = shared.table.lock();
             if !table.control.is_empty() {
                 let _ = table.control.remove(0).send(Ok(stats));
             }
             return;
         }
         Response::Error { message } => {
-            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let mut table = shared.table.lock();
             if !table.control.is_empty() {
                 let _ = table
                     .control
@@ -390,7 +388,7 @@ fn route_response(shared: &ClientShared, response: Response) {
             return;
         }
         Response::MetricsTick { snapshot } => {
-            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let mut table = shared.table.lock();
             // Broadcast; a failed send means that subscriber's receiver was
             // dropped, so prune it.
             table
@@ -399,7 +397,7 @@ fn route_response(shared: &ClientShared, response: Response) {
             return;
         }
         Response::Trace { events } => {
-            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let mut table = shared.table.lock();
             if !table.trace.is_empty() {
                 let _ = table.trace.remove(0).send(Ok(events));
             }
@@ -407,7 +405,7 @@ fn route_response(shared: &ClientShared, response: Response) {
         }
         Response::Accepted { .. } => return,
     };
-    let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+    let mut table = shared.table.lock();
     let terminal = matches!(update, JobUpdate::Report(_) | JobUpdate::Rejected(_))
         || matches!(update, JobUpdate::Event(JobEvent::Canceled));
     if terminal {
@@ -472,7 +470,9 @@ impl RemoteJob {
     ///
     /// Fails if the request cannot be written.
     pub fn cancel(&self) -> Result<(), RemoteError> {
-        let mut stream = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // audit:allow(guard_blocking): the writer lock IS the frame serializer —
+        // holding it across write_frame keeps request frames whole.
+        let mut stream = self.writer.lock();
         write_frame(
             &mut *stream,
             &Request::Cancel { id: self.id },

@@ -24,12 +24,13 @@ use crate::wire::{
     read_frame, write_frame, FrameError, JobEvent, RejectReason, Request, Response, ServerStats,
     SubmitPayload, WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use vqc_runtime::{
     CompilationRuntime, CompileJob, JobHandle, JobStatus, MetricsSnapshot, Priority, Submission,
@@ -118,8 +119,21 @@ impl ServerShared {
     }
 }
 
-fn lock_connections(shared: &ServerShared) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
-    shared.connections.lock().unwrap_or_else(|e| e.into_inner())
+fn lock_connections(shared: &ServerShared) -> parking_lot::MutexGuard<'_, HashMap<u64, TcpStream>> {
+    shared.connections.lock()
+}
+
+/// Spawns a named thread. Thread names surface in lock-checker panics, long-hold
+/// reports, and Chrome trace exports, so every transport thread gets one.
+pub(crate) fn spawn_named<F>(name: &str, body: F) -> std::thread::JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(body)
+        // audit:allow(unwrap): thread spawn fails only on OS resource exhaustion
+        .expect("failed to spawn transport thread")
 }
 
 /// The TCP server: listener thread plus per-connection handlers over a shared
@@ -156,7 +170,9 @@ impl Server {
             next_client: AtomicU64::new(1 << 63),
         });
         let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || accept_loop(accept_shared, listener));
+        let accept_thread = spawn_named("vqc-tcp-accept", move || {
+            accept_loop(accept_shared, listener)
+        });
         Ok(Server {
             shared,
             accept_thread: Some(accept_thread),
@@ -255,9 +271,12 @@ fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
             }
         }
         let handler_shared = Arc::clone(&shared);
-        handlers.push(std::thread::spawn(move || {
-            handle_connection(handler_shared, stream, connection_id);
-        }));
+        handlers.push(spawn_named(
+            &format!("vqc-conn-{connection_id}"),
+            move || {
+                handle_connection(handler_shared, stream, connection_id);
+            },
+        ));
     }
     for handle in handlers {
         let _ = handle.join();
@@ -271,7 +290,9 @@ fn send(
     response: &Response,
     max_frame: usize,
 ) -> Result<(), FrameError> {
-    let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
+    // audit:allow(guard_blocking): the writer lock IS the frame serializer —
+    // holding it across write_frame is what keeps concurrent frames whole.
+    let mut stream = writer.lock();
     write_frame(&mut *stream, response, max_frame)
 }
 
@@ -374,7 +395,7 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
                 payload,
                 priority: submit_priority,
             }) => {
-                let mut live = jobs.lock().unwrap_or_else(|e| e.into_inner());
+                let mut live = jobs.lock();
                 if live.contains_key(&id) {
                     drop(live);
                     let _ = send(
@@ -406,13 +427,13 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
                         let writer = Arc::clone(&writer);
                         let jobs = Arc::clone(&jobs);
                         streamers.retain(|s| !s.is_finished());
-                        streamers.push(std::thread::spawn(move || {
+                        streamers.push(spawn_named(&format!("vqc-streamer-{id}"), move || {
                             let terminal = stream_submission(&writer, &handle, id, max_frame);
                             // Release the correlation id *before* the terminal
                             // frame goes out, so a client that reuses the id the
                             // moment it sees the Report is never spuriously
                             // rejected as a duplicate.
-                            jobs.lock().unwrap_or_else(|e| e.into_inner()).remove(&id);
+                            jobs.lock().remove(&id);
                             let Some(terminal) = terminal else { return };
                             if let Err(FrameError::Oversized { declared, max }) =
                                 send(&writer, &terminal, max_frame)
@@ -445,11 +466,7 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
                 }
             }
             Ok(Request::Status { id }) => {
-                let handle = jobs
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .get(&id)
-                    .cloned();
+                let handle = jobs.lock().get(&id).cloned();
                 let response = match handle {
                     Some(handle) => Response::Event {
                         id,
@@ -466,11 +483,7 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
                 let _ = send(&writer, &response, max_frame);
             }
             Ok(Request::Cancel { id }) => {
-                let handle = jobs
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .get(&id)
-                    .cloned();
+                let handle = jobs.lock().get(&id).cloned();
                 match handle {
                     // The streamer observes the cancellation and reports the
                     // terminal `Canceled` event; nothing to send here.
@@ -509,7 +522,7 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
                     let thread_stop = Arc::clone(&stop);
                     let runtime = Arc::clone(&shared.runtime);
                     let writer = Arc::clone(&writer);
-                    let handle = std::thread::spawn(move || {
+                    let handle = spawn_named("vqc-watcher", move || {
                         watch_connection(&runtime, &writer, &thread_stop, max_frame);
                     });
                     watcher = Some((stop, handle));
@@ -558,7 +571,7 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
     let draining =
         outcome == ConnectionOutcome::ShutdownRequested || shared.shutdown.load(Ordering::SeqCst);
     if !draining {
-        for (_, handle) in jobs.lock().unwrap_or_else(|e| e.into_inner()).drain() {
+        for (_, handle) in jobs.lock().drain() {
             handle.cancel();
         }
     }

@@ -1,88 +1,345 @@
-//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//! Offline stand-in for `parking_lot`, backed by `std::sync` — now with an
+//! optional lock-order checker.
 //!
-//! Only the API surface the workspace uses is provided: `Mutex` and `RwLock` whose
-//! lock methods return guards directly (no `LockResult`). Poisoning is deliberately
-//! ignored — parking_lot has no poisoning, and matching that behavior keeps callers
-//! identical — by unwrapping `PoisonError` into its inner guard.
+//! Only the API surface the workspace uses is provided: `Mutex`, `RwLock`, and
+//! `Condvar` whose lock methods return guards directly (no `LockResult`).
+//! Poisoning is deliberately ignored — parking_lot has no poisoning, and
+//! matching that behavior keeps callers identical — by unwrapping
+//! `PoisonError` into its inner guard.
+//!
+//! With `VQC_LOCK_CHECK=1` (see [`lock_check`]), every acquisition is checked
+//! against a global acquisition-order graph: ABBA inversions and re-entrant
+//! acquisitions panic with both conflicting sites named, and guards held past
+//! `VQC_LOCK_HOLD_MS` are counted and reported through a pluggable hook. The
+//! lock methods are `#[track_caller]`, so violations name the *caller's*
+//! `file:line:column`, not the shim's.
 
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
 use std::sync::PoisonError;
+use std::time::Duration;
 
-pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+mod check;
+
+pub use check::LongHoldEvent;
+
+/// The lock-order checker's public switchboard (`VQC_LOCK_CHECK`,
+/// `VQC_LOCK_HOLD_MS`, test overrides, counters, and the long-hold reporter).
+pub mod lock_check {
+    pub use crate::check::{
+        enabled, force, long_holds, order_edges, set_hold_threshold, set_long_hold_reporter,
+        LongHoldEvent, LongHoldReporter,
+    };
+}
+
+use check::{HeldKind, Track};
+use std::sync::atomic::AtomicU64;
 
 /// Mutual exclusion primitive with parking_lot's panic-free `lock()` signature.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    /// Lock-checker class id, lazily assigned on first acquisition (0 = none).
+    class: AtomicU64,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. The inner `std` guard lives in an `Option` so
+/// [`Condvar::wait`] can temporarily take it while the thread sleeps.
+pub struct MutexGuard<'a, T: ?Sized> {
+    track: Option<Track>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            class: AtomicU64::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        let track = check::preflight(&self.class, Location::caller(), HeldKind::Exclusive);
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(track) = track {
+            check::register(track);
+        }
+        MutexGuard {
+            track,
+            inner: Some(guard),
+        }
     }
 
-    /// Attempts to acquire the mutex without blocking.
+    /// Attempts to acquire the mutex without blocking. A failed attempt is not
+    /// an ordering event, so only successful acquisitions are tracked.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        let track = check::acquired_nonblocking(&self.class, Location::caller());
+        Some(MutexGuard {
+            track,
+            inner: Some(guard),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("mutex guard is only vacant inside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("mutex guard is only vacant inside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the OS lock *before* the hold check so a slow reporter never
+        // extends the critical section it is reporting on.
+        self.inner = None;
+        if let Some(track) = self.track.take() {
+            check::release(track);
+        }
     }
 }
 
 /// Reader-writer lock with parking_lot's panic-free `read()`/`write()` signatures.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    /// Lock-checker class id, lazily assigned on first acquisition (0 = none).
+    class: AtomicU64,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    track: Option<Track>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    track: Option<Track>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            class: AtomicU64::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        let track = check::preflight(&self.class, Location::caller(), HeldKind::Shared);
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(track) = track {
+            check::register(track);
+        }
+        RwLockReadGuard {
+            track,
+            inner: Some(guard),
+        }
     }
 
     /// Acquires an exclusive write guard.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        let track = check::preflight(&self.class, Location::caller(), HeldKind::Exclusive);
+        let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(track) = track {
+            check::register(track);
+        }
+        RwLockWriteGuard {
+            track,
+            inner: Some(guard),
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("read guard is never vacant")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some(track) = self.track.take() {
+            check::release(track);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("write guard is never vacant")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("write guard is never vacant")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some(track) = self.track.take() {
+            check::release(track);
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`], mirroring parking_lot's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable with parking_lot's `wait(&mut guard)` signature.
+///
+/// While a thread is parked in `wait`, its hold on the mutex is suspended for
+/// lock-order accounting: the guard is popped from the held stack (running the
+/// long-hold check on the time held *so far*) and re-registered after waking,
+/// so time spent parked never counts as holding the lock.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the mutex while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let track = guard.track.take();
+        if let Some(track) = track {
+            check::release(track);
+        }
+        let inner = guard
+            .inner
+            .take()
+            .expect("condvar waits do not nest on one guard");
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        if let Some(track) = track {
+            check::register(track);
+            guard.track = Some(track);
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses, releasing the mutex while
+    /// parked.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let track = guard.track.take();
+        if let Some(track) = track {
+            check::release(track);
+        }
+        let inner = guard
+            .inner
+            .take()
+            .expect("condvar waits do not nest on one guard");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        if let Some(track) = track {
+            check::register(track);
+            guard.track = Some(track);
+        }
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{Mutex, RwLock};
+    use super::{lock_check, Condvar, Mutex, RwLock};
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn mutex_provides_exclusive_access_across_threads() {
@@ -109,5 +366,162 @@ mod tests {
         assert_eq!(lock.read().len(), 2);
         lock.write().push(3);
         assert_eq!(*lock.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (flag, cv) = &*pair;
+                let mut ready = flag.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        let (flag, cv) = &*pair;
+        *flag.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_reports_timeout() {
+        let flag = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = flag.lock();
+        let result = cv.wait_timeout(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+    }
+
+    // The lock-check tests below toggle the process-global `force` switch, so
+    // they run in one test to avoid racing each other under the parallel
+    // harness (the other tests in this binary never enable the checker).
+    #[test]
+    fn lock_check_detects_violations() {
+        lock_check::force(true);
+
+        // ABBA inversion: the A→B edge is established, then a B→A acquisition
+        // panics deterministically — no unlucky interleaving required.
+        let result = std::thread::spawn(|| {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            {
+                let _ga = a.lock(); // site A1
+                let _gb = b.lock(); // site B1: records A→B
+            }
+            let _gb = b.lock(); // site B2
+            let _ga = a.lock(); // site A2: B→A closes the cycle → panic
+        })
+        .join();
+        let message = panic_text(result);
+        assert!(
+            message.contains("lock-order inversion"),
+            "unexpected panic: {message}"
+        );
+        // Both conflicting site pairs are named with this file's path.
+        assert!(
+            message.matches("lib.rs").count() >= 2,
+            "sites not named: {message}"
+        );
+
+        // Re-entrant acquisition of the same instance panics instead of
+        // deadlocking.
+        let result = std::thread::spawn(|| {
+            let m = Mutex::new(());
+            let _first = m.lock();
+            let _second = m.lock();
+        })
+        .join();
+        let message = panic_text(result);
+        assert!(
+            message.contains("re-entrant acquisition"),
+            "unexpected panic: {message}"
+        );
+
+        // Long holds fire the reporter with site and thread attribution.
+        let events = Arc::new(Mutex::new(Vec::new()));
+        {
+            let events = Arc::clone(&events);
+            lock_check::set_long_hold_reporter(Some(Arc::new(move |event| {
+                events
+                    .lock()
+                    .push((event.site.clone(), event.thread.clone()));
+            })));
+        }
+        lock_check::set_hold_threshold(Some(Duration::from_millis(1)));
+        let before = lock_check::long_holds();
+        std::thread::Builder::new()
+            .name("vqc-hold-test".into())
+            .spawn(|| {
+                let slow = Mutex::new(());
+                let _guard = slow.lock();
+                std::thread::sleep(Duration::from_millis(10));
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        assert!(lock_check::long_holds() > before);
+        let seen = events.lock().clone();
+        assert!(
+            seen.iter()
+                .any(|(site, thread)| site.contains("lib.rs") && thread == "vqc-hold-test"),
+            "long hold not attributed: {seen:?}"
+        );
+        lock_check::set_hold_threshold(None);
+        lock_check::set_long_hold_reporter(None);
+
+        // Shared readers may nest on one instance without tripping the
+        // re-entrancy rule.
+        let rw = RwLock::new(0u32);
+        let _r1 = rw.read();
+        let _r2 = rw.read();
+        drop(_r1);
+        drop(_r2);
+
+        // A condvar wait suspends the hold clock: order edges survive, and the
+        // parked time is not reported as a hold.
+        lock_check::set_hold_threshold(Some(Duration::from_millis(50)));
+        let held_before = lock_check::long_holds();
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (flag, cv) = &*pair;
+                let mut ready = flag.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(120));
+        {
+            let (flag, cv) = &*pair;
+            *flag.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+        assert_eq!(
+            lock_check::long_holds(),
+            held_before,
+            "parked condvar wait must not count as a long hold"
+        );
+        lock_check::set_hold_threshold(None);
+
+        lock_check::force(false);
+    }
+
+    fn panic_text(result: std::thread::Result<()>) -> String {
+        let payload = result.expect_err("thread should have panicked");
+        if let Some(text) = payload.downcast_ref::<String>() {
+            text.clone()
+        } else if let Some(text) = payload.downcast_ref::<&str>() {
+            (*text).to_string()
+        } else {
+            String::from("<non-string panic payload>")
+        }
     }
 }
