@@ -1,15 +1,16 @@
 //! Benchmarks of the GRAPE engine: one exact gradient evaluation and one full
 //! fixed-duration optimization on one- and two-qubit targets, plus the
 //! `grape_kernel` group comparing the seed's allocate-per-call gradient path
-//! against the reused [`GrapeWorkspace`] kernel. The group's measurements (and the
-//! kernel-over-seed speedup they imply) are written to `BENCH_grape.json` in the
-//! workspace root.
+//! against the reused [`GrapeWorkspace`] kernel and the `grape_smallmat` group
+//! comparing the dynamic workspace kernel against the const-generic
+//! `SmallMatrix` fast path. The measurements (and the speedups they imply) are
+//! written to `BENCH_grape.json` in the workspace root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::io::Write;
 use vqc_pulse::grape::{fidelity_gradient, optimize_pulse, GrapeOptions};
-use vqc_pulse::{DeviceModel, GrapeWorkspace, PulseSequence};
+use vqc_pulse::{DeviceModel, GrapeWorkspace, KernelPolicy, PulseSequence};
 use vqc_sim::gates;
 
 fn bench_grape(c: &mut Criterion) {
@@ -58,14 +59,23 @@ fn bench_grape_kernel(c: &mut Criterion) {
         let target = if qubits == 1 { gates::h() } else { gates::cx() };
         let pulse = PulseSequence::seeded_guess(&device, slices, 0.5, 1);
 
+        // The seed path: a fresh dynamic workspace per call. Pinned to
+        // ForceDynamic so the static fast path cannot leak into the baseline
+        // and silently inflate (or deflate) the historical speedup series.
         group.bench_function(format!("seed_alloc_{qubits}q_{slices}slices"), |b| {
             b.iter(|| {
-                fidelity_gradient(black_box(&target), black_box(&device), black_box(&pulse))
-                    .infidelity
+                let mut workspace = GrapeWorkspace::with_kernel(
+                    black_box(&device),
+                    slices,
+                    KernelPolicy::ForceDynamic,
+                );
+                workspace.set_target(&device, &target);
+                workspace.fidelity_gradient(black_box(&pulse))
             })
         });
 
-        let mut workspace = GrapeWorkspace::new(&device, slices);
+        let mut workspace =
+            GrapeWorkspace::with_kernel(&device, slices, KernelPolicy::ForceDynamic);
         workspace.set_target(&device, &target);
         group.bench_function(format!("workspace_{qubits}q_{slices}slices"), |b| {
             b.iter(|| workspace.fidelity_gradient(black_box(&pulse)))
@@ -75,15 +85,53 @@ fn bench_grape_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-/// Writes the `grape_kernel` measurements and per-size kernel-over-seed speedups as
-/// `BENCH_grape.json` in the workspace root. Skipped under `--test` smoke runs.
+/// The const-generic fast path against the dynamic workspace kernel, on the same
+/// reused-workspace footing: `smallmat_*` runs the `SmallMatrix` engine that
+/// `GrapeWorkspace::new` binds for 2/4/16-dimensional devices, against the
+/// `workspace_*` dynamic numbers from [`bench_grape_kernel`].
+fn bench_grape_smallmat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grape_smallmat");
+    group.sample_size(30);
+
+    for (qubits, slices) in [(1usize, 24usize), (2, 24)] {
+        let device = DeviceModel::qubits_line(qubits);
+        let target = if qubits == 1 { gates::h() } else { gates::cx() };
+        let pulse = PulseSequence::seeded_guess(&device, slices, 0.5, 1);
+
+        let mut workspace = GrapeWorkspace::new(&device, slices);
+        assert!(
+            workspace.uses_static_kernel(),
+            "{qubits}q device must bind the SmallMatrix engine"
+        );
+        workspace.set_target(&device, &target);
+        group.bench_function(format!("smallmat_{qubits}q_{slices}slices"), |b| {
+            b.iter(|| workspace.fidelity_gradient(black_box(&pulse)))
+        });
+    }
+
+    group.finish();
+}
+
+/// Writes the `grape_kernel`/`grape_smallmat` measurements, the per-size
+/// kernel-over-seed speedups, and the static-over-dynamic speedups as
+/// `BENCH_grape.json` in the workspace root, alongside `host_parallelism` and a
+/// unix timestamp (so the single-CPU caveat on these numbers is
+/// machine-checkable, as in `BENCH_runtime.json`). Skipped under `--test` smoke
+/// runs.
 fn emit_summary(c: &mut Criterion) {
     if c.test_mode() {
         return;
     }
     let results = c.results();
-    let mut json = String::from(
-        "{\n  \"benchmark\": \"grape\",\n  \"workload\": \"fidelity_gradient_iteration_seed_alloc_vs_reused_workspace\",\n  \"results\": [\n",
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let timestamp_unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"grape\",\n  \"workload\": \"fidelity_gradient_iteration_seed_alloc_vs_reused_workspace_vs_smallmat\",\n  \"host_parallelism\": {host_parallelism},\n  \"timestamp_unix_s\": {timestamp_unix_s},\n  \"results\": [\n",
     );
     for (index, result) in results.iter().enumerate() {
         json.push_str(&format!(
@@ -97,17 +145,23 @@ fn emit_summary(c: &mut Criterion) {
         ));
     }
     json.push_str("  ],\n  \"kernel_speedup_over_seed\": {\n");
-    let mean_of = |name: &str| {
+    let mean_of = |group: &str, name: String| {
         results
             .iter()
-            .find(|r| r.group == "grape_kernel" && r.name == name)
+            .find(|r| r.group == group && r.name == name)
             .map(|r| r.mean_ns)
     };
     let mut speedups = Vec::new();
     for (qubits, slices) in [(1usize, 24usize), (2, 24)] {
         if let (Some(seed), Some(kernel)) = (
-            mean_of(&format!("seed_alloc_{qubits}q_{slices}slices")),
-            mean_of(&format!("workspace_{qubits}q_{slices}slices")),
+            mean_of(
+                "grape_kernel",
+                format!("seed_alloc_{qubits}q_{slices}slices"),
+            ),
+            mean_of(
+                "grape_kernel",
+                format!("workspace_{qubits}q_{slices}slices"),
+            ),
         ) {
             speedups.push(format!(
                 "    \"{qubits}q_{slices}slices\": {:.3}",
@@ -116,6 +170,29 @@ fn emit_summary(c: &mut Criterion) {
         }
     }
     json.push_str(&speedups.join(",\n"));
+    json.push_str("\n  },\n  \"smallmat_speedup_over_workspace\": {\n");
+    let mut static_speedups = Vec::new();
+    for (qubits, slices) in [(1usize, 24usize), (2, 24)] {
+        if let (Some(dynamic), Some(fast)) = (
+            mean_of(
+                "grape_kernel",
+                format!("workspace_{qubits}q_{slices}slices"),
+            ),
+            mean_of(
+                "grape_smallmat",
+                format!("smallmat_{qubits}q_{slices}slices"),
+            ),
+        ) {
+            let speedup = dynamic / fast;
+            assert!(
+                speedup >= 2.0,
+                "SmallMatrix fast path is only {speedup:.2}x over the dynamic kernel \
+                 for {qubits}q_{slices}slices (target: >=2x)"
+            );
+            static_speedups.push(format!("    \"{qubits}q_{slices}slices\": {speedup:.3}"));
+        }
+    }
+    json.push_str(&static_speedups.join(",\n"));
     json.push_str("\n  }\n}\n");
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -127,5 +204,11 @@ fn emit_summary(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_grape, bench_grape_kernel, emit_summary);
+criterion_group!(
+    benches,
+    bench_grape,
+    bench_grape_kernel,
+    bench_grape_smallmat,
+    emit_summary
+);
 criterion_main!(benches);

@@ -522,8 +522,12 @@ fn emit_summary(c: &mut Criterion) {
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let timestamp_unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
     let mut json = format!(
-        "{{\n  \"benchmark\": \"runtime\",\n  \"workload\": \"qaoa_3regular_n6_p1_full_grape_batch_of_4_graphs\",\n  \"host_parallelism\": {host_parallelism},\n  \"results\": [\n",
+        "{{\n  \"benchmark\": \"runtime\",\n  \"workload\": \"qaoa_3regular_n6_p1_full_grape_batch_of_4_graphs\",\n  \"host_parallelism\": {host_parallelism},\n  \"timestamp_unix_s\": {timestamp_unix_s},\n  \"results\": [\n",
     );
     let results = c.results();
     for (index, result) in results.iter().enumerate() {

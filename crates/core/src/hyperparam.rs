@@ -9,8 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 use vqc_circuit::Circuit;
-use vqc_pulse::grape::{try_optimize_pulse, GrapeOptions};
-use vqc_pulse::{DeviceModel, PulseError};
+use vqc_pulse::grape::{try_optimize_pulse_with, GrapeOptions};
+use vqc_pulse::{DeviceModel, EigenMemo, PulseError};
 use vqc_sim::circuit_unitary;
 
 /// The grid of hyperparameter candidates to evaluate.
@@ -119,9 +119,20 @@ pub fn tune_hyperparameters(
     assert!(!grid.is_empty(), "hyperparameter grid must not be empty");
     let target = circuit_unitary(bound_subcircuit);
     let mut probes = Vec::with_capacity(grid.len());
+    // Every candidate starts from the same seeded guess and revisits overlapping
+    // amplitude trajectories, so one shared eigendecomposition memo serves the
+    // whole grid.
+    let mut memo = EigenMemo::new();
     for (learning_rate, decay_rate) in grid.candidates() {
         let options = base.with_hyperparameters(learning_rate, decay_rate);
-        let result = try_optimize_pulse(&target, device, duration_ns, &options)?;
+        let result = try_optimize_pulse_with(
+            &target,
+            device,
+            duration_ns,
+            &options,
+            None,
+            Some(&mut memo),
+        )?;
         probes.push(HyperparamProbe {
             learning_rate,
             decay_rate,
@@ -174,6 +185,7 @@ pub fn tune_hyperparameters(
 mod tests {
     use super::*;
     use vqc_circuit::ParamExpr;
+    use vqc_pulse::grape::try_optimize_pulse;
 
     fn single_angle_subcircuit(theta: f64) -> Circuit {
         let mut c = Circuit::new(2);

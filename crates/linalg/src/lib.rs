@@ -44,12 +44,14 @@ mod error;
 pub mod expm;
 pub mod fidelity;
 mod matrix;
+pub mod small;
 mod vector;
 
 pub use complex::C64;
 pub use eigh::{eigh, eigh_into, EighResult, EighWorkspace};
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use small::{SmallEighWorkspace, SmallMatrix};
 pub use vector::Vector;
 
 /// Convenience constructor for a complex number, mirroring `num_complex::Complex::new`.

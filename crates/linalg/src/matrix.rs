@@ -5,6 +5,13 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
+/// Inner dimension at and above which [`Matrix::matmul_into`] skips exact-zero
+/// left-operand entries. Below it (dense GRAPE-sized blocks) the zero test costs
+/// a branch per element and almost never fires; at and above it (kron-built
+/// circuit unitaries, padded gate targets) structural zeros dominate and the
+/// skip saves whole rows of work.
+const SPARSITY_SKIP_MIN_DIM: usize = 8;
+
 /// A dense complex matrix stored in row-major order.
 ///
 /// All shapes appearing in this workspace are small (at most 16x16 in the pulse
@@ -186,16 +193,35 @@ impl Matrix {
             "matmul_into output shape mismatch"
         );
         out.data.fill(C64::ZERO);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a.re == 0.0 && a.im == 0.0 {
-                    continue;
+        if self.cols >= SPARSITY_SKIP_MIN_DIM {
+            // Kron-built circuit unitaries and padded gate targets at these sizes
+            // are mostly exact zeros; skipping a zero left-entry saves a whole
+            // row of multiply-adds.
+            for i in 0..self.rows {
+                for k in 0..self.cols {
+                    let a = self.data[i * self.cols + k];
+                    if a.re == 0.0 && a.im == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                        *o += a * b;
+                    }
                 }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * b;
+            }
+        } else {
+            // Small GRAPE-sized blocks (2x2, 3x3, 4x4) are dense: the zero test
+            // costs a branch per element and almost never fires, so the inner
+            // loop stays branch-free here.
+            for i in 0..self.rows {
+                for k in 0..self.cols {
+                    let a = self.data[i * self.cols + k];
+                    let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
         }

@@ -1,0 +1,204 @@
+//! Property-based parity between the const-generic [`SmallMatrix`] kernels and
+//! the dynamic [`Matrix`] reference implementations, for the three GRAPE
+//! monomorphizations N = 2, 4, 16.
+//!
+//! The dynamic path is the ground truth: every unrolled kernel must reproduce
+//! it to near machine precision. The specialized `eigh` is the one exception —
+//! its eigenbasis is only defined up to a per-column phase (and a rotation
+//! inside degenerate subspaces), so it is checked phase-invariantly via sorted
+//! eigenvalues, spectral reconstruction, and orthonormality rather than by
+//! entrywise comparison of the eigenvector matrix.
+
+use proptest::prelude::*;
+use vqc_linalg::small::{self, SmallEighWorkspace, SmallMatrix};
+use vqc_linalg::{c64, eigh, Matrix, C64};
+
+/// Strategy producing a complex number with bounded components.
+fn arb_c64(bound: f64) -> impl Strategy<Value = C64> {
+    (-bound..bound, -bound..bound).prop_map(|(re, im)| c64(re, im))
+}
+
+/// Strategy producing the row-major entries of an `n x n` complex matrix.
+fn arb_entries(n: usize, bound: f64) -> impl Strategy<Value = Vec<C64>> {
+    prop::collection::vec(arb_c64(bound), n * n)
+}
+
+fn small_of<const N: usize>(data: &[C64]) -> SmallMatrix<N> {
+    SmallMatrix::from_fn(|r, c| data[r * N + c])
+}
+
+fn matrix_of(n: usize, data: &[C64]) -> Matrix {
+    Matrix::from_vec(n, n, data.to_vec())
+}
+
+/// A deliberately garbage-filled output, so parity also proves the `_into`
+/// kernels overwrite (rather than accumulate into) their destination.
+fn dirty<const N: usize>() -> SmallMatrix<N> {
+    SmallMatrix::from_fn(|r, c| c64(1.0 + r as f64, -2.0 - c as f64))
+}
+
+/// Every arithmetic kernel against its allocating dynamic counterpart.
+fn check_kernels<const N: usize>(a_data: &[C64], b_data: &[C64], k: C64) {
+    let a = small_of::<N>(a_data);
+    let b = small_of::<N>(b_data);
+    let da = matrix_of(N, a_data);
+    let db = matrix_of(N, b_data);
+    let mut out = dirty::<N>();
+
+    a.matmul_into(&b, &mut out);
+    assert!(
+        out.to_matrix().approx_eq(&da.matmul(&db), 1e-12),
+        "matmul_into diverges from Matrix::matmul at N={N}"
+    );
+
+    a.dagger_into(&mut out);
+    assert!(
+        out.to_matrix().approx_eq(&da.dagger(), 1e-12),
+        "dagger_into diverges from Matrix::dagger at N={N}"
+    );
+
+    a.scale_into(k, &mut out);
+    assert!(
+        out.to_matrix().approx_eq(&da.scale(k), 1e-12),
+        "scale_into diverges from Matrix::scale at N={N}"
+    );
+
+    a.add_scaled_into(k, &b, &mut out);
+    let reference = &da + &db.scale(k);
+    assert!(
+        out.to_matrix().approx_eq(&reference, 1e-12),
+        "add_scaled_into diverges from add + scale at N={N}"
+    );
+
+    let mut acc = a;
+    acc.add_scaled_assign(k, &b);
+    assert!(
+        acc.to_matrix().approx_eq(&reference, 1e-12),
+        "add_scaled_assign diverges from add + scale at N={N}"
+    );
+}
+
+/// `from_matrix` / `write_to` / `to_matrix` / `entries` / `fill_from_entries`
+/// round trips preserve every entry bit-for-bit.
+fn check_round_trips<const N: usize>(a_data: &[C64]) {
+    let dynamic = matrix_of(N, a_data);
+    let small = SmallMatrix::<N>::from_matrix(&dynamic);
+    assert_eq!(small.to_matrix(), dynamic, "to_matrix round trip at N={N}");
+
+    let mut written = Matrix::zeros(N, N);
+    small.write_to(&mut written);
+    assert_eq!(written, dynamic, "write_to round trip at N={N}");
+
+    let collected: Vec<C64> = small.entries().collect();
+    assert_eq!(
+        collected, a_data,
+        "entries() must stream row-major at N={N}"
+    );
+    let mut refilled = dirty::<N>();
+    refilled.fill_from_entries(&collected);
+    assert_eq!(
+        refilled.max_abs_diff(&small),
+        0.0,
+        "fill_from_entries round trip at N={N}"
+    );
+}
+
+/// The specialized `eigh` against the dynamic solver, phase-invariantly:
+/// identical sorted spectra, exact spectral reconstruction, orthonormal basis.
+fn check_eigh<const N: usize>(a_data: &[C64]) {
+    let da = matrix_of(N, a_data);
+    let hermitian = (&da + &da.dagger()).scale_real(0.5);
+    let h = SmallMatrix::<N>::from_matrix(&hermitian);
+    let tol = 1e-11 * h.frobenius_norm().max(1.0);
+
+    let reference = eigh(&hermitian);
+    let mut workspace = SmallEighWorkspace::<N>::new();
+    let mut lambdas = [0.0; N];
+    let mut vectors = dirty::<N>();
+    // Run twice through the same workspace: the second call must not be
+    // perturbed by the first call's leftovers.
+    small::eigh_into(&h, &mut workspace, &mut lambdas, &mut vectors);
+    small::eigh_into(&h, &mut workspace, &mut lambdas, &mut vectors);
+
+    for (i, (&fast, &slow)) in lambdas.iter().zip(reference.eigenvalues.iter()).enumerate() {
+        assert!(
+            (fast - slow).abs() < tol,
+            "eigenvalue {i} diverges from dynamic eigh at N={N}: {fast} vs {slow}"
+        );
+    }
+
+    // V Λ V† reconstructs H.
+    let scaled = SmallMatrix::<N>::from_fn(|r, c| vectors.get(r, c) * c64(lambdas[c], 0.0));
+    let mut vdag = SmallMatrix::<N>::ZERO;
+    vectors.dagger_into(&mut vdag);
+    let mut reconstructed = SmallMatrix::<N>::ZERO;
+    scaled.matmul_into(&vdag, &mut reconstructed);
+    assert!(
+        reconstructed.max_abs_diff(&h) < tol,
+        "V diag(lambda) V^dagger fails to reconstruct H at N={N}"
+    );
+
+    // V† V = I.
+    let mut gram = SmallMatrix::<N>::ZERO;
+    vdag.matmul_into(&vectors, &mut gram);
+    assert!(
+        gram.max_abs_diff(&SmallMatrix::identity()) < tol,
+        "eigenbasis is not orthonormal at N={N}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernels_match_dynamic_2(a in arb_entries(2, 3.0), b in arb_entries(2, 3.0), k in arb_c64(2.0)) {
+        check_kernels::<2>(&a, &b, k);
+    }
+
+    #[test]
+    fn kernels_match_dynamic_4(a in arb_entries(4, 3.0), b in arb_entries(4, 3.0), k in arb_c64(2.0)) {
+        check_kernels::<4>(&a, &b, k);
+    }
+
+    #[test]
+    fn round_trips_preserve_entries_2(a in arb_entries(2, 3.0)) {
+        check_round_trips::<2>(&a);
+    }
+
+    #[test]
+    fn round_trips_preserve_entries_4(a in arb_entries(4, 3.0)) {
+        check_round_trips::<4>(&a);
+    }
+
+    #[test]
+    fn eigh_matches_dynamic_2(a in arb_entries(2, 2.0)) {
+        check_eigh::<2>(&a);
+    }
+
+    #[test]
+    fn eigh_matches_dynamic_4(a in arb_entries(4, 2.0)) {
+        check_eigh::<4>(&a);
+    }
+}
+
+proptest! {
+    // N = 16 cases are ~64x the work of N = 4; a smaller case count keeps the
+    // suite fast while still sweeping the Jacobi path well past its unrolled
+    // 2x2 sibling.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn kernels_match_dynamic_16(a in arb_entries(16, 2.0), b in arb_entries(16, 2.0), k in arb_c64(2.0)) {
+        check_kernels::<16>(&a, &b, k);
+    }
+
+    #[test]
+    fn round_trips_preserve_entries_16(a in arb_entries(16, 2.0)) {
+        check_round_trips::<16>(&a);
+    }
+
+    #[test]
+    fn eigh_matches_dynamic_16(a in arb_entries(16, 1.0)) {
+        check_eigh::<16>(&a);
+    }
+}

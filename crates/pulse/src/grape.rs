@@ -9,6 +9,7 @@
 //! The optimizer is ADAM with exponential learning-rate decay — the two hyperparameters
 //! that flexible partial compilation tunes per subcircuit (Section 7.2).
 
+use crate::memo::EigenMemo;
 use crate::workspace::GrapeWorkspace;
 use crate::{DeviceModel, PulseError, PulseSequence};
 use serde::{Deserialize, Serialize};
@@ -196,6 +197,29 @@ pub fn try_optimize_pulse(
     duration_ns: f64,
     options: &GrapeOptions,
 ) -> Result<GrapeResult, PulseError> {
+    try_optimize_pulse_with(target, device, duration_ns, options, None, None)
+}
+
+/// [`try_optimize_pulse`] with an optional warm start and eigendecomposition memo.
+///
+/// * `warm_start` — a previously optimized pulse (for the same device) to resample
+///   onto this run's slice grid as the initial guess, instead of the seeded sine
+///   guess. Ignored if its control count does not match the device. The duration
+///   binary search uses this to start each probe from the nearest converged one.
+/// * `memo` — a shared [`EigenMemo`]; slice Hamiltonians already diagonalized by
+///   any earlier run using the same memo are reused instead of recomputed.
+///
+/// # Errors
+///
+/// Same as [`try_optimize_pulse`].
+pub fn try_optimize_pulse_with(
+    target: &Matrix,
+    device: &DeviceModel,
+    duration_ns: f64,
+    options: &GrapeOptions,
+    warm_start: Option<&PulseSequence>,
+    mut memo: Option<&mut EigenMemo>,
+) -> Result<GrapeResult, PulseError> {
     if target.shape() != (device.qubit_dim(), device.qubit_dim()) {
         return Err(PulseError::DimensionMismatch {
             target_dim: target.rows(),
@@ -212,7 +236,12 @@ pub fn try_optimize_pulse(
 
     let dt = options.dt_ns;
 
-    let mut pulse = PulseSequence::seeded_guess(device, num_slices, dt, options.seed);
+    let mut pulse = match warm_start {
+        Some(warm) if warm.num_controls() == device.num_controls() => {
+            warm.resampled(num_slices, dt)
+        }
+        _ => PulseSequence::seeded_guess(device, num_slices, dt, options.seed),
+    };
     pulse.clamp_to_device(device);
 
     // All per-iteration buffers live in the workspace, allocated once here; the
@@ -242,7 +271,10 @@ pub fn try_optimize_pulse(
     for iter in 0..options.max_iterations {
         iterations = iter + 1;
 
-        let infidelity = workspace.fidelity_gradient(&pulse);
+        let infidelity = match memo.as_deref_mut() {
+            Some(m) => workspace.fidelity_gradient_with_memo(&pulse, m),
+            None => workspace.fidelity_gradient(&pulse),
+        };
 
         if infidelity < best_infidelity {
             best_infidelity = infidelity;

@@ -17,8 +17,11 @@
 //! * [`workspace`] — the reusable [`GrapeWorkspace`]: every buffer one GRAPE run
 //!   needs, allocated once per optimization so the iteration kernel never touches
 //!   the heap.
+//! * [`memo`] — the [`EigenMemo`] cache of slice-Hamiltonian eigendecompositions,
+//!   shared across the duration search's probes and hyperparameter re-tuning.
 //! * [`minimum_time`] — the binary search for the shortest pulse duration that still
-//!   reaches the target fidelity (Section 5.3).
+//!   reaches the target fidelity (Section 5.3), warm-starting each probe from the
+//!   nearest converged one.
 //! * [`realistic`] — the "more realistic" settings of Section 8.3: 1 GSa/s waveforms,
 //!   qutrit leakage levels, and aggressive pulse regularization.
 //!
@@ -42,6 +45,7 @@
 mod device;
 mod error;
 pub mod grape;
+pub mod memo;
 pub mod minimum_time;
 pub mod propagate;
 mod pulse;
@@ -50,5 +54,6 @@ pub mod workspace;
 
 pub use device::{ControlHamiltonian, DeviceModel};
 pub use error::PulseError;
+pub use memo::EigenMemo;
 pub use pulse::PulseSequence;
-pub use workspace::GrapeWorkspace;
+pub use workspace::{GrapeWorkspace, KernelPolicy};

@@ -5,9 +5,16 @@
 //! the gate-based runtime of the block as the upper bound, which guarantees that
 //! GRAPE-compiled blocks are never slower than the gate-based baseline — the property
 //! the paper's aggregation scheme is designed to preserve.
+//!
+//! Probes share work two ways: each bisection probe warm-starts from the converged
+//! pulse of the nearest-duration probe so far (resampled onto the new slice grid),
+//! and every probe shares one [`EigenMemo`] so slice Hamiltonians revisited across
+//! probes — or across re-tuned searches via
+//! [`minimum_pulse_time_with_memo`] — skip their eigendecomposition.
 
-use crate::grape::{try_optimize_pulse, GrapeOptions, GrapeResult};
-use crate::{DeviceModel, PulseError};
+use crate::grape::{try_optimize_pulse_with, GrapeOptions, GrapeResult};
+use crate::memo::EigenMemo;
+use crate::{DeviceModel, PulseError, PulseSequence};
 use serde::{Deserialize, Serialize};
 use vqc_linalg::Matrix;
 
@@ -88,12 +95,32 @@ pub fn minimum_pulse_time(
     search: &MinimumTimeOptions,
     grape: &GrapeOptions,
 ) -> Result<MinimumTimeResult, PulseError> {
+    let mut memo = EigenMemo::new();
+    minimum_pulse_time_with_memo(target, device, search, grape, &mut memo)
+}
+
+/// [`minimum_pulse_time`] against a caller-owned [`EigenMemo`], so repeated searches
+/// on the same device — hyperparameter re-tuning in particular replays whole
+/// trajectories — reuse each other's slice eigendecompositions.
+///
+/// # Errors
+///
+/// Same as [`minimum_pulse_time`].
+pub fn minimum_pulse_time_with_memo(
+    target: &Matrix,
+    device: &DeviceModel,
+    search: &MinimumTimeOptions,
+    grape: &GrapeOptions,
+    memo: &mut EigenMemo,
+) -> Result<MinimumTimeResult, PulseError> {
     let mut probes = Vec::new();
+    // Converged pulses by duration, the warm-start pool for later probes.
+    let mut converged_pulses: Vec<(f64, PulseSequence)> = Vec::new();
 
     // Probe the upper bound first: if GRAPE cannot realize the block even there, fall
     // back to gate-based compilation for this block.
     let upper = search.upper_bound_ns.max(grape.dt_ns);
-    let result = try_optimize_pulse(target, device, upper, grape)?;
+    let result = try_optimize_pulse_with(target, device, upper, grape, None, Some(&mut *memo))?;
     probes.push(SearchProbe {
         duration_ns: upper,
         converged: result.converged,
@@ -109,6 +136,7 @@ pub fn minimum_pulse_time(
         });
     }
     let mut hi = upper;
+    converged_pulses.push((upper, result.pulse.clone()));
     let mut best = Some(result);
 
     let mut lo = search.lower_bound_ns.max(0.0);
@@ -117,7 +145,19 @@ pub fn minimum_pulse_time(
         if mid < grape.dt_ns {
             break;
         }
-        let result = try_optimize_pulse(target, device, mid, grape)?;
+        // Warm-start from the converged probe nearest in duration: its resampled
+        // pulse is a far better initial guess than the seeded sinusoid.
+        let warm = converged_pulses
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.0 - mid).abs();
+                let db = (b.0 - mid).abs();
+                // audit:allow(unwrap): probe durations are finite by construction
+                da.partial_cmp(&db).expect("finite durations")
+            })
+            .map(|(_, pulse)| pulse.clone());
+        let result =
+            try_optimize_pulse_with(target, device, mid, grape, warm.as_ref(), Some(&mut *memo))?;
         probes.push(SearchProbe {
             duration_ns: mid,
             converged: result.converged,
@@ -126,6 +166,7 @@ pub fn minimum_pulse_time(
         });
         if result.converged {
             hi = mid;
+            converged_pulses.push((mid, result.pulse.clone()));
             best = Some(result);
         } else {
             lo = mid;
@@ -197,6 +238,38 @@ mod tests {
         assert!(!result.converged);
         assert_eq!(result.duration_ns, 1.0);
         assert!(result.best.is_none());
+    }
+
+    #[test]
+    fn shared_memo_accumulates_hits_across_searches() {
+        let device = DeviceModel::qubits_line(1);
+        let search = MinimumTimeOptions::new(0.0, 2.0).with_precision(0.5);
+        let mut memo = EigenMemo::new();
+        let first = minimum_pulse_time_with_memo(
+            &gates::rz(1.0),
+            &device,
+            &search,
+            &fast_grape(),
+            &mut memo,
+        )
+        .unwrap();
+        assert!(first.converged);
+        let cold_hits = memo.hits();
+        assert!(!memo.is_empty());
+        let second = minimum_pulse_time_with_memo(
+            &gates::rz(1.0),
+            &device,
+            &search,
+            &fast_grape(),
+            &mut memo,
+        )
+        .unwrap();
+        assert!(second.converged);
+        assert!(
+            memo.hits() > cold_hits,
+            "a replayed search must reuse cached eigendecompositions"
+        );
+        assert_eq!(first.duration_ns, second.duration_ns);
     }
 
     #[test]

@@ -107,6 +107,40 @@ impl PulseSequence {
         }
     }
 
+    /// Resamples every waveform onto a new slice grid by midpoint linear
+    /// interpolation, preserving the pulse shape across a duration change. This
+    /// is how the duration binary search warm-starts each probe from the nearest
+    /// converged one. Resampling onto the same `(num_slices, dt_ns)` grid is an
+    /// exact copy, so warm-started slices can still hit the eigendecomposition
+    /// memo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_ns <= 0` or `num_slices == 0`.
+    pub fn resampled(&self, num_slices: usize, dt_ns: f64) -> Self {
+        let mut out = PulseSequence::zeros(self.num_controls(), num_slices, dt_ns);
+        let src_n = self.num_slices();
+        if num_slices == src_n {
+            for (dst, src) in out.amplitudes.iter_mut().zip(self.amplitudes.iter()) {
+                dst.copy_from_slice(src);
+            }
+            return out;
+        }
+        for (dst, src) in out.amplitudes.iter_mut().zip(self.amplitudes.iter()) {
+            for (t, slot) in dst.iter_mut().enumerate() {
+                // Midpoint of destination slice t in normalized time, mapped onto
+                // fractional source-slice coordinates.
+                let x = (t as f64 + 0.5) / num_slices as f64;
+                let pos = (x * src_n as f64 - 0.5).clamp(0.0, (src_n - 1) as f64);
+                let i0 = pos.floor() as usize;
+                let i1 = (i0 + 1).min(src_n - 1);
+                let frac = pos - i0 as f64;
+                *slot = src[i0] * (1.0 - frac) + src[i1] * frac;
+            }
+        }
+        out
+    }
+
     /// Largest absolute amplitude across all waveforms (rad/ns).
     pub fn max_abs_amplitude(&self) -> f64 {
         self.amplitudes
@@ -186,5 +220,44 @@ mod tests {
     #[should_panic(expected = "at least one time slice")]
     fn empty_pulse_is_rejected() {
         PulseSequence::zeros(1, 0, 0.5);
+    }
+
+    #[test]
+    fn resampling_onto_the_same_grid_is_an_exact_copy() {
+        let device = DeviceModel::qubits_line(1);
+        let p = PulseSequence::seeded_guess(&device, 10, 0.5, 3);
+        let q = p.resampled(10, 0.5);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn resampling_interpolates_between_slices() {
+        let mut p = PulseSequence::zeros(1, 2, 1.0);
+        p.set_amplitude(0, 0, 0.0);
+        p.set_amplitude(0, 1, 1.0);
+        let q = p.resampled(4, 0.5);
+        assert_eq!(q.num_slices(), 4);
+        // The ramp stays monotone and bounded by the source extremes.
+        let w = q.waveform(0);
+        for pair in w.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-12);
+        }
+        assert!(w.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
+    }
+
+    #[test]
+    fn resampling_a_constant_pulse_is_lossless() {
+        let mut p = PulseSequence::zeros(2, 7, 0.5);
+        for t in 0..7 {
+            p.set_amplitude(0, t, 0.4);
+            p.set_amplitude(1, t, -0.2);
+        }
+        for &n in &[3usize, 7, 12, 24] {
+            let q = p.resampled(n, 0.25);
+            for t in 0..n {
+                assert!((q.amplitude(0, t) - 0.4).abs() < 1e-12);
+                assert!((q.amplitude(1, t) + 0.2).abs() < 1e-12);
+            }
+        }
     }
 }

@@ -10,14 +10,78 @@
 //! `fidelity_gradient` performs **zero** heap allocations, which `vqc-pulse`'s
 //! counting-allocator test asserts.
 //!
+//! Every matrix in a GRAPE run has a dimension fixed by the device — 2/4/16 for
+//! 1q/2q/4q qubit blocks — so the workspace dispatches between two kernels at
+//! construction: a [`StaticEngine`] over const-generic
+//! [`SmallMatrix`](vqc_linalg::SmallMatrix) storage when `dim ∈ {2, 4, 16}` (fully
+//! unrolled matmuls, a closed-form 2×2 eigensolver, and contiguously packed
+//! per-slice buffers the partial-product passes stream through), and the dynamic
+//! [`Matrix`] path otherwise (qutrit devices, odd dims). [`KernelPolicy`] and the
+//! `VQC_SMALL_MATRIX=0` environment escape hatch force the dynamic path; both
+//! kernels produce gradients that agree to machine precision, which the
+//! `kernel_parity` proptest suite gates.
+//!
 //! The workspace is also the single home of the eigendecomposition-based slice
 //! propagator `U_t = V e^{-iΔtΛ} V†`; [`crate::propagate`] drives the same path (the
 //! Taylor [`vqc_linalg::expm`] stays as an independent reference that a debug
-//! assertion checks it against).
+//! assertion checks it against). Both kernels can consult an [`EigenMemo`] so
+//! repeated slice Hamiltonians — ubiquitous across duration probes and
+//! hyperparameter re-tuning — skip the diagonalization entirely.
 
+use crate::memo::EigenMemo;
 use crate::propagate::slice_hamiltonian_into;
 use crate::{ControlHamiltonian, DeviceModel, PulseSequence};
+use vqc_linalg::small::{self, SmallEighWorkspace, SmallMatrix};
 use vqc_linalg::{eigh_into, EighWorkspace, Matrix, C64};
+
+/// How [`GrapeWorkspace::with_kernel`] selects the iteration kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// Bind the const-generic fast path when the device dimension is 2, 4, or 16
+    /// and `VQC_SMALL_MATRIX` is not disabled; fall back to the dynamic
+    /// [`Matrix`] kernels otherwise.
+    Auto,
+    /// Always use the dynamic [`Matrix`] kernels (used by benchmarks as the
+    /// baseline and by the parity tests as the reference path).
+    ForceDynamic,
+}
+
+/// Returns `false` when the `VQC_SMALL_MATRIX` environment variable disables the
+/// static fast path (`0`, `off`, `false`, or `no`).
+fn small_matrix_enabled() -> bool {
+    match std::env::var("VQC_SMALL_MATRIX") {
+        Ok(value) => !matches!(value.trim(), "0" | "off" | "false" | "no"),
+        Err(_) => true,
+    }
+}
+
+/// The bound kernel: one of the three [`StaticEngine`] monomorphizations, or the
+/// dynamic fallback (whose buffers live directly on [`GrapeWorkspace`]).
+#[derive(Debug, Clone)]
+enum StaticKernel {
+    /// Dynamic [`Matrix`] kernels sized at runtime.
+    Dynamic,
+    /// 1-qubit blocks (2×2).
+    Dim2(Box<StaticEngine<2>>),
+    /// 2-qubit blocks (4×4).
+    Dim4(Box<StaticEngine<4>>),
+    /// 4-qubit blocks (16×16).
+    Dim16(Box<StaticEngine<16>>),
+}
+
+/// Expands `$body` once per [`StaticEngine`] monomorphization, binding the boxed
+/// engine as `$engine`; `$fallback` runs on the dynamic variant. This is the
+/// single place the three const-generic instantiations fan out.
+macro_rules! dispatch_static_kernel {
+    ($kernel:expr, $engine:ident => $body:expr, dynamic => $fallback:expr) => {
+        match $kernel {
+            StaticKernel::Dim2($engine) => $body,
+            StaticKernel::Dim4($engine) => $body,
+            StaticKernel::Dim16($engine) => $body,
+            StaticKernel::Dynamic => $fallback,
+        }
+    };
+}
 
 /// All buffers one GRAPE run needs, allocated once and reused every iteration.
 #[derive(Debug, Clone)]
@@ -29,6 +93,9 @@ pub struct GrapeWorkspace {
     controls: Vec<ControlHamiltonian>,
     /// `(padded target)†`, set by [`GrapeWorkspace::set_target`].
     target_dagger: Option<Matrix>,
+
+    /// The statically sized engine, when the device dimension allows one.
+    kernel: StaticKernel,
 
     // --- per-slice eigensystems and propagators -----------------------------------
     slice_v: Vec<Matrix>,
@@ -52,17 +119,38 @@ pub struct GrapeWorkspace {
 
 impl GrapeWorkspace {
     /// Allocates every buffer needed to optimize `num_slices`-slice pulses on
-    /// `device`. The target is supplied separately via
-    /// [`GrapeWorkspace::set_target`] (propagation-only users never need one).
+    /// `device`, binding the const-generic fast path when the device dimension
+    /// is 2, 4, or 16 (set `VQC_SMALL_MATRIX=0` to force the dynamic kernels).
+    /// The target is supplied separately via [`GrapeWorkspace::set_target`]
+    /// (propagation-only users never need one).
     ///
     /// # Panics
     ///
     /// Panics if `num_slices == 0`.
     pub fn new(device: &DeviceModel, num_slices: usize) -> Self {
+        Self::with_kernel(device, num_slices, KernelPolicy::Auto)
+    }
+
+    /// Like [`GrapeWorkspace::new`] but with an explicit kernel policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slices == 0`.
+    pub fn with_kernel(device: &DeviceModel, num_slices: usize, policy: KernelPolicy) -> Self {
         assert!(num_slices > 0, "a pulse needs at least one time slice");
         let dim = device.dim();
         let controls = device.control_hamiltonians();
         let num_controls = controls.len();
+        let kernel = match policy {
+            KernelPolicy::ForceDynamic => StaticKernel::Dynamic,
+            KernelPolicy::Auto if !small_matrix_enabled() => StaticKernel::Dynamic,
+            KernelPolicy::Auto => match dim {
+                2 => StaticKernel::Dim2(Box::new(StaticEngine::new(device, num_slices))),
+                4 => StaticKernel::Dim4(Box::new(StaticEngine::new(device, num_slices))),
+                16 => StaticKernel::Dim16(Box::new(StaticEngine::new(device, num_slices))),
+                _ => StaticKernel::Dynamic,
+            },
+        };
         let square = || Matrix::zeros(dim, dim);
         GrapeWorkspace {
             dim,
@@ -71,6 +159,7 @@ impl GrapeWorkspace {
             drift: device.drift(),
             controls,
             target_dagger: None,
+            kernel,
             slice_v: (0..num_slices).map(|_| square()).collect(),
             slice_lambdas: (0..num_slices).map(|_| Vec::with_capacity(dim)).collect(),
             slice_phases: (0..num_slices).map(|_| Vec::with_capacity(dim)).collect(),
@@ -87,6 +176,11 @@ impl GrapeWorkspace {
         }
     }
 
+    /// Whether the workspace bound the const-generic fast path at construction.
+    pub fn uses_static_kernel(&self) -> bool {
+        !matches!(self.kernel, StaticKernel::Dynamic)
+    }
+
     /// Sets the optimization target: a `2^n x 2^n` unitary on the device's qubit
     /// subspace, zero-padded onto any leakage levels (so leaked population counts as
     /// infidelity) and stored daggered.
@@ -97,7 +191,13 @@ impl GrapeWorkspace {
     /// workspace was built for.
     pub fn set_target(&mut self, device: &DeviceModel, target: &Matrix) {
         assert_eq!(device.dim(), self.dim, "workspace built for another device");
-        self.target_dagger = Some(device.pad_qubit_unitary(target).dagger());
+        let padded_dagger = device.pad_qubit_unitary(target).dagger();
+        dispatch_static_kernel!(
+            &mut self.kernel,
+            engine => engine.set_target(&padded_dagger),
+            dynamic => ()
+        );
+        self.target_dagger = Some(padded_dagger);
     }
 
     /// Number of time slices the workspace was sized for.
@@ -161,24 +261,121 @@ impl GrapeWorkspace {
 
     /// Propagates a pulse through the shared eigendecomposition path, filling the
     /// per-slice eigensystems, slice propagators, and forward/backward partial
-    /// products. Performs no heap allocation.
+    /// products (the static fast path copies its packed results into the dynamic
+    /// accessor buffers, so [`GrapeWorkspace::slice_unitaries`] and friends are
+    /// kernel-agnostic). Performs no heap allocation.
     ///
     /// # Panics
     ///
     /// Panics if the pulse shape does not match the workspace.
     pub fn propagate(&mut self, pulse: &PulseSequence) {
         self.assert_pulse_shape(pulse);
+        let Self {
+            kernel,
+            slice_unitaries,
+            forward,
+            backward,
+            ..
+        } = self;
+        let handled = dispatch_static_kernel!(
+            kernel,
+            engine => {
+                engine.propagate(pulse, None);
+                engine.export_into(slice_unitaries, forward, backward);
+                true
+            },
+            dynamic => false
+        );
+        if !handled {
+            self.propagate_dynamic(pulse, None);
+        }
+    }
+
+    /// Computes the trace infidelity of a pulse against the configured target and
+    /// its exact gradient (via the Daleckii–Krein divided-difference formula),
+    /// storing the gradient in [`GrapeWorkspace::gradient`] and returning the
+    /// infidelity. Performs no heap allocation.
+    ///
+    /// On the static fast path only the gradient and infidelity are refreshed;
+    /// use [`GrapeWorkspace::propagate`] when the propagator accessors are
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no target was set or the pulse shape does not match the workspace.
+    pub fn fidelity_gradient(&mut self, pulse: &PulseSequence) -> f64 {
+        self.fidelity_gradient_inner(pulse, None)
+    }
+
+    /// [`GrapeWorkspace::fidelity_gradient`] with an [`EigenMemo`]: slices whose
+    /// `(Δt, amplitudes)` were seen before reuse the cached eigensystem instead
+    /// of re-diagonalizing. Allocation-free on memo hits; a miss allocates only
+    /// the inserted cache entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no target was set or the pulse shape does not match the workspace.
+    pub fn fidelity_gradient_with_memo(
+        &mut self,
+        pulse: &PulseSequence,
+        memo: &mut EigenMemo,
+    ) -> f64 {
+        self.fidelity_gradient_inner(pulse, Some(memo))
+    }
+
+    fn fidelity_gradient_inner(
+        &mut self,
+        pulse: &PulseSequence,
+        memo: Option<&mut EigenMemo>,
+    ) -> f64 {
+        self.assert_pulse_shape(pulse);
+        let Self {
+            kernel, gradient, ..
+        } = self;
+        match kernel {
+            StaticKernel::Dynamic => {}
+            StaticKernel::Dim2(engine) => return engine.fidelity_gradient(pulse, gradient, memo),
+            StaticKernel::Dim4(engine) => return engine.fidelity_gradient(pulse, gradient, memo),
+            StaticKernel::Dim16(engine) => return engine.fidelity_gradient(pulse, gradient, memo),
+        }
+        self.fidelity_gradient_dynamic(pulse, memo)
+    }
+
+    /// The dynamic-kernel propagation pass (any dimension).
+    fn propagate_dynamic(&mut self, pulse: &PulseSequence, mut memo: Option<&mut EigenMemo>) {
         let dim = self.dim;
         let dt = pulse.dt_ns();
+        let num_controls = self.controls.len();
 
         for t in 0..self.num_slices {
-            slice_hamiltonian_into(&self.drift, &self.controls, pulse, t, &mut self.hamiltonian);
-            eigh_into(
-                &self.hamiltonian,
-                &mut self.eigh,
-                &mut self.slice_lambdas[t],
-                &mut self.slice_v[t],
-            );
+            let slice_lambdas = &mut self.slice_lambdas[t];
+            let slice_v = &mut self.slice_v[t];
+            let hit = match memo.as_deref_mut() {
+                Some(m) => m.probe_with(
+                    dim,
+                    dt,
+                    (0..num_controls).map(|k| pulse.amplitude(k, t)),
+                    |lambdas, vectors| {
+                        slice_lambdas.clear();
+                        slice_lambdas.extend_from_slice(lambdas);
+                        slice_v.as_mut_slice().copy_from_slice(vectors);
+                    },
+                ),
+                None => false,
+            };
+            if !hit {
+                slice_hamiltonian_into(
+                    &self.drift,
+                    &self.controls,
+                    pulse,
+                    t,
+                    &mut self.hamiltonian,
+                );
+                eigh_into(&self.hamiltonian, &mut self.eigh, slice_lambdas, slice_v);
+                if let Some(m) = memo.as_deref_mut() {
+                    m.store_probed(slice_lambdas, slice_v.as_slice().iter().copied());
+                }
+            }
             let phases = &mut self.slice_phases[t];
             phases.clear();
             phases.extend(self.slice_lambdas[t].iter().map(|&l| C64::cis(-dt * l)));
@@ -215,20 +412,17 @@ impl GrapeWorkspace {
         }
     }
 
-    /// Computes the trace infidelity of a pulse against the configured target and
-    /// its exact gradient (via the Daleckii–Krein divided-difference formula),
-    /// storing the gradient in [`GrapeWorkspace::gradient`] and returning the
-    /// infidelity. Performs no heap allocation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no target was set or the pulse shape does not match the workspace.
-    pub fn fidelity_gradient(&mut self, pulse: &PulseSequence) -> f64 {
+    /// The dynamic-kernel gradient pass (any dimension).
+    fn fidelity_gradient_dynamic(
+        &mut self,
+        pulse: &PulseSequence,
+        memo: Option<&mut EigenMemo>,
+    ) -> f64 {
         assert!(
             self.target_dagger.is_some(),
             "set_target must be called before fidelity_gradient"
         );
-        self.propagate(pulse);
+        self.propagate_dynamic(pulse, memo);
         let dim = self.dim;
         let dim_f = self.qubit_dim;
         let dt = pulse.dt_ns();
@@ -313,6 +507,291 @@ impl GrapeWorkspace {
     }
 }
 
+/// The const-generic GRAPE engine: the entire hot loop over
+/// [`SmallMatrix<N>`](SmallMatrix) storage.
+///
+/// All per-slice buffer families are packed `Vec<SmallMatrix<N>>` /
+/// `Vec<[f64; N]>` — one contiguous allocation each — so the blocked passes of
+/// [`StaticEngine::propagate`] (Hamiltonian+eigensystem pass, propagator pass,
+/// forward sweep, backward sweep) stream through cache-resident data. Control
+/// operators are kept as row-major nonzero lists, matching the traversal order
+/// of the dynamic kernel's zero-skip so both paths contract gradients in the
+/// same floating-point order.
+#[derive(Debug, Clone)]
+struct StaticEngine<const N: usize> {
+    num_slices: usize,
+    qubit_dim: f64,
+    drift: SmallMatrix<N>,
+    /// Row-major `(row, col, entry)` nonzeros of each control operator.
+    control_sparse: Vec<Vec<(usize, usize, C64)>>,
+    target_dagger: Option<SmallMatrix<N>>,
+
+    // --- packed per-slice buffer families ------------------------------------------
+    slice_v: Vec<SmallMatrix<N>>,
+    slice_vdag: Vec<SmallMatrix<N>>,
+    slice_lambda: Vec<[f64; N]>,
+    slice_phase: Vec<[C64; N]>,
+    slice_u: Vec<SmallMatrix<N>>,
+    forward: Vec<SmallMatrix<N>>,
+    backward: Vec<SmallMatrix<N>>,
+
+    // --- iteration scratch ----------------------------------------------------------
+    hamiltonian: SmallMatrix<N>,
+    eigh: SmallEighWorkspace<N>,
+    scratch_a: SmallMatrix<N>,
+    scratch_b: SmallMatrix<N>,
+    scratch_c: SmallMatrix<N>,
+    /// Whether `slice_v`/`slice_vdag` hold a converged eigenbasis from a prior
+    /// propagation, enabling the warm-started Jacobi path.
+    warmed: bool,
+}
+
+impl<const N: usize> StaticEngine<N> {
+    fn new(device: &DeviceModel, num_slices: usize) -> Self {
+        debug_assert_eq!(device.dim(), N, "engine instantiated for the wrong dim");
+        let control_sparse = device
+            .control_hamiltonians()
+            .iter()
+            .map(|control| {
+                let mut entries = Vec::new();
+                for r in 0..N {
+                    for c in 0..N {
+                        let value = control.operator[(r, c)];
+                        if value.re != 0.0 || value.im != 0.0 {
+                            entries.push((r, c, value));
+                        }
+                    }
+                }
+                entries
+            })
+            .collect();
+        StaticEngine {
+            num_slices,
+            qubit_dim: device.qubit_dim() as f64,
+            drift: SmallMatrix::from_matrix(&device.drift()),
+            control_sparse,
+            target_dagger: None,
+            slice_v: vec![SmallMatrix::ZERO; num_slices],
+            slice_vdag: vec![SmallMatrix::ZERO; num_slices],
+            slice_lambda: vec![[0.0; N]; num_slices],
+            slice_phase: vec![[C64::ZERO; N]; num_slices],
+            slice_u: vec![SmallMatrix::ZERO; num_slices],
+            forward: vec![SmallMatrix::ZERO; num_slices],
+            backward: vec![SmallMatrix::ZERO; num_slices],
+            hamiltonian: SmallMatrix::ZERO,
+            eigh: SmallEighWorkspace::new(),
+            scratch_a: SmallMatrix::ZERO,
+            scratch_b: SmallMatrix::ZERO,
+            scratch_c: SmallMatrix::ZERO,
+            warmed: false,
+        }
+    }
+
+    fn set_target(&mut self, padded_dagger: &Matrix) {
+        self.target_dagger = Some(SmallMatrix::from_matrix(padded_dagger));
+    }
+
+    /// Copies the packed propagation results into the dynamic accessor buffers
+    /// (allocation-free: plain entry copies into pre-sized matrices).
+    fn export_into(
+        &self,
+        slice_unitaries: &mut [Matrix],
+        forward: &mut [Matrix],
+        backward: &mut [Matrix],
+    ) {
+        for (src, dst) in self.slice_u.iter().zip(slice_unitaries.iter_mut()) {
+            src.write_to(dst);
+        }
+        for (src, dst) in self.forward.iter().zip(forward.iter_mut()) {
+            src.write_to(dst);
+        }
+        for (src, dst) in self.backward.iter().zip(backward.iter_mut()) {
+            src.write_to(dst);
+        }
+    }
+
+    /// The blocked propagation pass: per-slice eigensystems and propagators,
+    /// then the forward and backward partial-product sweeps, each streaming
+    /// through one packed buffer family.
+    fn propagate(&mut self, pulse: &PulseSequence, mut memo: Option<&mut EigenMemo>) {
+        let dt = pulse.dt_ns();
+        let num_controls = self.control_sparse.len();
+
+        // Pass 1: eigensystem (or memo hit) and slice propagator per slice.
+        for t in 0..self.num_slices {
+            let slice_lambda = &mut self.slice_lambda[t];
+            let slice_v = &mut self.slice_v[t];
+            let hit = match memo.as_deref_mut() {
+                Some(m) => m.probe_with(
+                    N,
+                    dt,
+                    (0..num_controls).map(|k| pulse.amplitude(k, t)),
+                    |lambdas, vectors| {
+                        slice_lambda.copy_from_slice(lambdas);
+                        slice_v.fill_from_entries(vectors);
+                    },
+                ),
+                None => false,
+            };
+            if !hit {
+                // H = drift + Σ_k u_k(t) · H_k over the packed nonzero lists.
+                self.hamiltonian = self.drift;
+                for (k, entries) in self.control_sparse.iter().enumerate() {
+                    let amp = pulse.amplitude(k, t);
+                    if amp != 0.0 {
+                        let scale = C64::from_real(amp);
+                        for &(r, c, value) in entries {
+                            self.hamiltonian.rows_mut()[r][c] += value * scale;
+                        }
+                    }
+                }
+                if self.warmed {
+                    // Warm-started Jacobi: rotate H into this slice's previous
+                    // eigenbasis, H' = V† H V. Between optimizer iterations the
+                    // amplitudes move only slightly, so H' is nearly diagonal
+                    // and the sweep count collapses (to zero when the slice is
+                    // re-evaluated unchanged). Compose V ← V_prev · V' after.
+                    self.slice_vdag[t].matmul_into(&self.hamiltonian, &mut self.scratch_b);
+                    self.scratch_b.matmul_into(slice_v, &mut self.scratch_c);
+                    small::eigh_into(
+                        &self.scratch_c,
+                        &mut self.eigh,
+                        slice_lambda,
+                        &mut self.scratch_b,
+                    );
+                    slice_v.matmul_into(&self.scratch_b, &mut self.scratch_a);
+                    *slice_v = self.scratch_a;
+                } else {
+                    small::eigh_into(&self.hamiltonian, &mut self.eigh, slice_lambda, slice_v);
+                }
+                if let Some(m) = memo.as_deref_mut() {
+                    m.store_probed(slice_lambda, slice_v.entries());
+                }
+            }
+
+            let phases = &mut self.slice_phase[t];
+            for (phase, &lambda) in phases.iter_mut().zip(self.slice_lambda[t].iter()) {
+                *phase = C64::cis(-dt * lambda);
+            }
+
+            // U_t = V · diag(phases) · V†; V† is cached for the gradient pass.
+            let v = &self.slice_v[t];
+            v.dagger_into(&mut self.slice_vdag[t]);
+            let phases = &self.slice_phase[t];
+            for (scaled_row, v_row) in self.scratch_a.rows_mut().iter_mut().zip(v.rows().iter()) {
+                for ((slot, &entry), &phase) in
+                    scaled_row.iter_mut().zip(v_row.iter()).zip(phases.iter())
+                {
+                    *slot = entry * phase;
+                }
+            }
+            self.scratch_a
+                .matmul_into(&self.slice_vdag[t], &mut self.slice_u[t]);
+        }
+
+        // Pass 2: forward[t] = U_t · forward[t-1], streaming the packed buffers.
+        self.forward[0] = self.slice_u[0];
+        for t in 1..self.num_slices {
+            let (head, tail) = self.forward.split_at_mut(t);
+            self.slice_u[t].matmul_into(&head[t - 1], &mut tail[0]);
+        }
+
+        // Pass 3: backward[t] = backward[t+1] · U_{t+1}, from the identity.
+        let last = self.num_slices - 1;
+        self.backward[last] = SmallMatrix::identity();
+        for t in (0..last).rev() {
+            let (head, tail) = self.backward.split_at_mut(t + 1);
+            tail[0].matmul_into(&self.slice_u[t + 1], &mut head[t]);
+        }
+
+        // Every slice now holds a converged eigenbasis the next propagation can
+        // warm-start from.
+        self.warmed = true;
+    }
+
+    /// The static-path mirror of [`GrapeWorkspace::fidelity_gradient_dynamic`]:
+    /// same formula, same floating-point operation order, fixed trip counts.
+    fn fidelity_gradient(
+        &mut self,
+        pulse: &PulseSequence,
+        gradient: &mut [Vec<f64>],
+        memo: Option<&mut EigenMemo>,
+    ) -> f64 {
+        assert!(
+            self.target_dagger.is_some(),
+            "set_target must be called before fidelity_gradient"
+        );
+        self.propagate(pulse, memo);
+        let dim_f = self.qubit_dim;
+        let dt = pulse.dt_ns();
+        // audit:allow(unwrap): target_dagger is set earlier in this method
+        let target_dagger = self.target_dagger.as_ref().expect("target set above");
+
+        // overlap = Tr(V† U_total) / d.
+        let total = &self.forward[self.num_slices - 1];
+        let mut overlap = C64::ZERO;
+        for (i, td_row) in target_dagger.rows().iter().enumerate() {
+            for (k, &td) in td_row.iter().enumerate() {
+                overlap += td * total.rows()[k][i];
+            }
+        }
+        overlap = overlap * (1.0 / dim_f);
+        let infidelity = 1.0 - overlap.norm_sqr();
+        let conj_overlap = overlap.conj();
+
+        // Daleckii–Krein gradient, slice by slice (see the dynamic path for the
+        // derivation; this is the same computation over packed static buffers,
+        // with V† reused from the propagation pass). The loop is slice-major
+        // while `gradient` is control-major, so indexing stays explicit.
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..self.num_slices {
+            // m' = forward[t-1] · target† · backward[t]   (forward[-1] = identity)
+            if t == 0 {
+                target_dagger.matmul_into(&self.backward[0], &mut self.scratch_b);
+            } else {
+                self.forward[t - 1].matmul_into(target_dagger, &mut self.scratch_a);
+                self.scratch_a
+                    .matmul_into(&self.backward[t], &mut self.scratch_b);
+            }
+            let v = &self.slice_v[t];
+            let vdag = &self.slice_vdag[t];
+            // p = V† · m' · V
+            vdag.matmul_into(&self.scratch_b, &mut self.scratch_a);
+            self.scratch_a.matmul_into(v, &mut self.scratch_c);
+
+            let lambdas = &self.slice_lambda[t];
+            let phases = &self.slice_phase[t];
+            // T = conj(Pᵀ ∘ Γ), written into scratch_b.
+            for i in 0..N {
+                for j in 0..N {
+                    let gamma = if (lambdas[i] - lambdas[j]).abs() < 1e-10 {
+                        C64::new(0.0, -dt) * phases[i]
+                    } else {
+                        (phases[i] - phases[j]) * (1.0 / (lambdas[i] - lambdas[j]))
+                    };
+                    self.scratch_b.rows_mut()[j][i] = (self.scratch_c.rows()[i][j] * gamma).conj();
+                }
+            }
+            // conj(G) = V · T · V†
+            v.matmul_into(&self.scratch_b, &mut self.scratch_a);
+            self.scratch_a.matmul_into(vdag, &mut self.scratch_c);
+            let g_conj = &self.scratch_c;
+
+            for (k, entries) in self.control_sparse.iter().enumerate() {
+                let mut contraction = C64::ZERO;
+                for &(a, b, h_ab) in entries {
+                    contraction += h_ab * g_conj.rows()[a][b].conj();
+                }
+                let dg = contraction / dim_f;
+                let dfidelity = 2.0 * (conj_overlap * dg).re;
+                gradient[k][t] = -dfidelity;
+            }
+        }
+
+        infidelity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +825,63 @@ mod tests {
     }
 
     #[test]
+    fn static_and_dynamic_kernels_agree() {
+        let device = DeviceModel::qubits_line(2);
+        let target = gates::cx();
+        let pulse = PulseSequence::seeded_guess(&device, 6, 0.5, 3);
+
+        let mut fast = GrapeWorkspace::new(&device, pulse.num_slices());
+        if !fast.uses_static_kernel() {
+            // VQC_SMALL_MATRIX=0 pins every workspace dynamic; parity is then
+            // trivially true and this test has nothing to check.
+            return;
+        }
+        let mut slow =
+            GrapeWorkspace::with_kernel(&device, pulse.num_slices(), KernelPolicy::ForceDynamic);
+        assert!(!slow.uses_static_kernel());
+        fast.set_target(&device, &target);
+        slow.set_target(&device, &target);
+
+        let fast_infidelity = fast.fidelity_gradient(&pulse);
+        let slow_infidelity = slow.fidelity_gradient(&pulse);
+        assert!((fast_infidelity - slow_infidelity).abs() < 1e-12);
+        for k in 0..device.num_controls() {
+            for t in 0..pulse.num_slices() {
+                assert!(
+                    (fast.gradient()[k][t] - slow.gradient()[k][t]).abs() < 1e-12,
+                    "control {k} slice {t}"
+                );
+            }
+        }
+
+        // A second evaluation on a perturbed pulse exercises the warm-started
+        // Jacobi path (the engine reuses each slice's previous eigenbasis);
+        // parity with the cold dynamic kernel must hold there too.
+        let perturbed = PulseSequence::seeded_guess(&device, 6, 0.45, 4);
+        let fast_infidelity = fast.fidelity_gradient(&perturbed);
+        let slow_infidelity = slow.fidelity_gradient(&perturbed);
+        assert!((fast_infidelity - slow_infidelity).abs() < 1e-12);
+        for k in 0..device.num_controls() {
+            for t in 0..perturbed.num_slices() {
+                assert!(
+                    (fast.gradient()[k][t] - slow.gradient()[k][t]).abs() < 1e-12,
+                    "warm path: control {k} slice {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qutrit_devices_fall_back_to_the_dynamic_kernel() {
+        let device = DeviceModel::qubits_line(1).with_qutrit_levels();
+        let workspace = GrapeWorkspace::new(&device, 4);
+        assert!(
+            !workspace.uses_static_kernel(),
+            "dim 3 has no static engine"
+        );
+    }
+
+    #[test]
     fn workspace_propagation_matches_taylor_expm() {
         use vqc_linalg::expm::expm;
         let device = DeviceModel::qubits_line(1);
@@ -361,6 +897,35 @@ mod tests {
                 workspace.slice_unitaries()[t].approx_eq(&taylor, 1e-12),
                 "slice {t} diverges from the Taylor reference"
             );
+        }
+    }
+
+    #[test]
+    fn memoized_gradient_matches_and_hits_on_replay() {
+        let device = DeviceModel::qubits_line(2);
+        let target = gates::cx();
+        let pulse = PulseSequence::seeded_guess(&device, 6, 0.5, 3);
+
+        let mut workspace = GrapeWorkspace::new(&device, pulse.num_slices());
+        workspace.set_target(&device, &target);
+        let plain = workspace.fidelity_gradient(&pulse);
+        let reference: Vec<Vec<f64>> = workspace.gradient().to_vec();
+
+        let mut memo = EigenMemo::new();
+        let first = workspace.fidelity_gradient_with_memo(&pulse, &mut memo);
+        assert_eq!(memo.misses(), pulse.num_slices() as u64);
+        let second = workspace.fidelity_gradient_with_memo(&pulse, &mut memo);
+        assert_eq!(memo.hits(), pulse.num_slices() as u64);
+
+        assert!((first - plain).abs() < 1e-15);
+        assert!((second - plain).abs() < 1e-15);
+        for (k, reference_row) in reference.iter().enumerate() {
+            for (t, &expected) in reference_row.iter().enumerate() {
+                assert!(
+                    (workspace.gradient()[k][t] - expected).abs() < 1e-15,
+                    "memoized gradient must be identical"
+                );
+            }
         }
     }
 

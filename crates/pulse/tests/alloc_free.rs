@@ -1,16 +1,19 @@
-//! Proves the GRAPE iteration kernel performs zero heap allocations.
+//! Proves the GRAPE iteration kernels perform zero heap allocations.
 //!
-//! A counting global allocator wraps the system allocator; the single test below
-//! (kept alone in this integration-test binary so no concurrent test can perturb
-//! the counters) warms a [`GrapeWorkspace`] up once and then asserts that further
-//! `fidelity_gradient` calls never touch the heap. This is the acceptance gate for
-//! the allocation-free kernel: any regression that re-introduces a per-iteration
-//! allocation fails this test deterministically.
+//! A counting global allocator wraps the system allocator; the tests below warm
+//! a [`GrapeWorkspace`] up once and then assert that further `fidelity_gradient`
+//! calls never touch the heap — on the const-generic `SmallMatrix` fast path,
+//! on the pinned dynamic kernel, and on memo-replayed iterations (the
+//! [`EigenMemo`] may allocate while arming on a miss, but a hit must be free).
+//! The counters are per-thread and libtest runs each test on its own thread, so
+//! the tests cannot perturb each other. This is the acceptance gate for the
+//! allocation-free kernel: any regression that re-introduces a per-iteration
+//! allocation fails deterministically.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::hint::black_box;
-use vqc_pulse::{DeviceModel, GrapeWorkspace, PulseSequence};
+use vqc_pulse::{DeviceModel, EigenMemo, GrapeWorkspace, KernelPolicy, PulseSequence};
 use vqc_sim::gates;
 
 /// Counts every allocation (and reallocation) the *current thread* makes while
@@ -54,30 +57,90 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Runs ten steady-state `fidelity_gradient` calls under the counting window
+/// and returns the number of heap allocations they made.
+fn count_steady_state(workspace: &mut GrapeWorkspace, pulse: &PulseSequence) -> u64 {
+    // One warm-up call; all buffers are pre-sized by the constructor, but the
+    // assertion should gate the steady state, not first-touch effects.
+    let warmup = workspace.fidelity_gradient(pulse);
+    assert!(warmup.is_finite());
+
+    ALLOCATIONS.with(|allocations| allocations.set(0));
+    COUNTING.with(|counting| counting.set(true));
+    for _ in 0..10 {
+        black_box(workspace.fidelity_gradient(black_box(pulse)));
+    }
+    COUNTING.with(|counting| counting.set(false));
+    ALLOCATIONS.with(Cell::get)
+}
+
 #[test]
 fn fidelity_gradient_is_allocation_free_after_workspace_construction() {
     // A two-qubit block is the representative GRAPE workload: 11 controls, 4x4
-    // matrices, several slices.
+    // matrices, several slices — and at dim 4 the workspace binds the
+    // `SmallMatrix` fast path, so this gates the static engine.
+    let device = DeviceModel::qubits_line(2);
+    let target = gates::cx();
+    let pulse = PulseSequence::seeded_guess(&device, 8, 0.5, 7);
+
+    let mut workspace = GrapeWorkspace::new(&device, pulse.num_slices());
+    let escape_hatch_set = std::env::var("VQC_SMALL_MATRIX").is_ok();
+    assert!(
+        escape_hatch_set || workspace.uses_static_kernel(),
+        "a 2-qubit device must bind the SmallMatrix engine"
+    );
+    workspace.set_target(&device, &target);
+
+    assert_eq!(
+        count_steady_state(&mut workspace, &pulse),
+        0,
+        "the static fidelity_gradient allocated on the heap after workspace construction"
+    );
+}
+
+#[test]
+fn forced_dynamic_kernel_is_also_allocation_free() {
+    let device = DeviceModel::qubits_line(2);
+    let target = gates::cx();
+    let pulse = PulseSequence::seeded_guess(&device, 8, 0.5, 7);
+
+    let mut workspace =
+        GrapeWorkspace::with_kernel(&device, pulse.num_slices(), KernelPolicy::ForceDynamic);
+    assert!(!workspace.uses_static_kernel());
+    workspace.set_target(&device, &target);
+
+    assert_eq!(
+        count_steady_state(&mut workspace, &pulse),
+        0,
+        "the dynamic fidelity_gradient allocated on the heap after workspace construction"
+    );
+}
+
+#[test]
+fn memo_replay_is_allocation_free_after_arming() {
     let device = DeviceModel::qubits_line(2);
     let target = gates::cx();
     let pulse = PulseSequence::seeded_guess(&device, 8, 0.5, 7);
 
     let mut workspace = GrapeWorkspace::new(&device, pulse.num_slices());
     workspace.set_target(&device, &target);
-    // One warm-up call; all buffers are pre-sized by the constructor, but the
-    // assertion below should gate the steady state, not first-touch effects.
-    let warmup = workspace.fidelity_gradient(&pulse);
+    let mut memo = EigenMemo::new();
+    // The arming call may allocate: every slice misses and is inserted.
+    let warmup = workspace.fidelity_gradient_with_memo(&pulse, &mut memo);
     assert!(warmup.is_finite());
+    assert!(memo.misses() > 0);
 
+    ALLOCATIONS.with(|allocations| allocations.set(0));
     COUNTING.with(|counting| counting.set(true));
     for _ in 0..10 {
-        black_box(workspace.fidelity_gradient(black_box(&pulse)));
+        black_box(workspace.fidelity_gradient_with_memo(black_box(&pulse), &mut memo));
     }
     COUNTING.with(|counting| counting.set(false));
 
+    assert!(memo.hits() >= 10, "replay calls must hit the memo");
     assert_eq!(
         ALLOCATIONS.with(Cell::get),
         0,
-        "fidelity_gradient allocated on the heap after workspace construction"
+        "a memo hit allocated on the heap during replay"
     );
 }

@@ -1,0 +1,175 @@
+//! Property-based parity between the const-generic `SmallMatrix` GRAPE engine
+//! and the dynamic workspace kernel it replaces.
+//!
+//! The dynamic kernel (pinned via [`KernelPolicy::ForceDynamic`]) is the
+//! reference: for every device the fast path supports, the static engine must
+//! reproduce its infidelity and exact gradient to near machine precision —
+//! including on repeated evaluations, where the static engine switches to its
+//! warm-started Jacobi path, and under eigendecomposition memoization, where
+//! replayed slices come out of the [`EigenMemo`] instead of the solver.
+
+use proptest::prelude::*;
+use vqc_pulse::{DeviceModel, EigenMemo, GrapeWorkspace, KernelPolicy, PulseSequence};
+use vqc_sim::gates;
+
+/// Builds a pulse over `slices` slices from a cyclic read of `amps`, so one
+/// generated vector covers any control count the device exposes.
+fn pulse_from(device: &DeviceModel, slices: usize, dt_ns: f64, amps: &[f64]) -> PulseSequence {
+    let mut pulse = PulseSequence::zeros(device.num_controls(), slices, dt_ns);
+    for k in 0..device.num_controls() {
+        for t in 0..slices {
+            pulse.set_amplitude(k, t, amps[(k * slices + t) % amps.len()]);
+        }
+    }
+    pulse
+}
+
+/// True unless the `VQC_SMALL_MATRIX` escape hatch pins every workspace to the
+/// dynamic kernel — in which case static-vs-dynamic parity is vacuous and the
+/// tests that rely on the fast path binding skip themselves.
+fn fast_path_enabled() -> bool {
+    match std::env::var("VQC_SMALL_MATRIX") {
+        Ok(value) => !matches!(value.trim(), "0" | "off" | "false" | "no"),
+        Err(_) => true,
+    }
+}
+
+/// One fast/slow workspace pair with the target bound, plus the parity check.
+fn assert_kernels_agree(
+    device: &DeviceModel,
+    target: &vqc_linalg::Matrix,
+    pulses: &[PulseSequence],
+    tol: f64,
+) {
+    let slices = pulses[0].num_slices();
+    let mut fast = GrapeWorkspace::new(device, slices);
+    assert!(
+        !fast_path_enabled() || fast.uses_static_kernel(),
+        "dim {} must bind the SmallMatrix engine",
+        device.dim()
+    );
+    let mut slow = GrapeWorkspace::with_kernel(device, slices, KernelPolicy::ForceDynamic);
+    assert!(!slow.uses_static_kernel());
+    fast.set_target(device, target);
+    slow.set_target(device, target);
+
+    // Evaluating the same workspaces across several pulses exercises the cold
+    // Jacobi path on the first pulse and the warm-started path on the rest.
+    for (index, pulse) in pulses.iter().enumerate() {
+        let fast_infidelity = fast.fidelity_gradient(pulse);
+        let slow_infidelity = slow.fidelity_gradient(pulse);
+        assert!(
+            (fast_infidelity - slow_infidelity).abs() < tol,
+            "infidelity diverges on pulse {index}: {fast_infidelity} vs {slow_infidelity}"
+        );
+        for k in 0..device.num_controls() {
+            for t in 0..pulse.num_slices() {
+                let diff = (fast.gradient()[k][t] - slow.gradient()[k][t]).abs();
+                assert!(
+                    diff < tol,
+                    "gradient diverges on pulse {index}, control {k}, slice {t}: {diff:e}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn static_matches_dynamic_1q(
+        amps in prop::collection::vec(-1.0..1.0f64, 64),
+        perturbed in prop::collection::vec(-1.0..1.0f64, 64),
+        dt in 0.1..1.0f64,
+    ) {
+        let device = DeviceModel::qubits_line(1);
+        let pulses = [
+            pulse_from(&device, 6, dt, &amps),
+            pulse_from(&device, 6, dt, &perturbed),
+        ];
+        assert_kernels_agree(&device, &gates::h(), &pulses, 1e-12);
+    }
+
+    #[test]
+    fn static_matches_dynamic_2q(
+        amps in prop::collection::vec(-1.0..1.0f64, 64),
+        perturbed in prop::collection::vec(-1.0..1.0f64, 64),
+        dt in 0.1..1.0f64,
+    ) {
+        let device = DeviceModel::qubits_line(2);
+        let pulses = [
+            pulse_from(&device, 6, dt, &amps),
+            pulse_from(&device, 6, dt, &perturbed),
+        ];
+        assert_kernels_agree(&device, &gates::cx(), &pulses, 1e-12);
+    }
+
+    #[test]
+    fn memoized_static_gradient_matches_dynamic(
+        amps in prop::collection::vec(-1.0..1.0f64, 64),
+        dt in 0.1..1.0f64,
+    ) {
+        let device = DeviceModel::qubits_line(2);
+        let target = gates::cx();
+        let pulse = pulse_from(&device, 6, dt, &amps);
+
+        let mut fast = GrapeWorkspace::new(&device, pulse.num_slices());
+        let mut slow =
+            GrapeWorkspace::with_kernel(&device, pulse.num_slices(), KernelPolicy::ForceDynamic);
+        fast.set_target(&device, &target);
+        slow.set_target(&device, &target);
+        let reference = slow.fidelity_gradient(&pulse);
+
+        // First memoized call arms the memo; the second replays every slice
+        // out of it. Both must stay on the dynamic kernel's answer.
+        let mut memo = EigenMemo::new();
+        for call in 0..2 {
+            let infidelity = fast.fidelity_gradient_with_memo(&pulse, &mut memo);
+            assert!(
+                (infidelity - reference).abs() < 1e-12,
+                "memoized call {call} diverges: {infidelity} vs {reference}"
+            );
+            for k in 0..device.num_controls() {
+                for t in 0..pulse.num_slices() {
+                    let diff = (fast.gradient()[k][t] - slow.gradient()[k][t]).abs();
+                    assert!(diff < 1e-12, "memoized call {call}, control {k}, slice {t}: {diff:e}");
+                }
+            }
+        }
+        assert!(memo.hits() > 0, "replay must hit the memo");
+    }
+}
+
+/// The largest monomorphization, dim 16 (a 4-qubit line), checked once
+/// deterministically: a proptest sweep at this size would dominate the suite's
+/// runtime for little extra coverage beyond the N=16 `small_parity` sweep.
+#[test]
+fn static_matches_dynamic_4q_dim16() {
+    let device = DeviceModel::qubits_line(4);
+    assert_eq!(device.dim(), 16);
+    let h = gates::h();
+    let target = h.kron(&h).kron(&h).kron(&h);
+    let pulses = [
+        PulseSequence::seeded_guess(&device, 4, 0.5, 7),
+        PulseSequence::seeded_guess(&device, 4, 0.45, 11),
+    ];
+    assert_kernels_agree(&device, &target, &pulses, 1e-10);
+}
+
+/// `KernelPolicy::ForceDynamic` must pin the dynamic kernel even on devices the
+/// fast path supports, and `Auto` must bind it for every supported dimension.
+#[test]
+fn kernel_policy_binding() {
+    for qubits in [1usize, 2, 4] {
+        let device = DeviceModel::qubits_line(qubits);
+        assert_eq!(
+            GrapeWorkspace::new(&device, 4).uses_static_kernel(),
+            fast_path_enabled()
+        );
+        assert!(
+            !GrapeWorkspace::with_kernel(&device, 4, KernelPolicy::ForceDynamic)
+                .uses_static_kernel()
+        );
+    }
+}
