@@ -106,7 +106,7 @@ fn render(addr: &str, snapshot: &MetricsSnapshot, events: &[TraceEvent]) -> Stri
         snapshot.canceled,
     ));
     out.push_str(&format!(
-        "cache     {:.1}% hits ({}/{})   {} entries   {} evictions   {} unique compiles   {} coalesced\n\n",
+        "cache     {:.1}% hits ({}/{})   {} entries   {} evictions   {} unique compiles   {} coalesced\n",
         snapshot.cache_hit_ratio() * 100.0,
         snapshot.cache_hits,
         snapshot.cache_hits + snapshot.cache_misses,
@@ -114,6 +114,17 @@ fn render(addr: &str, snapshot: &MetricsSnapshot, events: &[TraceEvent]) -> Stri
         snapshot.cache_evictions,
         snapshot.unique_compilations,
         snapshot.coalesced_waits,
+    ));
+    let warm = &snapshot.warm_start;
+    out.push_str(&format!(
+        "seeding   {} table hits / {} misses   {} seeds   {} memo hits / {} misses   {} seeded / {} cold iters\n\n",
+        warm.table_hits,
+        warm.table_misses,
+        snapshot.seed_entries,
+        warm.memo_hits,
+        warm.memo_misses,
+        warm.seeded_iterations,
+        warm.cold_iterations,
     ));
 
     out.push_str("latency              count      p50      p95      p99\n");

@@ -9,9 +9,20 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use vqc_pulse::grape::{fidelity_gradient, optimize_pulse, GrapeOptions};
-use vqc_pulse::{DeviceModel, GrapeWorkspace, KernelPolicy, PulseSequence};
+use vqc_pulse::minimum_time::{minimum_pulse_time_seeded, MinimumTimeOptions, MinimumTimeResult};
+use vqc_pulse::{
+    DeviceModel, EigenMemo, GrapeWorkspace, KernelPolicy, PulseSequence, SeedEntry, TableConfig,
+    TranspositionTable,
+};
 use vqc_sim::gates;
+
+/// Total GRAPE iterations of the last cold / table-seeded `grape_seeding` pass,
+/// handed from the benchmark bodies to [`emit_summary`] (which asserts the
+/// seeding speedup before writing `BENCH_grape.json`).
+static SEEDING_COLD_ITERS: AtomicU64 = AtomicU64::new(0);
+static SEEDING_SEEDED_ITERS: AtomicU64 = AtomicU64::new(0);
 
 fn bench_grape(c: &mut Criterion) {
     let mut group = c.benchmark_group("grape");
@@ -112,6 +123,124 @@ fn bench_grape_smallmat(c: &mut Criterion) {
     group.finish();
 }
 
+/// Folds one finished duration search into the transposition-table entry for
+/// its structure, the way `PartialCompiler::record_search_feedback` does: the
+/// failed lower bound is the deepest non-converging probe, every probe lands in
+/// the iteration history, and the converged pulse rides along as the warm
+/// start for the next binding.
+fn record_search(table: &TranspositionTable<u64>, key: u64, result: &MinimumTimeResult) {
+    let mut entry = SeedEntry {
+        learning_rate: 0.0,
+        decay_rate: 0.0,
+        tuned: false,
+        converged_duration_ns: result.converged.then_some(result.duration_ns),
+        failed_below_ns: result
+            .probes
+            .iter()
+            .filter(|p| !p.converged)
+            .map(|p| p.duration_ns)
+            .fold(0.0, f64::max),
+        probe_iterations: Vec::new(),
+        pulse: result.best.as_ref().map(|b| b.pulse.clone()),
+    };
+    for probe in &result.probes {
+        entry.record_probe(probe.duration_ns, probe.iterations);
+    }
+    table.record(&key, entry);
+}
+
+/// The repeat-structure workload of the warm-start index: the same Rz
+/// subcircuit recompiled with a fresh θ per variational pass. The cold pass
+/// binary-searches every binding from the full gate-based window; the seeded
+/// pass probes a transposition table warmed by one earlier binding of the same
+/// structure (the largest angle, so the converged window transfers to every
+/// smaller rotation) and opens each search at the neighbor's window with the
+/// neighbor's converged amplitudes. Both passes must converge to target
+/// fidelity at a duration no worse than the gate-based upper bound; the seeded
+/// pass must spend ≥1.5x fewer total GRAPE iterations ([`emit_summary`]
+/// enforces this before writing the summary).
+fn bench_grape_seeding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grape_seeding");
+    group.sample_size(10);
+
+    let device = DeviceModel::qubits_line(1);
+    let grape = GrapeOptions::fast();
+    // The gate-based upper bound for a 1q Rz slice; fresh θs for the measured
+    // pass, all at or below the priming angle (minimum pulse duration grows
+    // with |θ|, so a structural neighbor's window only transfers downward).
+    let upper_bound_ns = 4.0;
+    let search = MinimumTimeOptions::new(0.0, upper_bound_ns).with_precision(0.5);
+    let fresh_thetas = [2.2, 1.7, 1.3, 0.9];
+    const STRUCTURE_KEY: u64 = 0;
+
+    group.bench_function("cold_pass_rz_4thetas", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &theta in &fresh_thetas {
+                let mut memo = EigenMemo::new();
+                let result = minimum_pulse_time_seeded(
+                    black_box(&gates::rz(theta)),
+                    &device,
+                    &search,
+                    &grape,
+                    &mut memo,
+                    None,
+                )
+                .expect("cold search");
+                assert!(
+                    result.converged,
+                    "cold Rz({theta}) must reach target fidelity"
+                );
+                assert!(result.duration_ns <= upper_bound_ns + 1e-9);
+                total += result.total_iterations() as u64;
+            }
+            SEEDING_COLD_ITERS.store(total, Ordering::Relaxed);
+            black_box(total)
+        })
+    });
+
+    // Prime the table once with the largest-angle binding, exactly as the
+    // compiler's first encounter with the structure would.
+    let table = TranspositionTable::new(TableConfig::default());
+    let mut memo = EigenMemo::new();
+    let primed =
+        minimum_pulse_time_seeded(&gates::rz(2.4), &device, &search, &grape, &mut memo, None)
+            .expect("priming search");
+    assert!(primed.converged, "the priming binding must converge");
+    record_search(&table, STRUCTURE_KEY, &primed);
+
+    group.bench_function("seeded_pass_rz_4thetas", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &theta in &fresh_thetas {
+                let seed = table.probe(&STRUCTURE_KEY).expect("primed entry");
+                let search_seed = seed.search_seed();
+                let mut memo = EigenMemo::new();
+                let result = minimum_pulse_time_seeded(
+                    black_box(&gates::rz(theta)),
+                    &device,
+                    &search,
+                    &grape,
+                    &mut memo,
+                    Some(&search_seed),
+                )
+                .expect("seeded search");
+                assert!(
+                    result.converged,
+                    "seeded Rz({theta}) must reach target fidelity"
+                );
+                assert!(result.duration_ns <= upper_bound_ns + 1e-9);
+                total += result.total_iterations() as u64;
+                record_search(&table, STRUCTURE_KEY, &result);
+            }
+            SEEDING_SEEDED_ITERS.store(total, Ordering::Relaxed);
+            black_box(total)
+        })
+    });
+
+    group.finish();
+}
+
 /// Writes the `grape_kernel`/`grape_smallmat` measurements, the per-size
 /// kernel-over-seed speedups, and the static-over-dynamic speedups as
 /// `BENCH_grape.json` in the workspace root, alongside `host_parallelism` and a
@@ -193,7 +322,26 @@ fn emit_summary(c: &mut Criterion) {
         }
     }
     json.push_str(&static_speedups.join(",\n"));
-    json.push_str("\n  }\n}\n");
+    json.push_str("\n  },\n");
+
+    // The warm-start index's headline number: total GRAPE iterations across a
+    // repeat-structure pass, cold vs table-seeded. Asserted before the file is
+    // written so a regression can never publish a green-looking summary.
+    let cold_iters = SEEDING_COLD_ITERS.load(Ordering::Relaxed);
+    let seeded_iters = SEEDING_SEEDED_ITERS.load(Ordering::Relaxed);
+    assert!(
+        cold_iters > 0 && seeded_iters > 0,
+        "the grape_seeding passes must have run before the summary is emitted"
+    );
+    let reduction = cold_iters as f64 / seeded_iters as f64;
+    assert!(
+        reduction >= 1.5,
+        "table seeding only cut total GRAPE iterations by {reduction:.2}x \
+         ({cold_iters} cold vs {seeded_iters} seeded; target: >=1.5x)"
+    );
+    json.push_str(&format!(
+        "  \"seeding_iteration_reduction\": {{\n    \"cold_iterations\": {cold_iters},\n    \"seeded_iterations\": {seeded_iters},\n    \"reduction\": {reduction:.3}\n  }}\n}}\n"
+    ));
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -209,6 +357,7 @@ criterion_group!(
     bench_grape,
     bench_grape_kernel,
     bench_grape_smallmat,
+    bench_grape_seeding,
     emit_summary
 );
 criterion_main!(benches);

@@ -24,7 +24,7 @@ use vqc_core::{
 };
 use vqc_runtime::{
     CacheConfig, CompilationRuntime, CompileJob, EvictionPolicy, Priority, RuntimeOptions,
-    SchedulePolicy, ShardedPulseCache, Submission, TelemetryOptions,
+    SchedulePolicy, ShardedPulseCache, Submission, TableConfig, TelemetryOptions,
 };
 use vqc_transport::{Client, ClientOptions, Server, ServerOptions, SubmitPayload, WireJob};
 
@@ -181,6 +181,7 @@ fn bench_eviction_policy(c: &mut Criterion) {
                     max_blocks_per_shard: Some(8),
                     max_tunings_per_shard: None,
                     eviction,
+                    seeds: TableConfig::default(),
                 };
                 let runtime = CompilationRuntime::new(bench_options(), options);
                 for batch in [&expensive, &churn, &expensive] {

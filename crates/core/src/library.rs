@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use vqc_circuit::Circuit;
+use vqc_pulse::{SeedEntry, TableConfig, TranspositionTable, WarmStartStats};
 
 /// A canonical fingerprint of a (bound or structural) block circuit.
 ///
@@ -163,6 +164,33 @@ pub trait PulseCache: Send + Sync + std::fmt::Debug {
     fn cost_model_scale(&self) -> Option<f64> {
         None
     }
+
+    /// Probes the warm-start transposition table for what past compilations of
+    /// this *structure* (a [`BlockKey::structural`] key) learned: tuned
+    /// hyperparameters, a converged duration window, and best-so-far amplitudes.
+    /// The default implementation has no table.
+    fn seed(&self, _key: &BlockKey) -> Option<SeedEntry> {
+        None
+    }
+
+    /// Records what one compilation learned about a structural key into the
+    /// warm-start table (same-key records merge; the window only tightens). The
+    /// default implementation drops it.
+    fn record_seed(&self, _key: &BlockKey, _entry: SeedEntry) {}
+
+    /// Adds one finished duration search's GRAPE iteration total to the
+    /// seeded-vs-cold warm-start accounting. The default implementation drops it.
+    fn record_search_outcome(&self, _seeded: bool, _grape_iterations: u64) {}
+
+    /// Adds one compilation's [`vqc_pulse::EigenMemo`] counter totals to the
+    /// warm-start accounting. The default implementation drops them.
+    fn record_memo_outcome(&self, _hits: u64, _misses: u64, _rejected: u64) {}
+
+    /// Current warm-start counters (table and memo traffic, seeded-vs-cold
+    /// iteration totals). The default implementation reports zeroes.
+    fn warm_start_stats(&self) -> WarmStartStats {
+        WarmStartStats::default()
+    }
 }
 
 /// Cap on retained observed-cost entries. Every new θ binding of a bound block is
@@ -206,6 +234,9 @@ pub struct PulseLibrary {
     observed: Mutex<ObservedCosts>,
     /// Model→host scale fit from every real compilation's (estimate, observation).
     calibration: Mutex<crate::latency::CostCalibration>,
+    /// Warm-start transposition table keyed by [`BlockKey::structural`]
+    /// (environment-configured: `VQC_TT` / `VQC_TT_CAPACITY` / `VQC_CACHE_BYTES`).
+    seeds: TranspositionTable<BlockKey>,
 }
 
 impl PulseCache for PulseLibrary {
@@ -254,12 +285,42 @@ impl PulseCache for PulseLibrary {
     fn cost_model_scale(&self) -> Option<f64> {
         self.calibration.lock().scale()
     }
+
+    fn seed(&self, key: &BlockKey) -> Option<SeedEntry> {
+        self.seeds.probe(key)
+    }
+
+    fn record_seed(&self, key: &BlockKey, entry: SeedEntry) {
+        self.seeds.record(key, entry);
+    }
+
+    fn record_search_outcome(&self, seeded: bool, grape_iterations: u64) {
+        self.seeds.record_search_outcome(seeded, grape_iterations);
+    }
+
+    fn record_memo_outcome(&self, hits: u64, misses: u64, rejected: u64) {
+        self.seeds.record_memo_outcome(hits, misses, rejected);
+    }
+
+    fn warm_start_stats(&self) -> WarmStartStats {
+        self.seeds.stats()
+    }
 }
 
 impl PulseLibrary {
     /// Creates an empty library.
     pub fn new() -> Self {
         PulseLibrary::default()
+    }
+
+    /// An empty library whose warm-start table uses `config` instead of the
+    /// environment-configured default, so callers (and tests) can arm or
+    /// disarm seeding independently of `VQC_TT`.
+    pub fn with_seed_table(config: TableConfig) -> Self {
+        PulseLibrary {
+            seeds: TranspositionTable::new(config),
+            ..PulseLibrary::default()
+        }
     }
 
     /// Looks up a cached block compilation.
@@ -397,6 +458,46 @@ mod tests {
         // ...and clearing cached *results* does not erase what the work cost.
         library.clear();
         assert_eq!(library.observed_cost(&key), Some(0.25));
+    }
+
+    #[test]
+    fn seeds_round_trip_through_the_trait_under_structural_keys() {
+        // Armed explicitly so the round trip holds even under `VQC_TT=0`.
+        let library = PulseLibrary::with_seed_table(TableConfig::default());
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.rz_expr(1, ParamExpr::theta(0));
+        // The structural key is taken on the *unbound* subcircuit (as the
+        // compiler's `dedup_key` does), so any θ binding maps to the same key.
+        // A separately-built circuit with identical structure must agree.
+        let key_a = BlockKey::structural(&c);
+        let mut c2 = Circuit::new(2);
+        c2.cx(0, 1);
+        c2.rz_expr(1, ParamExpr::theta(0));
+        let key_b = BlockKey::structural(&c2);
+        assert_eq!(key_a, key_b, "structural keys must be θ-invariant");
+
+        assert!(PulseCache::seed(&library, &key_a).is_none());
+        let entry = SeedEntry {
+            learning_rate: 0.2,
+            decay_rate: 0.999,
+            tuned: true,
+            converged_duration_ns: Some(7.5),
+            failed_below_ns: 6.0,
+            probe_iterations: vec![(7.5, 40)],
+            pulse: None,
+        };
+        PulseCache::record_seed(&library, &key_a, entry.clone());
+        // A different binding of the same structure finds the entry.
+        let found = PulseCache::seed(&library, &key_b).expect("structural neighbor must hit");
+        assert_eq!(found, entry);
+
+        PulseCache::record_search_outcome(&library, true, 40);
+        PulseCache::record_memo_outcome(&library, 5, 2, 0);
+        let stats = PulseCache::warm_start_stats(&library);
+        assert_eq!(stats.table_hits, 1);
+        assert_eq!(stats.seeded_iterations, 40);
+        assert_eq!(stats.memo_hits, 5);
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //!   shared across the duration search's probes and hyperparameter re-tuning.
 //! * [`minimum_time`] — the binary search for the shortest pulse duration that still
 //!   reaches the target fidelity (Section 5.3), warm-starting each probe from the
-//!   nearest converged one.
+//!   nearest converged one — or, when a [`TranspositionTable`] entry exists for the
+//!   block's structure, opening directly at the structural neighbor's converged
+//!   window with the neighbor's pulse as the initial guess.
+//! * [`transposition`] — the fixed-capacity, sharded warm-start index mapping a
+//!   structural key to tuned hyperparameters, a converged duration window, and the
+//!   best-so-far amplitudes, with depth-preferred replacement.
 //! * [`realistic`] — the "more realistic" settings of Section 8.3: 1 GSa/s waveforms,
 //!   qutrit leakage levels, and aggressive pulse regularization.
 //!
@@ -50,10 +55,13 @@ pub mod minimum_time;
 pub mod propagate;
 mod pulse;
 pub mod realistic;
+pub mod transposition;
 pub mod workspace;
 
 pub use device::{ControlHamiltonian, DeviceModel};
 pub use error::PulseError;
 pub use memo::EigenMemo;
+pub use minimum_time::SearchSeed;
 pub use pulse::PulseSequence;
+pub use transposition::{SeedEntry, TableConfig, TranspositionTable, WarmStartStats};
 pub use workspace::{GrapeWorkspace, KernelPolicy};

@@ -11,6 +11,16 @@
 //! and every probe shares one [`EigenMemo`] so slice Hamiltonians revisited across
 //! probes — or across re-tuned searches via
 //! [`minimum_pulse_time_with_memo`] — skip their eigendecomposition.
+//!
+//! A third sharing axis crosses *blocks*: [`minimum_pulse_time_seeded`] accepts a
+//! [`SearchSeed`] from a structural neighbor (a previously compiled binding of the
+//! same subcircuit structure, via [`crate::transposition::TranspositionTable`]) and
+//! opens the bisection at the neighbor's converged window — first probe at the
+//! neighbor's converged duration, warm-started from the neighbor's pulse — instead
+//! of at `[lower, gate_runtime]`. A stale seed (the neighbor's window does not hold
+//! at this θ) falls back to the full window, so correctness — target fidelity, never
+//! slower than the gate-based upper bound — is identical to the cold search; only
+//! the iterations spent differ.
 
 use crate::grape::{try_optimize_pulse_with, GrapeOptions, GrapeResult};
 use crate::memo::EigenMemo;
@@ -48,6 +58,21 @@ impl MinimumTimeOptions {
     }
 }
 
+/// A warm start for the duration search, taken from a structural neighbor's
+/// [`crate::transposition::SeedEntry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSeed {
+    /// Tightest duration (ns) below which the neighbor failed to converge; the
+    /// seeded bisection never probes below it.
+    pub lower_bound_ns: f64,
+    /// The neighbor's shortest converged duration (ns), the seeded search's
+    /// opening probe. `None` when the neighbor never converged.
+    pub converged_duration_ns: Option<f64>,
+    /// The neighbor's converged amplitudes, resampled onto each probe's grid as
+    /// its initial guess.
+    pub pulse: Option<PulseSequence>,
+}
+
 /// One probe of the binary search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchProbe {
@@ -73,6 +98,9 @@ pub struct MinimumTimeResult {
     pub probes: Vec<SearchProbe>,
     /// Whether any probe converged (i.e. whether GRAPE beat or matched the fallback).
     pub converged: bool,
+    /// Whether the search ran inside a neighbor's seeded window. `false` for cold
+    /// searches and for stale seeds that fell back to the full window.
+    pub seeded: bool,
 }
 
 impl MinimumTimeResult {
@@ -113,33 +141,116 @@ pub fn minimum_pulse_time_with_memo(
     grape: &GrapeOptions,
     memo: &mut EigenMemo,
 ) -> Result<MinimumTimeResult, PulseError> {
+    minimum_pulse_time_seeded(target, device, search, grape, memo, None)
+}
+
+/// [`minimum_pulse_time_with_memo`] warm-started from a structural neighbor.
+///
+/// With a usable seed — a converged neighbor duration strictly inside the search
+/// window — the first probe runs at the neighbor's converged duration with the
+/// neighbor's pulse as the initial guess, and the bisection window opens at
+/// `[max(lower, neighbor's failed bound), neighbor's duration]`. If that probe
+/// fails (the seed is stale at this θ), the search falls back to the full window,
+/// keeping the failed probe as this block's own lower-bound evidence — so the
+/// result is exactly as correct as a cold search, it just normally spends far
+/// fewer iterations. Without a usable window the seed's pulse (if any) still
+/// warm-starts the upper-bound probe.
+///
+/// # Errors
+///
+/// Same as [`minimum_pulse_time`].
+pub fn minimum_pulse_time_seeded(
+    target: &Matrix,
+    device: &DeviceModel,
+    search: &MinimumTimeOptions,
+    grape: &GrapeOptions,
+    memo: &mut EigenMemo,
+    seed: Option<&SearchSeed>,
+) -> Result<MinimumTimeResult, PulseError> {
     let mut probes = Vec::new();
     // Converged pulses by duration, the warm-start pool for later probes.
     let mut converged_pulses: Vec<(f64, PulseSequence)> = Vec::new();
 
-    // Probe the upper bound first: if GRAPE cannot realize the block even there, fall
-    // back to gate-based compilation for this block.
     let upper = search.upper_bound_ns.max(grape.dt_ns);
-    let result = try_optimize_pulse_with(target, device, upper, grape, None, Some(&mut *memo))?;
+    let seed_pulse = seed.and_then(|s| s.pulse.as_ref());
+    // A usable seed window needs a finite converged duration at or below the
+    // gate-based upper bound; anything above it degenerates to the cold search
+    // (the seed's pulse, if any, still warm-starts the opening probe). A seed
+    // exactly at the upper bound opens no smaller, but its non-converging lower
+    // bound still raises the bisection floor.
+    let seed_upper = seed
+        .and_then(|s| s.converged_duration_ns)
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .map(|d| d.max(grape.dt_ns))
+        .filter(|d| *d <= upper);
+
+    // Probe the opening duration first: the neighbor's converged duration when
+    // seeded, else the upper bound — where a failure means falling back to
+    // gate-based compilation for this block.
+    let first = seed_upper.unwrap_or(upper);
+    let result =
+        try_optimize_pulse_with(target, device, first, grape, seed_pulse, Some(&mut *memo))?;
     probes.push(SearchProbe {
-        duration_ns: upper,
+        duration_ns: first,
         converged: result.converged,
         infidelity: result.infidelity,
         iterations: result.iterations,
     });
-    if !result.converged {
+
+    let mut hi;
+    let mut lo;
+    let seeded;
+    let mut best;
+    if result.converged {
+        hi = first;
+        lo = search.lower_bound_ns.max(0.0);
+        seeded = seed_upper.is_some();
+        if seeded {
+            if let Some(seed) = seed {
+                // The neighbor's tightest non-converging bound; merged entries can
+                // carry a bound above the converged duration (different θ), so clamp.
+                lo = lo.max(seed.lower_bound_ns).min(hi);
+            }
+        }
+        converged_pulses.push((first, result.pulse.clone()));
+        best = Some(result);
+    } else if first < upper {
+        // Stale seed: the neighbor's window does not hold at this θ. Fall back to
+        // the full window; the failed probe stands as this block's own evidence
+        // for the new lower bound. (A seed exactly at the upper bound that failed
+        // needs no retry — the probe already was the full-window opener.)
+        let retry =
+            try_optimize_pulse_with(target, device, upper, grape, seed_pulse, Some(&mut *memo))?;
+        probes.push(SearchProbe {
+            duration_ns: upper,
+            converged: retry.converged,
+            infidelity: retry.infidelity,
+            iterations: retry.iterations,
+        });
+        if !retry.converged {
+            return Ok(MinimumTimeResult {
+                duration_ns: upper,
+                best: None,
+                probes,
+                converged: false,
+                seeded: false,
+            });
+        }
+        hi = upper;
+        lo = search.lower_bound_ns.max(first).max(0.0).min(hi);
+        seeded = false;
+        converged_pulses.push((upper, retry.pulse.clone()));
+        best = Some(retry);
+    } else {
         return Ok(MinimumTimeResult {
             duration_ns: upper,
             best: None,
             probes,
             converged: false,
+            seeded: false,
         });
     }
-    let mut hi = upper;
-    converged_pulses.push((upper, result.pulse.clone()));
-    let mut best = Some(result);
 
-    let mut lo = search.lower_bound_ns.max(0.0);
     while hi - lo > search.precision_ns {
         let mid = 0.5 * (hi + lo);
         if mid < grape.dt_ns {
@@ -178,6 +289,7 @@ pub fn minimum_pulse_time_with_memo(
         best,
         probes,
         converged: true,
+        seeded,
     })
 }
 
@@ -270,6 +382,116 @@ mod tests {
             "a replayed search must reuse cached eigendecompositions"
         );
         assert_eq!(first.duration_ns, second.duration_ns);
+    }
+
+    /// Builds the seed a transposition-table entry would hold after `result`.
+    fn seed_from(result: &MinimumTimeResult, search: &MinimumTimeOptions) -> SearchSeed {
+        let failed_below = result
+            .probes
+            .iter()
+            .filter(|p| !p.converged)
+            .map(|p| p.duration_ns)
+            .fold(search.lower_bound_ns, f64::max);
+        SearchSeed {
+            lower_bound_ns: failed_below,
+            converged_duration_ns: result.converged.then_some(result.duration_ns),
+            pulse: result.best.as_ref().map(|b| b.pulse.clone()),
+        }
+    }
+
+    #[test]
+    fn seeded_search_matches_cold_within_precision_with_fewer_probes() {
+        let device = DeviceModel::qubits_line(1);
+        let search = MinimumTimeOptions::new(0.0, 4.0).with_precision(0.5);
+        let cold = minimum_pulse_time(&gates::rz(1.0), &device, &search, &fast_grape()).unwrap();
+        assert!(cold.converged && !cold.seeded);
+
+        let seed = seed_from(&cold, &search);
+        let mut memo = EigenMemo::new();
+        let seeded = minimum_pulse_time_seeded(
+            &gates::rz(1.0),
+            &device,
+            &search,
+            &fast_grape(),
+            &mut memo,
+            Some(&seed),
+        )
+        .unwrap();
+        assert!(seeded.converged && seeded.seeded);
+        assert!(
+            (seeded.duration_ns - cold.duration_ns).abs() <= search.precision_ns + 1e-9,
+            "seeded {} ns vs cold {} ns",
+            seeded.duration_ns,
+            cold.duration_ns
+        );
+        // The cold search's final window is already within precision, so the
+        // seeded search needs exactly one (warm-started) probe.
+        assert_eq!(seeded.probes.len(), 1);
+        assert!(seeded.total_iterations() <= cold.total_iterations());
+    }
+
+    #[test]
+    fn stale_seed_falls_back_to_the_full_window() {
+        let device = DeviceModel::qubits_line(1);
+        let search = MinimumTimeOptions::new(0.5, 6.0).with_precision(0.5);
+        // A seed claiming an X gate converges at 0.8 ns — far below the true
+        // minimum, so the opening probe must fail and the search must recover.
+        let seed = SearchSeed {
+            lower_bound_ns: 0.0,
+            converged_duration_ns: Some(0.8),
+            pulse: None,
+        };
+        let mut memo = EigenMemo::new();
+        let result = minimum_pulse_time_seeded(
+            &gates::x(),
+            &device,
+            &search,
+            &fast_grape(),
+            &mut memo,
+            Some(&seed),
+        )
+        .unwrap();
+        assert!(result.converged);
+        assert!(!result.seeded, "a stale seed must not count as seeded");
+        assert!(!result.probes[0].converged);
+        assert_eq!(result.probes[0].duration_ns, 0.8);
+        assert_eq!(
+            result.probes[1].duration_ns, 6.0,
+            "fallback probes the full window"
+        );
+        // Same ballpark as the cold Table-1 search.
+        assert!(
+            result.duration_ns >= 2.0 && result.duration_ns <= 3.6,
+            "got {} ns",
+            result.duration_ns
+        );
+    }
+
+    #[test]
+    fn seed_at_or_above_the_upper_bound_degenerates_to_cold() {
+        let device = DeviceModel::qubits_line(1);
+        let search = MinimumTimeOptions::new(0.0, 2.0).with_precision(0.5);
+        let cold = minimum_pulse_time(&gates::rz(1.0), &device, &search, &fast_grape()).unwrap();
+        // The neighbor's converged duration is no better than our gate-based
+        // upper bound: no window to seed, only the pulse warm-starts.
+        let seed = SearchSeed {
+            lower_bound_ns: 0.0,
+            converged_duration_ns: Some(5.0),
+            pulse: cold.best.as_ref().map(|b| b.pulse.clone()),
+        };
+        let mut memo = EigenMemo::new();
+        let result = minimum_pulse_time_seeded(
+            &gates::rz(1.0),
+            &device,
+            &search,
+            &fast_grape(),
+            &mut memo,
+            Some(&seed),
+        )
+        .unwrap();
+        assert!(result.converged && !result.seeded);
+        assert_eq!(result.probes[0].duration_ns, 2.0);
+        assert!((result.duration_ns - cold.duration_ns).abs() <= search.precision_ns + 1e-9);
     }
 
     #[test]

@@ -44,7 +44,10 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use vqc_core::{BlockKey, CachedBlock, CachedTuning, LatencyModel, PulseCache};
+use vqc_core::{
+    BlockKey, CachedBlock, CachedTuning, LatencyModel, PulseCache, SeedEntry, TableConfig,
+    TranspositionTable, WarmStartStats,
+};
 
 /// Which entry a full shard evicts on insert.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +93,9 @@ pub struct CacheConfig {
     pub max_tunings_per_shard: Option<usize>,
     /// Which entry a full shard evicts.
     pub eviction: EvictionPolicy,
+    /// Configuration of the transposition-table warm-start index (capacity,
+    /// shard count, and the `VQC_CACHE_BYTES` byte budget).
+    pub seeds: TableConfig,
 }
 
 impl Default for CacheConfig {
@@ -99,6 +105,9 @@ impl Default for CacheConfig {
             max_blocks_per_shard: None,
             max_tunings_per_shard: None,
             eviction: EvictionPolicy::default(),
+            // Like `TranspositionTable::default()`, the default honors the
+            // `VQC_TT` / `VQC_TT_CAPACITY` / `VQC_CACHE_BYTES` knobs.
+            seeds: TableConfig::from_env(),
         }
     }
 }
@@ -354,6 +363,9 @@ pub struct CacheSnapshot {
     pub blocks: Vec<(BlockKey, CachedBlock, f64)>,
     /// All cached flexible-compilation tunings, with per-entry recompute costs.
     pub tunings: Vec<(BlockKey, CachedTuning, f64)>,
+    /// The transposition-table warm-start entries (snapshot format v3; v2
+    /// snapshots load with this empty).
+    pub seeds: Vec<(BlockKey, SeedEntry)>,
 }
 
 /// What snapshot compaction drops at save time. The default drops nothing.
@@ -370,7 +382,9 @@ pub struct CompactionPolicy {
 impl CacheSnapshot {
     /// Applies a [`CompactionPolicy`] in place: entries below the cost floor are
     /// dropped, then each section is truncated to the size budget keeping the
-    /// costliest entries (ties keep their snapshot order).
+    /// costliest entries (ties keep their snapshot order). Warm-start seeds are
+    /// left alone — the transposition table is fixed-capacity by construction,
+    /// so its snapshot section is already bounded.
     pub fn compact(&mut self, policy: &CompactionPolicy) {
         fn apply<V>(entries: &mut Vec<(BlockKey, V, f64)>, policy: &CompactionPolicy) {
             if let Some(floor) = policy.cost_floor_seconds {
@@ -402,6 +416,11 @@ pub struct ShardedPulseCache {
     mask: usize,
     /// Converts an entry's recorded GRAPE iterations into its recompute cost.
     latency: LatencyModel,
+    /// The transposition-table warm-start index: structural key → tuned
+    /// hyperparameters, converged duration window, and best-so-far amplitudes.
+    /// Sharded and bounded on its own (entry capacity plus the optional
+    /// `VQC_CACHE_BYTES` byte budget), independent of the block/tuning shards.
+    seeds: TranspositionTable<BlockKey>,
     /// Model→host scale fit from every real compilation's (estimate, observation)
     /// pair. One global accumulator (not per-shard): it is written once per *real*
     /// GRAPE compilation — milliseconds apart at best — so contention is nil, and a
@@ -436,8 +455,20 @@ impl ShardedPulseCache {
                 .collect(),
             mask: shards - 1,
             latency: LatencyModel::default(),
+            seeds: TranspositionTable::new(config.seeds),
             calibration: Mutex::new(vqc_core::CostCalibration::new()),
         }
+    }
+
+    /// The warm-start index's current entry count.
+    pub fn num_seeds(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Approximate bytes held by the warm-start index's waveform payloads —
+    /// the quantity the `VQC_CACHE_BYTES` budget bounds.
+    pub fn seed_bytes(&self) -> usize {
+        self.seeds.approx_bytes()
     }
 
     /// Lookups the given block key has answered since entering its shard, if it is
@@ -500,6 +531,7 @@ impl ShardedPulseCache {
                     .map(|(k, slot)| (k.clone(), slot.value.clone(), slot.cost)),
             );
         }
+        snapshot.seeds = self.seeds.entries();
         snapshot
     }
 
@@ -536,6 +568,10 @@ impl ShardedPulseCache {
                 .evictions
                 .fetch_add(evicted, Ordering::Relaxed);
         }
+        // Seeds replay through the table's own record path, so depth-preferred
+        // replacement and the capacity/byte bounds apply to restored entries
+        // exactly as they do to live ones.
+        self.seeds.absorb(snapshot.seeds);
     }
 }
 
@@ -606,8 +642,9 @@ impl PulseCache for ShardedPulseCache {
     }
 
     fn clear(&self) {
-        // Observed compile times survive on purpose: clearing stored results does
-        // not change what the work costs to redo.
+        // Observed compile times and warm-start seeds survive on purpose:
+        // clearing stored results changes neither what the work costs to redo
+        // nor what was learned about how to redo it faster.
         for shard in &self.shards {
             shard.blocks.lock().clear();
             shard.tunings.lock().clear();
@@ -630,6 +667,26 @@ impl PulseCache for ShardedPulseCache {
 
     fn cost_model_scale(&self) -> Option<f64> {
         self.calibration.lock().scale()
+    }
+
+    fn seed(&self, key: &BlockKey) -> Option<SeedEntry> {
+        self.seeds.probe(key)
+    }
+
+    fn record_seed(&self, key: &BlockKey, entry: SeedEntry) {
+        self.seeds.record(key, entry);
+    }
+
+    fn record_search_outcome(&self, seeded: bool, grape_iterations: u64) {
+        self.seeds.record_search_outcome(seeded, grape_iterations);
+    }
+
+    fn record_memo_outcome(&self, hits: u64, misses: u64, rejected: u64) {
+        self.seeds.record_memo_outcome(hits, misses, rejected);
+    }
+
+    fn warm_start_stats(&self) -> WarmStartStats {
+        self.seeds.stats()
     }
 }
 
@@ -660,6 +717,7 @@ mod tests {
             max_blocks_per_shard: Some(capacity),
             max_tunings_per_shard: None,
             eviction,
+            seeds: TableConfig::default(),
         })
     }
 
@@ -1070,6 +1128,69 @@ mod tests {
         let drift =
             (restored.retained_block_cost_seconds() - cache.retained_block_cost_seconds()).abs();
         assert!(drift <= 1e-9 * cache.retained_block_cost_seconds().abs());
+    }
+
+    fn seed_entry(duration_ns: f64, iterations: usize) -> SeedEntry {
+        SeedEntry {
+            learning_rate: 0.1,
+            decay_rate: 0.999,
+            tuned: true,
+            converged_duration_ns: Some(duration_ns),
+            failed_below_ns: duration_ns * 0.5,
+            probe_iterations: vec![(duration_ns, iterations)],
+            pulse: Some(vqc_core::PulseSequence::zeros(2, 64, 0.5)),
+        }
+    }
+
+    #[test]
+    fn seeds_round_trip_through_snapshot_and_absorb() {
+        let config = CacheConfig {
+            seeds: TableConfig::default(),
+            ..CacheConfig::default()
+        };
+        let source = ShardedPulseCache::new(config);
+        PulseCache::record_seed(&source, &key(1), seed_entry(4.0, 30));
+        PulseCache::record_seed(&source, &key(2), seed_entry(7.0, 90));
+        assert_eq!(source.num_seeds(), 2);
+
+        let restored = ShardedPulseCache::new(config);
+        restored.absorb(source.snapshot());
+        assert_eq!(restored.num_seeds(), 2);
+        let found = PulseCache::seed(&restored, &key(2)).expect("seed restored");
+        assert_eq!(found.converged_duration_ns, Some(7.0));
+        assert_eq!(found.depth(), 90);
+    }
+
+    #[test]
+    fn seed_byte_budget_evicts_waveform_payloads() {
+        // A budget that fits roughly one pulse-carrying entry: inserting deeper
+        // entries must displace shallower ones rather than grow without bound.
+        let one_entry = seed_entry(4.0, 10).approx_bytes();
+        let config = CacheConfig {
+            seeds: TableConfig {
+                enabled: true,
+                capacity: 64,
+                shards: 1,
+                max_bytes: Some(one_entry + one_entry / 2),
+            },
+            ..CacheConfig::default()
+        };
+        let cache = ShardedPulseCache::new(config);
+        for tag in 0..6 {
+            PulseCache::record_seed(
+                &cache,
+                &key(tag),
+                seed_entry(4.0 + tag as f64, 10 * (tag + 1)),
+            );
+        }
+        assert!(
+            cache.seed_bytes() <= one_entry + one_entry / 2,
+            "byte budget must hold: {} > {}",
+            cache.seed_bytes(),
+            one_entry + one_entry / 2
+        );
+        assert!(cache.num_seeds() < 6, "budget must have evicted entries");
+        assert!(PulseCache::warm_start_stats(&cache).table_evictions > 0);
     }
 
     #[test]

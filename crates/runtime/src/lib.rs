@@ -94,3 +94,4 @@ pub use telemetry::{
     MetricsSnapshot, TelemetryOptions, TraceEvent, TraceRing, TraceStage, PRIORITY_CLASSES,
     PRIORITY_CLASS_NAMES,
 };
+pub use vqc_core::{SeedEntry, TableConfig, WarmStartStats};

@@ -9,10 +9,13 @@
 //!
 //! * **v1** — `(key, entry)` pairs. Still readable: entries are migrated on load by
 //!   recomputing their cost metadata from the recorded GRAPE iterations.
-//! * **v2** (current) — `(key, entry, recompute_cost_seconds)` triples, so a restored
+//! * **v2** — `(key, entry, recompute_cost_seconds)` triples, so a restored
 //!   cache ranks restored and freshly compiled entries on the same eviction scale
 //!   without re-deriving costs, and snapshot compaction can filter on cost at save
-//!   time.
+//!   time. Still readable: migration fills an empty warm-start section.
+//! * **v3** (current) — adds the transposition-table warm-start seeds
+//!   (`(structural key, SeedEntry)` pairs), so a restarted service opens its
+//!   duration searches at the predecessor's converged windows.
 
 use crate::cache::CacheSnapshot;
 use serde::Deserialize;
@@ -25,7 +28,7 @@ use vqc_core::{BlockKey, CachedBlock, CachedTuning, LatencyModel};
 /// Leading bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"VQCPULSE";
 /// Version of the snapshot layout this build writes.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// Oldest snapshot layout this build still reads (migrating on load).
 pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
@@ -64,6 +67,7 @@ struct SnapshotV1 {
 
 impl SnapshotV1 {
     /// Upgrades to the current layout by deriving the cost metadata v1 lacked.
+    /// Pre-v3 snapshots have no warm-start section; the seeds load empty.
     fn migrate(self) -> CacheSnapshot {
         let model = LatencyModel::default();
         CacheSnapshot {
@@ -83,6 +87,27 @@ impl SnapshotV1 {
                     (key, entry, cost)
                 })
                 .collect(),
+            seeds: Vec::new(),
+        }
+    }
+}
+
+/// The v2 payload layout (cost triples, no warm-start section), kept for
+/// read-only migration.
+#[derive(Debug, Default, Deserialize)]
+struct SnapshotV2 {
+    blocks: Vec<(BlockKey, CachedBlock, f64)>,
+    tunings: Vec<(BlockKey, CachedTuning, f64)>,
+}
+
+impl SnapshotV2 {
+    /// Upgrades to the current layout: everything carries over, the warm-start
+    /// seeds (which v2 never recorded) load empty.
+    fn migrate(self) -> CacheSnapshot {
+        CacheSnapshot {
+            blocks: self.blocks,
+            tunings: self.tunings,
+            seeds: Vec::new(),
         }
     }
 }
@@ -150,6 +175,9 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<CacheSnapshot, PersistErr
         1 if SNAPSHOT_MIN_VERSION <= 1 => bincode::deserialize::<SnapshotV1>(payload)
             .map(SnapshotV1::migrate)
             .map_err(|e| PersistError::Corrupt(format!("v1 payload does not decode: {e}"))),
+        2 if SNAPSHOT_MIN_VERSION <= 2 => bincode::deserialize::<SnapshotV2>(payload)
+            .map(SnapshotV2::migrate)
+            .map_err(|e| PersistError::Corrupt(format!("v2 payload does not decode: {e}"))),
         SNAPSHOT_VERSION => bincode::deserialize(payload)
             .map_err(|e| PersistError::Corrupt(format!("payload does not decode: {e}"))),
         other => Err(PersistError::Corrupt(format!(
@@ -178,6 +206,23 @@ mod tests {
         }
     }
 
+    fn sample_seed() -> (BlockKey, vqc_core::SeedEntry) {
+        let mut structural = Circuit::new(2);
+        structural.cx(0, 1);
+        (
+            BlockKey::structural(&structural),
+            vqc_core::SeedEntry {
+                learning_rate: 0.15,
+                decay_rate: 0.995,
+                tuned: true,
+                converged_duration_ns: Some(3.75),
+                failed_below_ns: 3.0,
+                probe_iterations: vec![(4.25, 120), (3.75, 80)],
+                pulse: Some(vqc_core::PulseSequence::zeros(3, 16, 0.25)),
+            },
+        )
+    }
+
     fn sample_snapshot() -> CacheSnapshot {
         let key = sample_key();
         let entry = sample_entry();
@@ -185,6 +230,7 @@ mod tests {
         CacheSnapshot {
             blocks: vec![(key, entry, cost)],
             tunings: Vec::new(),
+            seeds: vec![sample_seed()],
         }
     }
 
@@ -198,6 +244,42 @@ mod tests {
         let loaded = load_snapshot(&path).unwrap();
         assert_eq!(loaded, snapshot);
         assert!(loaded.blocks[0].2 > 0.0, "cost metadata must round-trip");
+        // v3: the warm-start section round-trips, pulse payload included.
+        assert_eq!(loaded.seeds, snapshot.seeds);
+        assert!(loaded.seeds[0].1.pulse.is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_snapshots_still_load_with_empty_seeds() {
+        let dir = std::env::temp_dir().join("vqc_persist_test_v2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snapshot");
+
+        // A v2 file: cost triples, no warm-start section. The v2 struct
+        // serialized field-by-field is byte-identical to the tuple of its two
+        // vectors.
+        let key = sample_key();
+        let entry = sample_entry();
+        let cost = LatencyModel::default().block_recompute_seconds(&key, &entry);
+        let v2_payload = bincode::serialize(&(
+            vec![(key.clone(), entry.clone(), cost)],
+            Vec::<(BlockKey, CachedTuning, f64)>::new(),
+        ))
+        .unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&v2_payload);
+        fs::write(&path, &bytes).unwrap();
+
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.blocks, vec![(key, entry, cost)]);
+        assert!(loaded.tunings.is_empty());
+        assert!(
+            loaded.seeds.is_empty(),
+            "v2 predates the warm-start index; migration must leave it empty"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -775,6 +775,8 @@ impl ServiceCore {
             unique_compilations: self.compilations.load(Ordering::Relaxed),
             coalesced_waits: self.coalesced.load(Ordering::Relaxed),
             trace_dropped: self.telemetry.trace_dropped(),
+            warm_start: vqc_core::PulseCache::warm_start_stats(&*self.cache),
+            seed_entries: self.cache.num_seeds() as u64,
             classes: self.telemetry.class_latencies(),
         }
     }

@@ -497,6 +497,12 @@ pub struct MetricsSnapshot {
     pub coalesced_waits: u64,
     /// Lifecycle events overwritten in the trace ring so far.
     pub trace_dropped: u64,
+    /// Transposition-table and eigendecomposition-memo warm-start counters:
+    /// seed probes (hit/miss/rejected/evicted), memo outcomes, and GRAPE
+    /// iterations split seeded-vs-cold.
+    pub warm_start: vqc_core::WarmStartStats,
+    /// Warm-start seed entries currently resident.
+    pub seed_entries: u64,
     /// Per-class latency distributions (index == class).
     pub classes: Vec<ClassLatency>,
 }
@@ -548,7 +554,11 @@ impl MetricsSnapshot {
              \"submissions\":{},\"completed\":{},\"shed\":{},\"rejected\":{},\"canceled\":{},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
              \"entries\":{},\"hit_ratio\":{:.4}}},\"unique_compilations\":{},\
-             \"coalesced_waits\":{},\"trace_dropped\":{},\"classes\":[{}]}}",
+             \"coalesced_waits\":{},\"trace_dropped\":{},\
+             \"warm_start\":{{\"table_hits\":{},\"table_misses\":{},\"table_rejected\":{},\
+             \"table_evictions\":{},\"seed_entries\":{},\"memo_hits\":{},\"memo_misses\":{},\
+             \"memo_rejected\":{},\"seeded_iterations\":{},\"cold_iterations\":{}}},\
+             \"classes\":[{}]}}",
             self.seq,
             self.uptime_seconds,
             self.workers,
@@ -572,6 +582,16 @@ impl MetricsSnapshot {
             self.unique_compilations,
             self.coalesced_waits,
             self.trace_dropped,
+            self.warm_start.table_hits,
+            self.warm_start.table_misses,
+            self.warm_start.table_rejected,
+            self.warm_start.table_evictions,
+            self.seed_entries,
+            self.warm_start.memo_hits,
+            self.warm_start.memo_misses,
+            self.warm_start.memo_rejected,
+            self.warm_start.seeded_iterations,
+            self.warm_start.cold_iterations,
             classes,
         )
     }
@@ -840,6 +860,15 @@ mod tests {
             busy_workers: 1,
             cache_hits: 3,
             cache_misses: 1,
+            warm_start: vqc_core::WarmStartStats {
+                table_hits: 5,
+                table_misses: 2,
+                seeded_iterations: 120,
+                cold_iterations: 480,
+                memo_hits: 9,
+                ..vqc_core::WarmStartStats::default()
+            },
+            seed_entries: 7,
             classes: vec![ClassLatency {
                 class: 1,
                 ..ClassLatency::default()
@@ -851,6 +880,11 @@ mod tests {
         assert!(line.contains("\"seq\":2"));
         assert!(line.contains("\"hit_ratio\":0.7500"));
         assert!(line.contains("\"class\":\"normal\""));
+        assert!(line.contains(
+            "\"warm_start\":{\"table_hits\":5,\"table_misses\":2,\"table_rejected\":0,\
+             \"table_evictions\":0,\"seed_entries\":7,\"memo_hits\":9,\"memo_misses\":0,\
+             \"memo_rejected\":0,\"seeded_iterations\":120,\"cold_iterations\":480}"
+        ));
         assert!(!line.contains('\n'));
     }
 }

@@ -7,6 +7,7 @@ use vqc_circuit::{Circuit, ParamExpr};
 use vqc_core::{CompilerOptions, PulseCache, Strategy};
 use vqc_runtime::{
     CacheConfig, CompilationRuntime, CompileJob, EvictionPolicy, RuntimeOptions, SchedulePolicy,
+    TableConfig,
 };
 
 fn fast_options() -> CompilerOptions {
@@ -26,6 +27,7 @@ fn capacity_one_options(workers: usize) -> RuntimeOptions {
         max_blocks_per_shard: Some(1),
         max_tunings_per_shard: None,
         eviction: EvictionPolicy::CostAware,
+        seeds: TableConfig::default(),
     };
     options
 }

@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 use vqc_circuit::Circuit;
 use vqc_core::{BlockKey, CachedBlock, CachedTuning, PulseCache, PulseLibrary};
-use vqc_runtime::{CacheConfig, EvictionPolicy, ShardedPulseCache};
+use vqc_runtime::{CacheConfig, EvictionPolicy, ShardedPulseCache, TableConfig};
 
 /// One step of a cache workload, replayed against both implementations.
 #[derive(Debug, Clone)]
@@ -75,6 +75,7 @@ fn unbounded(shards: usize, eviction: EvictionPolicy) -> ShardedPulseCache {
         max_blocks_per_shard: None,
         max_tunings_per_shard: None,
         eviction,
+        seeds: TableConfig::default(),
     })
 }
 
@@ -84,6 +85,7 @@ fn bounded_single_shard(capacity: usize, eviction: EvictionPolicy) -> ShardedPul
         max_blocks_per_shard: Some(capacity),
         max_tunings_per_shard: None,
         eviction,
+        seeds: TableConfig::default(),
     })
 }
 
