@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! vqc-submit [ADDRESS] [--iterations=N] [--priority=low|normal|high]
-//!            [--seed=S] [--stats] [--shutdown]
+//!            [--seed=S] [--stats] [--trace-out[=PATH]] [--shutdown]
 //! ```
 //!
 //! Connects to `ADDRESS` (or `VQC_LISTEN`, default `127.0.0.1:7878`), submits
@@ -11,13 +11,22 @@
 //! streams completion events as the server's workers finish each iteration.
 //! `--stats` additionally prints the server's global metrics and this client's
 //! slice; `--shutdown` asks the server to drain and stop after the workload.
+//!
+//! `--trace-out[=PATH]` turns the run into a cross-process causal trace: the
+//! submission carries a client-assigned trace id, the client stamps its own
+//! submit/await spans locally, fetches the server's lifecycle trace after the
+//! report, and merges both — server timestamps mapped onto the client's clock
+//! via the handshake's offset estimate — into one Chrome `trace_event` JSON
+//! file (default `vqc-causal-trace.json`, load at `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
 
 use vqc_apps::graphs::Graph;
 use vqc_apps::qaoa::qaoa_circuit;
 use vqc_core::Strategy;
 use vqc_runtime::Priority;
 use vqc_transport::{
-    Client, ClientOptions, JobEvent, JobUpdate, RemoteError, SubmitPayload, DEFAULT_LISTEN,
+    merged_chrome_trace, Client, ClientOptions, ClientSpan, JobEvent, JobUpdate, RemoteError,
+    SubmitPayload, DEFAULT_LISTEN,
 };
 
 struct Args {
@@ -26,6 +35,7 @@ struct Args {
     priority: Priority,
     seed: u64,
     stats: bool,
+    trace_out: Option<String>,
     shutdown: bool,
 }
 
@@ -36,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         priority: Priority::NORMAL,
         seed: 20,
         stats: false,
+        trace_out: None,
         shutdown: false,
     };
     for arg in std::env::args().skip(1) {
@@ -56,6 +67,10 @@ fn parse_args() -> Result<Args, String> {
                 .map_err(|_| format!("bad --seed value `{value}`"))?;
         } else if arg == "--stats" {
             args.stats = true;
+        } else if arg == "--trace-out" {
+            args.trace_out = Some(String::from("vqc-causal-trace.json"));
+        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+            args.trace_out = Some(path.to_string());
         } else if arg == "--shutdown" {
             args.shutdown = true;
         } else if arg.starts_with("--") {
@@ -80,6 +95,12 @@ fn run(args: &Args) -> Result<(), RemoteError> {
         client.client_id()
     );
 
+    // The trace id rides the Submit frame so the server's lifecycle events can
+    // be correlated with this process; the process id is unique enough for a
+    // single causal-trace capture.
+    let trace_id = u64::from(std::process::id());
+    let mut client_spans: Vec<ClientSpan> = Vec::new();
+
     if args.iterations > 0 {
         let graph = Graph::three_regular(6, args.seed)
             .map_err(|e| RemoteError::Protocol(format!("graph generation failed: {e}")))?;
@@ -87,11 +108,22 @@ fn run(args: &Args) -> Result<(), RemoteError> {
         let parameter_sets: Vec<Vec<f64>> = (0..args.iterations)
             .map(|i| vec![0.35 + 0.11 * i as f64, 0.80 - 0.07 * i as f64])
             .collect();
-        let job = client.submit(SubmitPayload::Iterations {
+        let payload = SubmitPayload::Iterations {
             circuit,
             parameter_sets,
             strategy: Strategy::StrictPartial,
-        })?;
+        };
+        let submit_micros = client.now_micros();
+        let job = if args.trace_out.is_some() {
+            client.submit_traced(payload, None, Some(trace_id))?
+        } else {
+            client.submit(payload)?
+        };
+        client_spans.push(ClientSpan {
+            name: String::from("submit"),
+            micros: submit_micros,
+            span_micros: 0,
+        });
         loop {
             match job.next_update()? {
                 JobUpdate::Event(JobEvent::Queued) => eprintln!("vqc-submit: queued"),
@@ -103,6 +135,11 @@ fn run(args: &Args) -> Result<(), RemoteError> {
                     ok,
                     pulse_duration_ns,
                 }) => {
+                    client_spans.push(ClientSpan {
+                        name: format!("job-done-received-{job}"),
+                        micros: client.now_micros(),
+                        span_micros: 0,
+                    });
                     if ok {
                         eprintln!(
                             "vqc-submit: iteration {job} done, pulse {pulse_duration_ns:.1} ns"
@@ -113,6 +150,11 @@ fn run(args: &Args) -> Result<(), RemoteError> {
                 }
                 JobUpdate::Event(event) => eprintln!("vqc-submit: event {event:?}"),
                 JobUpdate::Report(results) => {
+                    client_spans.push(ClientSpan {
+                        name: String::from("await-report"),
+                        micros: submit_micros,
+                        span_micros: client.now_micros().saturating_sub(submit_micros).max(1),
+                    });
                     let ok = results.iter().filter(|r| r.is_ok()).count();
                     eprintln!(
                         "vqc-submit: report — {ok}/{} iterations compiled",
@@ -135,6 +177,18 @@ fn run(args: &Args) -> Result<(), RemoteError> {
                 }
             }
         }
+    }
+
+    if let Some(path) = &args.trace_out {
+        let events = client.trace()?;
+        let offset = client.clock_offset_micros();
+        let json = merged_chrome_trace(&client_spans, &events, offset);
+        std::fs::write(path, &json)
+            .map_err(|e| RemoteError::Protocol(format!("cannot write trace file {path}: {e}")))?;
+        eprintln!(
+            "vqc-submit: wrote merged causal trace to {path} ({} server events, trace id {trace_id}, clock offset {offset}µs)",
+            events.len(),
+        );
     }
 
     if args.stats {
@@ -169,7 +223,7 @@ fn main() {
         Err(message) => {
             eprintln!("vqc-submit: {message}");
             eprintln!(
-                "usage: vqc-submit [ADDRESS] [--iterations=N] [--priority=low|normal|high] [--seed=S] [--stats] [--shutdown]"
+                "usage: vqc-submit [ADDRESS] [--iterations=N] [--priority=low|normal|high] [--seed=S] [--stats] [--trace-out[=PATH]] [--shutdown]"
             );
             std::process::exit(2);
         }

@@ -18,7 +18,9 @@
 //! at `chrome://tracing` or <https://ui.perfetto.dev>) — default path
 //! `vqc-trace.json`.
 
-use vqc_runtime::{chrome_trace_json, MetricsSnapshot, TraceEvent, PRIORITY_CLASS_NAMES};
+use vqc_runtime::{
+    chrome_trace_json, MetricsSnapshot, TraceEvent, TraceStage, PRIORITY_CLASS_NAMES,
+};
 use vqc_transport::{Client, ClientOptions, RemoteError, DEFAULT_LISTEN};
 
 struct Args {
@@ -75,6 +77,27 @@ fn utilization_bar(ratio: f64, width: usize) -> String {
     bar
 }
 
+/// One-character severity glyph for the event tail. The match is exhaustive on
+/// purpose — `vqc-audit`'s `trace_stage` lint checks that every [`TraceStage`]
+/// variant is handled here, so a new lifecycle stage cannot silently render as
+/// a blank column.
+fn stage_glyph(stage: TraceStage) -> char {
+    match stage {
+        TraceStage::Submitted => '+',
+        TraceStage::Admitted => '>',
+        TraceStage::Dispatched => '~',
+        TraceStage::CompileStart => 'c',
+        TraceStage::CacheHit => '=',
+        TraceStage::Compiled => 'C',
+        TraceStage::JobDone => 'j',
+        TraceStage::Report => 'R',
+        TraceStage::Canceled => 'x',
+        TraceStage::Shed => '!',
+        TraceStage::LockHold => 'L',
+        TraceStage::Phase => 'p',
+    }
+}
+
 fn render(addr: &str, snapshot: &MetricsSnapshot, events: &[TraceEvent]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -127,6 +150,27 @@ fn render(addr: &str, snapshot: &MetricsSnapshot, events: &[TraceEvent]) -> Stri
         warm.cold_iterations,
     ));
 
+    if !snapshot.phases.is_empty() {
+        out.push_str("phases                          share    count      p50\n");
+        for phase in &snapshot.phases {
+            out.push_str(&format!(
+                "  {:<22} [{}] {:>5.1}% {:>8} {:>8}\n",
+                phase.name,
+                utilization_bar(phase.share, 10),
+                phase.share * 100.0,
+                phase.histogram.count,
+                fmt_duration(phase.histogram.p50()),
+            ));
+        }
+        if snapshot.jacobi_sweeps > 0 {
+            out.push_str(&format!(
+                "  {} Jacobi sweeps across all eigendecompositions\n",
+                snapshot.jacobi_sweeps
+            ));
+        }
+        out.push('\n');
+    }
+
     out.push_str("latency              count      p50      p95      p99\n");
     for class in &snapshot.classes {
         let name = PRIORITY_CLASS_NAMES
@@ -169,8 +213,9 @@ fn render(addr: &str, snapshot: &MetricsSnapshot, events: &[TraceEvent]) -> Stri
         out.push('\n');
         for event in events.iter().rev().take(8).rev() {
             out.push_str(&format!(
-                "  {:>12.3}ms  sub {:<4} {:<13} {}\n",
+                "  {:>12.3}ms {} sub {:<4} {:<13} {}\n",
                 event.micros as f64 / 1e3,
+                stage_glyph(event.stage),
                 event.submission,
                 event.stage.name(),
                 match event.client {

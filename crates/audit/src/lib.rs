@@ -1,7 +1,7 @@
 //! Repo-specific static analysis for the vqc workspace.
 //!
 //! A deliberately lightweight, hand-rolled Rust source scanner (the build
-//! container has no registry access, so no `syn`) enforcing four lints the
+//! container has no registry access, so no `syn`) enforcing five lints the
 //! concurrent runtime depends on:
 //!
 //! 1. **`unwrap`** — no `.unwrap()` / `.expect(` in non-test library code under
@@ -19,7 +19,12 @@
 //!    `Response` variant in the client demux (`client.rs` mentions
 //!    `Response::Variant`). Adding a wire message without teaching both ends
 //!    fails the audit, not a code review.
-//! 4. **`guard_blocking`** — heuristic: a lock guard bound by `let g = x.lock()`
+//! 4. **`trace_stage`** — every `TraceStage` lifecycle variant is handled as
+//!    `TraceStage::Variant` both in the telemetry layer (the Chrome-trace
+//!    exporter's naming path) and in the `vqc-top` event tail's glyph match.
+//!    Adding a lifecycle stage that renders blank in the dashboard or the
+//!    trace export fails the audit.
+//! 5. **`guard_blocking`** — heuristic: a lock guard bound by `let g = x.lock()`
 //!    (or `.read()` / `.write()`) must not be live across a blocking call
 //!    (`write_frame(`, a bare `send(`, `.join(`) in the same block. Sites where
 //!    holding the lock across the call is the point (the transport's writer
@@ -36,8 +41,8 @@ use std::path::{Path, PathBuf};
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Which lint fired (`unwrap`, `env_drift`, `wire`, `guard_blocking`,
-    /// `pragma`).
+    /// Which lint fired (`unwrap`, `env_drift`, `wire`, `trace_stage`,
+    /// `guard_blocking`, `pragma`).
     pub lint: &'static str,
     /// File the finding is in, relative to the workspace root when possible.
     pub file: String,
@@ -495,6 +500,31 @@ pub fn check_wire_exhaustive(
     }
 }
 
+/// Lint 4: lifecycle-stage exhaustiveness — each [`TraceStage`] variant must be
+/// mentioned as `TraceStage::<variant>` in every observability surface that
+/// renders stages (the telemetry exporter, the `vqc-top` event tail). Same
+/// mechanism as the wire lint, different enum and handler set.
+pub fn check_trace_stage_exhaustive(
+    variants: &[String],
+    handler_label: &str,
+    handler_source: &str,
+    findings: &mut Vec<Finding>,
+) {
+    for variant in variants {
+        let pattern = format!("TraceStage::{variant}");
+        if !handler_source.contains(&pattern) {
+            findings.push(Finding {
+                lint: "trace_stage",
+                file: handler_label.to_string(),
+                line: 0,
+                message: format!(
+                    "lifecycle variant `{pattern}` is never handled in {handler_label}"
+                ),
+            });
+        }
+    }
+}
+
 /// Collects `.rs` files under `dir`, recursively, sorted for determinism.
 fn rust_files(dir: &Path) -> Vec<PathBuf> {
     let mut files = Vec::new();
@@ -616,6 +646,33 @@ pub fn scan_workspace(root: &Path) -> Vec<Finding> {
             &client,
             &mut findings,
         );
+    }
+
+    let telemetry_path = root.join("crates/runtime/src/telemetry.rs");
+    let top_path = root.join("crates/apps/src/bin/top.rs");
+    if let (Ok(telemetry), Ok(top)) = (
+        std::fs::read_to_string(&telemetry_path),
+        std::fs::read_to_string(&top_path),
+    ) {
+        let stages = enum_variants(&telemetry, "TraceStage");
+        if stages.is_empty() {
+            findings.push(Finding {
+                lint: "trace_stage",
+                file: rel_label(root, &telemetry_path),
+                line: 0,
+                message: "could not parse the TraceStage enum from telemetry.rs".to_string(),
+            });
+        }
+        // The Chrome exporter names events through `TraceStage::name()`'s
+        // exhaustive match in the same file; the dashboard's event tail has
+        // its own per-variant glyph match.
+        check_trace_stage_exhaustive(
+            &stages,
+            &rel_label(root, &telemetry_path),
+            &telemetry,
+            &mut findings,
+        );
+        check_trace_stage_exhaustive(&stages, &rel_label(root, &top_path), &top, &mut findings);
     }
 
     findings
@@ -779,6 +836,19 @@ mod tests {
         check_wire_exhaustive("Request", &variants, "server.rs", handler, &mut findings);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("Request::Shutdown"));
+    }
+
+    #[test]
+    fn trace_stage_exhaustiveness_detects_missing_variant() {
+        let telemetry = "pub enum TraceStage {\n    Submitted,\n    Phase,\n}\n";
+        let variants = enum_variants(telemetry, "TraceStage");
+        assert_eq!(variants, ["Submitted", "Phase"]);
+        let handler = "match stage {\n    TraceStage::Submitted => '+',\n}\n";
+        let mut findings = Vec::new();
+        check_trace_stage_exhaustive(&variants, "top.rs", handler, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "trace_stage");
+        assert!(findings[0].message.contains("TraceStage::Phase"));
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! `grape_kernel` group comparing the seed's allocate-per-call gradient path
 //! against the reused [`GrapeWorkspace`] kernel and the `grape_smallmat` group
 //! comparing the dynamic workspace kernel against the const-generic
-//! `SmallMatrix` fast path. The measurements (and the speedups they imply) are
-//! written to `BENCH_grape.json` in the workspace root.
+//! `SmallMatrix` fast path, and the `profile_overhead` group gating the armed
+//! compile-phase profiler to under five percent of the warm gradient path. The
+//! measurements (and the speedups they imply) are written to `BENCH_grape.json`
+//! in the workspace root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -13,8 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use vqc_pulse::grape::{fidelity_gradient, optimize_pulse, GrapeOptions};
 use vqc_pulse::minimum_time::{minimum_pulse_time_seeded, MinimumTimeOptions, MinimumTimeResult};
 use vqc_pulse::{
-    DeviceModel, EigenMemo, GrapeWorkspace, KernelPolicy, PulseSequence, SeedEntry, TableConfig,
-    TranspositionTable,
+    profile, DeviceModel, EigenMemo, GrapeWorkspace, KernelPolicy, PulseSequence, SeedEntry,
+    TableConfig, TranspositionTable,
 };
 use vqc_sim::gates;
 
@@ -241,6 +243,47 @@ fn bench_grape_seeding(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compile-phase profiler's cost on the warm GRAPE gradient path: the same
+/// reused `SmallMatrix` workspace measured disarmed (the production default,
+/// where every instrumentation point is one relaxed atomic load) and armed
+/// (`VQC_PROFILE=1`, where the Lap marks read the monotonic clock and bump
+/// thread-local accumulators). [`emit_summary`] asserts the armed/disarmed
+/// `min_ns` ratio stays under 1.05 before writing the summary — the profiler's
+/// observability budget is five percent of the hot loop, enforced here.
+fn bench_profile_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_overhead");
+    group.sample_size(30);
+
+    let device = DeviceModel::qubits_line(2);
+    let target = gates::cx();
+    let pulse = PulseSequence::seeded_guess(&device, 24, 0.5, 1);
+    let mut workspace = GrapeWorkspace::new(&device, 24);
+    assert!(
+        workspace.uses_static_kernel(),
+        "the overhead gate must measure the production 2q fast path"
+    );
+    workspace.set_target(&device, &target);
+
+    profile::set_armed(false);
+    group.bench_function("disarmed_2q_24slices", |b| {
+        b.iter(|| workspace.fidelity_gradient(black_box(&pulse)))
+    });
+
+    profile::set_armed(true);
+    profile::begin_block();
+    group.bench_function("armed_2q_24slices", |b| {
+        b.iter(|| workspace.fidelity_gradient(black_box(&pulse)))
+    });
+    let block = profile::take_block();
+    profile::set_armed(false);
+    assert!(
+        block.is_some_and(|block| !block.is_empty()),
+        "the armed pass must have attributed phase time"
+    );
+
+    group.finish();
+}
+
 /// Writes the `grape_kernel`/`grape_smallmat` measurements, the per-size
 /// kernel-over-seed speedups, and the static-over-dynamic speedups as
 /// `BENCH_grape.json` in the workspace root, alongside `host_parallelism` and a
@@ -324,6 +367,30 @@ fn emit_summary(c: &mut Criterion) {
     json.push_str(&static_speedups.join(",\n"));
     json.push_str("\n  },\n");
 
+    // The profiler's observability budget: arming `VQC_PROFILE` may not slow
+    // the warm gradient path by more than five percent. Compared on `min_ns`
+    // because the best observed iteration is the least noisy estimator on a
+    // single-CPU host, where scheduling jitter inflates the means.
+    let min_of = |group: &str, name: &str| {
+        results
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .map(|r| r.min_ns)
+    };
+    let disarmed_ns = min_of("profile_overhead", "disarmed_2q_24slices")
+        .expect("the profile_overhead disarmed pass must have run");
+    let armed_ns = min_of("profile_overhead", "armed_2q_24slices")
+        .expect("the profile_overhead armed pass must have run");
+    let overhead_ratio = armed_ns / disarmed_ns;
+    assert!(
+        overhead_ratio < 1.05,
+        "the armed profiler costs {overhead_ratio:.3}x of the disarmed gradient \
+         path ({armed_ns:.1}ns vs {disarmed_ns:.1}ns; budget: <1.05x)"
+    );
+    json.push_str(&format!(
+        "  \"profile_overhead\": {{\n    \"disarmed_min_ns\": {disarmed_ns:.1},\n    \"armed_min_ns\": {armed_ns:.1},\n    \"armed_over_disarmed\": {overhead_ratio:.3}\n  }},\n"
+    ));
+
     // The warm-start index's headline number: total GRAPE iterations across a
     // repeat-structure pass, cold vs table-seeded. Asserted before the file is
     // written so a regression can never publish a green-looking summary.
@@ -358,6 +425,7 @@ criterion_group!(
     bench_grape_kernel,
     bench_grape_smallmat,
     bench_grape_seeding,
+    bench_profile_overhead,
     emit_summary
 );
 criterion_main!(benches);

@@ -14,6 +14,7 @@ use vqc_circuit::timing::{critical_path_ns, GateTimes};
 use vqc_circuit::{passes, Circuit};
 use vqc_pulse::grape::GrapeOptions;
 use vqc_pulse::minimum_time::{minimum_pulse_time_seeded, MinimumTimeOptions, MinimumTimeResult};
+use vqc_pulse::profile::{self, CompileProfile, Phase};
 use vqc_pulse::{DeviceModel, EigenMemo, SeedEntry};
 use vqc_sim::circuit_unitary;
 
@@ -164,6 +165,11 @@ pub struct BlockCompilation {
     /// `0.0`. This is the observed cost that feeds back into LPT scheduling and
     /// cost-aware eviction through [`PulseCache::record_observed_cost`].
     pub measured_seconds: f64,
+    /// Per-phase attribution of `measured_seconds` when the compile-phase
+    /// profiler is armed (`VQC_PROFILE`); empty (all zeros) otherwise and for
+    /// cache hits / lookup-table blocks. The phase sum never exceeds
+    /// `measured_seconds`.
+    pub profile: CompileProfile,
 }
 
 /// The result of compiling one circuit with one strategy at one parameter binding.
@@ -554,6 +560,7 @@ impl PartialCompiler {
                 converged: true,
                 cached: false,
                 measured_seconds: 0.0,
+                profile: CompileProfile::default(),
             });
         }
 
@@ -568,7 +575,7 @@ impl PartialCompiler {
                 unreachable!("gate-based compilation never reaches block compilation")
             }
             Strategy::StrictPartial | Strategy::FullGrape => {
-                let (cached_entry, cached, measured) =
+                let (cached_entry, cached, measured, block_profile) =
                     self.grape_block(&subcircuit, &bound, &device, gate_based_ns)?;
                 // Latency is only paid when the pulse library misses; a cache hit is a
                 // (near-instant) lookup.
@@ -602,13 +609,14 @@ impl PartialCompiler {
                     converged: cached_entry.converged,
                     cached,
                     measured_seconds: measured,
+                    profile: block_profile,
                 })
             }
             Strategy::FlexiblePartial => {
                 if block.is_fixed() {
                     // Fixed blocks are pre-compiled exactly as in strict partial
                     // compilation.
-                    let (cached_entry, cached, measured) =
+                    let (cached_entry, cached, measured, block_profile) =
                         self.grape_block(&subcircuit, &bound, &device, gate_based_ns)?;
                     if !cached {
                         precompute.accumulate(&LatencyEstimate {
@@ -632,44 +640,48 @@ impl PartialCompiler {
                         converged: cached_entry.converged,
                         cached,
                         measured_seconds: measured,
+                        profile: block_profile,
                     });
                 }
 
                 let structural_key = BlockKey::structural(&subcircuit);
-                let (tuning, cached, tuning_measured) = match self.cache.tuning(&structural_key) {
-                    Some(entry) => (entry, true, 0.0),
-                    None => {
-                        let started = Instant::now();
-                        let entry = self.tune_flexible_block(
-                            &structural_key,
-                            &bound,
-                            &device,
-                            gate_based_ns,
-                        )?;
-                        let measured = started.elapsed().as_secs_f64();
-                        precompute.accumulate(&LatencyEstimate {
-                            grape_iterations: entry.precompute_iterations,
-                            estimated_seconds: self.options.latency_model.estimate_seconds(
-                                entry.precompute_iterations,
-                                slices,
-                                dim,
-                                controls,
-                            ),
-                            measured_seconds: measured,
-                        });
-                        // Record before inserting, as in `grape_block`: the insert's
-                        // eviction metadata then reflects the measured tuning cost.
-                        // No calibration sample is recorded here: the measured time
-                        // covers a whole hyperparameter grid of GRAPE probes plus a
-                        // duration search, while `model_block_cost_seconds` models a
-                        // single block compilation — pairing the two would inflate
-                        // the fitted scale for every unseen block. The observed
-                        // cost above already ranks this key correctly.
-                        self.cache.record_observed_cost(&structural_key, measured);
-                        self.cache.insert_tuning(structural_key, entry.clone());
-                        (entry, false, measured)
-                    }
-                };
+                let (tuning, cached, tuning_measured, block_profile) =
+                    match self.cache.tuning(&structural_key) {
+                        Some(entry) => (entry, true, 0.0, CompileProfile::default()),
+                        None => {
+                            let started = Instant::now();
+                            profile::begin_block();
+                            let entry = self.tune_flexible_block(
+                                &structural_key,
+                                &bound,
+                                &device,
+                                gate_based_ns,
+                            )?;
+                            let measured = started.elapsed().as_secs_f64();
+                            let block_profile = profile::take_block().unwrap_or_default();
+                            precompute.accumulate(&LatencyEstimate {
+                                grape_iterations: entry.precompute_iterations,
+                                estimated_seconds: self.options.latency_model.estimate_seconds(
+                                    entry.precompute_iterations,
+                                    slices,
+                                    dim,
+                                    controls,
+                                ),
+                                measured_seconds: measured,
+                            });
+                            // Record before inserting, as in `grape_block`: the insert's
+                            // eviction metadata then reflects the measured tuning cost.
+                            // No calibration sample is recorded here: the measured time
+                            // covers a whole hyperparameter grid of GRAPE probes plus a
+                            // duration search, while `model_block_cost_seconds` models a
+                            // single block compilation — pairing the two would inflate
+                            // the fitted scale for every unseen block. The observed
+                            // cost above already ranks this key correctly.
+                            self.cache.record_observed_cost(&structural_key, measured);
+                            self.cache.insert_tuning(structural_key, entry.clone());
+                            (entry, false, measured, block_profile)
+                        }
+                    };
 
                 // At runtime every new θ needs one GRAPE run at the pre-computed
                 // duration with the tuned hyperparameters; its cost is the tuned
@@ -700,6 +712,7 @@ impl PartialCompiler {
                     converged: tuning.converged,
                     cached,
                     measured_seconds: tuning_measured,
+                    profile: block_profile,
                 })
             }
         }
@@ -723,14 +736,20 @@ impl PartialCompiler {
         bound: &Circuit,
         device: &DeviceModel,
         upper_bound_ns: f64,
-    ) -> Result<(CachedBlock, bool, f64), CompileError> {
+    ) -> Result<(CachedBlock, bool, f64, CompileProfile), CompileError> {
         let key = BlockKey::from_bound_circuit(bound);
         if let Some(entry) = self.cache.block(&key) {
-            return Ok((entry, true, 0.0));
+            return Ok((entry, true, 0.0, CompileProfile::default()));
         }
         let structural_key = BlockKey::structural(subcircuit);
-        let seed = self.cache.seed(&structural_key);
+        // The timer starts before the warm-start probe so the MemoProbe phase
+        // falls inside the measured window the profile attributes.
         let started = Instant::now();
+        profile::begin_block();
+        let seed = {
+            let _probe = profile::scope(Phase::MemoProbe);
+            self.cache.seed(&structural_key)
+        };
         let target = circuit_unitary(bound);
         let search = MinimumTimeOptions::new(0.0, upper_bound_ns)
             .with_precision(self.options.search_precision_ns);
@@ -745,6 +764,7 @@ impl PartialCompiler {
             search_seed.as_ref(),
         )?;
         let measured = started.elapsed().as_secs_f64();
+        let block_profile = profile::take_block().unwrap_or_default();
         let entry = CachedBlock {
             duration_ns: if result.converged {
                 result.duration_ns
@@ -769,7 +789,7 @@ impl PartialCompiler {
         self.record_search_feedback(&structural_key, &self.options.grape, false, &result);
         self.cache
             .record_memo_outcome(memo.hits(), memo.misses(), memo.rejected_inserts());
-        Ok((entry, false, measured))
+        Ok((entry, false, measured, block_profile))
     }
 
     /// Folds a finished duration search back into the warm-start index: the
@@ -819,7 +839,10 @@ impl PartialCompiler {
         device: &DeviceModel,
         upper_bound_ns: f64,
     ) -> Result<CachedTuning, CompileError> {
-        let seed = self.cache.seed(structural_key);
+        let seed = {
+            let _probe = profile::scope(Phase::MemoProbe);
+            self.cache.seed(structural_key)
+        };
         let (learning_rate, decay_rate, grid_iterations, fallback_runtime) = match &seed {
             Some(entry) if entry.tuned && entry.converged() => (
                 entry.learning_rate,

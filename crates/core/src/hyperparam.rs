@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use vqc_circuit::Circuit;
 use vqc_pulse::grape::{try_optimize_pulse_with, GrapeOptions};
+use vqc_pulse::profile::{self, Phase};
 use vqc_pulse::{DeviceModel, EigenMemo, PulseError};
 use vqc_sim::circuit_unitary;
 
@@ -125,6 +126,9 @@ pub fn tune_hyperparameters(
     let mut memo = EigenMemo::new();
     for (learning_rate, decay_rate) in grid.candidates() {
         let options = base.with_hyperparameters(learning_rate, decay_rate);
+        // Profiled as self time: the kernel phases inside the candidate run
+        // charge themselves, the scope keeps only the grid's own overhead.
+        let _candidate = profile::scope(Phase::HyperparamTuning);
         let result = try_optimize_pulse_with(
             &target,
             device,

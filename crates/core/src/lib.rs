@@ -63,4 +63,5 @@ pub use compiler::{
 pub use error::CompileError;
 pub use latency::{CostCalibration, LatencyEstimate, LatencyModel, MIN_CALIBRATION_SAMPLES};
 pub use library::{BlockKey, CachedBlock, CachedTuning, PulseCache, PulseLibrary};
+pub use vqc_pulse::profile::{self, CompileProfile, Phase, PHASE_COUNT};
 pub use vqc_pulse::{PulseSequence, SeedEntry, TableConfig, TranspositionTable, WarmStartStats};

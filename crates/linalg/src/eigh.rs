@@ -75,7 +75,8 @@ pub fn eigh(a: &Matrix) -> EighResult {
 ///
 /// `eigenvalues` is cleared and refilled in ascending order; `eigenvectors` is
 /// overwritten with the corresponding unitary basis (columns permuted to match the
-/// sorted eigenvalues).
+/// sorted eigenvalues). Returns the number of Jacobi sweeps executed before
+/// convergence (the per-phase profiler in `vqc-pulse` tallies these).
 ///
 /// # Panics
 ///
@@ -87,7 +88,7 @@ pub fn eigh_into(
     workspace: &mut EighWorkspace,
     eigenvalues: &mut Vec<f64>,
     eigenvectors: &mut Matrix,
-) {
+) -> usize {
     assert!(a.is_square(), "eigh requires a square matrix");
     let n = a.rows();
     assert_eq!(workspace.dim(), n, "eigh workspace dimension mismatch");
@@ -112,6 +113,7 @@ pub fn eigh_into(
 
     let max_sweeps = 60;
     let tol = 1e-14 * work.frobenius_norm().max(1.0);
+    let mut sweeps = 0;
     for _ in 0..max_sweeps {
         let mut off_norm = 0.0;
         for p in 0..n {
@@ -122,6 +124,7 @@ pub fn eigh_into(
         if off_norm.sqrt() <= tol {
             break;
         }
+        sweeps += 1;
         for p in 0..n {
             for q in (p + 1)..n {
                 let apq = work[(p, q)];
@@ -179,6 +182,7 @@ pub fn eigh_into(
             eigenvectors[(r, c)] = v[(r, source)];
         }
     }
+    sweeps
 }
 
 #[cfg(test)]

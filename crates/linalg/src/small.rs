@@ -276,16 +276,22 @@ impl<const N: usize> SmallEighWorkspace<N> {
 ///
 /// The matrix is *assumed* Hermitian; only its Hermitian part influences the
 /// result.
+///
+/// Returns the number of Jacobi sweeps performed: 0 for the closed-form
+/// `N == 2` path, otherwise the sweep count the cyclic iteration needed to
+/// converge — the per-phase profiler in `vqc-pulse` tallies these to expose
+/// how well warm-started eigenbases pay off.
 pub fn eigh_into<const N: usize>(
     a: &SmallMatrix<N>,
     workspace: &mut SmallEighWorkspace<N>,
     eigenvalues: &mut [f64; N],
     eigenvectors: &mut SmallMatrix<N>,
-) {
+) -> usize {
     if N == 2 {
         eigh2_closed_form(a, eigenvalues, eigenvectors);
+        0
     } else {
-        eigh_jacobi(a, workspace, eigenvalues, eigenvectors);
+        eigh_jacobi(a, workspace, eigenvalues, eigenvectors)
     }
 }
 
@@ -345,13 +351,14 @@ fn eigh2_closed_form<const N: usize>(
 
 /// Cyclic Jacobi eigendecomposition on inline storage: the dynamic
 /// [`crate::eigh_into`]'s sweep schedule and convergence criteria, with the
-/// per-rotation trigonometry replaced by algebraic expressions.
+/// per-rotation trigonometry replaced by algebraic expressions. Returns the
+/// number of rotation sweeps executed before convergence.
 fn eigh_jacobi<const N: usize>(
     a: &SmallMatrix<N>,
     workspace: &mut SmallEighWorkspace<N>,
     eigenvalues: &mut [f64; N],
     eigenvectors: &mut SmallMatrix<N>,
-) {
+) -> usize {
     // Work on the Hermitian part to be robust against tiny asymmetries.
     let work = &mut workspace.work;
     for r in 0..N {
@@ -364,6 +371,7 @@ fn eigh_jacobi<const N: usize>(
 
     let max_sweeps = 60;
     let tol = 1e-14 * work.frobenius_norm().max(1.0);
+    let mut sweeps = 0;
     for _ in 0..max_sweeps {
         let mut off_norm = 0.0;
         for p in 0..N {
@@ -374,6 +382,7 @@ fn eigh_jacobi<const N: usize>(
         if off_norm.sqrt() <= tol {
             break;
         }
+        sweeps += 1;
         for p in 0..N {
             for q in (p + 1)..N {
                 let apq = work.rows[p][q];
@@ -440,6 +449,7 @@ fn eigh_jacobi<const N: usize>(
             eigenvectors.rows[r][c] = v.rows[r][source];
         }
     }
+    sweeps
 }
 
 #[cfg(test)]
@@ -464,7 +474,10 @@ mod tests {
         let mut ws = SmallEighWorkspace::new();
         let mut eigenvalues = [0.0; N];
         let mut eigenvectors = SmallMatrix::ZERO;
-        eigh_into(a, &mut ws, &mut eigenvalues, &mut eigenvectors);
+        let sweeps = eigh_into(a, &mut ws, &mut eigenvalues, &mut eigenvectors);
+        if N == 2 {
+            assert_eq!(sweeps, 0, "closed-form 2x2 path performs no Jacobi sweeps");
+        }
         (eigenvalues, eigenvectors)
     }
 

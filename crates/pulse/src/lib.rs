@@ -19,6 +19,12 @@
 //!   the heap.
 //! * [`memo`] — the [`EigenMemo`] cache of slice-Hamiltonian eigendecompositions,
 //!   shared across the duration search's probes and hyperparameter re-tuning.
+//! * [`profile`] — phase-scoped compile-time accounting: a [`CompileProfile`]
+//!   attributing each block's wall time to Hamiltonian assembly, eigensolves
+//!   (with Jacobi sweep counts), propagation, gradient contraction, memo/table
+//!   probes, duration probes, and hyperparameter tuning. Disarmed it costs a
+//!   single branch per instrumentation point; armed (`VQC_PROFILE=1`) it stays
+//!   allocation-free.
 //! * [`minimum_time`] — the binary search for the shortest pulse duration that still
 //!   reaches the target fidelity (Section 5.3), warm-starting each probe from the
 //!   nearest converged one — or, when a [`TranspositionTable`] entry exists for the
@@ -52,6 +58,7 @@ mod error;
 pub mod grape;
 pub mod memo;
 pub mod minimum_time;
+pub mod profile;
 pub mod propagate;
 mod pulse;
 pub mod realistic;
@@ -62,6 +69,7 @@ pub use device::{ControlHamiltonian, DeviceModel};
 pub use error::PulseError;
 pub use memo::EigenMemo;
 pub use minimum_time::SearchSeed;
+pub use profile::{CompileProfile, Phase, PHASE_COUNT};
 pub use pulse::PulseSequence;
 pub use transposition::{SeedEntry, TableConfig, TranspositionTable, WarmStartStats};
 pub use workspace::{GrapeWorkspace, KernelPolicy};

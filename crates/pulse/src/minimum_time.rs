@@ -24,6 +24,7 @@
 
 use crate::grape::{try_optimize_pulse_with, GrapeOptions, GrapeResult};
 use crate::memo::EigenMemo;
+use crate::profile::{self, Phase};
 use crate::{DeviceModel, PulseError, PulseSequence};
 use serde::{Deserialize, Serialize};
 use vqc_linalg::Matrix;
@@ -188,8 +189,14 @@ pub fn minimum_pulse_time_seeded(
     // seeded, else the upper bound — where a failure means falling back to
     // gate-based compilation for this block.
     let first = seed_upper.unwrap_or(upper);
-    let result =
-        try_optimize_pulse_with(target, device, first, grape, seed_pulse, Some(&mut *memo))?;
+    // Each probe runs under a DurationProbe scope: the scope records *self
+    // time* (ADAM bookkeeping, convergence control, pulse resampling) while
+    // the kernel phases inside the probe charge themselves, so the profiler's
+    // per-phase sum still bounds the block's wall time.
+    let result = {
+        let _probe = profile::scope(Phase::DurationProbe);
+        try_optimize_pulse_with(target, device, first, grape, seed_pulse, Some(&mut *memo))?
+    };
     probes.push(SearchProbe {
         duration_ns: first,
         converged: result.converged,
@@ -219,8 +226,10 @@ pub fn minimum_pulse_time_seeded(
         // the full window; the failed probe stands as this block's own evidence
         // for the new lower bound. (A seed exactly at the upper bound that failed
         // needs no retry — the probe already was the full-window opener.)
-        let retry =
-            try_optimize_pulse_with(target, device, upper, grape, seed_pulse, Some(&mut *memo))?;
+        let retry = {
+            let _probe = profile::scope(Phase::DurationProbe);
+            try_optimize_pulse_with(target, device, upper, grape, seed_pulse, Some(&mut *memo))?
+        };
         probes.push(SearchProbe {
             duration_ns: upper,
             converged: retry.converged,
@@ -267,8 +276,10 @@ pub fn minimum_pulse_time_seeded(
                 da.partial_cmp(&db).expect("finite durations")
             })
             .map(|(_, pulse)| pulse.clone());
-        let result =
-            try_optimize_pulse_with(target, device, mid, grape, warm.as_ref(), Some(&mut *memo))?;
+        let result = {
+            let _probe = profile::scope(Phase::DurationProbe);
+            try_optimize_pulse_with(target, device, mid, grape, warm.as_ref(), Some(&mut *memo))?
+        };
         probes.push(SearchProbe {
             duration_ns: mid,
             converged: result.converged,

@@ -14,8 +14,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::hint::black_box;
 use vqc_pulse::{
-    DeviceModel, EigenMemo, GrapeWorkspace, KernelPolicy, PulseSequence, SeedEntry, TableConfig,
-    TranspositionTable,
+    profile, DeviceModel, EigenMemo, GrapeWorkspace, KernelPolicy, PulseSequence, SeedEntry,
+    TableConfig, TranspositionTable,
 };
 use vqc_sim::gates;
 
@@ -98,6 +98,47 @@ fn fidelity_gradient_is_allocation_free_after_workspace_construction() {
         count_steady_state(&mut workspace, &pulse),
         0,
         "the static fidelity_gradient allocated on the heap after workspace construction"
+    );
+}
+
+#[test]
+fn profiler_gradient_path_is_allocation_free_armed_and_silent_disarmed() {
+    // One test covers both profiler states because `set_armed` is process
+    // global: splitting them across tests would race under parallel libtest.
+    let device = DeviceModel::qubits_line(2);
+    let target = gates::cx();
+    let pulse = PulseSequence::seeded_guess(&device, 8, 0.5, 7);
+
+    let mut workspace = GrapeWorkspace::new(&device, pulse.num_slices());
+    workspace.set_target(&device, &target);
+
+    // Disarmed: begin_block must not latch — the gradient path stays a single
+    // branch and take_block observes no profile.
+    profile::set_armed(false);
+    profile::begin_block();
+    assert_eq!(count_steady_state(&mut workspace, &pulse), 0);
+    assert!(
+        profile::take_block().is_none(),
+        "a disarmed profiler must not latch a block accumulator"
+    );
+
+    // Armed: the profiler accumulates into thread-local const-init `Cell`s,
+    // so it must not re-introduce a per-iteration allocation on the gradient
+    // hot path — the whole point of the Lap mark design.
+    profile::set_armed(true);
+    profile::begin_block();
+    let allocations = count_steady_state(&mut workspace, &pulse);
+    let block = profile::take_block();
+    profile::set_armed(false);
+
+    assert_eq!(
+        allocations, 0,
+        "the armed-profiler fidelity_gradient allocated on the heap"
+    );
+    let block = block.expect("begin_block latched an accumulator");
+    assert!(
+        !block.is_empty(),
+        "the armed profiler must have attributed phase time"
     );
 }
 

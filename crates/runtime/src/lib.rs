@@ -90,8 +90,8 @@ pub use service::{
     SubmitError,
 };
 pub use telemetry::{
-    chrome_trace_json, priority_class, ClassLatency, HistogramSnapshot, LatencyHistogram,
-    MetricsSnapshot, TelemetryOptions, TraceEvent, TraceRing, TraceStage, PRIORITY_CLASSES,
-    PRIORITY_CLASS_NAMES,
+    chrome_trace_json, phase_row_name, priority_class, ClassLatency, HistogramSnapshot,
+    LatencyHistogram, MetricsSnapshot, PhaseMetrics, TelemetryOptions, TraceEvent, TraceRing,
+    TraceStage, PHASE_ROWS, PRIORITY_CLASSES, PRIORITY_CLASS_NAMES,
 };
-pub use vqc_core::{SeedEntry, TableConfig, WarmStartStats};
+pub use vqc_core::{CompileProfile, SeedEntry, TableConfig, WarmStartStats, PHASE_COUNT};

@@ -252,6 +252,7 @@ pub struct Submission {
     priority: Priority,
     weight: f64,
     client: Option<u64>,
+    trace: Option<u64>,
 }
 
 impl Submission {
@@ -262,6 +263,7 @@ impl Submission {
             priority: Priority::default(),
             weight: 1.0,
             client: None,
+            trace: None,
         }
     }
 
@@ -283,6 +285,7 @@ impl Submission {
             priority: Priority::default(),
             weight: 1.0,
             client: None,
+            trace: None,
         }
     }
 
@@ -309,6 +312,15 @@ impl Submission {
     /// virtual clock with no accrued history.
     pub fn with_client(mut self, client: u64) -> Self {
         self.client = Some(client);
+        self
+    }
+
+    /// Tags the submission with a client-assigned causal trace id. The id lands
+    /// in the `detail` of the submission's `submitted` trace event, so a client
+    /// that stamped its own spans with the same id can correlate them with the
+    /// server's after fetching the trace (`vqc-submit --trace-out`).
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -777,6 +789,8 @@ impl ServiceCore {
             trace_dropped: self.telemetry.trace_dropped(),
             warm_start: vqc_core::PulseCache::warm_start_stats(&*self.cache),
             seed_entries: self.cache.num_seeds() as u64,
+            phases: self.telemetry.phase_metrics(),
+            jacobi_sweeps: self.telemetry.jacobi_sweeps(),
             classes: self.telemetry.class_latencies(),
         }
     }
@@ -1181,6 +1195,7 @@ impl ServiceCore {
             body.submission.client,
             body.block as u64,
         );
+        let compile_started_micros = self.telemetry.now_micros();
         let outcome = self.compiler.compile_block_outcome(
             &body.plan,
             &body.plan.blocks[body.block],
@@ -1208,6 +1223,18 @@ impl ServiceCore {
                     self.compilations.fetch_add(1, Ordering::Relaxed);
                     self.record_client(body.submission.client, |m| m.compilations += 1);
                 }
+            }
+            // With the compile-phase profiler armed (`VQC_PROFILE=1`), the
+            // block's per-phase breakdown lands in the phase histograms and as
+            // nested child spans under this block's compile span.
+            if !outcome.report.profile.is_empty() {
+                self.telemetry.record_compile_profile(
+                    body.submission.id,
+                    body.submission.client,
+                    compile_started_micros,
+                    &outcome.report.profile,
+                    outcome.report.measured_seconds,
+                );
             }
         }
         // Take the waiter list; the dedup entry disappears with it, so later
@@ -1532,6 +1559,7 @@ impl CompileService {
             return Err(SubmitError::ShuttingDown);
         }
         let id = core.next_submission_id.fetch_add(1, Ordering::Relaxed);
+        let trace_id = submission.trace.unwrap_or(0);
         let state = Arc::new(SubmissionState {
             id,
             kind: submission.kind,
@@ -1549,8 +1577,10 @@ impl CompileService {
             }),
             done: Condvar::new(),
         });
+        // The client's causal trace id rides in the event's detail, so a merged
+        // client+server trace can correlate the two processes' spans.
         core.telemetry
-            .trace(TraceStage::Submitted, id, state.client, 0);
+            .trace(TraceStage::Submitted, id, state.client, trace_id);
 
         // A submission is sheddable (and worth keeping in the victim registry)
         // until its first block task dispatches or its completion begins; dispatch,

@@ -33,8 +33,23 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::time::{Duration, Instant};
+use vqc_core::{CompileProfile, PHASE_COUNT};
 
 use crate::service::Priority;
+
+/// Number of phase rows telemetry tracks: the [`PHASE_COUNT`] compiler phases
+/// plus one `"other"` residual row holding whatever part of a block's measured
+/// compile time no phase claimed — with it, phase shares always sum to 100%.
+pub const PHASE_ROWS: usize = PHASE_COUNT + 1;
+
+/// Display name of phase row `index`: the compiler phase's name, or `"other"`
+/// for the residual row.
+pub fn phase_row_name(index: usize) -> &'static str {
+    vqc_core::Phase::ALL
+        .get(index)
+        .map(|phase| phase.name())
+        .unwrap_or("other")
+}
 
 /// Number of priority classes telemetry aggregates over ([`Priority::LOW`],
 /// [`Priority::NORMAL`], [`Priority::HIGH`] — finer-grained priority values fold
@@ -231,6 +246,10 @@ pub enum TraceStage {
     /// checker was active (`detail` = milliseconds held; `submission` = 0 —
     /// the event attributes to a lock site, not a submission).
     LockHold,
+    /// A compile-phase span from the armed profiler, nested under the block's
+    /// compile span (`detail` = [`vqc_core::Phase`] index; the event's
+    /// `span_micros` carries the phase's duration).
+    Phase,
 }
 
 impl TraceStage {
@@ -248,6 +267,7 @@ impl TraceStage {
             TraceStage::Canceled => "canceled",
             TraceStage::Shed => "shed",
             TraceStage::LockHold => "lock-hold",
+            TraceStage::Phase => "phase",
         }
     }
 }
@@ -261,10 +281,14 @@ pub struct TraceEvent {
     pub client: Option<u64>,
     /// Which life-cycle stage.
     pub stage: TraceStage,
-    /// Monotonic microseconds since the service started.
+    /// Monotonic microseconds since the service started (a span's start time).
     pub micros: u64,
-    /// Stage-specific detail (block index, job index, or dispatch sequence).
+    /// Stage-specific detail (block index, job index, dispatch sequence, or
+    /// phase index for [`TraceStage::Phase`]).
     pub detail: u64,
+    /// Span duration in microseconds; `0` marks an instant event. Only
+    /// [`TraceStage::Phase`] events carry a duration today.
+    pub span_micros: u64,
 }
 
 /// A bounded ring buffer of [`TraceEvent`]s. When full, the oldest event is
@@ -332,6 +356,9 @@ impl TraceRing {
 /// with a `traceEvents` envelope), loadable in `chrome://tracing` and Perfetto.
 /// Each lifecycle stage becomes a thread-scoped instant event on the virtual
 /// thread of its submission, so one submission reads as one timeline row.
+/// Events carrying a `span_micros` duration — the armed profiler's
+/// [`TraceStage::Phase`] children — render as complete (`"ph":"X"`) spans
+/// named after their compile phase, nested under the block's compile span.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut json = String::with_capacity(events.len() * 96 + 64);
     json.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
@@ -343,14 +370,31 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             .client
             .map(|c| c.to_string())
             .unwrap_or_else(|| "null".to_string());
-        json.push_str(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"detail\":{},\"client\":{}}}}}",
-            event.stage.name(),
-            event.submission,
-            event.micros,
-            event.detail,
-            client,
-        ));
+        let name = if event.stage == TraceStage::Phase {
+            phase_row_name(event.detail as usize)
+        } else {
+            event.stage.name()
+        };
+        if event.span_micros > 0 {
+            json.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"detail\":{},\"client\":{}}}}}",
+                name,
+                event.submission,
+                event.micros,
+                event.span_micros,
+                event.detail,
+                client,
+            ));
+        } else {
+            json.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"detail\":{},\"client\":{}}}}}",
+                name,
+                event.submission,
+                event.micros,
+                event.detail,
+                client,
+            ));
+        }
     }
     json.push_str("]}\n");
     json
@@ -436,6 +480,21 @@ impl TelemetryOptions {
     }
 }
 
+/// One compile-phase row inside a [`MetricsSnapshot`]: the distribution of
+/// per-block durations for this phase and its share of all profiled compile
+/// time. Rows only accumulate while the compile-phase profiler is armed
+/// (`VQC_PROFILE=1` on the server); the last row is the `"other"` residual
+/// (measured compile time no phase claimed), so shares sum to 100%.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    /// Stable phase name ([`phase_row_name`]).
+    pub name: String,
+    /// Distribution of per-block durations spent in this phase (seconds).
+    pub histogram: HistogramSnapshot,
+    /// This phase's fraction of all profiled compile seconds (`0.0..=1.0`).
+    pub share: f64,
+}
+
 /// Per-priority-class latency distributions inside a [`MetricsSnapshot`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClassLatency {
@@ -503,6 +562,12 @@ pub struct MetricsSnapshot {
     pub warm_start: vqc_core::WarmStartStats,
     /// Warm-start seed entries currently resident.
     pub seed_entries: u64,
+    /// Compile-phase breakdown from the armed profiler (`VQC_PROFILE=1`):
+    /// one row per [`vqc_core::Phase`] plus the `"other"` residual. Empty
+    /// while the profiler is disarmed or before any profiled compilation.
+    pub phases: Vec<PhaseMetrics>,
+    /// Cumulative Jacobi sweeps performed by profiled eigendecompositions.
+    pub jacobi_sweeps: u64,
     /// Per-class latency distributions (index == class).
     pub classes: Vec<ClassLatency>,
 }
@@ -531,6 +596,19 @@ impl MetricsSnapshot {
     /// `VQC_METRICS_DUMP` / `vqc-top --json` schema. Histograms are summarized
     /// as count/mean/p50/p95/p99 (seconds); raw buckets stay wire-only.
     pub fn to_json_line(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|phase| {
+                format!(
+                    "{{\"name\":\"{}\",\"share\":{:.4},\"durations\":{}}}",
+                    phase.name,
+                    phase.share,
+                    histogram_json(&phase.histogram),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let classes = self
             .classes
             .iter()
@@ -558,6 +636,7 @@ impl MetricsSnapshot {
              \"warm_start\":{{\"table_hits\":{},\"table_misses\":{},\"table_rejected\":{},\
              \"table_evictions\":{},\"seed_entries\":{},\"memo_hits\":{},\"memo_misses\":{},\
              \"memo_rejected\":{},\"seeded_iterations\":{},\"cold_iterations\":{}}},\
+             \"phases\":[{}],\"jacobi_sweeps\":{},\
              \"classes\":[{}]}}",
             self.seq,
             self.uptime_seconds,
@@ -592,6 +671,8 @@ impl MetricsSnapshot {
             self.warm_start.memo_rejected,
             self.warm_start.seeded_iterations,
             self.warm_start.cold_iterations,
+            phases,
+            self.jacobi_sweeps,
             classes,
         )
     }
@@ -615,6 +696,11 @@ pub(crate) struct Telemetry {
     epoch: Instant,
     queue_wait: [LatencyHistogram; PRIORITY_CLASSES],
     submit_to_report: [LatencyHistogram; PRIORITY_CLASSES],
+    /// Per-block durations of each compile phase (plus the `"other"` residual
+    /// row); only populated while the compile-phase profiler is armed.
+    phase_durations: [LatencyHistogram; PHASE_ROWS],
+    /// Cumulative Jacobi sweeps from profiled eigendecompositions.
+    jacobi_sweeps: AtomicU64,
     trace: TraceRing,
     busy_workers: AtomicU64,
     seq: AtomicU64,
@@ -634,6 +720,8 @@ impl Telemetry {
             epoch: Instant::now(),
             queue_wait: std::array::from_fn(|_| LatencyHistogram::new()),
             submit_to_report: std::array::from_fn(|_| LatencyHistogram::new()),
+            phase_durations: std::array::from_fn(|_| LatencyHistogram::new()),
+            jacobi_sweeps: AtomicU64::new(0),
             trace: TraceRing::new(options.trace_capacity),
             busy_workers: AtomicU64::new(0),
             seq: AtomicU64::new(0),
@@ -651,7 +739,7 @@ impl Telemetry {
     }
 
     /// Microseconds since the service started.
-    fn now_micros(&self) -> u64 {
+    pub(crate) fn now_micros(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }
 
@@ -672,7 +760,83 @@ impl Telemetry {
             stage,
             micros: self.now_micros(),
             detail,
+            span_micros: 0,
         });
+    }
+
+    /// Records one block's [`CompileProfile`] from the armed profiler: each
+    /// phase's duration lands in its histogram, the unattributed remainder of
+    /// `measured_seconds` lands in the `"other"` residual row, and the block's
+    /// phases are pushed into the trace ring as [`TraceStage::Phase`] child
+    /// spans laid end-to-end from `started_micros` (the block's compile-start
+    /// stamp). No-op when telemetry is disabled or the profile is empty.
+    pub(crate) fn record_compile_profile(
+        &self,
+        submission: u64,
+        client: Option<u64>,
+        started_micros: u64,
+        profile: &CompileProfile,
+        measured_seconds: f64,
+    ) {
+        if !self.enabled || profile.is_empty() {
+            return;
+        }
+        let mut cursor = started_micros;
+        for index in 0..PHASE_COUNT {
+            let seconds = profile.phase_seconds[index];
+            if profile.phase_counts[index] == 0 && seconds <= 0.0 {
+                continue;
+            }
+            self.phase_durations[index].record(seconds);
+            let span_micros = (seconds * 1e6) as u64;
+            self.trace.push(TraceEvent {
+                submission,
+                client,
+                stage: TraceStage::Phase,
+                micros: cursor,
+                detail: index as u64,
+                span_micros: span_micros.max(1),
+            });
+            cursor += span_micros;
+        }
+        let residual = (measured_seconds - profile.total_seconds()).max(0.0);
+        self.phase_durations[PHASE_COUNT].record(residual);
+        self.jacobi_sweeps
+            .fetch_add(profile.jacobi_sweeps, Ordering::Relaxed);
+    }
+
+    /// Assembles the per-phase rows of a snapshot: one [`PhaseMetrics`] per
+    /// phase that recorded at least one sample (plus the residual row), with
+    /// shares normalized over all profiled compile seconds. Empty while the
+    /// profiler has recorded nothing.
+    pub(crate) fn phase_metrics(&self) -> Vec<PhaseMetrics> {
+        let snapshots: Vec<HistogramSnapshot> = self
+            .phase_durations
+            .iter()
+            .map(LatencyHistogram::snapshot)
+            .collect();
+        if snapshots.iter().all(|s| s.count == 0) {
+            return Vec::new();
+        }
+        let total: f64 = snapshots.iter().map(|s| s.total_seconds).sum();
+        snapshots
+            .into_iter()
+            .enumerate()
+            .map(|(index, histogram)| PhaseMetrics {
+                name: phase_row_name(index).to_string(),
+                share: if total > 0.0 {
+                    histogram.total_seconds / total
+                } else {
+                    0.0
+                },
+                histogram,
+            })
+            .collect()
+    }
+
+    /// Cumulative Jacobi sweeps from profiled eigendecompositions.
+    pub(crate) fn jacobi_sweeps(&self) -> u64 {
+        self.jacobi_sweeps.load(Ordering::Relaxed)
     }
 
     /// Records a long lock hold reported by the `parking_lot` lock-order
@@ -814,6 +978,7 @@ mod tests {
                 stage: TraceStage::Submitted,
                 micros: i,
                 detail: 0,
+                span_micros: 0,
             });
         }
         let events = ring.events();
@@ -834,6 +999,7 @@ mod tests {
                 stage: TraceStage::Submitted,
                 micros: 10,
                 detail: 0,
+                span_micros: 0,
             },
             TraceEvent {
                 submission: 3,
@@ -841,6 +1007,7 @@ mod tests {
                 stage: TraceStage::Report,
                 micros: 450,
                 detail: 0,
+                span_micros: 0,
             },
         ];
         let json = chrome_trace_json(&events);
@@ -849,6 +1016,77 @@ mod tests {
         assert!(json.contains("\"name\":\"report\""));
         assert!(json.contains("\"ts\":450"));
         assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_phase_spans_as_complete_events() {
+        let events = vec![TraceEvent {
+            submission: 5,
+            client: None,
+            stage: TraceStage::Phase,
+            micros: 100,
+            detail: 1, // eigendecomposition
+            span_micros: 250,
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"eigendecomposition\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":250"));
+        assert!(json.contains("\"cat\":\"phase\""));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        // Pinned: an empty snapshot reports 0.0 for every quantile, never NaN
+        // and never the overflow bucket's midpoint.
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0.0, "quantile({q}) of empty histogram");
+        }
+        let unrecorded = LatencyHistogram::new().snapshot();
+        assert_eq!(unrecorded.p50(), 0.0);
+        assert_eq!(unrecorded.p95(), 0.0);
+        assert_eq!(unrecorded.p99(), 0.0);
+    }
+
+    #[test]
+    fn phase_rows_cover_all_phases_plus_residual() {
+        assert_eq!(PHASE_ROWS, PHASE_COUNT + 1);
+        let names: Vec<&str> = (0..PHASE_ROWS).map(phase_row_name).collect();
+        assert_eq!(names.last(), Some(&"other"));
+        assert_eq!(names[0], "hamiltonian_assembly");
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), PHASE_ROWS);
+    }
+
+    #[test]
+    fn recorded_profile_shares_sum_to_one() {
+        let telemetry = Telemetry::new(&TelemetryOptions::default().with_enabled(true));
+        let mut profile = CompileProfile::default();
+        profile.phase_seconds[0] = 0.2;
+        profile.phase_counts[0] = 1;
+        profile.phase_seconds[1] = 0.5;
+        profile.phase_counts[1] = 4;
+        profile.jacobi_sweeps = 12;
+        // measured 1.0 s, phases claim 0.7 s → residual 0.3 s.
+        telemetry.record_compile_profile(1, None, 1000, &profile, 1.0);
+        let phases = telemetry.phase_metrics();
+        assert!(!phases.is_empty());
+        let share_sum: f64 = phases.iter().map(|p| p.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
+        let other = phases.last().unwrap();
+        assert_eq!(other.name, "other");
+        assert!((other.histogram.total_seconds - 0.3).abs() < 1e-6);
+        assert_eq!(telemetry.jacobi_sweeps(), 12);
+        // The trace ring gained one Phase child span per nonzero phase.
+        let spans: Vec<TraceEvent> = telemetry
+            .trace_events()
+            .into_iter()
+            .filter(|e| e.stage == TraceStage::Phase)
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|e| e.span_micros > 0));
+        assert_eq!(spans[0].micros, 1000);
     }
 
     #[test]
@@ -885,6 +1123,27 @@ mod tests {
              \"table_evictions\":0,\"seed_entries\":7,\"memo_hits\":9,\"memo_misses\":0,\
              \"memo_rejected\":0,\"seeded_iterations\":120,\"cold_iterations\":480}"
         ));
+        assert!(line.contains("\"phases\":[],\"jacobi_sweeps\":0"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_line_renders_phase_rows() {
+        let snapshot = MetricsSnapshot {
+            phases: vec![PhaseMetrics {
+                name: "propagation".to_string(),
+                histogram: HistogramSnapshot {
+                    count: 3,
+                    total_seconds: 0.6,
+                    buckets: vec![0; HISTOGRAM_BUCKETS],
+                },
+                share: 0.75,
+            }],
+            jacobi_sweeps: 42,
+            ..MetricsSnapshot::default()
+        };
+        let line = snapshot.to_json_line();
+        assert!(line.contains("\"phases\":[{\"name\":\"propagation\",\"share\":0.7500"));
+        assert!(line.contains("\"jacobi_sweeps\":42"));
     }
 }

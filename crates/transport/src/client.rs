@@ -18,6 +18,7 @@ use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 use vqc_core::CompilationReport;
 use vqc_runtime::{MetricsSnapshot, Priority, TraceEvent};
 
@@ -166,6 +167,13 @@ pub struct Client {
     client_id: u64,
     max_frame: usize,
     next_submission: AtomicU64,
+    /// The client's monotonic epoch: the timebase of [`Client::now_micros`]
+    /// and of every timestamp this client stamps on its own trace spans.
+    epoch: Instant,
+    /// Estimated `server clock − client clock` in microseconds, from the
+    /// Hello/Accepted round trip (midpoint method). Subtracting it from a
+    /// server trace timestamp maps it into this client's timeline.
+    clock_offset_micros: i64,
 }
 
 impl std::fmt::Debug for ClientShared {
@@ -191,6 +199,8 @@ impl Client {
         // Latency over throughput: requests are single small frames.
         let _ = stream.set_nodelay(true);
         let max_frame = options.max_frame;
+        let epoch = Instant::now();
+        let sent_micros = epoch.elapsed().as_micros() as u64;
         write_frame(
             &mut stream,
             &Request::Hello {
@@ -198,11 +208,16 @@ impl Client {
                 client_name: options.name,
                 priority: options.priority.0,
                 weight: options.weight,
+                sent_micros,
             },
             max_frame,
         )?;
-        let client_id = match read_frame::<_, Response>(&mut stream, max_frame)? {
-            Response::Accepted { client_id, .. } => client_id,
+        let (client_id, server_micros) = match read_frame::<_, Response>(&mut stream, max_frame)? {
+            Response::Accepted {
+                client_id,
+                server_micros,
+                ..
+            } => (client_id, server_micros),
             Response::Rejected { reason, .. } => return Err(RemoteError::Rejected(reason)),
             other => {
                 return Err(RemoteError::Protocol(format!(
@@ -210,6 +225,13 @@ impl Client {
                 )))
             }
         };
+        // Midpoint clock sync: assume the server stamped `server_micros`
+        // halfway through the round trip. The estimate's error is bounded by
+        // half the round-trip time — microseconds on loopback, and good enough
+        // to lay client and server spans on one merged timeline.
+        let received_micros = epoch.elapsed().as_micros() as u64;
+        let clock_offset_micros =
+            server_micros as i64 - ((sent_micros + received_micros) / 2) as i64;
         let shared = Arc::new(ClientShared {
             table: Mutex::new(RouteTable::default()),
             lost: AtomicBool::new(false),
@@ -229,12 +251,27 @@ impl Client {
             client_id,
             max_frame,
             next_submission: AtomicU64::new(1),
+            epoch,
+            clock_offset_micros,
         })
     }
 
     /// The service client id the server assigned to this connection.
     pub fn client_id(&self) -> u64 {
         self.client_id
+    }
+
+    /// Microseconds since this client's monotonic epoch — the timebase for
+    /// client-side trace spans that will be merged with the server's.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Estimated `server clock − client clock` (microseconds), from the
+    /// handshake round trip. Server trace timestamps minus this offset land on
+    /// this client's [`Client::now_micros`] timeline.
+    pub fn clock_offset_micros(&self) -> i64 {
+        self.clock_offset_micros
     }
 
     fn send(&self, request: &Request) -> Result<(), RemoteError> {
@@ -268,6 +305,23 @@ impl Client {
         payload: SubmitPayload,
         priority: Option<Priority>,
     ) -> Result<RemoteJob, RemoteError> {
+        self.submit_traced(payload, priority, None)
+    }
+
+    /// Submits work carrying a client-assigned causal trace id. The id lands
+    /// in the `detail` of the server's `submitted` trace event, correlating
+    /// client-side spans with the server's in a merged trace
+    /// (`vqc-submit --trace-out`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is lost.
+    pub fn submit_traced(
+        &self,
+        payload: SubmitPayload,
+        priority: Option<Priority>,
+        trace: Option<u64>,
+    ) -> Result<RemoteJob, RemoteError> {
         let id = self.next_submission.fetch_add(1, Ordering::Relaxed);
         let (sender, receiver) = std::sync::mpsc::channel();
         {
@@ -278,6 +332,7 @@ impl Client {
             id,
             payload,
             priority: priority.map(|p| p.0),
+            trace,
         }) {
             self.shared.table.lock().routes.remove(&id);
             return Err(error);

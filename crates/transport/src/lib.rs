@@ -20,6 +20,9 @@
 //!   thread routes interleaved responses to any number of in-flight
 //!   submissions ([`RemoteJob::wait`] for results, [`RemoteJob::next_update`]
 //!   for the event stream, [`RemoteJob::cancel`] to abort).
+//! * [`tracemerge`] — cross-process causal tracing: the client's local spans
+//!   and the server's lifecycle trace merged onto one Chrome timeline using
+//!   the `Hello`/`Accepted` clock-offset estimate (`vqc-submit --trace-out`).
 //!
 //! The `vqc-serve` / `vqc-submit` binaries in `crates/apps` wrap the two ends
 //! for the command line; `VQC_LISTEN`, `VQC_MAX_FRAME`, and `VQC_MAX_CONNS`
@@ -61,10 +64,12 @@
 
 mod client;
 mod server;
+pub mod tracemerge;
 pub mod wire;
 
 pub use client::{Client, ClientOptions, JobUpdate, RemoteError, RemoteJob};
 pub use server::{Server, ServerOptions, DEFAULT_LISTEN};
+pub use tracemerge::{merged_chrome_trace, ClientSpan};
 pub use wire::{
     JobEvent, RejectReason, Request, Response, ServerStats, SubmitPayload, WireError, WireJob,
     WireStatus, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,

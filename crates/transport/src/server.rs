@@ -327,6 +327,10 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
             client_name: _,
             priority,
             weight,
+            // The client's send timestamp is on *its* clock; the offset estimate
+            // is computed client-side from the Accepted round trip, so the
+            // server only needs to report its own clock below.
+            sent_micros: _,
         }) => {
             if protocol != PROTOCOL_VERSION {
                 let _ = send(
@@ -372,6 +376,10 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
         &Response::Accepted {
             client_id,
             protocol: PROTOCOL_VERSION,
+            // Stamped on the telemetry epoch — the same timebase as the
+            // TraceEvent stream — so the client's clock-offset estimate maps
+            // server trace events directly onto its own timeline.
+            server_micros: (shared.runtime.uptime_seconds() * 1_000_000.0) as u64,
         },
         max_frame,
     )
@@ -394,6 +402,7 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
                 id,
                 payload,
                 priority: submit_priority,
+                trace,
             }) => {
                 let mut live = jobs.lock();
                 if live.contains_key(&id) {
@@ -408,10 +417,13 @@ fn serve_connection(shared: &ServerShared, stream: TcpStream) -> ConnectionOutco
                     );
                     continue;
                 }
-                let submission = build_submission(payload)
+                let mut submission = build_submission(payload)
                     .with_client(client_id)
                     .with_weight(weight)
                     .with_priority(submit_priority.map(Priority).unwrap_or(priority));
+                if let Some(trace) = trace {
+                    submission = submission.with_trace(trace);
+                }
                 match shared.runtime.submit(submission) {
                     Ok(handle) => {
                         live.insert(id, handle.clone());

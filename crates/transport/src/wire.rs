@@ -25,7 +25,12 @@ use vqc_runtime::{ClientMetrics, JobStatus, MetricsSnapshot, RuntimeMetrics, Tra
 /// the frame layout or the message enums below. Version 2 added
 /// [`Request::Watch`] / [`Response::MetricsTick`], [`Request::Trace`] /
 /// [`Response::Trace`], and the uptime/snapshot fields of [`ServerStats`].
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 3 added the causal-trace fields: `sent_micros` on
+/// [`Request::Hello`] and `server_micros` on [`Response::Accepted`] (one
+/// round-trip clock-offset estimate), the client-assigned `trace` id on
+/// [`Request::Submit`], and the `span_micros` duration on
+/// [`vqc_runtime::TraceEvent`].
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Default cap on one frame's payload size (8 MiB), server- and client-side.
 pub const DEFAULT_MAX_FRAME: usize = 8 * 1024 * 1024;
@@ -191,6 +196,12 @@ pub enum Request {
         priority: u8,
         /// Fair-share weight within the class (clamped server-side).
         weight: f64,
+        /// The client's monotonic clock (microseconds since its own epoch) at
+        /// the instant the Hello was sent. Paired with
+        /// [`Response::Accepted::server_micros`] and the client's receive
+        /// timestamp, one round trip yields a clock-offset estimate good
+        /// enough to merge client and server trace spans onto one timeline.
+        sent_micros: u64,
     },
     /// Submit work. `id` is a client-chosen correlation id echoed on every
     /// response concerning this submission; reusing a live id is rejected.
@@ -201,6 +212,10 @@ pub enum Request {
         payload: SubmitPayload,
         /// Overrides the connection's negotiated priority for this submission.
         priority: Option<u8>,
+        /// Client-assigned causal trace id, surfaced in the `detail` of the
+        /// server's `submitted` trace event so merged traces can correlate the
+        /// two processes' spans.
+        trace: Option<u64>,
     },
     /// Poll one submission's life-cycle stage.
     Status {
@@ -435,6 +450,12 @@ pub enum Response {
         /// The server's protocol version (equals the client's after a
         /// successful handshake).
         protocol: u32,
+        /// The server's monotonic clock (microseconds since its service core
+        /// started — the timebase of every [`vqc_runtime::TraceEvent`]) when
+        /// it answered the Hello. The client estimates
+        /// `offset = server_micros - (send + receive) / 2` and maps server
+        /// trace timestamps into its own timeline by subtracting it.
+        server_micros: u64,
     },
     /// An asynchronous notification about one submission.
     Event {
@@ -507,6 +528,7 @@ mod tests {
             client_name: "test".into(),
             priority: 8,
             weight: 2.0,
+            sent_micros: 123_456,
         });
         round_trip_request(Request::Submit {
             id: 7,
@@ -516,6 +538,7 @@ mod tests {
                 strategy: Strategy::StrictPartial,
             },
             priority: Some(16),
+            trace: Some(0xDEAD_BEEF),
         });
         round_trip_request(Request::Submit {
             id: 8,
@@ -525,6 +548,7 @@ mod tests {
                 strategy: Strategy::GateBased,
             }]),
             priority: None,
+            trace: None,
         });
         round_trip_request(Request::Status { id: 7 });
         round_trip_request(Request::Cancel { id: 7 });
@@ -540,6 +564,7 @@ mod tests {
             Response::Accepted {
                 client_id: 3,
                 protocol: PROTOCOL_VERSION,
+                server_micros: 42_000,
             },
             Response::Event {
                 id: 7,
@@ -585,6 +610,7 @@ mod tests {
                     stage: vqc_runtime::TraceStage::Dispatched,
                     micros: 1234,
                     detail: 7,
+                    span_micros: 0,
                 }],
             },
         ] {

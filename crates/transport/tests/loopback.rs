@@ -15,8 +15,9 @@ use vqc_runtime::{
     TelemetryOptions, TraceStage,
 };
 use vqc_transport::{
-    wire, Client, ClientOptions, JobEvent, JobUpdate, RejectReason, RemoteError, Request, Response,
-    Server, ServerOptions, SubmitPayload, PROTOCOL_VERSION,
+    merged_chrome_trace, wire, Client, ClientOptions, ClientSpan, JobEvent, JobUpdate,
+    RejectReason, RemoteError, Request, Response, Server, ServerOptions, SubmitPayload,
+    PROTOCOL_VERSION,
 };
 
 fn fast_options() -> CompilerOptions {
@@ -266,6 +267,7 @@ fn remote_cancel_terminates_the_stream() {
             client_name: "canceler".into(),
             priority: 8,
             weight: 1.0,
+            sent_micros: 0,
         },
         wire::DEFAULT_MAX_FRAME,
     )
@@ -310,6 +312,7 @@ fn protocol_faults_do_not_kill_the_server() {
             client_name: "fault-injector".into(),
             priority: 8,
             weight: 1.0,
+            sent_micros: 0,
         },
         wire::DEFAULT_MAX_FRAME,
     )
@@ -370,6 +373,7 @@ fn protocol_version_mismatch_is_rejected_in_hello() {
             client_name: "time-traveler".into(),
             priority: 8,
             weight: 1.0,
+            sent_micros: 0,
         },
         wire::DEFAULT_MAX_FRAME,
     )
@@ -600,6 +604,105 @@ fn trace_request_exports_the_chrome_lifecycle_chain() {
             stage.name()
         );
     }
+}
+
+/// The acceptance scenario for cross-process causal tracing: a client submits
+/// with a trace id, stamps its own spans on its connection epoch, and merges
+/// them with the server's lifecycle trace using the handshake's clock-offset
+/// estimate. The merged Chrome document contains both processes' events
+/// (client `pid` 1, server `pid` 2) with non-decreasing adjusted timestamps.
+#[test]
+fn merged_causal_trace_spans_both_processes_in_order() {
+    let (server, _runtime) = serve(CompilationRuntime::new(
+        fast_options(),
+        RuntimeOptions::with_workers(1),
+    ));
+    let client = Client::connect(
+        server.local_addr(),
+        ClientOptions::default().with_name("tracer"),
+    )
+    .unwrap();
+
+    let submit_micros = client.now_micros();
+    let job = client
+        .submit_traced(
+            SubmitPayload::Batch(vec![wire::WireJob {
+                circuit: one_block_circuit(0.6),
+                params: vec![],
+                strategy: Strategy::StrictPartial,
+            }]),
+            None,
+            Some(0xCAFE),
+        )
+        .unwrap();
+    assert!(job.wait().unwrap()[0].is_ok());
+    let client_spans = [
+        ClientSpan {
+            name: String::from("submit"),
+            micros: submit_micros,
+            span_micros: 0,
+        },
+        ClientSpan {
+            name: String::from("await-report"),
+            micros: submit_micros,
+            span_micros: client.now_micros().saturating_sub(submit_micros).max(1),
+        },
+    ];
+
+    let events = client.trace().unwrap();
+    assert!(!events.is_empty());
+    // The client-assigned trace id rides the Submitted event's detail.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.stage == TraceStage::Submitted && e.detail == 0xCAFE),
+        "the trace id must be recorded on the server's Submitted event"
+    );
+
+    let json = merged_chrome_trace(&client_spans, &events, client.clock_offset_micros());
+    assert!(json.contains("\"pid\":1"), "client spans present");
+    assert!(json.contains("\"pid\":2"), "server events present");
+    assert!(
+        json.contains("\"name\":\"submit\"") && json.contains("\"name\":\"report\""),
+        "both ends of the causal chain are named"
+    );
+
+    // Adjusted timestamps are non-decreasing in document order — the merge
+    // sorted both processes onto one timeline.
+    let mut last_ts = 0u64;
+    let mut seen = 0usize;
+    for piece in json.split("\"ts\":").skip(1) {
+        let digits: String = piece.chars().take_while(char::is_ascii_digit).collect();
+        let ts: u64 = digits.parse().expect("ts is numeric");
+        assert!(
+            ts >= last_ts,
+            "merged timestamps must be non-decreasing: {ts} after {last_ts}"
+        );
+        last_ts = ts;
+        seen += 1;
+    }
+    assert!(
+        seen >= client_spans.len() + events.len(),
+        "every span carries a timestamp"
+    );
+
+    // On loopback both clocks tick together: the offset estimate differs from
+    // zero only by epoch start times, and the server's Submitted event must
+    // land at-or-after the client's submit instant once adjusted.
+    let submitted = events
+        .iter()
+        .find(|e| e.stage == TraceStage::Submitted)
+        .unwrap();
+    let adjusted = vqc_transport::tracemerge::adjust_server_micros(
+        submitted.micros,
+        client.clock_offset_micros(),
+    );
+    // The midpoint estimate's error is bounded by half the handshake RTT;
+    // allow 5ms of slack so a loaded host cannot flake the causal check.
+    assert!(
+        adjusted + 5_000 >= submit_micros,
+        "server intake ({adjusted}µs) cannot causally precede the client's submit ({submit_micros}µs)"
+    );
 }
 
 /// Graceful shutdown over the wire: `Shutdown` *drains* — a job still in
